@@ -1,0 +1,111 @@
+//! Criterion benches wrapping every experiment's core computation —
+//! one group per table/figure of the paper (DESIGN.md §4) — and
+//! printing each regenerated report once so `cargo bench` reproduces
+//! the evaluation end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fpc_bench::experiments::*;
+use fpc_core::tables::TableSpaceModel;
+use fpc_frames::SizeClasses;
+use fpc_vm::MachineConfig;
+use fpc_workloads::traces::{drive_banks, drive_return_stack, tree_trace};
+
+fn print_reports(_c: &mut Criterion) {
+    // Regenerate every table once, so bench output contains the full
+    // evaluation (EXPERIMENTS.md records paper-vs-measured).
+    for (name, report) in [
+        ("E1", e1::report()),
+        ("E2", e2::report()),
+        ("E3", e3::report()),
+        ("E4", e4::report()),
+        ("E5", e5::report()),
+        ("E6", e6::report()),
+        ("E7", e7::report()),
+        ("E8", e8::report()),
+        ("E9", e9::report()),
+        ("E10", e10::report()),
+        ("E11", e11::report()),
+        ("E12", e12::report()),
+        ("A1", a1::report()),
+        ("A2", a2::report()),
+    ] {
+        println!("==== {name} ====\n{report}\n");
+    }
+}
+
+fn bench_e1_call_cost(c: &mut Criterion) {
+    c.bench_function("e1_external_call_measure", |b| {
+        b.iter(|| {
+            e1::measure(
+                true,
+                fpc_compiler::Linkage::Mesa,
+                black_box(MachineConfig::i2()),
+                false,
+            )
+        })
+    });
+}
+
+fn bench_e2_space_model(c: &mut Criterion) {
+    c.bench_function("e2_table_space_sweep", |b| {
+        b.iter(|| {
+            let m = TableSpaceModel::new(10, 32);
+            let mut total = 0i64;
+            for n in 1..black_box(1000u64) {
+                total += m.saving_bits(n);
+            }
+            total
+        })
+    });
+}
+
+fn bench_e3_frame_heap(c: &mut Criterion) {
+    c.bench_function("e3_av_heap_20k_ops", |b| {
+        b.iter(|| e3::drive_av(SizeClasses::mesa(), black_box(20_000), 42))
+    });
+    c.bench_function("e3_general_heap_20k_ops", |b| {
+        b.iter(|| e3::drive_general(black_box(20_000), 42))
+    });
+}
+
+fn bench_e5_return_stack(c: &mut Criterion) {
+    let trace = tree_trace(15, 6);
+    c.bench_function("e5_return_stack_tree15", |b| {
+        b.iter(|| drive_return_stack(black_box(&trace), 8))
+    });
+}
+
+fn bench_e6_banks(c: &mut Criterion) {
+    let trace = tree_trace(15, 6);
+    c.bench_function("e6_bank_drive_tree15", |b| {
+        b.iter(|| drive_banks(black_box(&trace), 4, 16))
+    });
+}
+
+fn bench_e8_effective_speed(c: &mut Criterion) {
+    c.bench_function("e8_leafcalls_i4", |b| {
+        let w = fpc_workloads::programs::leafcalls(200);
+        b.iter(|| e8::measure(black_box(&w)))
+    });
+}
+
+fn bench_e11_density(c: &mut Criterion) {
+    c.bench_function("e11_compile_corpus", |b| b.iter(e11::aggregate));
+}
+
+criterion_group! {
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets =
+        print_reports,
+        bench_e1_call_cost,
+        bench_e2_space_model,
+        bench_e3_frame_heap,
+        bench_e5_return_stack,
+        bench_e6_banks,
+        bench_e8_effective_speed,
+        bench_e11_density,
+}
+criterion_main!(experiments);

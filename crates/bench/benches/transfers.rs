@@ -1,0 +1,60 @@
+//! Criterion benches of raw simulator throughput per implementation —
+//! the wall-clock cost of running the same workload under I1–I4, and
+//! of the transfer fast paths in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use fpc_compiler::{Linkage, Options};
+use fpc_vm::{Machine, MachineConfig};
+use fpc_workloads::{compile_workload, programs};
+
+fn bench_configs(c: &mut Criterion) {
+    let w = programs::fib(12);
+    let mut group = c.benchmark_group("fib12");
+    for (name, config, linkage) in [
+        ("i1", MachineConfig::i1(), Linkage::Mesa),
+        ("i2", MachineConfig::i2(), Linkage::Mesa),
+        ("i3", MachineConfig::i3(), Linkage::Direct),
+        ("i4", MachineConfig::i4(), Linkage::Direct),
+    ] {
+        let compiled = compile_workload(
+            &w,
+            Options { linkage, bank_args: config.renaming() },
+        )
+        .expect("compiles");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m =
+                    Machine::load(black_box(&compiled.image), config).expect("loads");
+                m.run(50_000_000).expect("runs");
+                m.stats().cycles
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_leaf_loop(c: &mut Criterion) {
+    let w = programs::leafcalls(1000);
+    let compiled = compile_workload(
+        &w,
+        Options { linkage: Linkage::Direct, bank_args: true },
+    )
+    .expect("compiles");
+    c.bench_function("leafcalls1000_i4", |b| {
+        b.iter(|| {
+            let mut m = Machine::load(black_box(&compiled.image), MachineConfig::i4())
+                .expect("loads");
+            m.run(10_000_000).expect("runs");
+            m.stats().transfers.fast_call_return_fraction()
+        })
+    });
+}
+
+criterion_group! {
+    name = transfers;
+    config = Criterion::default().sample_size(10);
+    targets = bench_configs, bench_leaf_loop,
+}
+criterion_main!(transfers);

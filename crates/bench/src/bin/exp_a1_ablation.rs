@@ -1,0 +1,5 @@
+//! Regenerates experiment A1 (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", fpc_bench::experiments::a1::report());
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment A2 (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", fpc_bench::experiments::a2::report());
+}

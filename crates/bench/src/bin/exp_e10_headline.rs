@@ -1,0 +1,5 @@
+//! Regenerates experiment E10 (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", fpc_bench::experiments::e10::report());
+}

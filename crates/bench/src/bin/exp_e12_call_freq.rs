@@ -1,0 +1,5 @@
+//! Regenerates experiment E12 (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", fpc_bench::experiments::e12::report());
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E1 (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", fpc_bench::experiments::e1::report());
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E3 (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", fpc_bench::experiments::e3::report());
+}

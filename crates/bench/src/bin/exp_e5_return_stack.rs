@@ -1,0 +1,5 @@
+//! Regenerates experiment E5 (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", fpc_bench::experiments::e5::report());
+}

@@ -1,0 +1,5 @@
+//! Regenerates experiment E7 (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", fpc_bench::experiments::e7::report());
+}

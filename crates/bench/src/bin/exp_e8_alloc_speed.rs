@@ -1,0 +1,5 @@
+//! Regenerates experiment E8 (see DESIGN.md §4).
+
+fn main() {
+    print!("{}", fpc_bench::experiments::e8::report());
+}

@@ -1,0 +1,155 @@
+//! A1 — Ablation: what each mechanism buys (paper §5–§7, §8).
+//!
+//! §8 frames the design space as trade-offs among simplicity, space
+//! and speed, with "many intermediate positions". This report walks
+//! the ladder one mechanism at a time and measures cycles per
+//! call+return at each step:
+//!
+//! 1. I2, Mesa linkage (the space-optimal baseline)
+//! 2. I2, direct calls (early binding only)
+//! 3. + return-prediction stack (I3)
+//! 4. + register banks without renaming
+//! 5. + argument renaming
+//! 6. + free-frame cache with deferred allocation (full I4)
+
+use fpc_compiler::{Linkage, Options};
+use fpc_stats::Table;
+use fpc_vm::{AllocStrategy, BankConfig, MachineConfig, PtrLocalPolicy};
+use fpc_workloads::{corpus, run_workload, Workload};
+
+/// One rung of the ablation ladder.
+pub struct Rung {
+    /// Display name.
+    pub name: &'static str,
+    /// Machine configuration.
+    pub config: MachineConfig,
+    /// Call linkage.
+    pub linkage: Linkage,
+}
+
+/// The ladder, in order.
+pub fn ladder() -> Vec<Rung> {
+    let norename = BankConfig {
+        banks: 4,
+        words: 16,
+        renaming: false,
+        ptr_policy: PtrLocalPolicy::Divert,
+    };
+    let banks_norename = Some(norename);
+    let banks_rename = Some(BankConfig { renaming: true, ..norename });
+    vec![
+        Rung { name: "I2 (Mesa linkage)", config: MachineConfig::i2(), linkage: Linkage::Mesa },
+        Rung { name: "+ direct calls", config: MachineConfig::i2(), linkage: Linkage::Direct },
+        Rung { name: "+ return stack (I3)", config: MachineConfig::i3(), linkage: Linkage::Direct },
+        Rung {
+            name: "+ banks (no renaming)",
+            config: MachineConfig::i3().with_banks(banks_norename),
+            linkage: Linkage::Direct,
+        },
+        Rung {
+            name: "+ renaming",
+            config: MachineConfig::i3().with_banks(banks_rename),
+            linkage: Linkage::Direct,
+        },
+        Rung {
+            name: "+ frame cache (I4)",
+            config: MachineConfig::i3()
+                .with_banks(banks_rename)
+                .with_alloc(AllocStrategy::AvCached { cache_frames: 8, defer: true }),
+            linkage: Linkage::Direct,
+        },
+    ]
+}
+
+/// Mean cycles per call+return and whole-run cycles of `w` on a rung.
+pub fn measure(w: &Workload, rung: &Rung) -> (f64, u64) {
+    let m = run_workload(
+        w,
+        rung.config,
+        Options { linkage: rung.linkage, bank_args: rung.config.renaming() },
+    )
+    .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name, rung.name));
+    let t = &m.stats().transfers;
+    let n = t.calls_and_returns();
+    let per = if n == 0 {
+        0.0
+    } else {
+        (t.calls.cycles + t.returns.cycles) as f64 / n as f64
+    };
+    (per, m.stats().cycles)
+}
+
+/// Mean cycles per call+return of `w` on one rung.
+pub fn cycles_per_transfer(w: &Workload, rung: &Rung) -> f64 {
+    measure(w, rung).0
+}
+
+/// Regenerates the A1 table.
+pub fn report() -> String {
+    let names = ["fib", "leafcalls", "nest", "quicksort"];
+    let workloads: Vec<_> =
+        corpus().into_iter().filter(|w| names.contains(&w.name)).collect();
+    let mut header = vec!["mechanism".to_string()];
+    header.extend(workloads.iter().map(|w| w.name.to_string()));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr);
+    t.numeric();
+    let mut t2 = Table::new(&hdr);
+    t2.numeric();
+    let mut baselines: Vec<u64> = Vec::new();
+    for (ri, rung) in ladder().into_iter().enumerate() {
+        let mut row = vec![rung.name.to_string()];
+        let mut row2 = vec![rung.name.to_string()];
+        for (wi, w) in workloads.iter().enumerate() {
+            let (per, total) = measure(w, &rung);
+            row.push(crate::f2(per));
+            if ri == 0 {
+                baselines.push(total);
+                row2.push("1.00".into());
+            } else {
+                row2.push(crate::f2(total as f64 / baselines[wi] as f64));
+            }
+        }
+        t.row_owned(row);
+        t2.row_owned(row2);
+    }
+    format!(
+        "A1: ablation — what each mechanism buys\n\n\
+         mean cycles per call+return (a jump costs 2 cycles):\n{t}\n\
+         whole-run cycles relative to the I2 baseline (renaming also\n\
+         removes prologue store instructions, visible only here):\n{t2}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_rung_improves_leafcalls() {
+        let w = corpus().into_iter().find(|w| w.name == "leafcalls").unwrap();
+        let mut last = f64::INFINITY;
+        for rung in ladder() {
+            let c = cycles_per_transfer(&w, &rung);
+            assert!(
+                c <= last + 0.3,
+                "{} regressed: {c} after {last}",
+                rung.name
+            );
+            last = c;
+        }
+        assert!(last < 2.5, "full I4 leafcalls: {last} cycles/transfer");
+    }
+
+    #[test]
+    fn full_ladder_beats_baseline_by_a_wide_margin() {
+        let w = corpus().into_iter().find(|w| w.name == "fib").unwrap();
+        let rungs = ladder();
+        let base = cycles_per_transfer(&w, &rungs[0]);
+        let full = cycles_per_transfer(&w, rungs.last().unwrap());
+        assert!(
+            full < base / 2.0,
+            "baseline {base} vs full {full} cycles/transfer"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! A2 — Pointer-to-local policies (paper §7.4).
+//!
+//! Pointers to locals break the register-bank illusion (the "multiple
+//! copy problem", C2). The paper offers: outlaw them; flush flagged
+//! frames whenever control leaves them; or detect and divert matching
+//! storage references to the register. This report runs the
+//! pointer-taking workload under each policy.
+
+use fpc_compiler::{Linkage, Options};
+use fpc_stats::Table;
+use fpc_vm::{BankConfig, Machine, MachineConfig, PtrLocalPolicy, VmError};
+use fpc_workloads::{corpus, run_workload, Workload};
+
+fn config_with(policy: PtrLocalPolicy) -> MachineConfig {
+    MachineConfig::i4().with_banks(Some(BankConfig {
+        banks: 4,
+        words: 16,
+        renaming: true,
+        ptr_policy: policy,
+    }))
+}
+
+/// Runs the workload under a policy.
+///
+/// # Errors
+///
+/// Propagates the machine error (the outlaw policy is expected to
+/// reject the workload).
+pub fn run_policy(w: &Workload, policy: PtrLocalPolicy) -> Result<Machine, VmError> {
+    run_workload(
+        w,
+        config_with(policy),
+        Options { linkage: Linkage::Direct, bank_args: true },
+    )
+}
+
+/// Regenerates the A2 table.
+pub fn report() -> String {
+    let w = corpus().into_iter().find(|w| w.name == "pointers").expect("pointers workload");
+    let mut t = Table::new(&[
+        "policy",
+        "outcome",
+        "diversions",
+        "flushed words",
+        "cycles",
+    ]);
+    t.numeric();
+    for (name, policy) in [
+        ("outlaw", PtrLocalPolicy::Outlaw),
+        ("flush on exit", PtrLocalPolicy::FlushOnExit),
+        ("divert", PtrLocalPolicy::Divert),
+    ] {
+        match run_policy(&w, policy) {
+            Ok(m) => {
+                let b = m.bank_stats().expect("banks");
+                let ok = m.output() == w.expected.as_slice();
+                t.row_owned(vec![
+                    name.into(),
+                    if ok { "correct".into() } else { "WRONG OUTPUT".into() },
+                    b.diversions.to_string(),
+                    b.flushed_words.to_string(),
+                    m.stats().cycles.to_string(),
+                ]);
+            }
+            Err(e) => {
+                t.row_owned(vec![
+                    name.into(),
+                    format!("rejected: {e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    format!(
+        "A2: pointer-to-local handling under register banks (§7.4)\n\
+         workload `pointers` fills and sums a local array through\n\
+         pointers passed to other procedures\n\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pointers() -> Workload {
+        corpus().into_iter().find(|w| w.name == "pointers").unwrap()
+    }
+
+    #[test]
+    fn outlaw_rejects_pointer_taking_code() {
+        let err = run_policy(&pointers(), PtrLocalPolicy::Outlaw).unwrap_err();
+        assert_eq!(err, VmError::PointerToLocalOutlawed);
+    }
+
+    #[test]
+    fn divert_is_correct_and_counts_diversions() {
+        let w = pointers();
+        let m = run_policy(&w, PtrLocalPolicy::Divert).unwrap();
+        assert_eq!(m.output(), w.expected.as_slice());
+        assert!(m.bank_stats().unwrap().diversions > 0);
+    }
+
+    #[test]
+    fn flush_on_exit_is_correct() {
+        let w = pointers();
+        let m = run_policy(&w, PtrLocalPolicy::FlushOnExit).unwrap();
+        assert_eq!(m.output(), w.expected.as_slice());
+    }
+
+    #[test]
+    fn policies_do_not_disturb_pointer_free_code() {
+        let w = corpus().into_iter().find(|w| w.name == "fib").unwrap();
+        for policy in [PtrLocalPolicy::Outlaw, PtrLocalPolicy::FlushOnExit, PtrLocalPolicy::Divert]
+        {
+            let m = run_policy(&w, policy).unwrap();
+            assert_eq!(m.output(), w.expected.as_slice(), "policy {policy:?}");
+        }
+    }
+}

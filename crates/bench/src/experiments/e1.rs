@@ -1,0 +1,164 @@
+//! E1 — Levels of indirection in a procedure call (paper figure 1,
+//! §5.1, §6).
+//!
+//! The Mesa EXTERNALCALL walks four tables to obtain the destination
+//! PC — link vector, GFT, global frame (code base), entry vector — a
+//! LOCALCALL walks one, and a DIRECTCALL walks none. On top of that,
+//! the general scheme pays frame allocation (3 references on the AV
+//! heap) and three frame-word writes (caller PC, return link, callee
+//! GF). The report measures all of it per call, per implementation.
+
+use fpc_compiler::{compile, Linkage, Options};
+use fpc_stats::Table;
+use fpc_vm::{cost, Machine, MachineConfig, TransferKind};
+use fpc_workloads::programs;
+
+/// Statistics of a single measured call.
+#[derive(Debug, Clone, Copy)]
+pub struct CallCost {
+    /// Data references made by the call instruction.
+    pub refs: f64,
+    /// Cycles under the cost model.
+    pub cycles: f64,
+}
+
+fn single_call_sources(cross_module: bool) -> Vec<String> {
+    if cross_module {
+        vec![
+            "module L; proc f(x: int): int begin return x; end; end.".to_string(),
+            "module M imports L; proc main() begin out L.f(7); end; end.".to_string(),
+        ]
+    } else {
+        vec![
+            "module M;
+             proc f(x: int): int begin return x; end;
+             proc main() begin out f(7); end;
+             end."
+                .to_string(),
+        ]
+    }
+}
+
+/// Measures the mean call cost of a one-call program (or of the
+/// leaf-call loop for warm fast-path configurations).
+pub fn measure(
+    cross_module: bool,
+    linkage: Linkage,
+    config: MachineConfig,
+    warm_loop: bool,
+) -> CallCost {
+    let (sources, fuel): (Vec<String>, u64) = if warm_loop {
+        (programs::leafcalls(500).sources, 10_000_000)
+    } else {
+        (single_call_sources(cross_module), 100_000)
+    };
+    let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+    let options = Options { linkage, bank_args: config.renaming() };
+    let compiled = compile(&refs, options).expect("experiment program compiles");
+    let mut m = Machine::load(&compiled.image, config).expect("loads");
+    m.run(fuel).expect("runs");
+    let k = m.stats().transfers.kind(TransferKind::Call);
+    assert!(k.count >= 1);
+    CallCost { refs: k.mean_refs(), cycles: k.mean_cycles() }
+}
+
+/// Regenerates the E1 table.
+pub fn report() -> String {
+    let mut t = Table::new(&[
+        "implementation",
+        "linkage",
+        "refs/call",
+        "cycles/call",
+        "vs jump",
+    ]);
+    t.numeric();
+    let jump = cost::jump_cycles() as f64;
+    let mut row = |name: &str, linkage_name: &str, c: CallCost| {
+        t.row_owned(vec![
+            name.into(),
+            linkage_name.into(),
+            crate::f2(c.refs),
+            crate::f2(c.cycles),
+            format!("{:.1}x", c.cycles / jump),
+        ]);
+    };
+    row(
+        "I1 simple (general heap)",
+        "external",
+        measure(true, Linkage::Mesa, MachineConfig::i1(), false),
+    );
+    row(
+        "I2 Mesa tables",
+        "external (4 levels)",
+        measure(true, Linkage::Mesa, MachineConfig::i2(), false),
+    );
+    row(
+        "I2 Mesa tables",
+        "local (1 level)",
+        measure(false, Linkage::Mesa, MachineConfig::i2(), false),
+    );
+    row(
+        "I2 Mesa tables",
+        "direct (0 levels)",
+        measure(false, Linkage::Direct, MachineConfig::i2(), false),
+    );
+    row(
+        "I2 Mesa tables",
+        "short direct",
+        measure(false, Linkage::ShortDirect, MachineConfig::i2(), false),
+    );
+    row(
+        "I3 + return stack",
+        "direct",
+        measure(false, Linkage::Direct, MachineConfig::i3(), true),
+    );
+    row(
+        "I4 + banks + frame cache",
+        "direct",
+        measure(false, Linkage::Direct, MachineConfig::i4(), true),
+    );
+    format!(
+        "E1: levels of indirection and per-call cost (figure 1)\n\
+         an unconditional jump costs {jump} cycles\n\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn external_call_pays_four_levels_plus_frame_traffic() {
+        let c = measure(true, Linkage::Mesa, MachineConfig::i2(), false);
+        // 4 PC-resolution references + 3 allocation + 3 frame writes.
+        assert_eq!(c.refs, 10.0);
+    }
+
+    #[test]
+    fn local_call_saves_three_references() {
+        let ext = measure(true, Linkage::Mesa, MachineConfig::i2(), false);
+        let local = measure(false, Linkage::Mesa, MachineConfig::i2(), false);
+        assert_eq!(ext.refs - local.refs, 3.0);
+    }
+
+    #[test]
+    fn direct_call_eliminates_resolution_entirely() {
+        let c = measure(false, Linkage::Direct, MachineConfig::i2(), false);
+        assert_eq!(c.refs, 6.0); // allocation + frame writes only
+        let s = measure(false, Linkage::ShortDirect, MachineConfig::i2(), false);
+        assert_eq!(s.refs, 6.0);
+    }
+
+    #[test]
+    fn i4_direct_calls_approach_jump_cost() {
+        let c = measure(false, Linkage::Direct, MachineConfig::i4(), true);
+        assert!(c.cycles < 2.5, "mean cycles {}", c.cycles);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report();
+        assert!(r.contains("4 levels"));
+        assert!(r.contains("I4"));
+    }
+}

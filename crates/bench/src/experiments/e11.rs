@@ -1,0 +1,76 @@
+//! E11 — Encoding density (paper §5).
+//!
+//! "It uses instructions which are one, two or three bytes long; about
+//! two-thirds of the instructions compiled for a large sample of
+//! source programs occupy a single byte." The report gives the
+//! instruction-length histogram per corpus workload and in aggregate.
+
+use fpc_compiler::Options;
+use fpc_isa::sizing::SizeStats;
+use fpc_stats::Table;
+use fpc_workloads::{compile_workload, corpus};
+
+/// Aggregate size statistics over the whole corpus.
+pub fn aggregate() -> SizeStats {
+    let mut total = SizeStats::new();
+    for w in corpus() {
+        let c = compile_workload(&w, Options::default()).expect("corpus compiles");
+        total.merge(&c.stats.size);
+    }
+    total
+}
+
+/// Regenerates the E11 table.
+pub fn report() -> String {
+    let mut t = Table::new(&["workload", "instrs", "1B", "2B", "3B", "4B", "1-byte", "mean len"]);
+    t.numeric();
+    for w in corpus() {
+        let s = compile_workload(&w, Options::default()).expect("compiles").stats.size;
+        t.row_owned(vec![
+            w.name.into(),
+            s.total().to_string(),
+            s.count(1).to_string(),
+            s.count(2).to_string(),
+            s.count(3).to_string(),
+            s.count(4).to_string(),
+            crate::pct(s.one_byte_fraction()),
+            crate::f2(s.mean_len()),
+        ]);
+    }
+    let a = aggregate();
+    t.row_owned(vec![
+        "TOTAL".into(),
+        a.total().to_string(),
+        a.count(1).to_string(),
+        a.count(2).to_string(),
+        a.count(3).to_string(),
+        a.count(4).to_string(),
+        crate::pct(a.one_byte_fraction()),
+        crate::f2(a.mean_len()),
+    ]);
+    format!(
+        "E11: instruction-length distribution under the Mesa encoding (§5)\n\
+         paper: about two-thirds of compiled instructions are one byte\n\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn about_two_thirds_one_byte() {
+        let a = aggregate();
+        let frac = a.one_byte_fraction();
+        assert!(frac > 0.55 && frac < 0.85, "one-byte fraction {frac}");
+    }
+
+    #[test]
+    fn nothing_longer_than_four_bytes() {
+        let a = aggregate();
+        assert_eq!(
+            a.total(),
+            a.count(1) + a.count(2) + a.count(3) + a.count(4)
+        );
+    }
+}

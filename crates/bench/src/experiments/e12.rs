@@ -1,0 +1,53 @@
+//! E12 — Call frequency (paper §1).
+//!
+//! "Well-structured programs typically make a large number of
+//! procedure calls; one call or return for every 10 instructions
+//! executed is not uncommon." The report measures instructions per
+//! call-or-return across the corpus.
+
+use fpc_compiler::Linkage;
+use fpc_stats::Table;
+use fpc_vm::MachineConfig;
+use fpc_workloads::corpus;
+
+/// Regenerates the E12 table.
+pub fn report() -> String {
+    let mut t = Table::new(&["workload", "kind", "instructions", "calls+returns", "instrs/transfer"]);
+    t.numeric();
+    for w in corpus() {
+        let m = crate::run(&w, MachineConfig::i2(), Linkage::Mesa);
+        let s = m.stats();
+        t.row_owned(vec![
+            w.name.into(),
+            format!("{:?}", w.kind),
+            s.instructions.to_string(),
+            s.transfers.calls_and_returns().to_string(),
+            crate::f2(s.instructions_per_transfer()),
+        ]);
+    }
+    format!(
+        "E12: call/return density (§1)\n\
+         paper: one call or return per ~10 instructions is not uncommon\n\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_heavy_code_is_near_ten_instructions_per_transfer() {
+        let w = corpus().into_iter().find(|w| w.name == "fib").unwrap();
+        let m = crate::run(&w, MachineConfig::i2(), Linkage::Mesa);
+        let ipt = m.stats().instructions_per_transfer();
+        assert!(ipt > 4.0 && ipt < 16.0, "fib: {ipt} instructions per transfer");
+    }
+
+    #[test]
+    fn iterative_code_is_much_sparser() {
+        let w = corpus().into_iter().find(|w| w.name == "matrix").unwrap();
+        let m = crate::run(&w, MachineConfig::i2(), Linkage::Mesa);
+        let ipt = m.stats().instructions_per_transfer();
+        assert!(ipt > 100.0, "matrix: {ipt} instructions per transfer");
+    }
+}

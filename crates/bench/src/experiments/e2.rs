@@ -1,0 +1,58 @@
+//! E2 — The table-indirection space model (paper §5, point T1).
+//!
+//! "If the full address takes f bits, the table index takes i bits, and
+//! the address is used n times, then the space changes from nf to
+//! ni + f." The report sweeps uses and field widths and reproduces the
+//! paper's worked example (n = 3, i = 10, f = 32 → 34 bits saved,
+//! about one third).
+
+use fpc_core::tables::{paper_example, TableSpaceModel};
+use fpc_stats::Table;
+
+/// Regenerates the E2 table.
+pub fn report() -> String {
+    let mut t = Table::new(&[
+        "i (index bits)",
+        "f (addr bits)",
+        "n (uses)",
+        "direct bits",
+        "table bits",
+        "saved",
+        "saving",
+    ]);
+    t.numeric();
+    for (i, f) in [(10u32, 32u32), (8, 16), (5, 16), (10, 16)] {
+        let m = TableSpaceModel::new(i, f);
+        for n in [1u64, 2, 3, 4, 8, 16] {
+            t.row_owned(vec![
+                i.to_string(),
+                f.to_string(),
+                n.to_string(),
+                m.direct_bits(n).to_string(),
+                m.table_bits(n).to_string(),
+                m.saving_bits(n).to_string(),
+                crate::pct(m.saving_fraction(n)),
+            ]);
+        }
+    }
+    let p = paper_example();
+    format!(
+        "E2: table-indirection space model (T1)\n\
+         paper example: n=3, i=10, f=32 saves {} bits ({}), break-even at n={}\n\n{t}",
+        p.saving_bits(3),
+        crate::pct(p.saving_fraction(3)),
+        p.break_even_uses(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_in_report() {
+        let r = report();
+        assert!(r.contains("saves 34 bits"));
+        assert!(r.contains("35.4%"));
+    }
+}

@@ -1,0 +1,105 @@
+//! E4 — Call-site space by linkage (paper §6, point D1).
+//!
+//! "The call instruction is larger: four bytes instead of one … the
+//! space is only 30% more if the procedure is called only once from
+//! the module"; with SHORTDIRECTCALL "the space is the same … for a
+//! single call of p from a module, and 50% more (6 bytes instead of 4)
+//! for two calls." The first table reproduces that arithmetic; the
+//! second measures whole-program code size for the corpus compiled
+//! under each linkage.
+
+use fpc_compiler::{Linkage, Options};
+use fpc_isa::sizing::CallSiteSpace;
+use fpc_stats::Table;
+use fpc_workloads::{compile_workload, corpus};
+
+/// Regenerates the E4 tables.
+pub fn report() -> String {
+    let mut t1 = Table::new(&[
+        "calls/module",
+        "external (1B + LV)",
+        "direct (4B)",
+        "short direct (3B)",
+        "direct vs ext",
+        "short vs ext",
+    ]);
+    t1.numeric();
+    for sites in [1u64, 2, 3, 5, 10] {
+        let m = CallSiteSpace::new(sites);
+        t1.row_owned(vec![
+            sites.to_string(),
+            format!("{} B", m.external_bytes()),
+            format!("{} B", m.direct_bytes()),
+            format!("{} B", m.short_direct_bytes()),
+            crate::pct(m.direct_expansion()),
+            crate::pct(m.short_direct_expansion()),
+        ]);
+    }
+
+    let mut t2 = Table::new(&["workload", "mesa bytes", "direct bytes", "short bytes", "direct growth"]);
+    t2.numeric();
+    for w in corpus() {
+        let sizes: Vec<u64> = [Linkage::Mesa, Linkage::Direct, Linkage::ShortDirect]
+            .into_iter()
+            .map(|linkage| {
+                compile_workload(&w, Options { linkage, bank_args: false })
+                    .expect("corpus compiles")
+                    .stats
+                    .size
+                    .bytes()
+            })
+            .collect();
+        t2.row_owned(vec![
+            w.name.into(),
+            sizes[0].to_string(),
+            sizes[1].to_string(),
+            sizes[2].to_string(),
+            crate::pct(sizes[1] as f64 / sizes[0] as f64 - 1.0),
+        ]);
+    }
+
+    format!(
+        "E4: call-site space by linkage (D1)\n\n\
+         per-procedure model (paper: +30% for one call, same/+50% for short direct):\n{t1}\n\
+         measured corpus instruction bytes per linkage:\n{t2}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_reproduced() {
+        let one = CallSiteSpace::new(1);
+        assert_eq!(one.external_bytes(), 3);
+        assert_eq!(one.direct_bytes(), 4);
+        assert_eq!(one.short_direct_bytes(), 3);
+        let two = CallSiteSpace::new(2);
+        assert_eq!(two.short_direct_bytes(), 6);
+    }
+
+    #[test]
+    fn measured_direct_code_is_larger() {
+        let w = corpus().into_iter().find(|w| w.name == "fib").unwrap();
+        let mesa = compile_workload(&w, Options::default()).unwrap().stats.size.bytes();
+        let direct = compile_workload(
+            &w,
+            Options { linkage: Linkage::Direct, ..Default::default() },
+        )
+        .unwrap()
+        .stats
+        .size
+        .bytes();
+        assert!(direct > mesa);
+        // The growth is modest: calls are a fraction of the code.
+        assert!((direct as f64) < 1.5 * mesa as f64);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = report();
+        assert!(r.contains("33.3%")); // one call: 4 B vs 3 B
+        assert!(r.contains("fib"));
+    }
+}

@@ -1,0 +1,96 @@
+//! E5 — The IFU return-prediction stack (paper §6).
+//!
+//! "As long as calls and returns follow a LIFO discipline this allows
+//! returns to be handled as fast as calls. When something unusual
+//! happens (… or running out of space in the return stack), fall back
+//! to the general scheme." The report sweeps the stack depth over the
+//! compiled corpus and the synthetic traces, measuring the fraction of
+//! returns served from the stack.
+
+use fpc_compiler::Linkage;
+use fpc_stats::Table;
+use fpc_vm::MachineConfig;
+use fpc_workloads::traces::{
+    drive_return_stack, generate, leafy_trace, tree_trace, TraceParams,
+};
+use fpc_workloads::{corpus, Kind};
+
+/// Depths swept by the report.
+pub const DEPTHS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Hit rate of workload `name` at the given return-stack depth.
+pub fn workload_hit_rate(w: &fpc_workloads::Workload, depth: usize) -> f64 {
+    let config = MachineConfig::i2().with_return_stack(depth);
+    let m = crate::run(w, config, Linkage::Mesa);
+    m.return_stack_stats().hit_rate()
+}
+
+/// Regenerates the E5 table.
+pub fn report() -> String {
+    let mut header: Vec<String> = vec!["workload".into()];
+    header.extend(DEPTHS.iter().map(|d| format!("depth {d}")));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr);
+    t.numeric();
+
+    for w in corpus() {
+        if !matches!(w.kind, Kind::CallHeavy | Kind::Mixed) {
+            continue;
+        }
+        let mut row = vec![w.name.to_string()];
+        for d in DEPTHS {
+            row.push(crate::pct(workload_hit_rate(&w, d)));
+        }
+        t.row_owned(row);
+    }
+
+    // Synthetic traces.
+    let tree = tree_trace(15, 6);
+    let leafy = leafy_trace(TraceParams { len: 100_000, ..Default::default() }, 0.8);
+    let walk = generate(TraceParams { len: 100_000, ..Default::default() });
+    for (name, trace) in [
+        ("trace:tree(15)", &tree),
+        ("trace:leafy", &leafy),
+        ("trace:walk", &walk),
+    ] {
+        let mut row = vec![name.to_string()];
+        for d in DEPTHS {
+            row.push(crate::pct(drive_return_stack(trace, d).hit_rate()));
+        }
+        t.row_owned(row);
+    }
+
+    format!(
+        "E5: return-prediction stack hit rate vs depth (§6)\n\
+         a hit means the return ran as fast as a call; a miss falls back\n\
+         to the general scheme (read return link, PC, GF, code base)\n\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_deep_stack_serves_most_returns_on_fib() {
+        let w = corpus().into_iter().find(|w| w.name == "fib").unwrap();
+        let rate = workload_hit_rate(&w, 8);
+        assert!(rate > 0.9, "hit rate {rate}");
+    }
+
+    #[test]
+    fn hit_rate_is_monotone_in_depth_for_fib() {
+        let w = corpus().into_iter().find(|w| w.name == "fib").unwrap();
+        let r1 = workload_hit_rate(&w, 1);
+        let r4 = workload_hit_rate(&w, 4);
+        let r16 = workload_hit_rate(&w, 16);
+        assert!(r1 <= r4 && r4 <= r16, "{r1} {r4} {r16}");
+    }
+
+    #[test]
+    fn depth_zero_is_the_general_scheme() {
+        let w = corpus().into_iter().find(|w| w.name == "leafcalls").unwrap();
+        let m = crate::run(&w, MachineConfig::i2(), Linkage::Mesa);
+        assert_eq!(m.return_stack_stats().hits, 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! E6 — Register-bank overflow/underflow rates (paper §7.1).
+//!
+//! "Fragmentary Mesa statistics indicate that with 4 banks it happens
+//! on less than 5% of XFERs; and Patterson reports that with 4–8 banks the
+//! rate is less than 1%. Intuitively, this means that long runs of
+//! calls nearly uninterrupted by returns, or vice versa, are quite
+//! rare." The report sweeps the bank count over the synthetic depth
+//! models and over compiled workloads running on the full machine.
+//!
+//! Uniform deep recursion is the hard case: the mechanism's law is
+//! ≈ 2·2^−(w−1) slow events per transfer for w banks, so the 4-bank
+//! figure depends on how leaf-dominated the workload is — exactly why
+//! the paper calls its own numbers fragmentary and asks for
+//! "measurements … on a larger set of programs".
+
+use fpc_compiler::{Linkage, Options};
+use fpc_stats::Table;
+use fpc_vm::{BankConfig, MachineConfig, PtrLocalPolicy};
+use fpc_workloads::traces::{drive_banks, generate, leafy_trace, tree_trace, TraceParams};
+use fpc_workloads::{corpus, run_workload, Kind, Workload};
+
+/// Bank counts swept by the report.
+pub const BANKS: [usize; 4] = [2, 4, 8, 16];
+
+/// Slow-event rate of a workload on the full machine with `banks`
+/// banks (renaming on).
+pub fn workload_rate(w: &Workload, banks: usize) -> f64 {
+    let config = MachineConfig::i4().with_banks(Some(BankConfig {
+        banks,
+        words: 16,
+        renaming: true,
+        ptr_policy: PtrLocalPolicy::Divert,
+    }));
+    let m = run_workload(
+        w,
+        config,
+        Options { linkage: Linkage::Direct, bank_args: true },
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let stats = m.bank_stats().expect("banks configured");
+    let xfers = m.stats().transfers.calls_and_returns();
+    if xfers == 0 {
+        0.0
+    } else {
+        stats.slow_events() as f64 / xfers as f64
+    }
+}
+
+/// Regenerates the E6 table.
+pub fn report() -> String {
+    let mut header: Vec<String> = vec!["workload".into()];
+    header.extend(BANKS.iter().map(|b| format!("{b} banks")));
+    let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hdr);
+    t.numeric();
+
+    for w in corpus() {
+        if !matches!(w.kind, Kind::CallHeavy | Kind::Mixed) {
+            continue;
+        }
+        let mut row = vec![w.name.to_string()];
+        for b in BANKS {
+            row.push(crate::pct(workload_rate(&w, b)));
+        }
+        t.row_owned(row);
+    }
+
+    let tree = tree_trace(15, 6);
+    let leafy = leafy_trace(TraceParams { len: 100_000, ..Default::default() }, 0.8);
+    let walk = generate(TraceParams { len: 100_000, ..Default::default() });
+    for (name, trace) in [
+        ("trace:tree(15)", &tree),
+        ("trace:leafy", &leafy),
+        ("trace:walk", &walk),
+    ] {
+        let mut row = vec![name.to_string()];
+        for b in BANKS {
+            row.push(crate::pct(drive_banks(trace, b, 16).slow_rate()));
+        }
+        t.row_owned(row);
+    }
+
+    format!(
+        "E6: bank overflow+underflow per XFER vs bank count (§7.1)\n\
+         paper: <5% with 4 banks on (flat) Mesa statistics, <1% with 4-8\n\
+         banks per Patterson; uniform recursion follows ~2*2^-(w-1)\n\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leafcalls_has_negligible_rate_with_four_banks() {
+        let w = corpus().into_iter().find(|w| w.name == "leafcalls").unwrap();
+        let r = workload_rate(&w, 4);
+        assert!(r < 0.05, "rate {r}");
+    }
+
+    #[test]
+    fn rates_fall_with_more_banks_on_fib() {
+        let w = corpus().into_iter().find(|w| w.name == "fib").unwrap();
+        let r2 = workload_rate(&w, 2);
+        let r8 = workload_rate(&w, 8);
+        let r16 = workload_rate(&w, 16);
+        assert!(r8 < r2, "r2 {r2}, r8 {r8}");
+        assert!(r16 <= r8);
+        assert!(r16 < 0.01, "16 banks should absorb fib: {r16}");
+    }
+
+    #[test]
+    fn vm_and_trace_models_agree_on_the_law() {
+        // fib on the VM and the synthetic tree trace should both show
+        // roughly the 2·2^-(w-1) law at 4 banks (~12.5%).
+        let w = corpus().into_iter().find(|w| w.name == "fib").unwrap();
+        let vm = workload_rate(&w, 4);
+        let trace = drive_banks(&tree_trace(14, 4), 4, 16).slow_rate();
+        assert!((vm - trace).abs() < 0.08, "vm {vm} vs trace {trace}");
+    }
+}

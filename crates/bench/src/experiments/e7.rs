@@ -1,0 +1,89 @@
+//! E7 — Frame-size distribution (paper §7.1).
+//!
+//! "Mesa statistics suggest that 95% of all frames allocated are
+//! smaller than 80 bytes, and this sets a conservative upper bound on
+//! the size of a register bank. With 8 banks of 80 bytes, there would
+//! be about 5000 bits of registers." The report gives the static
+//! distribution (per compiled procedure) and the dynamic one (per
+//! frame actually allocated at run time).
+
+use fpc_compiler::{Linkage, Options};
+use fpc_stats::{Histogram, Table};
+use fpc_vm::MachineConfig;
+use fpc_workloads::{compile_workload, corpus};
+
+/// The paper's threshold, in bytes.
+pub const THRESHOLD_BYTES: u64 = 80;
+
+/// Static frame sizes (bytes) across the corpus.
+pub fn static_histogram() -> Histogram {
+    let mut h = Histogram::new();
+    for w in corpus() {
+        let c = compile_workload(&w, Options::default()).expect("corpus compiles");
+        for f in &c.stats.frames {
+            h.record(f.frame_bytes() as u64);
+        }
+    }
+    h
+}
+
+/// Dynamic frame sizes (bytes) across the corpus, weighted by
+/// allocation count.
+pub fn dynamic_histogram() -> Histogram {
+    let mut h = Histogram::new();
+    for w in corpus() {
+        let m = crate::run(&w, MachineConfig::i2(), Linkage::Mesa);
+        h.merge(&m.stats().frame_bytes);
+    }
+    h
+}
+
+/// Regenerates the E7 table.
+pub fn report() -> String {
+    let s = static_histogram();
+    let d = dynamic_histogram();
+    let mut t = Table::new(&["view", "frames", "min B", "median B", "p95 B", "max B", "< 80 B"]);
+    t.numeric();
+    for (name, h) in [("static (per procedure)", &s), ("dynamic (per allocation)", &d)] {
+        t.row_owned(vec![
+            name.into(),
+            h.count().to_string(),
+            h.min().unwrap_or(0).to_string(),
+            h.quantile(0.5).unwrap_or(0).to_string(),
+            h.quantile(0.95).unwrap_or(0).to_string(),
+            h.max().unwrap_or(0).to_string(),
+            crate::pct(h.fraction_below(THRESHOLD_BYTES)),
+        ]);
+    }
+    // The implied register budget.
+    let bank_bits = 8u64 * THRESHOLD_BYTES * 8;
+    format!(
+        "E7: frame-size distribution (§7.1)\n\
+         paper: 95% of frames < 80 bytes; 8 banks x 80 B = {bank_bits} bits of registers\n\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_frames_mostly_small() {
+        let d = dynamic_histogram();
+        assert!(d.count() > 1000);
+        let frac = d.fraction_below(THRESHOLD_BYTES);
+        assert!(frac > 0.90, "fraction below 80 B: {frac}");
+    }
+
+    #[test]
+    fn static_frames_mostly_small() {
+        let s = static_histogram();
+        let frac = s.fraction_below(THRESHOLD_BYTES);
+        assert!(frac > 0.80, "fraction below 80 B: {frac}");
+    }
+
+    #[test]
+    fn register_budget_is_about_5000_bits() {
+        assert_eq!(8 * 80 * 8, 5120);
+    }
+}

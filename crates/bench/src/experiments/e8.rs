@@ -1,0 +1,102 @@
+//! E8 — Effective frame-allocation speed (paper §7.1).
+//!
+//! "Now the processor can keep a stack of free frames of this size,
+//! and allocation will be extremely fast … If the general scheme is
+//! five times more costly and it is used 5% of the time, the effective
+//! speed of frame allocation is .8 times the fast speed." The report
+//! gives the analytic model and the measured cache behaviour of the
+//! full machine.
+
+use fpc_compiler::{Linkage, Options};
+use fpc_stats::Table;
+use fpc_vm::MachineConfig;
+use fpc_workloads::{corpus, run_workload, Workload};
+
+/// The paper's effective-speed model: fallback costs `ratio`× the fast
+/// path and is used with frequency `f`.
+pub fn effective_speed(ratio: f64, f: f64) -> f64 {
+    1.0 / ((1.0 - f) + ratio * f)
+}
+
+/// Measured cache behaviour of a workload under the full I4 machine.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheRun {
+    /// Cache hit rate on allocation.
+    pub hit_rate: f64,
+    /// Fast frees absorbed by the cache.
+    pub fast_frees: u64,
+    /// Frees that took the AV path.
+    pub slow_frees: u64,
+}
+
+/// Runs a workload on I4 and reports its frame-cache statistics.
+pub fn measure(w: &Workload) -> CacheRun {
+    let m = run_workload(
+        w,
+        MachineConfig::i4(),
+        Options { linkage: Linkage::Direct, bank_args: true },
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let c = m.cache_stats().expect("cache configured");
+    CacheRun { hit_rate: c.hit_rate(), fast_frees: c.fast_frees, slow_frees: c.slow_frees }
+}
+
+/// Regenerates the E8 tables.
+pub fn report() -> String {
+    let mut t1 = Table::new(&["fallback used", "fallback cost 3x", "5x (paper)", "10x"]);
+    t1.numeric();
+    for f in [0.01, 0.05, 0.10, 0.20] {
+        t1.row_owned(vec![
+            crate::pct(f),
+            crate::f2(effective_speed(3.0, f)),
+            crate::f2(effective_speed(5.0, f)),
+            crate::f2(effective_speed(10.0, f)),
+        ]);
+    }
+
+    let mut t2 = Table::new(&["workload", "cache hit rate", "fast frees", "slow frees"]);
+    t2.numeric();
+    for w in corpus() {
+        let r = measure(&w);
+        t2.row_owned(vec![
+            w.name.into(),
+            crate::pct(r.hit_rate),
+            r.fast_frees.to_string(),
+            r.slow_frees.to_string(),
+        ]);
+    }
+
+    format!(
+        "E8: effective frame-allocation speed (§7.1)\n\
+         paper model: 5x fallback used 5% of the time -> {} of fast speed\n\n\
+         analytic model (effective speed as fraction of fast path):\n{t1}\n\
+         measured free-frame cache on the full I4 machine:\n{t2}",
+        crate::f2(effective_speed(5.0, 0.05)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_point_eight() {
+        let s = effective_speed(5.0, 0.05);
+        assert!((s - 0.8333).abs() < 0.001, "effective speed {s}");
+    }
+
+    #[test]
+    fn leafcalls_cache_hits_nearly_always() {
+        let w = corpus().into_iter().find(|w| w.name == "leafcalls").unwrap();
+        let r = measure(&w);
+        assert!(r.hit_rate > 0.95, "hit rate {}", r.hit_rate);
+        assert!(r.slow_frees <= 8 + 2, "slow frees {}", r.slow_frees);
+    }
+
+    #[test]
+    fn fib_cache_hits_nearly_always() {
+        let w = corpus().into_iter().find(|w| w.name == "fib").unwrap();
+        let r = measure(&w);
+        assert!(r.hit_rate > 0.9, "hit rate {}", r.hit_rate);
+    }
+}

@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+//! Experiment harness for the *Fast Procedure Calls* reproduction.
+//!
+//! Every quantitative claim in the paper has an experiment module here
+//! (see `DESIGN.md` §4 for the index) with a `report()` function that
+//! regenerates the corresponding table. The `exp_*` binaries print the
+//! reports; the Criterion benches in `benches/` time the underlying
+//! computations; the integration tests assert the headline properties.
+//!
+//! | module | paper source | claim |
+//! |--------|--------------|-------|
+//! | [`experiments::e1`] | Fig. 1, §5.1 | levels of indirection per call |
+//! | [`experiments::e2`] | §5 T1 | table-indirection space model |
+//! | [`experiments::e3`] | Fig. 2, §5.3 | frame heap: 3/4 refs, ~10% fragmentation |
+//! | [`experiments::e4`] | §6 D1 | call-site space by linkage |
+//! | [`experiments::e5`] | §6 | return-stack hit rate vs depth |
+//! | [`experiments::e6`] | §7.1 | bank overflow/underflow rates |
+//! | [`experiments::e7`] | §7.1 | frame-size distribution (95% < 80 B) |
+//! | [`experiments::e8`] | §7.1 | effective frame-allocation speed (0.8×) |
+//! | [`experiments::e9`] | §7.2 | argument passing: renaming vs stores |
+//! | [`experiments::e10`] | abstract | ≥95% of calls+returns at jump speed |
+//! | [`experiments::e11`] | §5 | two-thirds one-byte instructions |
+//! | [`experiments::e12`] | §1 | one call/return per ~10 instructions |
+//! | [`experiments::a1`] | §5–§7 | ablation: cycles/transfer per mechanism |
+//! | [`experiments::a2`] | §7.4 | pointer-to-local policies |
+
+pub mod experiments;
+
+use fpc_compiler::{Linkage, Options};
+use fpc_vm::{Machine, MachineConfig};
+use fpc_workloads::{run_workload, Workload};
+
+/// Runs a workload under a configuration with the given linkage,
+/// matching `bank_args` to the machine automatically.
+///
+/// # Panics
+///
+/// Panics if the workload fails — experiments assume a working corpus.
+pub fn run(w: &Workload, config: MachineConfig, linkage: Linkage) -> Machine {
+    run_workload(w, config, Options { linkage, bank_args: false })
+        .unwrap_or_else(|e| panic!("workload {} failed: {e}", w.name))
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.953), "95.3%");
+        assert_eq!(f2(1.0 / 3.0), "0.33");
+    }
+}

@@ -1,0 +1,331 @@
+//! Abstract syntax for Mesa-lite.
+
+/// `instance Name of Module;` — a fresh set of global variables for
+/// an existing module, sharing its code (§5.1: "several instances of a
+/// module, each with its own global variables").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceDecl {
+    /// The instance's name, usable as a call qualifier.
+    pub name: String,
+    /// The instantiated module.
+    pub of: String,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A compiled source module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Imported module names.
+    pub imports: Vec<String>,
+    /// Module instances declared here.
+    pub instances: Vec<InstanceDecl>,
+    /// Module global variables (shared by all its procedures — the
+    /// paper's "global frame" contents).
+    pub globals: Vec<VarDecl>,
+    /// Procedures, in entry-vector order.
+    pub procs: Vec<ProcDecl>,
+    /// Source line of the `module` keyword.
+    pub line: u32,
+}
+
+/// A variable declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Mesa-lite types. Scalars are one word; arrays are `n` words of int.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Type {
+    /// Signed 16-bit integer.
+    Int,
+    /// Boolean (0 or 1 in a word).
+    Bool,
+    /// A context word (coroutine handle).
+    Ctx,
+    /// A word address.
+    Ptr,
+    /// `array[n] of int`.
+    Array(u16),
+}
+
+impl Type {
+    /// Words occupied in a frame or global frame.
+    pub fn words(self) -> u32 {
+        match self {
+            Type::Array(n) => n as u32,
+            _ => 1,
+        }
+    }
+
+    /// Whether this is a one-word value type.
+    pub fn is_scalar(self) -> bool {
+        !matches!(self, Type::Array(_))
+    }
+}
+
+/// A procedure declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcDecl {
+    /// Procedure name.
+    pub name: String,
+    /// Parameters (always scalars).
+    pub params: Vec<VarDecl>,
+    /// Return type, if the procedure yields a value.
+    pub ret: Option<Type>,
+    /// Local variables (after the parameters).
+    pub locals: Vec<VarDecl>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the `proc` keyword.
+    pub line: u32,
+}
+
+/// A possibly module-qualified procedure name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcName {
+    /// Qualifying module, or `None` for the current module.
+    pub module: Option<String>,
+    /// Procedure name.
+    pub name: String,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A call expression or statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallExpr {
+    /// Callee.
+    pub target: ProcName,
+    /// Argument expressions.
+    pub args: Vec<Expr>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `x := e;`
+    Assign {
+        /// Target variable.
+        name: String,
+        /// Value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `a[i] := e;`
+    StoreIndex {
+        /// Array (or pointer) variable.
+        name: String,
+        /// Index expression.
+        index: Expr,
+        /// Value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `*p := e;`
+    StoreThrough {
+        /// Pointer expression.
+        ptr: Expr,
+        /// Value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `if c then … elsif c then … else … end;`
+    If {
+        /// `(condition, body)` arms, first is the `if`.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// The `else` body (possibly empty).
+        els: Vec<Stmt>,
+    },
+    /// `while c do … end;`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return;` or `return e;`
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `out e;` — append to the machine output.
+    Out(Expr),
+    /// `halt;`
+    Halt,
+    /// `yield;` — switch to the next process.
+    Yield,
+    /// A call for effect; any result is dropped.
+    Call(CallExpr),
+    /// An expression evaluated for effect (e.g. a statement-level
+    /// `co_transfer`); its result is dropped.
+    Expr(Expr),
+    /// `co_free(c);` — explicitly free a context (feature F2).
+    CoFree(Expr),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed; traps on zero)
+    Div,
+    /// `%` (signed; traps on zero)
+    Mod,
+    /// `and` (logical)
+    And,
+    /// `or` (logical)
+    Or,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i32),
+    /// Boolean literal.
+    Bool(bool),
+    /// Variable reference.
+    Var {
+        /// Name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `a[i]` — array or pointer indexing.
+    Index {
+        /// Array or pointer variable.
+        name: String,
+        /// Index.
+        index: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Procedure call with a result.
+    Call(CallExpr),
+    /// `&x` or `&a[i]` — address of a variable (§7.4 pointers).
+    AddrOf {
+        /// Variable name.
+        name: String,
+        /// Optional element index.
+        index: Option<Box<Expr>>,
+        /// Source line.
+        line: u32,
+    },
+    /// `*p` — read through a pointer.
+    Deref(Box<Expr>),
+    /// `co_create(P)` — a fresh suspended context for `P` (which must
+    /// take no parameters).
+    CoCreate(ProcName),
+    /// `co_start(c)` — first transfer into a fresh context: carries no
+    /// value, evaluates to the first value the coroutine yields.
+    CoStart(Box<Expr>),
+    /// `co_transfer(c, v)` — transfer to `c` passing `v`; evaluates to
+    /// the value passed back on resumption.
+    CoTransfer {
+        /// Destination context.
+        ctx: Box<Expr>,
+        /// Value carried in the argument record.
+        value: Box<Expr>,
+    },
+    /// `co_caller()` — the `returnContext` of the latest transfer in.
+    CoCaller,
+    /// `spawn(P)` — create a process running `P`; evaluates to its id.
+    Spawn(ProcName),
+}
+
+impl Expr {
+    /// Source line of the expression, where tracked.
+    pub fn line(&self) -> Option<u32> {
+        match self {
+            Expr::Var { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::AddrOf { line, .. } => Some(*line),
+            Expr::Call(c) => Some(c.target.line),
+            Expr::CoCreate(p) | Expr::Spawn(p) => Some(p.line),
+            Expr::Unary { expr, .. } | Expr::Deref(expr) | Expr::CoStart(expr) => expr.line(),
+            Expr::Binary { lhs, .. } => lhs.line(),
+            Expr::CoTransfer { ctx, .. } => ctx.line(),
+            Expr::Num(_) | Expr::Bool(_) | Expr::CoCaller => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_words() {
+        assert_eq!(Type::Int.words(), 1);
+        assert_eq!(Type::Array(12).words(), 12);
+        assert!(Type::Ptr.is_scalar());
+        assert!(!Type::Array(2).is_scalar());
+    }
+
+    #[test]
+    fn expr_lines_propagate() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Var { name: "x".into(), line: 3 }),
+            rhs: Box::new(Expr::Num(1)),
+        };
+        assert_eq!(e.line(), Some(3));
+        assert_eq!(Expr::Num(1).line(), None);
+    }
+}

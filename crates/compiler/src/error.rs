@@ -1,0 +1,81 @@
+//! Compilation errors.
+
+use std::fmt;
+
+/// Which phase produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Lexical analysis.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Name/shape checking.
+    Sema,
+    /// Code generation.
+    Codegen,
+    /// Linking.
+    Link,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Sema => write!(f, "check"),
+            Phase::Codegen => write!(f, "codegen"),
+            Phase::Link => write!(f, "link"),
+        }
+    }
+}
+
+/// A compilation error with an optional source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    phase: Phase,
+    line: Option<u32>,
+    msg: String,
+}
+
+impl CompileError {
+    /// Creates an error.
+    pub fn new(phase: Phase, line: Option<u32>, msg: impl Into<String>) -> Self {
+        CompileError { phase, line, msg: msg.into() }
+    }
+
+    /// The phase that failed.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The 1-based source line, when known.
+    pub fn line(&self) -> Option<u32> {
+        self.line
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(l) => write!(f, "{} error at line {l}: {}", self.phase, self.msg),
+            None => write!(f, "{} error: {}", self.phase, self.msg),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_phase() {
+        let e = CompileError::new(Phase::Parse, Some(7), "expected `;`");
+        assert_eq!(e.to_string(), "parse error at line 7: expected `;`");
+        assert_eq!(e.phase(), Phase::Parse);
+        assert_eq!(e.line(), Some(7));
+        let e = CompileError::new(Phase::Link, None, "no main");
+        assert_eq!(e.to_string(), "link error: no main");
+    }
+}

@@ -1,0 +1,364 @@
+//! Contexts and their packed 16-bit representation (paper §4–§5.1).
+//!
+//! A context is "a variant record" (§4):
+//!
+//! ```text
+//! Context: TYPE = RECORD [
+//!   CASE tag: {frame, proc} OF
+//!     frame => [ FramePointer ];
+//!     proc  => [ code: ProcPointer, env: EnvPointer ]
+//!   ENDCASE ]
+//! ```
+//!
+//! The Mesa encoding packs this into one 16-bit word (§5.1): a one-bit
+//! tag, a ten-bit `env` field (a global-frame-table index) and a
+//! five-bit `code` field (an entry-vector index). The frame case holds
+//! a frame pointer; frames are two-word aligned so 15 bits of handle
+//! cover a 64 K-word space. The all-zero word is `NIL`.
+
+use std::fmt;
+
+use fpc_mem::WordAddr;
+
+/// Error packing a value into a bit-limited field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PackError {
+    what: &'static str,
+    value: u32,
+    limit: u32,
+}
+
+impl PackError {
+    /// Crate-internal constructor used by the other packing types.
+    pub(crate) fn new(what: &'static str, value: u32, limit: u32) -> Self {
+        PackError { what, value, limit }
+    }
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} value {} does not fit (limit {})",
+            self.what, self.value, self.limit
+        )
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// A ten-bit global-frame-table index: the `env` field of a packed
+/// procedure descriptor. At most 1024 module instances are addressable,
+/// exactly as in the Mesa encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GftIndex(u16);
+
+impl GftIndex {
+    /// Number of representable indices (2^10).
+    pub const LIMIT: u16 = 1 << 10;
+
+    /// Creates an index, checking the ten-bit limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackError`] if `index >= 1024`.
+    pub fn new(index: u16) -> Result<Self, PackError> {
+        if index < Self::LIMIT {
+            Ok(GftIndex(index))
+        } else {
+            Err(PackError { what: "GFT index", value: index as u32, limit: Self::LIMIT as u32 - 1 })
+        }
+    }
+
+    /// The raw index.
+    pub fn get(self) -> u16 {
+        self.0
+    }
+}
+
+/// A five-bit entry-vector index: the `code` field of a packed procedure
+/// descriptor. A module can name at most 32 entry points through one GFT
+/// entry; the 2-bit **bias** in the GFT entry extends this to 128 (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EvIndex(u8);
+
+impl EvIndex {
+    /// Number of representable indices (2^5).
+    pub const LIMIT: u8 = 1 << 5;
+
+    /// Creates an index, checking the five-bit limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackError`] if `index >= 32`.
+    pub fn new(index: u8) -> Result<Self, PackError> {
+        if index < Self::LIMIT {
+            Ok(EvIndex(index))
+        } else {
+            Err(PackError { what: "EV index", value: index as u32, limit: Self::LIMIT as u32 - 1 })
+        }
+    }
+
+    /// The raw index.
+    pub fn get(self) -> u8 {
+        self.0
+    }
+}
+
+/// A packed procedure descriptor: `(env, code)` — which module instance,
+/// which entry point. An `XFER` to such a context creates a fresh frame
+/// for the procedure and forwards control to it (the paper's "creation
+/// context" made concrete).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcDesc {
+    env: GftIndex,
+    code: EvIndex,
+}
+
+impl ProcDesc {
+    /// Creates a descriptor from its two fields.
+    pub fn new(env: GftIndex, code: EvIndex) -> Self {
+        ProcDesc { env, code }
+    }
+
+    /// The ten-bit GFT index selecting the module instance.
+    pub fn env(self) -> GftIndex {
+        self.env
+    }
+
+    /// The five-bit entry-vector index selecting the procedure.
+    pub fn code(self) -> EvIndex {
+        self.code
+    }
+}
+
+impl fmt::Display for ProcDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc[gft={}, ev={}]", self.env.get(), self.code.get())
+    }
+}
+
+/// A handle to an existing local frame: a 15-bit quantity addressing a
+/// two-word-aligned frame in a 64 K-word space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FrameHandle(u16);
+
+impl FrameHandle {
+    /// Creates a handle from a frame's word address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackError`] if the address is not two-word aligned, is
+    /// nil, or does not fit in 16 bits.
+    pub fn from_addr(addr: WordAddr) -> Result<Self, PackError> {
+        if addr.is_nil() {
+            return Err(PackError { what: "frame address (nil)", value: 0, limit: 0 });
+        }
+        if !addr.0.is_multiple_of(2) {
+            return Err(PackError { what: "frame alignment", value: addr.0, limit: 2 });
+        }
+        if addr.0 >= (1 << 16) {
+            return Err(PackError { what: "frame address", value: addr.0, limit: (1 << 16) - 1 });
+        }
+        Ok(FrameHandle((addr.0 >> 1) as u16))
+    }
+
+    /// The frame's word address.
+    pub fn addr(self) -> WordAddr {
+        WordAddr((self.0 as u32) << 1)
+    }
+}
+
+impl fmt::Display for FrameHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame[{}]", self.addr())
+    }
+}
+
+/// The unpacked context variant record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Context {
+    /// No context; returning through `NIL` is an error, which is the
+    /// point — `returnContext` is set to `Nil` by a return so a double
+    /// return traps (§4).
+    #[default]
+    Nil,
+    /// A reference to an already-existing context (a local frame).
+    Frame(FrameHandle),
+    /// A procedure descriptor — the abstract creation context.
+    Proc(ProcDesc),
+}
+
+impl Context {
+    /// Whether this is `Nil`.
+    pub fn is_nil(self) -> bool {
+        self == Context::Nil
+    }
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Context::Nil => write!(f, "NIL"),
+            Context::Frame(h) => write!(f, "{h}"),
+            Context::Proc(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// The packed 16-bit context word of §5.1.
+///
+/// Layout (bit 15 is the most significant):
+///
+/// ```text
+/// bit 15     : tag — 0 = frame, 1 = procedure descriptor
+/// frame case : bits 0..=14 hold frameAddr >> 1 (two-word aligned)
+/// proc case  : bits 5..=14 hold the GFT index, bits 0..=4 the EV index
+/// 0x0000     : NIL (frame tag with handle 0, which is never a frame)
+/// ```
+///
+/// ```
+/// use fpc_core::{Context, ContextWord};
+///
+/// assert_eq!(ContextWord::NIL.raw(), 0);
+/// assert_eq!(Context::from(ContextWord::NIL), Context::Nil);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ContextWord(u16);
+
+impl ContextWord {
+    /// The nil context word (all zeros).
+    pub const NIL: ContextWord = ContextWord(0);
+
+    const TAG_PROC: u16 = 1 << 15;
+
+    /// Reconstructs a context word from its raw 16-bit representation
+    /// (e.g. read out of a frame's return-link word).
+    pub fn from_raw(raw: u16) -> Self {
+        ContextWord(raw)
+    }
+
+    /// The raw 16-bit representation, as stored in memory.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Whether this is the nil context.
+    pub fn is_nil(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether the tag bit says "procedure descriptor".
+    pub fn is_proc(self) -> bool {
+        self.0 & Self::TAG_PROC != 0
+    }
+
+    /// Whether this is a (non-nil) frame reference.
+    pub fn is_frame(self) -> bool {
+        !self.is_nil() && !self.is_proc()
+    }
+}
+
+impl From<Context> for ContextWord {
+    fn from(ctx: Context) -> ContextWord {
+        match ctx {
+            Context::Nil => ContextWord::NIL,
+            Context::Frame(h) => ContextWord(h.0),
+            Context::Proc(p) => {
+                ContextWord(ContextWord::TAG_PROC | ((p.env.get()) << 5) | p.code.get() as u16)
+            }
+        }
+    }
+}
+
+impl From<ContextWord> for Context {
+    fn from(w: ContextWord) -> Context {
+        if w.is_nil() {
+            Context::Nil
+        } else if w.is_proc() {
+            let env = GftIndex((w.0 >> 5) & 0x3FF);
+            let code = EvIndex((w.0 & 0x1F) as u8);
+            Context::Proc(ProcDesc { env, code })
+        } else {
+            Context::Frame(FrameHandle(w.0))
+        }
+    }
+}
+
+impl fmt::Display for ContextWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", Context::from(*self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nil_round_trips() {
+        let w = ContextWord::from(Context::Nil);
+        assert!(w.is_nil());
+        assert!(!w.is_frame());
+        assert!(!w.is_proc());
+        assert_eq!(Context::from(w), Context::Nil);
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let h = FrameHandle::from_addr(WordAddr(0x1234 & !1)).unwrap();
+        let w = ContextWord::from(Context::Frame(h));
+        assert!(w.is_frame());
+        assert_eq!(Context::from(w), Context::Frame(h));
+        assert_eq!(h.addr(), WordAddr(0x1234));
+    }
+
+    #[test]
+    fn proc_round_trips() {
+        let p = ProcDesc::new(GftIndex::new(1023).unwrap(), EvIndex::new(31).unwrap());
+        let w = ContextWord::from(Context::Proc(p));
+        assert!(w.is_proc());
+        assert_eq!(Context::from(w), Context::Proc(p));
+    }
+
+    #[test]
+    fn gft_index_limit_enforced() {
+        assert!(GftIndex::new(1023).is_ok());
+        let err = GftIndex::new(1024).unwrap_err();
+        assert!(err.to_string().contains("GFT index"));
+    }
+
+    #[test]
+    fn ev_index_limit_enforced() {
+        assert!(EvIndex::new(31).is_ok());
+        assert!(EvIndex::new(32).is_err());
+    }
+
+    #[test]
+    fn frame_handle_rejects_misaligned_nil_and_big() {
+        assert!(FrameHandle::from_addr(WordAddr(3)).is_err());
+        assert!(FrameHandle::from_addr(WordAddr::NIL).is_err());
+        assert!(FrameHandle::from_addr(WordAddr(1 << 16)).is_err());
+        assert!(FrameHandle::from_addr(WordAddr((1 << 16) - 2)).is_ok());
+    }
+
+    #[test]
+    fn packed_forms_are_disjoint() {
+        // A frame handle for the largest address cannot collide with a
+        // proc descriptor: the tag bit separates them.
+        let h = FrameHandle::from_addr(WordAddr(0xFFFE)).unwrap();
+        let wf = ContextWord::from(Context::Frame(h));
+        assert!(!wf.is_proc());
+        let p = ProcDesc::new(GftIndex::new(0).unwrap(), EvIndex::new(0).unwrap());
+        let wp = ContextWord::from(Context::Proc(p));
+        assert!(wp.is_proc());
+        assert_ne!(wf, wp);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = ProcDesc::new(GftIndex::new(2).unwrap(), EvIndex::new(4).unwrap());
+        assert_eq!(p.to_string(), "proc[gft=2, ev=4]");
+        assert_eq!(Context::Nil.to_string(), "NIL");
+    }
+}

@@ -1,0 +1,134 @@
+//! Global-frame-table entries (paper §5.1).
+//!
+//! The GFT has a 16-bit entry for each module instance. Global frames
+//! are limited to a 64 K segment and are quad-aligned, "hence 14 bits is
+//! enough to address a global frame. … The two spare bits in a GFT entry
+//! are used to specify a bias for the entry point, in multiples of 32."
+
+use std::fmt;
+
+use fpc_mem::WordAddr;
+
+use crate::context::PackError;
+
+/// A packed global-frame-table entry: 14 bits of quad-aligned global
+/// frame address plus a 2-bit entry-point bias.
+///
+/// The bias is the paper's escape hatch for modules with more than 32
+/// entry points: up to four GFT entries may point at the same global
+/// frame with biases 0–3, giving `bias * 32 + evIndex` as the effective
+/// entry index, for a limit of 128.
+///
+/// ```
+/// use fpc_core::GftEntry;
+/// use fpc_mem::WordAddr;
+///
+/// let e = GftEntry::new(WordAddr(0x0100), 1).unwrap();
+/// assert_eq!(e.global_frame(), WordAddr(0x0100));
+/// assert_eq!(e.bias(), 1);
+/// assert_eq!(e.effective_ev_index(5), 37);
+/// let packed = e.raw();
+/// assert_eq!(GftEntry::from_raw(packed), e);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GftEntry(u16);
+
+impl GftEntry {
+    /// Entries per bias step (the five-bit EV index range).
+    pub const BIAS_STEP: u16 = 32;
+
+    /// Creates an entry for a quad-aligned global frame address and a
+    /// bias in `0..4`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackError`] if the address is not quad-aligned, does
+    /// not fit in 16 bits, or the bias exceeds 3.
+    pub fn new(global_frame: WordAddr, bias: u8) -> Result<Self, PackError> {
+        if !global_frame.0.is_multiple_of(4) {
+            return Err(PackError::new("global frame alignment", global_frame.0, 4));
+        }
+        if global_frame.0 >= 1 << 16 {
+            return Err(PackError::new("global frame address", global_frame.0, (1 << 16) - 1));
+        }
+        if bias > 3 {
+            return Err(PackError::new("GFT bias", bias as u32, 3));
+        }
+        Ok(GftEntry(((global_frame.0 as u16 >> 2) << 2) | bias as u16))
+    }
+
+    /// Reconstructs an entry from its in-memory representation.
+    pub fn from_raw(raw: u16) -> Self {
+        GftEntry(raw)
+    }
+
+    /// The in-memory representation.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// The global frame's word address (quad-aligned).
+    pub fn global_frame(self) -> WordAddr {
+        WordAddr(((self.0 >> 2) as u32) << 2)
+    }
+
+    /// The 2-bit entry-point bias.
+    pub fn bias(self) -> u8 {
+        (self.0 & 0b11) as u8
+    }
+
+    /// The effective entry-vector index for a five-bit `code` field:
+    /// `bias * 32 + code`.
+    pub fn effective_ev_index(self, code: u8) -> u16 {
+        self.bias() as u16 * Self::BIAS_STEP + code as u16
+    }
+}
+
+impl fmt::Display for GftEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gft[gf={}, bias={}]", self.global_frame(), self.bias())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_address_and_bias() {
+        for bias in 0..4u8 {
+            let e = GftEntry::new(WordAddr(0x2000), bias).unwrap();
+            assert_eq!(e.global_frame(), WordAddr(0x2000));
+            assert_eq!(e.bias(), bias);
+            assert_eq!(GftEntry::from_raw(e.raw()), e);
+        }
+    }
+
+    #[test]
+    fn rejects_misaligned() {
+        assert!(GftEntry::new(WordAddr(0x2002), 0).is_err());
+    }
+
+    #[test]
+    fn rejects_large_bias() {
+        assert!(GftEntry::new(WordAddr(0x2000), 4).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_segment() {
+        assert!(GftEntry::new(WordAddr(1 << 16), 0).is_err());
+        assert!(GftEntry::new(WordAddr((1 << 16) - 4), 3).is_ok());
+    }
+
+    #[test]
+    fn bias_extends_entry_points() {
+        let e = GftEntry::new(WordAddr(0x0040), 3).unwrap();
+        assert_eq!(e.effective_ev_index(31), 127);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = GftEntry::new(WordAddr(0x0040), 2).unwrap();
+        assert!(e.to_string().contains("bias=2"));
+    }
+}

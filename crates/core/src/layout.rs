@@ -1,0 +1,212 @@
+//! Frame, global-frame and procedure-header layouts (paper §4–§6).
+//!
+//! These constants are the contract between the compiler
+//! (`fpc-compiler`), the linker, and the interpreters (`fpc-vm`). They
+//! live in `fpc-core` so neither side can drift.
+//!
+//! # Local frame
+//!
+//! A local frame provides "all the information needed to continue
+//! execution" (feature F1). Word offsets within the frame:
+//!
+//! ```text
+//! -1 : frame-size index (allocator's extra word, owned by fpc-frames)
+//!  0 : saved PC — byte offset of the next instruction, relative to the
+//!      module's code base; valid only while control is outside
+//!  1 : return link — a packed context word
+//!  2 : global-frame pointer — word address of the module instance
+//!  3… : locals; argument j is local j, matching the register-bank
+//!      renaming of §7.2 where arguments "automatically appear as the
+//!      first few local variables"
+//! ```
+//!
+//! # Global frame and link vector
+//!
+//! ```text
+//!  gf−1−k : link-vector entry k (a packed context word)
+//!  gf+0   : code base — code-store *word* address (byte address / 2)
+//!  gf+1…  : the module's global variables
+//! ```
+//!
+//! The link vector sits at negative offsets from the global frame so
+//! an EXTERNALCALL can reach its entry with **one** memory reference
+//! from the GF register — giving exactly the four levels of
+//! indirection in the paper's figure 1 (LV, GFT, global frame, EV).
+//!
+//! # Procedure header
+//!
+//! The entry vector points at a 6-byte header; code begins right after.
+//! "This first byte gives the size of the procedure's frame" (§5.1) and
+//! for `DIRECTCALL` "at p is stored the global frame address GF and the
+//! frame size fsi, immediately followed by the first instruction" (§6).
+//! We also store the code base in the header: the paper's
+//! `SETGLOBALFRAME GF` pseudo-instruction must recover the code base
+//! somehow, and reading it from the global frame would cost the fast
+//! path a memory reference; header bytes are prefetched by the IFU
+//! "like an unconditional jump", so they are free. (See DESIGN.md.)
+//!
+//! ```text
+//! byte 0   : frame-size index (fsi)
+//! byte 1   : flags + argument count (bit 7: address-taken locals;
+//!            bits 0..=5: number of arguments)
+//! bytes 2–3: global frame word address (little endian)
+//! bytes 4–5: code base word (little endian)
+//! ```
+
+use fpc_mem::{ByteAddr, WordAddr};
+
+/// Frame word 0: saved PC (byte offset from code base).
+pub const FRAME_PC: u32 = 0;
+/// Frame word 1: return link (packed context word).
+pub const FRAME_RETURN_LINK: u32 = 1;
+/// Frame word 2: global-frame pointer.
+pub const FRAME_GLOBAL: u32 = 2;
+/// Number of frame header words before the locals.
+pub const FRAME_HEADER_WORDS: u32 = 3;
+
+/// Global-frame word 0: code base (code word address).
+pub const GF_CODE_BASE: u32 = 0;
+/// First global variable's offset within the global frame.
+pub const GF_GLOBALS: u32 = 1;
+
+/// Procedure header size in bytes.
+pub const PROC_HEADER_BYTES: u32 = 6;
+/// Header byte 0: frame-size index.
+pub const HDR_FSI: u32 = 0;
+/// Header byte 1: flags + argument count.
+pub const HDR_FLAGS: u32 = 1;
+/// Header bytes 2–3: global frame word address.
+pub const HDR_GF: u32 = 2;
+/// Header bytes 4–5: code base word.
+pub const HDR_CODE_BASE: u32 = 4;
+
+/// Maximum argument count representable in the header flags byte.
+pub const MAX_ARGS: u8 = 0x3F;
+
+/// Flag bit: the procedure takes the address of a local (`§7.4`), so
+/// its frame must be flushed from any shadowing register bank whenever
+/// control leaves it under the flush policy.
+pub const FLAG_ADDR_TAKEN: u8 = 0x80;
+
+/// Word address of local slot `i` in the frame at `frame`.
+///
+/// Argument `j` is local slot `j`.
+#[inline]
+pub fn local_slot(frame: WordAddr, i: u32) -> WordAddr {
+    frame.offset(FRAME_HEADER_WORDS + i)
+}
+
+/// Word address of link-vector entry `k` for the module instance whose
+/// global frame is at `gf`.
+#[inline]
+pub fn lv_slot(gf: WordAddr, k: u32) -> WordAddr {
+    WordAddr(gf.0 - 1 - k)
+}
+
+/// Packs the header flags byte.
+///
+/// # Panics
+///
+/// Panics if `nargs` exceeds [`MAX_ARGS`].
+pub fn pack_flags(nargs: u8, addr_taken: bool) -> u8 {
+    assert!(nargs <= MAX_ARGS, "too many arguments: {nargs}");
+    nargs | if addr_taken { FLAG_ADDR_TAKEN } else { 0 }
+}
+
+/// Unpacks the header flags byte into `(nargs, addr_taken)`.
+pub fn unpack_flags(flags: u8) -> (u8, bool) {
+    (flags & MAX_ARGS, flags & FLAG_ADDR_TAKEN != 0)
+}
+
+/// Converts a code-base *word* (as stored in a global frame) to the
+/// byte address of the segment's first byte.
+#[inline]
+pub fn code_base_bytes(code_base_word: u16) -> ByteAddr {
+    ByteAddr(code_base_word as u32 * 2)
+}
+
+/// Converts a segment base byte address to the word form stored in a
+/// global frame.
+///
+/// # Panics
+///
+/// Panics if the base is odd or beyond the 128 KB reach of a 16-bit
+/// code-base word.
+#[inline]
+pub fn code_base_word(base: ByteAddr) -> u16 {
+    assert!(base.0.is_multiple_of(2), "code segments are word aligned");
+    assert!(base.0 / 2 <= u16::MAX as u32, "code base beyond 128 KB");
+    (base.0 / 2) as u16
+}
+
+/// Byte address of entry-vector slot `i` for a segment based at `base`.
+/// "EV starts at the code base" (§5.1); each entry is two bytes.
+#[inline]
+pub fn ev_slot(base: ByteAddr, i: u16) -> ByteAddr {
+    base.offset(2 * i as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_slots_follow_header() {
+        let f = WordAddr(100);
+        assert_eq!(local_slot(f, 0), WordAddr(103));
+        assert_eq!(local_slot(f, 5), WordAddr(108));
+    }
+
+    #[test]
+    fn lv_slots_grow_downward_from_gf() {
+        let gf = WordAddr(0x500);
+        assert_eq!(lv_slot(gf, 0), WordAddr(0x4FF));
+        assert_eq!(lv_slot(gf, 3), WordAddr(0x4FC));
+    }
+
+    #[test]
+    fn flags_round_trip() {
+        for nargs in [0u8, 1, 17, MAX_ARGS] {
+            for taken in [false, true] {
+                let f = pack_flags(nargs, taken);
+                assert_eq!(unpack_flags(f), (nargs, taken));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too many arguments")]
+    fn flags_reject_oversized_nargs() {
+        let _ = pack_flags(64, false);
+    }
+
+    #[test]
+    fn code_base_conversions() {
+        let b = ByteAddr(0x400);
+        let w = code_base_word(b);
+        assert_eq!(code_base_bytes(w), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "word aligned")]
+    fn odd_code_base_rejected() {
+        let _ = code_base_word(ByteAddr(3));
+    }
+
+    #[test]
+    fn ev_slots_are_two_bytes_apart() {
+        let base = ByteAddr(0x100);
+        assert_eq!(ev_slot(base, 0), ByteAddr(0x100));
+        assert_eq!(ev_slot(base, 3), ByteAddr(0x106));
+    }
+
+    #[test]
+    fn header_field_offsets_are_consistent() {
+        const {
+            assert!(HDR_FSI < PROC_HEADER_BYTES);
+            assert!(HDR_FLAGS < PROC_HEADER_BYTES);
+            assert!(HDR_GF + 1 < PROC_HEADER_BYTES);
+            assert!(HDR_CODE_BASE + 1 < PROC_HEADER_BYTES);
+        }
+    }
+}

@@ -1,0 +1,746 @@
+//! An executable rendering of the paper's §3 abstract transfer model.
+//!
+//! This is the level "the source language programmer deals with": a
+//! small arena of first-class **contexts** and a single **`XFER`**
+//! primitive working with the two globals `returnContext` and
+//! `argumentRecord`. The byte-coded implementations in `fpc-vm` realise
+//! the same model; this module states it directly so the model-level
+//! invariants can be tested without any encoding concerns:
+//!
+//! * **F1** — everything needed to resume execution is in the context;
+//! * **F2** — contexts are first-class, explicitly allocated and freed,
+//!   not necessarily in LIFO order;
+//! * **F3** — any context may be the argument of any `XFER`; the
+//!   discipline (call, coroutine, …) is chosen by the destination;
+//! * **F4** — arguments and results travel symmetrically, both in the
+//!   argument record.
+//!
+//! # Example: an ordinary call
+//!
+//! ```
+//! use fpc_core::model::{Machine, Op, Procedure, Val};
+//!
+//! let mut m = Machine::new();
+//! let double = m.define(Procedure::new("double", 1, vec![
+//!     Op::TakeArgs(1),
+//!     Op::PushLocal(0), Op::PushLocal(0), Op::Add,
+//!     Op::Return(1),
+//! ]));
+//! let main = m.define(Procedure::new("main", 0, vec![
+//!     Op::TakeArgs(0),
+//!     Op::PushConst(21),
+//!     Op::Call { proc: double, nargs: 1 },
+//!     Op::TakeResults(1),
+//!     Op::Emit,
+//!     Op::Halt,
+//! ]));
+//! let out = m.run(main, &[], 10_000).unwrap();
+//! assert_eq!(out, vec![42]);
+//! ```
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A value in the model: an integer or a first-class context reference.
+///
+/// Contexts-as-values is the point of the model (feature F2/F3): a
+/// coroutine is just a context value you keep and `XFER` to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Val {
+    /// An integer.
+    Int(i64),
+    /// The nil context.
+    #[default]
+    Nil,
+    /// A live context (e.g. a coroutine, or a return link).
+    Ctx(ContextId),
+    /// A procedure descriptor: the abstract creation context.
+    Proc(ProcId),
+}
+
+impl Val {
+    fn as_int(self) -> Result<i64, ModelError> {
+        match self {
+            Val::Int(i) => Ok(i),
+            other => Err(ModelError::TypeMismatch { expected: "int", got: other }),
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int(i) => write!(f, "{i}"),
+            Val::Ctx(c) => write!(f, "ctx#{}", c.0),
+            Val::Proc(p) => write!(f, "proc#{}", p.0),
+            Val::Nil => write!(f, "NIL"),
+        }
+    }
+}
+
+/// Identifies a procedure defined on a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcId(usize);
+
+/// Identifies a live context in the machine's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContextId(usize);
+
+/// Instructions of the model machine.
+///
+/// These are deliberately higher-level than the byte code: the model is
+/// about transfers, so everything else is minimal scaffolding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Prologue: move the first `n` values of the argument record into
+    /// locals `0..n` and save `returnContext` into the return link.
+    TakeArgs(usize),
+    /// Push local `i`.
+    PushLocal(usize),
+    /// Pop into local `i`.
+    StoreLocal(usize),
+    /// Push a constant.
+    PushConst(i64),
+    /// Pop b, pop a, push a + b.
+    Add,
+    /// Pop b, pop a, push a − b.
+    Sub,
+    /// Pop b, pop a, push a × b.
+    Mul,
+    /// Pop b, pop a, push 1 if a < b else 0.
+    Lt,
+    /// Unconditional jump to instruction index.
+    Jump(usize),
+    /// Pop; jump to instruction index if zero.
+    BranchIfZero(usize),
+    /// Call a fixed procedure: move the top `nargs` stack values into
+    /// the argument record (in order), set `returnContext` to the
+    /// current context, and `XFER` to the procedure descriptor.
+    Call {
+        /// The callee's descriptor.
+        proc: ProcId,
+        /// Stack values moved into the argument record.
+        nargs: usize,
+    },
+    /// Epilogue for returning control after a `Call`: move `n` argument-
+    /// record values back onto the stack.
+    TakeResults(usize),
+    /// Return: move the top `n` stack values into the argument record,
+    /// retrieve the return link, free this context (unless retained),
+    /// set `returnContext` to nil, and `XFER` to the link (§4).
+    Return(usize),
+    /// General transfer (coroutines et al.): pop the destination
+    /// context value, move the top `n` values into the argument record,
+    /// set `returnContext` to the current context, and `XFER`.
+    Xfer {
+        /// Stack values carried in the argument record.
+        nvals: usize,
+    },
+    /// Create a suspended context for a procedure and push it (F2).
+    /// The new context starts at its first instruction when first
+    /// transferred to.
+    NewContext(ProcId),
+    /// Push the current `returnContext` (to capture a coroutine peer).
+    PushReturnContext,
+    /// Mark the current context retained: a return will not free it.
+    Retain,
+    /// Pop and append to the machine's output.
+    Emit,
+    /// Stop execution.
+    Halt,
+}
+
+/// A procedure definition: name, local count and body.
+#[derive(Debug, Clone)]
+pub struct Procedure {
+    name: Rc<str>,
+    nlocals: usize,
+    code: Rc<[Op]>,
+}
+
+impl Procedure {
+    /// Defines a procedure with `nlocals` locals (arguments included).
+    pub fn new(name: &str, nlocals: usize, code: Vec<Op>) -> Self {
+        Procedure { name: name.into(), nlocals, code: code.into() }
+    }
+
+    /// The procedure's name, for traces and errors.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Errors the model machine can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// `XFER` through the nil context — e.g. a second return (§4: "an
+    /// attempt to return from this return would be an error").
+    XferToNil,
+    /// A context value was used after the context was freed. The simple
+    /// implementation's invariant — one reference per frame — makes
+    /// this impossible for conventional calls; it arises only from
+    /// misuse of retained/coroutine contexts.
+    UseAfterFree(ContextId),
+    /// Evaluation-stack underflow.
+    StackUnderflow,
+    /// The argument record held fewer values than requested.
+    ArgumentRecordUnderflow {
+        /// Values requested by `TakeArgs`/`TakeResults`.
+        wanted: usize,
+        /// Values actually in the record.
+        had: usize,
+    },
+    /// A value had the wrong kind.
+    TypeMismatch {
+        /// What the operation needed.
+        expected: &'static str,
+        /// What it found.
+        got: Val,
+    },
+    /// The step budget was exhausted before `Halt`.
+    OutOfFuel,
+    /// Jump target outside the procedure body.
+    BadJump(usize),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::XferToNil => write!(f, "XFER to NIL context"),
+            ModelError::UseAfterFree(c) => write!(f, "use of freed context #{}", c.0),
+            ModelError::StackUnderflow => write!(f, "evaluation stack underflow"),
+            ModelError::ArgumentRecordUnderflow { wanted, had } => {
+                write!(f, "argument record underflow: wanted {wanted}, had {had}")
+            }
+            ModelError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            ModelError::OutOfFuel => write!(f, "step budget exhausted"),
+            ModelError::BadJump(t) => write!(f, "jump target {t} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[derive(Debug)]
+struct ContextState {
+    proc: ProcId,
+    pc: usize,
+    locals: Vec<Val>,
+    stack: Vec<Val>,
+    return_link: Val,
+    retained: bool,
+}
+
+/// The abstract machine: procedures, a context arena, the two `XFER`
+/// globals, and an output stream.
+#[derive(Debug, Default)]
+pub struct Machine {
+    procs: Vec<Procedure>,
+    contexts: Vec<Option<ContextState>>,
+    /// `returnContext` — "the context to which control should return".
+    return_context: Val,
+    /// `argumentRecord` — "the arguments being passed in the transfer".
+    argument_record: Vec<Val>,
+    output: Vec<i64>,
+    live_contexts: usize,
+    peak_contexts: usize,
+    xfers: u64,
+}
+
+impl Machine {
+    /// Creates an empty machine.
+    pub fn new() -> Self {
+        Machine { return_context: Val::Nil, ..Default::default() }
+    }
+
+    /// Defines a procedure and returns its descriptor id.
+    pub fn define(&mut self, proc: Procedure) -> ProcId {
+        self.procs.push(proc);
+        ProcId(self.procs.len() - 1)
+    }
+
+    /// Creates a suspended context for `proc` (host-side counterpart of
+    /// [`Op::NewContext`]).
+    pub fn create_context(&mut self, proc: ProcId) -> ContextId {
+        let nlocals = self.procs[proc.0].nlocals;
+        let state = ContextState {
+            proc,
+            pc: 0,
+            locals: vec![Val::Int(0); nlocals],
+            stack: Vec::new(),
+            return_link: Val::Nil,
+            retained: false,
+        };
+        self.contexts.push(Some(state));
+        self.live_contexts += 1;
+        self.peak_contexts = self.peak_contexts.max(self.live_contexts);
+        ContextId(self.contexts.len() - 1)
+    }
+
+    /// Marks a context retained so returns will not free it (§4's
+    /// "retained frames").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is already freed.
+    pub fn retain(&mut self, ctx: ContextId) {
+        self.contexts[ctx.0]
+            .as_mut()
+            .expect("retain of freed context")
+            .retained = true;
+    }
+
+    /// Number of currently live contexts.
+    pub fn live_contexts(&self) -> usize {
+        self.live_contexts
+    }
+
+    /// High-water mark of live contexts.
+    pub fn peak_contexts(&self) -> usize {
+        self.peak_contexts
+    }
+
+    /// Number of `XFER`s performed so far.
+    pub fn xfers(&self) -> u64 {
+        self.xfers
+    }
+
+    /// Runs `entry` with the given arguments until `Halt`, returning the
+    /// output stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ModelError`] raised during execution, including
+    /// [`ModelError::OutOfFuel`] if `fuel` steps were not enough.
+    pub fn run(&mut self, entry: ProcId, args: &[Val], fuel: u64) -> Result<Vec<i64>, ModelError> {
+        self.argument_record = args.to_vec();
+        self.return_context = Val::Nil;
+        let root = self.create_context(entry);
+        let mut current = root;
+        let mut remaining = fuel;
+        loop {
+            if remaining == 0 {
+                return Err(ModelError::OutOfFuel);
+            }
+            remaining -= 1;
+            match self.step(current)? {
+                Step::Continue => {}
+                Step::Xfer(dest) => {
+                    current = self.xfer(current, dest)?;
+                }
+                Step::Halt => break,
+            }
+        }
+        Ok(std::mem::take(&mut self.output))
+    }
+
+    /// The `XFER` primitive: suspend `from`, resume (or create) the
+    /// destination. `returnContext` and `argumentRecord` are left
+    /// untouched — the transfer disciplines set them up beforehand.
+    fn xfer(&mut self, _from: ContextId, dest: Val) -> Result<ContextId, ModelError> {
+        self.xfers += 1;
+        match dest {
+            Val::Nil => Err(ModelError::XferToNil),
+            Val::Ctx(id) => {
+                if self.contexts[id.0].is_none() {
+                    return Err(ModelError::UseAfterFree(id));
+                }
+                Ok(id)
+            }
+            Val::Proc(p) => {
+                // The creation context: "on each iteration it creates a
+                // new context for the procedure, and forwards control to
+                // it", with returnContext and argumentRecord unchanged.
+                Ok(self.create_context(p))
+            }
+            Val::Int(_) => Err(ModelError::TypeMismatch { expected: "context", got: dest }),
+        }
+    }
+
+    fn free(&mut self, ctx: ContextId) {
+        if self.contexts[ctx.0].take().is_some() {
+            self.live_contexts -= 1;
+        }
+    }
+
+    fn step(&mut self, current: ContextId) -> Result<Step, ModelError> {
+        let state = self.contexts[current.0]
+            .as_mut()
+            .ok_or(ModelError::UseAfterFree(current))?;
+        let code = Rc::clone(&self.procs[state.proc.0].code);
+        if state.pc >= code.len() {
+            // Falling off the end is an implicit halt; well-formed
+            // programs end with Return or Halt.
+            return Ok(Step::Halt);
+        }
+        let op = code[state.pc].clone();
+        state.pc += 1;
+        match op {
+            Op::TakeArgs(n) => {
+                if self.argument_record.len() < n {
+                    return Err(ModelError::ArgumentRecordUnderflow {
+                        wanted: n,
+                        had: self.argument_record.len(),
+                    });
+                }
+                let state = self.contexts[current.0].as_mut().unwrap();
+                for (i, v) in self.argument_record.drain(..n).enumerate() {
+                    state.locals[i] = v;
+                }
+                state.return_link = self.return_context;
+            }
+            Op::PushLocal(i) => state.stack.push(state.locals[i]),
+            Op::StoreLocal(i) => {
+                let v = state.stack.pop().ok_or(ModelError::StackUnderflow)?;
+                state.locals[i] = v;
+            }
+            Op::PushConst(c) => state.stack.push(Val::Int(c)),
+            Op::Add | Op::Sub | Op::Mul | Op::Lt => {
+                let b = state.stack.pop().ok_or(ModelError::StackUnderflow)?.as_int()?;
+                let a = state.stack.pop().ok_or(ModelError::StackUnderflow)?.as_int()?;
+                let r = match op {
+                    Op::Add => a.wrapping_add(b),
+                    Op::Sub => a.wrapping_sub(b),
+                    Op::Mul => a.wrapping_mul(b),
+                    Op::Lt => (a < b) as i64,
+                    _ => unreachable!(),
+                };
+                let state = self.contexts[current.0].as_mut().unwrap();
+                state.stack.push(Val::Int(r));
+            }
+            Op::Jump(t) => {
+                if t > code.len() {
+                    return Err(ModelError::BadJump(t));
+                }
+                state.pc = t;
+            }
+            Op::BranchIfZero(t) => {
+                let v = state.stack.pop().ok_or(ModelError::StackUnderflow)?.as_int()?;
+                if v == 0 {
+                    if t > code.len() {
+                        return Err(ModelError::BadJump(t));
+                    }
+                    self.contexts[current.0].as_mut().unwrap().pc = t;
+                }
+            }
+            Op::Call { proc, nargs } => {
+                if state.stack.len() < nargs {
+                    return Err(ModelError::StackUnderflow);
+                }
+                let args = state.stack.split_off(state.stack.len() - nargs);
+                self.argument_record = args;
+                self.return_context = Val::Ctx(current);
+                return Ok(Step::Xfer(Val::Proc(proc)));
+            }
+            Op::TakeResults(n) => {
+                if self.argument_record.len() < n {
+                    return Err(ModelError::ArgumentRecordUnderflow {
+                        wanted: n,
+                        had: self.argument_record.len(),
+                    });
+                }
+                let vals: Vec<Val> = self.argument_record.drain(..n).collect();
+                let state = self.contexts[current.0].as_mut().unwrap();
+                state.stack.extend(vals);
+            }
+            Op::Return(n) => {
+                if state.stack.len() < n {
+                    return Err(ModelError::StackUnderflow);
+                }
+                let results = state.stack.split_off(state.stack.len() - n);
+                let link = state.return_link;
+                let retained = state.retained;
+                self.argument_record = results;
+                // "RETURN retrieves the returnLink, frees the context,
+                // sets returnContext to NIL, and then does
+                // XFER[returnLink]."
+                self.return_context = Val::Nil;
+                if !retained {
+                    self.free(current);
+                }
+                return Ok(Step::Xfer(link));
+            }
+            Op::Xfer { nvals } => {
+                let dest = state.stack.pop().ok_or(ModelError::StackUnderflow)?;
+                if state.stack.len() < nvals {
+                    return Err(ModelError::StackUnderflow);
+                }
+                let vals = state.stack.split_off(state.stack.len() - nvals);
+                self.argument_record = vals;
+                self.return_context = Val::Ctx(current);
+                return Ok(Step::Xfer(dest));
+            }
+            Op::NewContext(p) => {
+                let ctx = self.create_context(p);
+                let state = self.contexts[current.0].as_mut().unwrap();
+                state.stack.push(Val::Ctx(ctx));
+            }
+            Op::PushReturnContext => {
+                let rc = self.return_context;
+                state.stack.push(rc);
+            }
+            Op::Retain => state.retained = true,
+            Op::Emit => {
+                let v = state.stack.pop().ok_or(ModelError::StackUnderflow)?.as_int()?;
+                self.output.push(v);
+            }
+            Op::Halt => return Ok(Step::Halt),
+        }
+        Ok(Step::Continue)
+    }
+}
+
+enum Step {
+    Continue,
+    Xfer(Val),
+    Halt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fib_machine() -> (Machine, ProcId) {
+        let mut m = Machine::new();
+        // fib(n) = n < 2 ? n : fib(n-1) + fib(n-2)
+        let fib = ProcId(0); // forward reference to ourselves
+        let body = vec![
+            Op::TakeArgs(1),
+            Op::PushLocal(0),
+            Op::PushConst(2),
+            Op::Lt,
+            Op::BranchIfZero(7),
+            Op::PushLocal(0),
+            Op::Return(1),
+            // else
+            Op::PushLocal(0),
+            Op::PushConst(1),
+            Op::Sub,
+            Op::Call { proc: fib, nargs: 1 },
+            Op::TakeResults(1),
+            Op::PushLocal(0),
+            Op::PushConst(2),
+            Op::Sub,
+            Op::Call { proc: fib, nargs: 1 },
+            Op::TakeResults(1),
+            Op::Add,
+            Op::Return(1),
+        ];
+        let id = m.define(Procedure::new("fib", 1, body));
+        assert_eq!(id, fib);
+        (m, fib)
+    }
+
+    #[test]
+    fn recursive_fib_runs() {
+        let (mut m, fib) = fib_machine();
+        let main = m.define(Procedure::new(
+            "main",
+            0,
+            vec![
+                Op::TakeArgs(0),
+                Op::PushConst(10),
+                Op::Call { proc: fib, nargs: 1 },
+                Op::TakeResults(1),
+                Op::Emit,
+                Op::Halt,
+            ],
+        ));
+        let out = m.run(main, &[], 1_000_000).unwrap();
+        assert_eq!(out, vec![55]);
+    }
+
+    #[test]
+    fn frames_are_freed_on_return() {
+        let (mut m, fib) = fib_machine();
+        let main = m.define(Procedure::new(
+            "main",
+            0,
+            vec![
+                Op::TakeArgs(0),
+                Op::PushConst(8),
+                Op::Call { proc: fib, nargs: 1 },
+                Op::TakeResults(1),
+                Op::Emit,
+                Op::Halt,
+            ],
+        ));
+        let _ = m.run(main, &[], 1_000_000).unwrap();
+        // Only main's own context remains live (it halted, not returned).
+        assert_eq!(m.live_contexts(), 1);
+        // Peak is the recursion depth + main, far below total calls.
+        assert!(m.peak_contexts() <= 10);
+        assert!(m.xfers() > 60); // fib(8) makes 67 calls/returns
+    }
+
+    #[test]
+    fn double_return_is_an_error() {
+        let mut m = Machine::new();
+        // A procedure that returns twice: second return goes through the
+        // freed/nil link.
+        let bad = m.define(Procedure::new(
+            "bad",
+            0,
+            vec![Op::TakeArgs(0), Op::Return(0)],
+        ));
+        let main = m.define(Procedure::new(
+            "main",
+            0,
+            vec![
+                Op::TakeArgs(0),
+                Op::Call { proc: bad, nargs: 0 },
+                // After bad returns, "return" again from main: our
+                // return link is NIL because main was entered via run.
+                Op::Return(0),
+            ],
+        ));
+        let err = m.run(main, &[], 1000).unwrap_err();
+        assert_eq!(err, ModelError::XferToNil);
+    }
+
+    #[test]
+    fn coroutine_ping_pong() {
+        let mut m = Machine::new();
+        // A generator that yields 1, 2 to whoever transfers to it.
+        // Its peer is captured from returnContext at first entry.
+        let gen = m.define(Procedure::new(
+            "gen",
+            1,
+            vec![
+                Op::TakeArgs(0),
+                Op::PushReturnContext,
+                Op::StoreLocal(0), // peer
+                Op::PushConst(1),
+                Op::PushLocal(0),
+                Op::Xfer { nvals: 1 }, // yield 1
+                Op::PushReturnContext, // peer may have moved
+                Op::StoreLocal(0),
+                Op::PushConst(2),
+                Op::PushLocal(0),
+                Op::Xfer { nvals: 1 }, // yield 2
+                Op::Halt,
+            ],
+        ));
+        let main = m.define(Procedure::new(
+            "main",
+            1,
+            vec![
+                Op::TakeArgs(0),
+                Op::NewContext(gen),
+                Op::StoreLocal(0),
+                // First transfer: receive 1.
+                Op::PushLocal(0),
+                Op::Xfer { nvals: 0 },
+                Op::TakeResults(1),
+                Op::Emit,
+                // Second transfer: receive 2.
+                Op::PushLocal(0),
+                Op::Xfer { nvals: 0 },
+                Op::TakeResults(1),
+                Op::Emit,
+                Op::Halt,
+            ],
+        ));
+        let out = m.run(main, &[], 10_000).unwrap();
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn xfer_discipline_chosen_by_destination() {
+        // F3: the same Xfer op reaches a procedure descriptor (creating
+        // a fresh activation) or an existing context (resuming it).
+        let mut m = Machine::new();
+        let emit_seven = m.define(Procedure::new(
+            "seven",
+            0,
+            vec![Op::TakeArgs(0), Op::PushConst(7), Op::Return(1)],
+        ));
+        let main = m.define(Procedure::new(
+            "main",
+            1,
+            vec![
+                Op::TakeArgs(0),
+                // Call via the generic Xfer by pushing a proc value...
+                Op::NewContext(emit_seven),
+                Op::StoreLocal(0),
+                Op::PushLocal(0),
+                Op::Xfer { nvals: 0 },
+                Op::TakeResults(1),
+                Op::Emit,
+                Op::Halt,
+            ],
+        ));
+        let out = m.run(main, &[], 10_000).unwrap();
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn out_of_fuel_reported() {
+        let mut m = Machine::new();
+        let spin = m.define(Procedure::new(
+            "spin",
+            0,
+            vec![Op::TakeArgs(0), Op::Jump(1)],
+        ));
+        assert_eq!(m.run(spin, &[], 100).unwrap_err(), ModelError::OutOfFuel);
+    }
+
+    #[test]
+    fn arguments_and_results_symmetric() {
+        // F4: a procedure returning two results through the argument
+        // record, consumed with TakeResults(2).
+        let mut m = Machine::new();
+        let divmod = m.define(Procedure::new(
+            "pair",
+            0,
+            vec![Op::TakeArgs(0), Op::PushConst(3), Op::PushConst(4), Op::Return(2)],
+        ));
+        let main = m.define(Procedure::new(
+            "main",
+            0,
+            vec![
+                Op::TakeArgs(0),
+                Op::Call { proc: divmod, nargs: 0 },
+                Op::TakeResults(2),
+                Op::Emit, // 4 (top)
+                Op::Emit, // 3
+                Op::Halt,
+            ],
+        ));
+        let out = m.run(main, &[], 1000).unwrap();
+        assert_eq!(out, vec![4, 3]);
+    }
+
+    #[test]
+    fn retained_context_survives_return() {
+        let mut m = Machine::new();
+        let keep = m.define(Procedure::new(
+            "keep",
+            0,
+            vec![Op::TakeArgs(0), Op::Retain, Op::Return(0)],
+        ));
+        let main = m.define(Procedure::new(
+            "main",
+            0,
+            vec![Op::TakeArgs(0), Op::Call { proc: keep, nargs: 0 }, Op::Halt],
+        ));
+        let live_before = m.live_contexts();
+        let _ = m.run(main, &[], 1000).unwrap();
+        // main + the retained frame remain.
+        assert_eq!(m.live_contexts(), live_before + 2);
+    }
+
+    #[test]
+    fn args_are_passed_into_run() {
+        let mut m = Machine::new();
+        let echo = m.define(Procedure::new(
+            "echo",
+            1,
+            vec![Op::TakeArgs(1), Op::PushLocal(0), Op::Emit, Op::Halt],
+        ));
+        let out = m.run(echo, &[Val::Int(99)], 100).unwrap();
+        assert_eq!(out, vec![99]);
+    }
+}

@@ -1,0 +1,141 @@
+//! The table-indirection space model (paper §5, point T1).
+//!
+//! "If the full address takes *f* bits, the table index takes *i* bits,
+//! and the address is used *n* times, then the space changes from *nf*
+//! to *ni + f*. … For example, if n = 3, i = 10 (1024 table entries) and
+//! f = 32, then 96 − 62 = 34 bits are saved, or about one-third."
+//!
+//! Experiment E2 sweeps this model; the Mesa encoding instantiates it
+//! four times (LV, GFT, global frame, EV).
+
+/// Parameters of one table-indirection decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableSpaceModel {
+    /// Bits in a table index (`i`). Determines the maximum object count.
+    pub index_bits: u32,
+    /// Bits in a full address (`f`).
+    pub addr_bits: u32,
+}
+
+impl TableSpaceModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is not strictly smaller than the address —
+    /// indirection can only pay when the index is the shorter encoding.
+    pub fn new(index_bits: u32, addr_bits: u32) -> Self {
+        assert!(
+            index_bits < addr_bits,
+            "table index ({index_bits} bits) must be shorter than the address ({addr_bits} bits)"
+        );
+        TableSpaceModel { index_bits, addr_bits }
+    }
+
+    /// Bits used with the address stored directly at each of `n` uses.
+    pub fn direct_bits(&self, n: u64) -> u64 {
+        n * self.addr_bits as u64
+    }
+
+    /// Bits used with a table: `n` indices plus one table entry.
+    pub fn table_bits(&self, n: u64) -> u64 {
+        n * self.index_bits as u64 + self.addr_bits as u64
+    }
+
+    /// Bits saved by the table scheme (negative = table costs more).
+    pub fn saving_bits(&self, n: u64) -> i64 {
+        self.direct_bits(n) as i64 - self.table_bits(n) as i64
+    }
+
+    /// Fractional saving relative to the direct scheme, in `[−∞, 1)`.
+    /// Zero uses yields `0.0`.
+    pub fn saving_fraction(&self, n: u64) -> f64 {
+        let direct = self.direct_bits(n);
+        if direct == 0 {
+            0.0
+        } else {
+            self.saving_bits(n) as f64 / direct as f64
+        }
+    }
+
+    /// Smallest number of uses at which the table scheme is strictly
+    /// smaller: `n·f > n·i + f  ⇔  n > f / (f − i)`.
+    pub fn break_even_uses(&self) -> u64 {
+        let f = self.addr_bits as u64;
+        let i = self.index_bits as u64;
+        f / (f - i) + 1
+    }
+
+    /// Maximum number of distinct objects this index width can name.
+    pub fn capacity(&self) -> u64 {
+        1u64 << self.index_bits
+    }
+}
+
+/// The paper's worked example: n = 3, i = 10, f = 32 saves 34 bits,
+/// about one third.
+///
+/// ```
+/// let m = fpc_core::tables::paper_example();
+/// assert_eq!(m.saving_bits(3), 34);
+/// let frac = m.saving_fraction(3);
+/// assert!(frac > 0.33 && frac < 0.37);
+/// ```
+pub fn paper_example() -> TableSpaceModel {
+    TableSpaceModel::new(10, 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_example_reproduced() {
+        let m = paper_example();
+        assert_eq!(m.direct_bits(3), 96);
+        assert_eq!(m.table_bits(3), 62);
+        assert_eq!(m.saving_bits(3), 34);
+        assert!((m.saving_fraction(3) - 34.0 / 96.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn break_even_matches_inequality() {
+        let m = TableSpaceModel::new(10, 32);
+        let n = m.break_even_uses();
+        assert!(m.saving_bits(n) > 0);
+        assert!(m.saving_bits(n - 1) <= 0);
+    }
+
+    #[test]
+    fn single_use_never_pays() {
+        // One use: table adds a whole entry for nothing.
+        let m = TableSpaceModel::new(8, 16);
+        assert!(m.saving_bits(1) < 0);
+    }
+
+    #[test]
+    fn zero_uses_is_zero_saving() {
+        let m = TableSpaceModel::new(8, 16);
+        assert_eq!(m.saving_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn capacity_is_two_to_the_index() {
+        assert_eq!(TableSpaceModel::new(10, 32).capacity(), 1024);
+        assert_eq!(TableSpaceModel::new(5, 16).capacity(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter")]
+    fn index_must_be_shorter_than_address() {
+        let _ = TableSpaceModel::new(16, 16);
+    }
+
+    #[test]
+    fn saving_approaches_index_ratio_asymptotically() {
+        let m = TableSpaceModel::new(10, 32);
+        let f = m.saving_fraction(1_000_000);
+        // Asymptote: 1 - i/f = 1 - 10/32.
+        assert!((f - (1.0 - 10.0 / 32.0)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,469 @@
+//! The AV free-list frame heap (§5.3, figure 2).
+
+use std::collections::HashSet;
+use std::fmt;
+use std::ops::Range;
+
+use fpc_mem::{Memory, WordAddr};
+use fpc_stats::Histogram;
+
+use crate::classes::SizeClasses;
+
+/// Errors from the frame allocators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The request exceeds the largest size class; a real system would
+    /// divert such frames to the general allocator.
+    OversizeRequest {
+        /// Requested frame size in words.
+        words: u32,
+    },
+    /// The frame region is exhausted.
+    OutOfMemory,
+    /// The address freed was not a live frame of this heap.
+    InvalidFrame(WordAddr),
+    /// A strictly LIFO allocator was asked to free a frame that is not
+    /// on top — the restriction that makes conventional stack schemes
+    /// "unsuitable for coroutines, retained frames, and multiple
+    /// processes" (§1).
+    NonLifoFree(WordAddr),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::OversizeRequest { words } => {
+                write!(f, "frame of {words} words exceeds the largest size class")
+            }
+            FrameError::OutOfMemory => write!(f, "frame region exhausted"),
+            FrameError::InvalidFrame(a) => write!(f, "free of non-live frame at {a}"),
+            FrameError::NonLifoFree(a) => {
+                write!(f, "LIFO allocator cannot free non-top frame at {a}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Counters kept by [`FrameHeap`].
+#[derive(Debug, Default, Clone)]
+pub struct HeapStats {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Successful frees.
+    pub frees: u64,
+    /// Traps to the software allocator (empty free list).
+    pub traps: u64,
+    /// Words carved from the region by the software allocator,
+    /// including the hidden size-index words.
+    pub carved_words: u64,
+    /// Sum of requested frame sizes (words).
+    pub requested_words: u64,
+    /// Sum of granted class sizes (words).
+    pub granted_words: u64,
+    /// Live frames now.
+    pub live: u64,
+    /// High-water mark of live frames.
+    pub peak_live: u64,
+    /// Memory references on the fast path (3 per alloc, 4 per free).
+    pub fast_refs: u64,
+    /// Memory references spent inside software-allocator traps.
+    pub slow_refs: u64,
+    /// Distribution of requested sizes in words.
+    pub request_sizes: Histogram,
+}
+
+impl HeapStats {
+    /// Internal fragmentation so far: `1 − requested/granted`.
+    ///
+    /// The paper claims "this scheme wastes only 10% of the space in
+    /// fragmentation" for the Mesa ladder.
+    pub fn fragmentation(&self) -> f64 {
+        if self.granted_words == 0 {
+            0.0
+        } else {
+            1.0 - self.requested_words as f64 / self.granted_words as f64
+        }
+    }
+
+    /// Mean fast-path references per operation.
+    pub fn refs_per_op(&self) -> f64 {
+        let ops = self.allocs + self.frees;
+        if ops == 0 {
+            0.0
+        } else {
+            self.fast_refs as f64 / ops as f64
+        }
+    }
+}
+
+/// How many frames the software allocator carves per trap.
+const REPLENISH_COUNT: u32 = 4;
+
+/// The allocation-vector frame heap.
+///
+/// The AV lives in simulated memory at `av_base`, one head word per
+/// size class; free frames are chained through their first word; each
+/// frame block carries one hidden word (at `frame − 1`) holding its
+/// size-class index "so that the size need not be specified when it is
+/// freed" (§5.3).
+///
+/// All architectural accesses go through [`Memory`], so the paper's
+/// reference counts are measurable rather than asserted — and the unit
+/// tests below assert them anyway: **3** references per allocation,
+/// **4** per free.
+#[derive(Debug, Clone)]
+pub struct FrameHeap {
+    av_base: WordAddr,
+    classes: SizeClasses,
+    carve: u32,
+    region_end: u32,
+    live_set: HashSet<u32>,
+    stats: HeapStats,
+}
+
+impl FrameHeap {
+    /// Creates a heap: zeroes the AV heads and prepares to carve frames
+    /// from `region`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::OutOfMemory`] if the region cannot hold
+    /// even one smallest frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AV overlaps the region or either is out of memory
+    /// bounds — those are configuration bugs, not runtime conditions.
+    pub fn new(
+        mem: &mut Memory,
+        av_base: WordAddr,
+        classes: SizeClasses,
+        region: Range<u32>,
+    ) -> Result<Self, FrameError> {
+        let av_end = av_base.0 + classes.len() as u32;
+        assert!(av_end <= mem.size(), "AV outside memory");
+        assert!(region.end <= mem.size(), "frame region outside memory");
+        assert!(
+            av_end <= region.start || av_base.0 >= region.end,
+            "AV overlaps the frame region"
+        );
+        for i in 0..classes.len() as u32 {
+            mem.poke(av_base.offset(i), 0);
+        }
+        // First block starts at an odd address so the frame proper
+        // (block + 1) is two-word aligned; blocks are even-sized, so
+        // parity is preserved thereafter.
+        let carve = region.start | 1;
+        if carve + 1 + classes.size_of(0) > region.end {
+            return Err(FrameError::OutOfMemory);
+        }
+        Ok(FrameHeap {
+            av_base,
+            classes,
+            carve,
+            region_end: region.end,
+            live_set: HashSet::new(),
+            stats: HeapStats::default(),
+        })
+    }
+
+    /// The size-class ladder in use.
+    pub fn classes(&self) -> &SizeClasses {
+        &self.classes
+    }
+
+    /// Allocation counters.
+    pub fn stats(&self) -> &HeapStats {
+        &self.stats
+    }
+
+    /// The size-class index for a frame of `words` words, as the
+    /// compiler would burn into the procedure header.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::OversizeRequest`] beyond the largest class.
+    pub fn fsi_for(&self, words: u32) -> Result<u8, FrameError> {
+        self.classes
+            .fsi_for(words)
+            .ok_or(FrameError::OversizeRequest { words })
+    }
+
+    /// Allocates a frame of at least `words` words.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::OversizeRequest`] or [`FrameError::OutOfMemory`].
+    pub fn alloc(&mut self, mem: &mut Memory, words: u32) -> Result<WordAddr, FrameError> {
+        let fsi = self.fsi_for(words)?;
+        let frame = self.alloc_fsi(mem, fsi)?;
+        // alloc_fsi accounted the granted size; fix up the requested.
+        self.stats.requested_words += words as u64;
+        self.stats.request_sizes.record(words as u64);
+        Ok(frame)
+    }
+
+    /// Allocates a frame of size class `fsi` — the operation performed
+    /// by the XFER microcode, which reads the fsi straight from the
+    /// procedure header.
+    ///
+    /// Fast path: exactly three memory references (fetch list head from
+    /// AV, fetch next pointer from the first node, store it into the
+    /// list head).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::OutOfMemory`] if the region cannot be replenished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fsi` is out of range for the ladder.
+    pub fn alloc_fsi(&mut self, mem: &mut Memory, fsi: u8) -> Result<WordAddr, FrameError> {
+        let head_slot = self.av_base.offset(fsi as u32);
+        let mut head = mem.read(head_slot); // ref 1
+        self.stats.fast_refs += 1;
+        if head == 0 {
+            self.replenish(mem, fsi)?;
+            head = mem.read(head_slot); // still part of the trap cost
+            self.stats.slow_refs += 1;
+        }
+        let frame = WordAddr(head as u32);
+        let next = mem.read(frame); // ref 2
+        mem.write(head_slot, next); // ref 3
+        self.stats.fast_refs += 2;
+
+        self.stats.allocs += 1;
+        self.stats.granted_words += self.classes.size_of(fsi) as u64;
+        self.stats.live += 1;
+        self.stats.peak_live = self.stats.peak_live.max(self.stats.live);
+        let inserted = self.live_set.insert(frame.0);
+        debug_assert!(inserted, "allocator handed out a live frame");
+        Ok(frame)
+    }
+
+    /// Frees a frame. Exactly four memory references: fetch the hidden
+    /// size-index word, fetch the AV head, link the frame, store the
+    /// new head.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::InvalidFrame`] if `frame` is not a live frame of
+    /// this heap.
+    pub fn free(&mut self, mem: &mut Memory, frame: WordAddr) -> Result<(), FrameError> {
+        if !self.live_set.remove(&frame.0) {
+            return Err(FrameError::InvalidFrame(frame));
+        }
+        let fsi = mem.read(WordAddr(frame.0 - 1)); // ref 1
+        debug_assert!((fsi as usize) < self.classes.len(), "corrupt fsi word");
+        let head_slot = self.av_base.offset(fsi as u32);
+        let head = mem.read(head_slot); // ref 2
+        mem.write(frame, head); // ref 3
+        mem.write(head_slot, frame.0 as u16); // ref 4
+        self.stats.fast_refs += 4;
+        self.stats.frees += 1;
+        self.stats.live -= 1;
+        Ok(())
+    }
+
+    /// Whether `frame` is currently live.
+    pub fn is_live(&self, frame: WordAddr) -> bool {
+        self.live_set.contains(&frame.0)
+    }
+
+    /// The software allocator: carve fresh blocks of class `fsi` from
+    /// the region and push them on the free list. This is the trap path
+    /// whose cost the fast path avoids.
+    fn replenish(&mut self, mem: &mut Memory, fsi: u8) -> Result<(), FrameError> {
+        self.stats.traps += 1;
+        let size = self.classes.size_of(fsi);
+        let block = 1 + size; // hidden fsi word + frame
+        let before = mem.stats();
+        let mut carved = 0;
+        for _ in 0..REPLENISH_COUNT {
+            if self.carve + block > self.region_end {
+                break;
+            }
+            let frame = WordAddr(self.carve + 1);
+            debug_assert_eq!(frame.0 % 2, 0, "frame misaligned");
+            mem.write(WordAddr(self.carve), fsi as u16); // hidden size word
+            let head_slot = self.av_base.offset(fsi as u32);
+            let head = mem.read(head_slot);
+            mem.write(frame, head);
+            mem.write(head_slot, frame.0 as u16);
+            self.carve += block;
+            carved += 1;
+        }
+        self.stats.carved_words += carved as u64 * block as u64;
+        self.stats.slow_refs += mem.stats().since(before).total();
+        if carved == 0 {
+            Err(FrameError::OutOfMemory)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Memory, FrameHeap) {
+        let mut mem = Memory::new(0x8000);
+        let heap =
+            FrameHeap::new(&mut mem, WordAddr(0x10), SizeClasses::mesa(), 0x100..0x8000).unwrap();
+        (mem, heap)
+    }
+
+    #[test]
+    fn alloc_returns_aligned_nonnil_frames() {
+        let (mut mem, mut heap) = setup();
+        let f = heap.alloc(&mut mem, 10).unwrap();
+        assert!(!f.is_nil());
+        assert_eq!(f.0 % 2, 0);
+        assert!(heap.is_live(f));
+    }
+
+    #[test]
+    fn fast_path_costs_exactly_three_and_four_references() {
+        let (mut mem, mut heap) = setup();
+        // Warm the free list: allocate and free once so a node exists.
+        let f = heap.alloc(&mut mem, 10).unwrap();
+        heap.free(&mut mem, f).unwrap();
+
+        let before = mem.stats();
+        let f = heap.alloc(&mut mem, 10).unwrap();
+        assert_eq!(mem.stats().since(before).total(), 3, "alloc fast path");
+
+        let before = mem.stats();
+        heap.free(&mut mem, f).unwrap();
+        assert_eq!(mem.stats().since(before).total(), 4, "free fast path");
+    }
+
+    #[test]
+    fn freed_frame_is_reused() {
+        let (mut mem, mut heap) = setup();
+        let f1 = heap.alloc(&mut mem, 10).unwrap();
+        heap.free(&mut mem, f1).unwrap();
+        let f2 = heap.alloc(&mut mem, 10).unwrap();
+        assert_eq!(f1, f2, "LIFO reuse of the per-size free list");
+    }
+
+    #[test]
+    fn different_classes_use_different_lists() {
+        let (mut mem, mut heap) = setup();
+        let small = heap.alloc(&mut mem, 5).unwrap();
+        let big = heap.alloc(&mut mem, 200).unwrap();
+        heap.free(&mut mem, small).unwrap();
+        // Freeing the small frame must not satisfy a big request.
+        let big2 = heap.alloc(&mut mem, 200).unwrap();
+        assert_ne!(big2, small);
+        assert_ne!(big2, big);
+    }
+
+    #[test]
+    fn non_lifo_free_order_is_fine() {
+        // The whole point (§5.3): "it does not depend on a last-in
+        // first-out discipline".
+        let (mut mem, mut heap) = setup();
+        let frames: Vec<_> = (0..16).map(|_| heap.alloc(&mut mem, 12).unwrap()).collect();
+        for f in frames.iter().step_by(2) {
+            heap.free(&mut mem, *f).unwrap();
+        }
+        for f in frames.iter().skip(1).step_by(2) {
+            heap.free(&mut mem, *f).unwrap();
+        }
+        assert_eq!(heap.stats().live, 0);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (mut mem, mut heap) = setup();
+        let f = heap.alloc(&mut mem, 10).unwrap();
+        heap.free(&mut mem, f).unwrap();
+        assert_eq!(heap.free(&mut mem, f), Err(FrameError::InvalidFrame(f)));
+    }
+
+    #[test]
+    fn free_of_garbage_detected() {
+        let (mut mem, mut heap) = setup();
+        assert!(matches!(
+            heap.free(&mut mem, WordAddr(0x200)),
+            Err(FrameError::InvalidFrame(_))
+        ));
+    }
+
+    #[test]
+    fn oversize_request_rejected() {
+        let (mut mem, mut heap) = setup();
+        let too_big = heap.classes().max_words() + 1;
+        assert_eq!(
+            heap.alloc(&mut mem, too_big),
+            Err(FrameError::OversizeRequest { words: too_big })
+        );
+    }
+
+    #[test]
+    fn region_exhaustion_reported() {
+        let mut mem = Memory::new(0x400);
+        let mut heap =
+            FrameHeap::new(&mut mem, WordAddr(0x10), SizeClasses::mesa(), 0x100..0x180).unwrap();
+        let mut live = Vec::new();
+        let err = loop {
+            match heap.alloc(&mut mem, 9) {
+                Ok(f) => live.push(f),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, FrameError::OutOfMemory);
+        assert!(!live.is_empty());
+    }
+
+    #[test]
+    fn fragmentation_accounting() {
+        let (mut mem, mut heap) = setup();
+        // Request sizes that sit mid-class.
+        for words in [5u32, 10, 15, 20, 40, 80] {
+            let _ = heap.alloc(&mut mem, words).unwrap();
+        }
+        let frag = heap.stats().fragmentation();
+        assert!(frag > 0.0 && frag < 0.5, "fragmentation {frag}");
+        assert_eq!(heap.stats().allocs, 6);
+        assert_eq!(heap.stats().peak_live, 6);
+    }
+
+    #[test]
+    fn traps_counted_and_amortised() {
+        let (mut mem, mut heap) = setup();
+        let mut frames = Vec::new();
+        for _ in 0..32 {
+            frames.push(heap.alloc(&mut mem, 9).unwrap());
+        }
+        // 32 allocations of one class with REPLENISH_COUNT=4: 8 traps.
+        assert_eq!(heap.stats().traps, 8);
+        assert!(heap.stats().slow_refs > 0);
+        // Fast path refs are exactly 3 per alloc.
+        assert_eq!(heap.stats().fast_refs, 32 * 3);
+    }
+
+    #[test]
+    fn hidden_size_word_survives_reuse_cycles() {
+        let (mut mem, mut heap) = setup();
+        let f = heap.alloc(&mut mem, 9).unwrap();
+        let fsi = mem.peek(WordAddr(f.0 - 1));
+        heap.free(&mut mem, f).unwrap();
+        let f2 = heap.alloc(&mut mem, 9).unwrap();
+        assert_eq!(f, f2);
+        assert_eq!(mem.peek(WordAddr(f2.0 - 1)), fsi);
+    }
+
+    #[test]
+    fn av_overlap_is_a_panic() {
+        let mut mem = Memory::new(0x1000);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            FrameHeap::new(&mut mem, WordAddr(0x100), SizeClasses::mesa(), 0x100..0x1000)
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the frame heap: no double allocation, exact
+//! reference costs, conservation of the region.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use fpc_frames::{FrameHeap, SizeClasses};
+use fpc_mem::{Memory, WordAddr};
+
+proptest! {
+    /// Under an arbitrary interleaving of allocations and frees, the
+    /// heap never hands out overlapping live frames, every fast-path
+    /// alloc costs exactly 3 references and every free exactly 4.
+    #[test]
+    fn no_overlap_and_exact_costs(
+        ops in prop::collection::vec((1u32..200, any::<bool>(), 0usize..16), 1..200),
+    ) {
+        let mut mem = Memory::new(0x10000);
+        let mut heap = FrameHeap::new(
+            &mut mem,
+            WordAddr(0x10),
+            SizeClasses::mesa(),
+            0x100..0x10000,
+        )
+        .unwrap();
+        let mut live: Vec<(WordAddr, u32)> = Vec::new();
+        for (words, free_first, pick) in ops {
+            if free_first && !live.is_empty() {
+                let i = pick % live.len();
+                let (f, _) = live.swap_remove(i);
+                let before = mem.stats();
+                heap.free(&mut mem, f).unwrap();
+                prop_assert_eq!(mem.stats().since(before).total(), 4);
+            } else {
+                let before = mem.stats();
+                let traps_before = heap.stats().traps;
+                let f = heap.alloc(&mut mem, words).unwrap();
+                if heap.stats().traps == traps_before {
+                    prop_assert_eq!(mem.stats().since(before).total(), 3);
+                }
+                let granted = heap.classes().size_of(heap.fsi_for(words).unwrap());
+                prop_assert!(granted >= words);
+                live.push((f, granted));
+            }
+            // No two live frames overlap (including their hidden word).
+            let mut spans: Vec<(u32, u32)> = live
+                .iter()
+                .map(|&(f, g)| (f.0 - 1, f.0 + g))
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+            }
+        }
+        // Frees leave no duplicates on the free lists: draining every
+        // class yields distinct frames.
+        for (f, _) in live.drain(..) {
+            heap.free(&mut mem, f).unwrap();
+        }
+        let mut seen = HashSet::new();
+        while let Ok(f) = heap.alloc(&mut mem, 9) {
+            prop_assert!(seen.insert(f.0), "frame {f} handed out twice");
+        }
+    }
+}

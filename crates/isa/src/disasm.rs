@@ -1,0 +1,70 @@
+//! Linear disassembly of an instruction run.
+
+use crate::instr::{decode, DecodeError, Instr};
+
+/// Disassembles `bytes[start..end]` as a straight-line instruction run,
+/// returning `(offset, instruction)` pairs.
+///
+/// Procedure headers and entry vectors are data, not instructions, so
+/// callers must pass code ranges only (the compiler's listing knows
+/// where those are).
+///
+/// # Errors
+///
+/// Propagates the first [`DecodeError`] encountered.
+///
+/// # Example
+///
+/// ```
+/// use fpc_isa::{disassemble, Instr};
+///
+/// let mut code = Vec::new();
+/// Instr::LoadImm(7).encode(&mut code);
+/// Instr::Out.encode(&mut code);
+/// let l = disassemble(&code, 0, code.len()).unwrap();
+/// assert_eq!(l, vec![(0, Instr::LoadImm(7)), (2, Instr::Out)]);
+/// ```
+pub fn disassemble(
+    bytes: &[u8],
+    start: usize,
+    end: usize,
+) -> Result<Vec<(usize, Instr)>, DecodeError> {
+    let mut out = Vec::new();
+    let mut pc = start;
+    while pc < end {
+        let (i, len) = decode(bytes, pc)?;
+        out.push((pc, i));
+        pc += len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disassembles_a_run() {
+        let mut code = Vec::new();
+        for i in [Instr::LoadLocal(0), Instr::AddImm(3), Instr::StoreLocal(0), Instr::Ret] {
+            i.encode(&mut code);
+        }
+        let l = disassemble(&code, 0, code.len()).unwrap();
+        assert_eq!(l.len(), 4);
+        assert_eq!(l[1], (1, Instr::AddImm(3)));
+        assert_eq!(l[3], (4, Instr::Ret));
+    }
+
+    #[test]
+    fn respects_subrange() {
+        let mut code = vec![0xFF]; // junk header byte
+        Instr::Halt.encode(&mut code);
+        let l = disassemble(&code, 1, 2).unwrap();
+        assert_eq!(l, vec![(1, Instr::Halt)]);
+    }
+
+    #[test]
+    fn reports_junk() {
+        assert!(disassemble(&[0xFF], 0, 1).is_err());
+    }
+}

@@ -1,0 +1,632 @@
+//! Decoded instruction form, encoder and decoder.
+//!
+//! [`Instr`] is the decoded representation. [`Instr::encode`] always
+//! emits the canonical (shortest) encoding; [`Instr::encoded_len`]
+//! reports that length without emitting, which the assembler's branch
+//! relaxation relies on. [`decode`] is the inverse.
+
+use std::fmt;
+
+use crate::opcode as op;
+
+/// A decoded instruction.
+///
+/// Displacements of jumps and short direct calls are relative to the
+/// **start** of the instruction. Call operands are in the units of the
+/// transfer tables: link-vector index for external calls, entry-vector
+/// index for local calls, absolute code byte address for direct calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// Push local word `n`.
+    LoadLocal(u8),
+    /// Pop into local word `n`.
+    StoreLocal(u8),
+    /// Push the word address of local `n` (a pointer to a local, §7.4).
+    LoadLocalAddr(u8),
+    /// Push the word address of global `n`.
+    LoadGlobalAddr(u8),
+    /// Push global word `n`.
+    LoadGlobal(u8),
+    /// Pop into global word `n`.
+    StoreGlobal(u8),
+    /// Push a literal.
+    LoadImm(u16),
+    /// Pop an address; push the word it names.
+    Read,
+    /// Pop an address, pop a value; store the value there.
+    Write,
+    /// Pop index, pop base; push `mem[base + index]`.
+    LoadIndex,
+    /// Pop index, pop base, pop value; store at `mem[base + index]`.
+    StoreIndex,
+    /// Pop b, pop a; push a + b.
+    Add,
+    /// Pop b, pop a; push a − b.
+    Sub,
+    /// Pop b, pop a; push a × b.
+    Mul,
+    /// Pop b, pop a; push a ÷ b (signed). Traps on b = 0.
+    Div,
+    /// Pop b, pop a; push a mod b (signed). Traps on b = 0.
+    Mod,
+    /// Negate the top of stack.
+    Neg,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Pop count, pop value; push value << count.
+    Shl,
+    /// Pop count, pop value; push value >> count (logical).
+    Shr,
+    /// Pop b, pop a; push 1 if a = b else 0.
+    CmpEq,
+    /// Pop b, pop a; push 1 if a ≠ b else 0.
+    CmpNe,
+    /// Pop b, pop a; push 1 if a < b (signed) else 0.
+    CmpLt,
+    /// Pop b, pop a; push 1 if a ≤ b (signed) else 0.
+    CmpLe,
+    /// Pop b, pop a; push 1 if a > b (signed) else 0.
+    CmpGt,
+    /// Pop b, pop a; push 1 if a ≥ b (signed) else 0.
+    CmpGe,
+    /// Add an unsigned immediate byte to the top of stack.
+    AddImm(u8),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Drop,
+    /// Exchange the top two stack entries.
+    Exch,
+    /// Unconditional jump; displacement from instruction start.
+    Jump(i32),
+    /// Pop; jump if zero.
+    JumpZero(i32),
+    /// Pop; jump if not zero.
+    JumpNotZero(i32),
+    /// EXTERNALCALL through link-vector entry `n`.
+    ExternalCall(u8),
+    /// LOCALCALL through entry-vector entry `n`.
+    LocalCall(u8),
+    /// DIRECTCALL to an absolute 24-bit code byte address (§6).
+    DirectCall(u32),
+    /// SHORTDIRECTCALL, PC-relative (§6).
+    ShortDirectCall(i32),
+    /// RETURN.
+    Ret,
+    /// Pop a context word; `XFER` to it.
+    Xfer,
+    /// Pop a procedure descriptor; allocate a suspended context; push
+    /// its frame context word.
+    NewContext,
+    /// Pop a frame context word; free the frame.
+    FreeContext,
+    /// Push the `returnContext` global (§3's retrieval by the
+    /// destination; used by coroutines to discover their peer).
+    ReturnContext,
+    /// Allocate an n-word record from the frame heap; push its address
+    /// (§4's long argument records).
+    AllocRecord(u8),
+    /// Pop a record address and free it.
+    FreeRecord,
+    /// Raise trap `n`.
+    Trap(u8),
+    /// Yield to the next ready process.
+    ProcessSwitch,
+    /// Pop a procedure descriptor; create a process; push its index.
+    Spawn,
+    /// Pop a word; append it to the output stream.
+    Out,
+    /// Stop the machine.
+    Halt,
+    /// Do nothing.
+    Noop,
+}
+
+/// Error from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte is not assigned.
+    UnknownOpcode {
+        /// The offending byte.
+        byte: u8,
+        /// Where it was found.
+        offset: usize,
+    },
+    /// The instruction's operand bytes run past the end of code.
+    Truncated {
+        /// Where the instruction started.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode { byte, offset } => {
+                write!(f, "unknown opcode {byte:#04x} at offset {offset}")
+            }
+            DecodeError::Truncated { offset } => {
+                write!(f, "truncated instruction at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Instr {
+    /// Appends the canonical (shortest) encoding to `out` and returns
+    /// the number of bytes emitted.
+    pub fn encode(&self, out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        match *self {
+            Instr::LoadLocal(n) if n < 8 => out.push(op::LL0 + n),
+            Instr::LoadLocal(n) => out.extend([op::LLB, n]),
+            Instr::StoreLocal(n) if n < 8 => out.push(op::SL0 + n),
+            Instr::StoreLocal(n) => out.extend([op::SLB, n]),
+            Instr::LoadLocalAddr(n) => out.extend([op::LLA, n]),
+            Instr::LoadGlobalAddr(n) => out.extend([op::LGA, n]),
+            Instr::LoadGlobal(n) if n < 4 => out.push(op::LG0 + n),
+            Instr::LoadGlobal(n) => out.extend([op::LGB, n]),
+            Instr::StoreGlobal(n) => out.extend([op::SGB, n]),
+            Instr::LoadImm(0) => out.push(op::LI0),
+            Instr::LoadImm(1) => out.push(op::LI1),
+            Instr::LoadImm(0xFFFF) => out.push(op::LIN1),
+            Instr::LoadImm(v) if v <= 0xFF => out.extend([op::LIB, v as u8]),
+            Instr::LoadImm(v) => out.extend([op::LIW, v as u8, (v >> 8) as u8]),
+            Instr::Read => out.push(op::RD),
+            Instr::Write => out.push(op::WR),
+            Instr::LoadIndex => out.push(op::LDIDX),
+            Instr::StoreIndex => out.push(op::STIDX),
+            Instr::Add => out.push(op::ADD),
+            Instr::Sub => out.push(op::SUB),
+            Instr::Mul => out.push(op::MUL),
+            Instr::Div => out.push(op::DIV),
+            Instr::Mod => out.push(op::MOD),
+            Instr::Neg => out.push(op::NEG),
+            Instr::And => out.push(op::AND),
+            Instr::Or => out.push(op::OR),
+            Instr::Xor => out.push(op::XOR),
+            Instr::Shl => out.push(op::SHL),
+            Instr::Shr => out.push(op::SHR),
+            Instr::CmpEq => out.push(op::EQ),
+            Instr::CmpNe => out.push(op::NE),
+            Instr::CmpLt => out.push(op::LT),
+            Instr::CmpLe => out.push(op::LE),
+            Instr::CmpGt => out.push(op::GT),
+            Instr::CmpGe => out.push(op::GE),
+            Instr::AddImm(n) => out.extend([op::ADDB, n]),
+            Instr::Dup => out.push(op::DUP),
+            Instr::Drop => out.push(op::DROP),
+            Instr::Exch => out.push(op::EXCH),
+            Instr::Jump(d) if (2..=9).contains(&d) => out.push(op::J2 + (d - 2) as u8),
+            Instr::Jump(d) if i8::try_from(d).is_ok() => out.extend([op::JB, d as u8]),
+            Instr::Jump(d) => {
+                let d = i16::try_from(d).expect("jump displacement exceeds 16 bits");
+                out.extend([op::JW, d as u8, ((d as u16) >> 8) as u8]);
+            }
+            Instr::JumpZero(d) if (2..=9).contains(&d) => out.push(op::JZ2 + (d - 2) as u8),
+            Instr::JumpZero(d) if i8::try_from(d).is_ok() => out.extend([op::JZB, d as u8]),
+            Instr::JumpZero(d) => {
+                let d = i16::try_from(d).expect("jump displacement exceeds 16 bits");
+                out.extend([op::JZW, d as u8, ((d as u16) >> 8) as u8]);
+            }
+            Instr::JumpNotZero(d) if i8::try_from(d).is_ok() => out.extend([op::JNZB, d as u8]),
+            Instr::JumpNotZero(d) => {
+                let d = i16::try_from(d).expect("jump displacement exceeds 16 bits");
+                out.extend([op::JNZW, d as u8, ((d as u16) >> 8) as u8]);
+            }
+            Instr::ExternalCall(n) if n < 8 => out.push(op::EFC0 + n),
+            Instr::ExternalCall(n) => out.extend([op::EFCB, n]),
+            Instr::LocalCall(n) if n < 8 => out.push(op::LFC0 + n),
+            Instr::LocalCall(n) => out.extend([op::LFCB, n]),
+            Instr::DirectCall(a) => {
+                assert!(a < (1 << 24), "direct-call address exceeds 24 bits");
+                out.extend([op::DFC, a as u8, (a >> 8) as u8, (a >> 16) as u8]);
+            }
+            Instr::ShortDirectCall(d) => {
+                let d = i16::try_from(d).expect("short direct call exceeds 16 bits");
+                out.extend([op::SDFC, d as u8, ((d as u16) >> 8) as u8]);
+            }
+            Instr::Ret => out.push(op::RET),
+            Instr::Xfer => out.push(op::XF),
+            Instr::NewContext => out.push(op::NEWCTX),
+            Instr::FreeContext => out.push(op::FREECTX),
+            Instr::ReturnContext => out.push(op::RETCTX),
+            Instr::AllocRecord(n) => out.extend([op::ALLOCREC, n]),
+            Instr::FreeRecord => out.push(op::FREEREC),
+            Instr::Trap(n) => out.extend([op::TRAP, n]),
+            Instr::ProcessSwitch => out.push(op::PSWITCH),
+            Instr::Spawn => out.push(op::SPAWN),
+            Instr::Out => out.push(op::OUT),
+            Instr::Halt => out.push(op::HALT),
+            Instr::Noop => out.push(op::NOOP),
+        }
+        out.len() - start
+    }
+
+    /// Length of the canonical encoding, in bytes.
+    pub fn encoded_len(&self) -> usize {
+        match *self {
+            Instr::LoadLocal(n) | Instr::StoreLocal(n) => 1 + (n >= 8) as usize,
+            Instr::LoadGlobal(n) => 1 + (n >= 4) as usize,
+            Instr::StoreGlobal(_) | Instr::LoadLocalAddr(_) | Instr::LoadGlobalAddr(_) => 2,
+            Instr::LoadImm(0 | 1 | 0xFFFF) => 1,
+            Instr::LoadImm(v) if v <= 0xFF => 2,
+            Instr::LoadImm(_) => 3,
+            Instr::AddImm(_) | Instr::Trap(_) | Instr::AllocRecord(_) => 2,
+            Instr::Jump(d) | Instr::JumpZero(d) => {
+                if (2..=9).contains(&d) {
+                    1
+                } else if i8::try_from(d).is_ok() {
+                    2
+                } else {
+                    3
+                }
+            }
+            Instr::JumpNotZero(d) => {
+                if i8::try_from(d).is_ok() {
+                    2
+                } else {
+                    3
+                }
+            }
+            Instr::ExternalCall(n) | Instr::LocalCall(n) => 1 + (n >= 8) as usize,
+            Instr::DirectCall(_) => 4,
+            Instr::ShortDirectCall(_) => 3,
+            _ => 1,
+        }
+    }
+
+    /// Whether this instruction is a control transfer in the sense of
+    /// the paper (call, return, or general `XFER`); jumps are not.
+    pub fn is_transfer(&self) -> bool {
+        matches!(
+            self,
+            Instr::ExternalCall(_)
+                | Instr::LocalCall(_)
+                | Instr::DirectCall(_)
+                | Instr::ShortDirectCall(_)
+                | Instr::Ret
+                | Instr::Xfer
+                | Instr::ProcessSwitch
+                | Instr::Trap(_)
+        )
+    }
+}
+
+fn need(bytes: &[u8], offset: usize, n: usize) -> Result<(), DecodeError> {
+    if offset + n <= bytes.len() {
+        Ok(())
+    } else {
+        Err(DecodeError::Truncated { offset })
+    }
+}
+
+/// Decodes the instruction at `offset`, returning it and its length.
+///
+/// # Errors
+///
+/// [`DecodeError::UnknownOpcode`] for unassigned bytes and
+/// [`DecodeError::Truncated`] when operands run off the end.
+pub fn decode(bytes: &[u8], offset: usize) -> Result<(Instr, usize), DecodeError> {
+    need(bytes, offset, 1)?;
+    let b = bytes[offset];
+    let u8_operand = |i: &mut usize| -> Result<u8, DecodeError> {
+        need(bytes, offset, 2)?;
+        *i = 2;
+        Ok(bytes[offset + 1])
+    };
+    let i8_disp = |i: &mut usize| -> Result<i32, DecodeError> {
+        need(bytes, offset, 2)?;
+        *i = 2;
+        Ok(bytes[offset + 1] as i8 as i32)
+    };
+    let i16_disp = |i: &mut usize| -> Result<i32, DecodeError> {
+        need(bytes, offset, 3)?;
+        *i = 3;
+        Ok(i16::from_le_bytes([bytes[offset + 1], bytes[offset + 2]]) as i32)
+    };
+    let mut len = 1usize;
+    let instr = match b {
+        _ if (op::LL0..op::LL0 + 8).contains(&b) => Instr::LoadLocal(b - op::LL0),
+        op::LLB => Instr::LoadLocal(u8_operand(&mut len)?),
+        _ if (op::SL0..op::SL0 + 8).contains(&b) => Instr::StoreLocal(b - op::SL0),
+        op::SLB => Instr::StoreLocal(u8_operand(&mut len)?),
+        _ if (op::LG0..op::LG0 + 4).contains(&b) => Instr::LoadGlobal(b - op::LG0),
+        op::LGB => Instr::LoadGlobal(u8_operand(&mut len)?),
+        op::SGB => Instr::StoreGlobal(u8_operand(&mut len)?),
+        op::LI0 => Instr::LoadImm(0),
+        op::LI1 => Instr::LoadImm(1),
+        op::LIN1 => Instr::LoadImm(0xFFFF),
+        op::LIB => Instr::LoadImm(u8_operand(&mut len)? as u16),
+        op::LIW => {
+            need(bytes, offset, 3)?;
+            len = 3;
+            Instr::LoadImm(u16::from_le_bytes([bytes[offset + 1], bytes[offset + 2]]))
+        }
+        op::LLA => Instr::LoadLocalAddr(u8_operand(&mut len)?),
+        op::LGA => Instr::LoadGlobalAddr(u8_operand(&mut len)?),
+        op::RD => Instr::Read,
+        op::WR => Instr::Write,
+        op::LDIDX => Instr::LoadIndex,
+        op::STIDX => Instr::StoreIndex,
+        op::ADD => Instr::Add,
+        op::SUB => Instr::Sub,
+        op::MUL => Instr::Mul,
+        op::DIV => Instr::Div,
+        op::MOD => Instr::Mod,
+        op::NEG => Instr::Neg,
+        op::AND => Instr::And,
+        op::OR => Instr::Or,
+        op::XOR => Instr::Xor,
+        op::SHL => Instr::Shl,
+        op::SHR => Instr::Shr,
+        op::EQ => Instr::CmpEq,
+        op::NE => Instr::CmpNe,
+        op::LT => Instr::CmpLt,
+        op::LE => Instr::CmpLe,
+        op::GT => Instr::CmpGt,
+        op::GE => Instr::CmpGe,
+        op::ADDB => Instr::AddImm(u8_operand(&mut len)?),
+        op::DUP => Instr::Dup,
+        op::DROP => Instr::Drop,
+        op::EXCH => Instr::Exch,
+        op::JB => Instr::Jump(i8_disp(&mut len)?),
+        op::JW => Instr::Jump(i16_disp(&mut len)?),
+        op::JZB => Instr::JumpZero(i8_disp(&mut len)?),
+        op::JNZB => Instr::JumpNotZero(i8_disp(&mut len)?),
+        op::JZW => Instr::JumpZero(i16_disp(&mut len)?),
+        op::JNZW => Instr::JumpNotZero(i16_disp(&mut len)?),
+        _ if (op::J2..op::J2 + 8).contains(&b) => Instr::Jump((b - op::J2) as i32 + 2),
+        _ if (op::JZ2..op::JZ2 + 8).contains(&b) => Instr::JumpZero((b - op::JZ2) as i32 + 2),
+        _ if (op::EFC0..op::EFC0 + 8).contains(&b) => Instr::ExternalCall(b - op::EFC0),
+        op::EFCB => Instr::ExternalCall(u8_operand(&mut len)?),
+        _ if (op::LFC0..op::LFC0 + 8).contains(&b) => Instr::LocalCall(b - op::LFC0),
+        op::LFCB => Instr::LocalCall(u8_operand(&mut len)?),
+        op::DFC => {
+            need(bytes, offset, 4)?;
+            len = 4;
+            Instr::DirectCall(u32::from_le_bytes([
+                bytes[offset + 1],
+                bytes[offset + 2],
+                bytes[offset + 3],
+                0,
+            ]))
+        }
+        op::SDFC => Instr::ShortDirectCall(i16_disp(&mut len)?),
+        op::RET => Instr::Ret,
+        op::XF => Instr::Xfer,
+        op::NEWCTX => Instr::NewContext,
+        op::FREECTX => Instr::FreeContext,
+        op::RETCTX => Instr::ReturnContext,
+        op::ALLOCREC => Instr::AllocRecord(u8_operand(&mut len)?),
+        op::FREEREC => Instr::FreeRecord,
+        op::TRAP => Instr::Trap(u8_operand(&mut len)?),
+        op::PSWITCH => Instr::ProcessSwitch,
+        op::SPAWN => Instr::Spawn,
+        op::OUT => Instr::Out,
+        op::HALT => Instr::Halt,
+        op::NOOP => Instr::Noop,
+        _ => return Err(DecodeError::UnknownOpcode { byte: b, offset }),
+    };
+    Ok((instr, len))
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::LoadLocal(n) => write!(f, "LL {n}"),
+            Instr::StoreLocal(n) => write!(f, "SL {n}"),
+            Instr::LoadLocalAddr(n) => write!(f, "LLA {n}"),
+            Instr::LoadGlobalAddr(n) => write!(f, "LGA {n}"),
+            Instr::LoadGlobal(n) => write!(f, "LG {n}"),
+            Instr::StoreGlobal(n) => write!(f, "SG {n}"),
+            Instr::LoadImm(v) => write!(f, "LI {v}"),
+            Instr::Read => write!(f, "RD"),
+            Instr::Write => write!(f, "WR"),
+            Instr::LoadIndex => write!(f, "LDIDX"),
+            Instr::StoreIndex => write!(f, "STIDX"),
+            Instr::Add => write!(f, "ADD"),
+            Instr::Sub => write!(f, "SUB"),
+            Instr::Mul => write!(f, "MUL"),
+            Instr::Div => write!(f, "DIV"),
+            Instr::Mod => write!(f, "MOD"),
+            Instr::Neg => write!(f, "NEG"),
+            Instr::And => write!(f, "AND"),
+            Instr::Or => write!(f, "OR"),
+            Instr::Xor => write!(f, "XOR"),
+            Instr::Shl => write!(f, "SHL"),
+            Instr::Shr => write!(f, "SHR"),
+            Instr::CmpEq => write!(f, "EQ"),
+            Instr::CmpNe => write!(f, "NE"),
+            Instr::CmpLt => write!(f, "LT"),
+            Instr::CmpLe => write!(f, "LE"),
+            Instr::CmpGt => write!(f, "GT"),
+            Instr::CmpGe => write!(f, "GE"),
+            Instr::AddImm(n) => write!(f, "ADDB {n}"),
+            Instr::Dup => write!(f, "DUP"),
+            Instr::Drop => write!(f, "DROP"),
+            Instr::Exch => write!(f, "EXCH"),
+            Instr::Jump(d) => write!(f, "J {d:+}"),
+            Instr::JumpZero(d) => write!(f, "JZ {d:+}"),
+            Instr::JumpNotZero(d) => write!(f, "JNZ {d:+}"),
+            Instr::ExternalCall(n) => write!(f, "EFC {n}"),
+            Instr::LocalCall(n) => write!(f, "LFC {n}"),
+            Instr::DirectCall(a) => write!(f, "DFC {a:#x}"),
+            Instr::ShortDirectCall(d) => write!(f, "SDFC {d:+}"),
+            Instr::Ret => write!(f, "RET"),
+            Instr::Xfer => write!(f, "XF"),
+            Instr::NewContext => write!(f, "NEWCTX"),
+            Instr::FreeContext => write!(f, "FREECTX"),
+            Instr::ReturnContext => write!(f, "RETCTX"),
+            Instr::AllocRecord(n) => write!(f, "ALLOCREC {n}"),
+            Instr::FreeRecord => write!(f, "FREEREC"),
+            Instr::Trap(n) => write!(f, "TRAP {n}"),
+            Instr::ProcessSwitch => write!(f, "PSWITCH"),
+            Instr::Spawn => write!(f, "SPAWN"),
+            Instr::Out => write!(f, "OUT"),
+            Instr::Halt => write!(f, "HALT"),
+            Instr::Noop => write!(f, "NOOP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(i: Instr) {
+        let mut buf = Vec::new();
+        let n = i.encode(&mut buf);
+        assert_eq!(n, buf.len());
+        assert_eq!(n, i.encoded_len(), "encoded_len mismatch for {i}");
+        let (decoded, len) = decode(&buf, 0).unwrap();
+        assert_eq!(decoded, i, "round trip failed for {i}");
+        assert_eq!(len, n);
+    }
+
+    #[test]
+    fn all_nullary_instructions_round_trip() {
+        for i in [
+            Instr::Read,
+            Instr::Write,
+            Instr::LoadIndex,
+            Instr::StoreIndex,
+            Instr::Add,
+            Instr::Sub,
+            Instr::Mul,
+            Instr::Div,
+            Instr::Mod,
+            Instr::Neg,
+            Instr::And,
+            Instr::Or,
+            Instr::Xor,
+            Instr::Shl,
+            Instr::Shr,
+            Instr::CmpEq,
+            Instr::CmpNe,
+            Instr::CmpLt,
+            Instr::CmpLe,
+            Instr::CmpGt,
+            Instr::CmpGe,
+            Instr::Dup,
+            Instr::Drop,
+            Instr::Exch,
+            Instr::Ret,
+            Instr::Xfer,
+            Instr::NewContext,
+            Instr::FreeContext,
+            Instr::ReturnContext,
+            Instr::FreeRecord,
+            Instr::ProcessSwitch,
+            Instr::Spawn,
+            Instr::Out,
+            Instr::Halt,
+            Instr::Noop,
+        ] {
+            round_trip(i);
+        }
+    }
+
+    #[test]
+    fn locals_use_short_forms_when_small() {
+        for n in 0..=255u8 {
+            round_trip(Instr::LoadLocal(n));
+            round_trip(Instr::StoreLocal(n));
+            round_trip(Instr::LoadLocalAddr(n));
+        }
+        assert_eq!(Instr::LoadLocal(7).encoded_len(), 1);
+        assert_eq!(Instr::LoadLocal(8).encoded_len(), 2);
+    }
+
+    #[test]
+    fn globals_round_trip() {
+        for n in 0..=255u8 {
+            round_trip(Instr::LoadGlobal(n));
+            round_trip(Instr::StoreGlobal(n));
+            round_trip(Instr::LoadGlobalAddr(n));
+        }
+        assert_eq!(Instr::LoadGlobal(3).encoded_len(), 1);
+        assert_eq!(Instr::LoadGlobal(4).encoded_len(), 2);
+    }
+
+    #[test]
+    fn literals_pick_shortest_form() {
+        assert_eq!(Instr::LoadImm(0).encoded_len(), 1);
+        assert_eq!(Instr::LoadImm(1).encoded_len(), 1);
+        assert_eq!(Instr::LoadImm(0xFFFF).encoded_len(), 1);
+        assert_eq!(Instr::LoadImm(2).encoded_len(), 2);
+        assert_eq!(Instr::LoadImm(255).encoded_len(), 2);
+        assert_eq!(Instr::LoadImm(256).encoded_len(), 3);
+        for v in [0u16, 1, 2, 0xFF, 0x100, 0x1234, 0xFFFE, 0xFFFF] {
+            round_trip(Instr::LoadImm(v));
+        }
+    }
+
+    #[test]
+    fn jumps_pick_shortest_form() {
+        assert_eq!(Instr::Jump(2).encoded_len(), 1);
+        assert_eq!(Instr::Jump(9).encoded_len(), 1);
+        assert_eq!(Instr::Jump(10).encoded_len(), 2);
+        assert_eq!(Instr::Jump(-5).encoded_len(), 2);
+        assert_eq!(Instr::Jump(127).encoded_len(), 2);
+        assert_eq!(Instr::Jump(128).encoded_len(), 3);
+        assert_eq!(Instr::Jump(-129).encoded_len(), 3);
+        for d in [-30000, -129, -128, -1, 0, 2, 5, 9, 10, 127, 128, 30000] {
+            round_trip(Instr::Jump(d));
+            round_trip(Instr::JumpZero(d));
+            round_trip(Instr::JumpNotZero(d));
+        }
+    }
+
+    #[test]
+    fn calls_round_trip() {
+        for n in 0..=255u8 {
+            round_trip(Instr::ExternalCall(n));
+            round_trip(Instr::LocalCall(n));
+        }
+        assert_eq!(Instr::ExternalCall(7).encoded_len(), 1);
+        assert_eq!(Instr::ExternalCall(8).encoded_len(), 2);
+        round_trip(Instr::DirectCall(0));
+        round_trip(Instr::DirectCall((1 << 24) - 1));
+        round_trip(Instr::ShortDirectCall(-32768));
+        round_trip(Instr::ShortDirectCall(32767));
+        round_trip(Instr::Trap(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "24 bits")]
+    fn oversized_direct_call_rejected() {
+        let mut buf = Vec::new();
+        Instr::DirectCall(1 << 24).encode(&mut buf);
+    }
+
+    #[test]
+    fn unknown_opcode_reported() {
+        let err = decode(&[0xFF], 0).unwrap_err();
+        assert_eq!(err, DecodeError::UnknownOpcode { byte: 0xFF, offset: 0 });
+    }
+
+    #[test]
+    fn truncated_operand_reported() {
+        let mut buf = Vec::new();
+        Instr::LoadImm(0x1234).encode(&mut buf);
+        buf.truncate(2);
+        assert_eq!(decode(&buf, 0).unwrap_err(), DecodeError::Truncated { offset: 0 });
+        assert_eq!(decode(&[], 0).unwrap_err(), DecodeError::Truncated { offset: 0 });
+    }
+
+    #[test]
+    fn transfers_classified() {
+        assert!(Instr::ExternalCall(0).is_transfer());
+        assert!(Instr::Ret.is_transfer());
+        assert!(Instr::Xfer.is_transfer());
+        assert!(!Instr::Jump(2).is_transfer());
+        assert!(!Instr::Add.is_transfer());
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! The byte-coded instruction set of the *Fast Procedure Calls*
+//! reproduction.
+//!
+//! This is a Mesa-like encoding (paper §5): a stack machine with one-,
+//! two-, three- and four-byte instructions, "heavily optimised for
+//! references to local variables stored in the frame of the current
+//! context". The main design criterion is economy of space — about
+//! two-thirds of the instructions compiled for a large program sample
+//! should occupy a single byte (experiment E11 checks this on our
+//! corpus).
+//!
+//! Control transfers get the full menu from the paper:
+//!
+//! * `EFC0`–`EFC7`/`EFCB` — **EXTERNALCALL** through the link vector
+//!   ("a number of one-byte opcodes, so that the most frequently called
+//!   procedures in a module can be called in a single byte");
+//! * `LFC0`–`LFC7`/`LFCB` — **LOCALCALL** through the entry vector only;
+//! * `DFC` — **DIRECTCALL** with a 24-bit absolute code address (§6);
+//! * `SDFC` — **SHORTDIRECTCALL**, three bytes, PC-relative (§6);
+//! * `RET` — **RETURN**, one byte;
+//! * `XF`, `NEWCTX`, `FREECTX` — the general `XFER` and explicit
+//!   context management that make coroutines and processes ordinary
+//!   programs rather than special cases;
+//! * `PSWITCH`, `SPAWN` — process support;
+//! * `TRAP` — transfer to a trap handler.
+//!
+//! # Example
+//!
+//! ```
+//! use fpc_isa::{Instr, decode};
+//!
+//! let mut code = Vec::new();
+//! Instr::LoadLocal(3).encode(&mut code);
+//! Instr::LoadImm(1).encode(&mut code);
+//! Instr::Add.encode(&mut code);
+//! assert_eq!(code.len(), 3); // three one-byte instructions
+//! let (i, len) = decode(&code, 0).unwrap();
+//! assert_eq!((i, len), (Instr::LoadLocal(3), 1));
+//! ```
+
+mod asm;
+mod disasm;
+mod instr;
+pub mod opcode;
+pub mod sizing;
+
+pub use asm::{AsmError, Assembler, Label};
+pub use disasm::disassemble;
+pub use instr::{decode, DecodeError, Instr};

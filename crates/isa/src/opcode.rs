@@ -1,0 +1,193 @@
+//! Raw opcode byte assignments.
+//!
+//! The map mirrors the Mesa encoding's structure: dedicated one-byte
+//! forms for the statically common cases (small local offsets, small
+//! literals, short forward jumps, low link-vector indices) with general
+//! multi-byte escapes. Gaps are reserved.
+
+/// `LL0`–`LL7`: push local `n` (one byte). Base value; `LL0 + n`.
+pub const LL0: u8 = 0x00;
+/// `LLB n`: push local `n` (two bytes).
+pub const LLB: u8 = 0x08;
+/// `SL0`–`SL7`: pop into local `n` (one byte). Base value.
+pub const SL0: u8 = 0x09;
+/// `SLB n`: pop into local `n` (two bytes).
+pub const SLB: u8 = 0x11;
+/// `LG0`–`LG3`: push global `n` (one byte). Base value.
+pub const LG0: u8 = 0x12;
+/// `LGB n`: push global `n` (two bytes).
+pub const LGB: u8 = 0x16;
+/// `SGB n`: pop into global `n` (two bytes).
+pub const SGB: u8 = 0x17;
+/// `LI0`: push literal 0.
+pub const LI0: u8 = 0x18;
+/// `LI1`: push literal 1.
+pub const LI1: u8 = 0x19;
+/// `LIB n`: push literal byte.
+pub const LIB: u8 = 0x1A;
+/// `LIW n`: push literal word (three bytes).
+pub const LIW: u8 = 0x1B;
+/// `LLA n`: push the word address of local `n` (§7.4 pointers to locals).
+pub const LLA: u8 = 0x1C;
+/// `RD`: pop address, push the word it names.
+pub const RD: u8 = 0x1D;
+/// `WR`: pop address, pop value, store.
+pub const WR: u8 = 0x1E;
+/// `LIN1`: push literal −1 (all ones).
+pub const LIN1: u8 = 0x1F;
+
+/// `ADD`.
+pub const ADD: u8 = 0x20;
+/// `SUB`.
+pub const SUB: u8 = 0x21;
+/// `MUL`.
+pub const MUL: u8 = 0x22;
+/// `DIV` (signed; traps on zero divisor).
+pub const DIV: u8 = 0x23;
+/// `MOD` (signed; traps on zero divisor).
+pub const MOD: u8 = 0x24;
+/// `NEG`.
+pub const NEG: u8 = 0x25;
+/// `AND`.
+pub const AND: u8 = 0x26;
+/// `OR`.
+pub const OR: u8 = 0x27;
+/// `XOR`.
+pub const XOR: u8 = 0x28;
+/// `SHL`: pop count, pop value.
+pub const SHL: u8 = 0x29;
+/// `SHR` (logical): pop count, pop value.
+pub const SHR: u8 = 0x2A;
+/// `EQ`.
+pub const EQ: u8 = 0x2B;
+/// `NE`.
+pub const NE: u8 = 0x2C;
+/// `LT` (signed).
+pub const LT: u8 = 0x2D;
+/// `LE` (signed).
+pub const LE: u8 = 0x2E;
+/// `GT` (signed).
+pub const GT: u8 = 0x2F;
+/// `GE` (signed).
+pub const GE: u8 = 0x30;
+/// `ADDB n`: add an immediate byte to the top of stack (two bytes).
+pub const ADDB: u8 = 0x31;
+/// `DUP`.
+pub const DUP: u8 = 0x32;
+/// `DROP`.
+pub const DROP: u8 = 0x33;
+/// `EXCH`: swap the top two stack entries.
+pub const EXCH: u8 = 0x34;
+/// `LDIDX`: pop index, pop base, push `mem[base + index]`.
+pub const LDIDX: u8 = 0x35;
+/// `STIDX`: pop index, pop base, pop value, store `mem[base + index]`.
+pub const STIDX: u8 = 0x36;
+
+/// `JB d`: jump, signed byte displacement from instruction start.
+pub const JB: u8 = 0x38;
+/// `JW d`: jump, signed word displacement (three bytes).
+pub const JW: u8 = 0x39;
+/// `JZB d`: pop, jump if zero, signed byte displacement.
+pub const JZB: u8 = 0x3A;
+/// `JNZB d`: pop, jump if not zero, signed byte displacement.
+pub const JNZB: u8 = 0x3B;
+/// `JZW d`: pop, jump if zero, signed word displacement.
+pub const JZW: u8 = 0x3C;
+/// `JNZW d`: pop, jump if not zero, signed word displacement.
+pub const JNZW: u8 = 0x3D;
+
+/// `J2`–`J9`: one-byte unconditional jumps forward 2–9 bytes. Base
+/// value; `J2 + (d - 2)`.
+pub const J2: u8 = 0x40;
+/// `JZ2`–`JZ9`: one-byte pop-and-jump-if-zero forward 2–9 bytes.
+pub const JZ2: u8 = 0x48;
+
+/// `EFC0`–`EFC7`: EXTERNALCALL, link-vector index 0–7 (one byte).
+pub const EFC0: u8 = 0x50;
+/// `EFCB n`: EXTERNALCALL, link-vector index `n` (two bytes).
+pub const EFCB: u8 = 0x58;
+/// `LFCB n`: LOCALCALL, entry-vector index `n` (two bytes).
+pub const LFCB: u8 = 0x59;
+/// `DFC a`: DIRECTCALL, 24-bit absolute code byte address (four bytes).
+pub const DFC: u8 = 0x5A;
+/// `SDFC d`: SHORTDIRECTCALL, signed 16-bit PC-relative displacement
+/// (three bytes).
+pub const SDFC: u8 = 0x5B;
+/// `RET`: RETURN (one byte).
+pub const RET: u8 = 0x5C;
+/// `XF`: pop a context word and `XFER` to it.
+pub const XF: u8 = 0x5D;
+/// `NEWCTX`: pop a procedure-descriptor context word, allocate a fresh
+/// suspended context for it, push the new frame's context word.
+pub const NEWCTX: u8 = 0x5E;
+/// `TRAP n`: raise trap `n` (two bytes).
+pub const TRAP: u8 = 0x5F;
+
+/// `LFC0`–`LFC7`: LOCALCALL, entry-vector index 0–7 (one byte) — "just
+/// as compact as an EXTERNALCALL instruction" (§5.1).
+pub const LFC0: u8 = 0x60;
+/// `PSWITCH`: yield the processor to the next ready process.
+pub const PSWITCH: u8 = 0x68;
+/// `SPAWN`: pop a procedure-descriptor context word, create a new
+/// process running it, push the new process's index.
+pub const SPAWN: u8 = 0x69;
+/// `OUT`: pop a word and append it to the machine's output stream.
+pub const OUT: u8 = 0x6A;
+/// `HALT`: stop the machine.
+pub const HALT: u8 = 0x6B;
+/// `NOOP`.
+pub const NOOP: u8 = 0x6C;
+/// `FREECTX`: pop a frame context word and free that frame (explicit
+/// context deallocation, feature F2).
+pub const FREECTX: u8 = 0x6D;
+/// `RETCTX`: push the `returnContext` global — how a destination
+/// "retrieves the returnContext … if it is interested" (§3), e.g. a
+/// coroutine discovering its peer.
+pub const RETCTX: u8 = 0x6E;
+/// `LGA n`: push the word address of global `n` (for global arrays and
+/// pointers to globals).
+pub const LGA: u8 = 0x6F;
+/// `ALLOCREC n`: allocate an `n`-word record from the frame heap ("the
+/// same allocator is used for long argument records", §5.3) and push
+/// its word address.
+pub const ALLOCREC: u8 = 0x70;
+/// `FREEREC`: pop a record address and free it ("the receiver can
+/// therefore free it as soon as he is done with it", §4).
+pub const FREEREC: u8 = 0x71;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_byte_groups_do_not_overlap() {
+        // LL0..=LL0+7, SL0..=SL0+7, LG0..=LG0+3, J2..+7, JZ2..+7,
+        // EFC0..+7, LFC0..+7 must all be disjoint ranges.
+        let ranges = [
+            (LL0, 8),
+            (SL0, 8),
+            (LG0, 4),
+            (J2, 8),
+            (JZ2, 8),
+            (EFC0, 8),
+            (LFC0, 8),
+        ];
+        let mut used = [false; 256];
+        for (base, n) in ranges {
+            for k in 0..n {
+                let b = (base + k) as usize;
+                assert!(!used[b], "opcode {b:#x} assigned twice");
+                used[b] = true;
+            }
+        }
+        for single in [
+            LLB, SLB, LGB, SGB, LI0, LI1, LIB, LIW, LLA, RD, WR, LIN1, ADD, SUB, MUL, DIV, MOD,
+            NEG, AND, OR, XOR, SHL, SHR, EQ, NE, LT, LE, GT, GE, ADDB, DUP, DROP, EXCH, LDIDX,
+            STIDX, JB, JW, JZB, JNZB, JZW, JNZW, EFCB, LFCB, DFC, SDFC, RET, XF, NEWCTX, TRAP,
+            PSWITCH, SPAWN, OUT, HALT, NOOP, FREECTX, RETCTX, LGA, ALLOCREC, FREEREC,
+        ] {
+            assert!(!used[single as usize], "opcode {single:#x} assigned twice");
+            used[single as usize] = true;
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Static encoding-size statistics (experiments E4 and E11).
+//!
+//! Two models live here:
+//!
+//! * [`SizeStats`] — the instruction-length histogram behind the
+//!   paper's "about two-thirds of the instructions compiled for a large
+//!   sample of source programs occupy a single byte" (§5);
+//! * [`CallSiteSpace`] — the call-site space arithmetic of §6 point D1,
+//!   comparing EXTERNALCALL (+ its amortised link-vector entry) against
+//!   DIRECTCALL and SHORTDIRECTCALL as a function of how many times a
+//!   procedure is called from a module.
+
+use crate::instr::Instr;
+
+/// Histogram of instruction encoding lengths (1–4 bytes).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SizeStats {
+    counts: [u64; 4],
+}
+
+impl SizeStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one instruction.
+    pub fn record(&mut self, i: &Instr) {
+        let len = i.encoded_len();
+        debug_assert!((1..=4).contains(&len));
+        self.counts[len - 1] += 1;
+    }
+
+    /// Number of instructions of encoded length `len` (1–4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is outside 1–4.
+    pub fn count(&self, len: usize) -> u64 {
+        self.counts[len - 1]
+    }
+
+    /// Total instructions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total encoded bytes.
+    pub fn bytes(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as u64 + 1) * n)
+            .sum()
+    }
+
+    /// Fraction of instructions that are a single byte — the paper's
+    /// two-thirds claim (E11).
+    pub fn one_byte_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.counts[0] as f64 / t as f64
+        }
+    }
+
+    /// Mean encoded length in bytes.
+    pub fn mean_len(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.bytes() as f64 / t as f64
+        }
+    }
+
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: &SizeStats) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+    }
+}
+
+impl Extend<Instr> for SizeStats {
+    fn extend<T: IntoIterator<Item = Instr>>(&mut self, iter: T) {
+        for i in iter {
+            self.record(&i);
+        }
+    }
+}
+
+impl FromIterator<Instr> for SizeStats {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Self {
+        let mut s = SizeStats::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// Static space for all call sites of one procedure from one module,
+/// under each linkage (§6, D1).
+///
+/// The Mesa scheme pays one byte per call site (for the first eight LV
+/// indices) plus a two-byte link-vector entry shared by all sites.
+/// `DIRECTCALL` pays four bytes per site and no LV entry;
+/// `SHORTDIRECTCALL` three bytes per site when the callee is close
+/// enough.
+///
+/// ```
+/// use fpc_isa::sizing::CallSiteSpace;
+///
+/// let one = CallSiteSpace::new(1);
+/// // "the space is only 30% more if the procedure is called only once"
+/// assert_eq!(one.external_bytes(), 3);
+/// assert_eq!(one.direct_bytes(), 4);
+/// // "the space is the same … for a single call" with SHORTDIRECTCALL
+/// assert_eq!(one.short_direct_bytes(), 3);
+///
+/// let two = CallSiteSpace::new(2);
+/// // "and 50% more (6 bytes instead of 4) for two calls"
+/// assert_eq!(two.external_bytes(), 4);
+/// assert_eq!(two.short_direct_bytes(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSiteSpace {
+    /// Number of call sites of this procedure in the calling module.
+    pub sites: u64,
+}
+
+/// Bytes of a link-vector entry (one word).
+pub const LV_ENTRY_BYTES: u64 = 2;
+/// Bytes of a one-byte EXTERNALCALL / LOCALCALL instruction.
+pub const SHORT_CALL_BYTES: u64 = 1;
+/// Bytes of a DIRECTCALL instruction (24-bit address).
+pub const DIRECT_CALL_BYTES: u64 = 4;
+/// Bytes of a SHORTDIRECTCALL instruction.
+pub const SHORT_DIRECT_CALL_BYTES: u64 = 3;
+
+impl CallSiteSpace {
+    /// Creates the model for `sites` call sites.
+    pub fn new(sites: u64) -> Self {
+        CallSiteSpace { sites }
+    }
+
+    /// Bytes under the Mesa scheme: one-byte calls plus one LV entry.
+    ///
+    /// (Assumes the callee gets one of the eight one-byte opcodes; the
+    /// two-byte `EFCB` form adds a byte per site for colder callees.)
+    pub fn external_bytes(&self) -> u64 {
+        self.sites * SHORT_CALL_BYTES + LV_ENTRY_BYTES
+    }
+
+    /// Bytes with `DIRECTCALL` at every site.
+    pub fn direct_bytes(&self) -> u64 {
+        self.sites * DIRECT_CALL_BYTES
+    }
+
+    /// Bytes with `SHORTDIRECTCALL` at every site (callee within reach).
+    pub fn short_direct_bytes(&self) -> u64 {
+        self.sites * SHORT_DIRECT_CALL_BYTES
+    }
+
+    /// Space expansion of `DIRECTCALL` over the Mesa scheme, as a
+    /// fraction (0.30 ≈ the paper's "30% more").
+    pub fn direct_expansion(&self) -> f64 {
+        self.direct_bytes() as f64 / self.external_bytes() as f64 - 1.0
+    }
+
+    /// Space expansion of `SHORTDIRECTCALL` over the Mesa scheme.
+    pub fn short_direct_expansion(&self) -> f64 {
+        self.short_direct_bytes() as f64 / self.external_bytes() as f64 - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_stats_classify_lengths() {
+        let s: SizeStats = [
+            Instr::Add,                // 1
+            Instr::LoadLocal(2),       // 1
+            Instr::LoadImm(200),       // 2
+            Instr::LoadImm(2000),      // 3
+            Instr::DirectCall(0x1000), // 4
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.count(1), 2);
+        assert_eq!(s.count(2), 1);
+        assert_eq!(s.count(3), 1);
+        assert_eq!(s.count(4), 1);
+        assert_eq!(s.total(), 5);
+        assert_eq!(s.bytes(), 11);
+        assert!((s.mean_len() - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_byte_fraction_empty_is_zero() {
+        assert_eq!(SizeStats::new().one_byte_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a: SizeStats = [Instr::Add].into_iter().collect();
+        let b: SizeStats = [Instr::LoadImm(300)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.bytes(), 4);
+    }
+
+    #[test]
+    fn paper_d1_percentages() {
+        let one = CallSiteSpace::new(1);
+        assert!((one.direct_expansion() - 1.0 / 3.0).abs() < 1e-12); // ~30%
+        assert_eq!(one.short_direct_expansion(), 0.0); // same space
+        let two = CallSiteSpace::new(2);
+        assert!((two.short_direct_expansion() - 0.5).abs() < 1e-12); // 50%
+    }
+
+    #[test]
+    fn external_wins_asymptotically() {
+        // Many call sites: the LV entry amortises away and the 1-byte
+        // call dominates everything.
+        let many = CallSiteSpace::new(100);
+        assert!(many.external_bytes() < many.short_direct_bytes());
+        assert!(many.short_direct_bytes() < many.direct_bytes());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the instruction encoding.
+
+use proptest::prelude::*;
+
+use fpc_isa::{decode, disassemble, Assembler, Instr};
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (0u8..=255).prop_map(Instr::LoadLocal),
+        (0u8..=255).prop_map(Instr::StoreLocal),
+        (0u8..=255).prop_map(Instr::LoadLocalAddr),
+        (0u8..=255).prop_map(Instr::LoadGlobal),
+        (0u8..=255).prop_map(Instr::StoreGlobal),
+        (0u8..=255).prop_map(Instr::LoadGlobalAddr),
+        any::<u16>().prop_map(Instr::LoadImm),
+        (0u8..=255).prop_map(Instr::AddImm),
+        (0u8..=255).prop_map(Instr::ExternalCall),
+        (0u8..=255).prop_map(Instr::LocalCall),
+        (0u32..(1 << 24)).prop_map(Instr::DirectCall),
+        (-32768i32..=32767).prop_map(Instr::ShortDirectCall),
+        (0u8..=255).prop_map(Instr::Trap),
+        Just(Instr::Add),
+        Just(Instr::Sub),
+        Just(Instr::Mul),
+        Just(Instr::Div),
+        Just(Instr::Mod),
+        Just(Instr::Neg),
+        Just(Instr::And),
+        Just(Instr::Or),
+        Just(Instr::Xor),
+        Just(Instr::Shl),
+        Just(Instr::Shr),
+        Just(Instr::CmpEq),
+        Just(Instr::CmpNe),
+        Just(Instr::CmpLt),
+        Just(Instr::CmpLe),
+        Just(Instr::CmpGt),
+        Just(Instr::CmpGe),
+        Just(Instr::Dup),
+        Just(Instr::Drop),
+        Just(Instr::Exch),
+        Just(Instr::Read),
+        Just(Instr::Write),
+        Just(Instr::LoadIndex),
+        Just(Instr::StoreIndex),
+        Just(Instr::Ret),
+        Just(Instr::Xfer),
+        Just(Instr::NewContext),
+        Just(Instr::FreeContext),
+        Just(Instr::ReturnContext),
+        Just(Instr::ProcessSwitch),
+        Just(Instr::Spawn),
+        Just(Instr::Out),
+        Just(Instr::Halt),
+        Just(Instr::Noop),
+    ]
+}
+
+proptest! {
+    /// decode(encode(i)) = i, and the advertised length is the real one.
+    #[test]
+    fn encode_decode_round_trip(instrs in prop::collection::vec(instr_strategy(), 1..64)) {
+        let mut bytes = Vec::new();
+        let mut offsets = Vec::new();
+        for i in &instrs {
+            offsets.push(bytes.len());
+            let n = i.encode(&mut bytes);
+            prop_assert_eq!(n, i.encoded_len());
+        }
+        let listing = disassemble(&bytes, 0, bytes.len()).unwrap();
+        prop_assert_eq!(listing.len(), instrs.len());
+        for ((off, got), (want_off, want)) in listing.into_iter().zip(offsets.iter().zip(&instrs)) {
+            prop_assert_eq!(off, *want_off);
+            prop_assert_eq!(got, *want);
+        }
+    }
+
+    /// Decoding arbitrary bytes never panics: every byte string is
+    /// either a valid instruction or a clean error.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode(&bytes, 0);
+        let mut pc = 0;
+        while pc < bytes.len() {
+            match decode(&bytes, pc) {
+                Ok((_, len)) => pc += len,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Relaxed jumps always land on instruction boundaries.
+    #[test]
+    fn assembled_jumps_land_on_boundaries(
+        gaps in prop::collection::vec(0usize..40, 1..8),
+        backward in any::<bool>(),
+    ) {
+        let mut a = Assembler::new();
+        let target = a.label();
+        if backward {
+            a.bind(target);
+        }
+        for gap in &gaps {
+            for _ in 0..*gap {
+                a.instr(Instr::Noop);
+            }
+            a.jump(target);
+        }
+        if !backward {
+            a.bind(target);
+        }
+        a.instr(Instr::Halt);
+        let out = a.assemble().unwrap();
+        // Disassembles cleanly from start to end.
+        let listing = disassemble(&out.bytes, 0, out.bytes.len()).unwrap();
+        let boundaries: Vec<usize> = listing.iter().map(|(o, _)| *o).collect();
+        // The label is a boundary (or the very end).
+        let t = out.offset_of(target) as usize;
+        prop_assert!(t == out.bytes.len() || boundaries.contains(&t));
+        // Every jump displacement resolves to the label.
+        for (off, instr) in listing {
+            if let Instr::Jump(d) = instr {
+                prop_assert_eq!((off as i64 + d as i64) as usize, t);
+            }
+        }
+    }
+}

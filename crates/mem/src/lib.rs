@@ -1,0 +1,128 @@
+#![warn(missing_docs)]
+//! Main-storage substrate for the *Fast Procedure Calls* simulator.
+//!
+//! The Mesa processors that realised the paper's design (Alto, Dorado)
+//! were 16-bit word-addressed machines whose instruction stream was
+//! byte-coded. We model that split directly:
+//!
+//! * [`Memory`] — data storage, an array of 16-bit words with exact
+//!   read/write reference accounting ([`MemStats`]). Every comparison in
+//!   the paper ("three memory references to allocate a frame", "four
+//!   levels of indirection") is a statement about these counters.
+//! * [`CodeStore`] — the byte-coded object program, addressed in bytes,
+//!   with its own fetch accounting (the instruction-fetch-unit side).
+//!
+//! Addresses are newtypes ([`WordAddr`], [`ByteAddr`]) so a code address
+//! can never be dereferenced as data by accident.
+//!
+//! # Example
+//!
+//! ```
+//! use fpc_mem::{Memory, WordAddr};
+//!
+//! let mut m = Memory::new(1024);
+//! m.write(WordAddr(16), 0xBEEF);
+//! assert_eq!(m.read(WordAddr(16)), 0xBEEF);
+//! assert_eq!(m.stats().data_reads, 1);
+//! assert_eq!(m.stats().data_writes, 1);
+//! ```
+
+mod code;
+mod memory;
+
+pub use code::CodeStore;
+pub use memory::{MemStats, Memory};
+
+/// The machine word: 16 bits, as on the Alto/Dorado Mesa processors.
+pub type Word = u16;
+
+/// A word address in data storage.
+///
+/// The packed context-word format (paper §5.1) requires frame addresses
+/// to fit in 15 bits after alignment, so data spaces in practice stay
+/// within 64 K words; the type is `u32` so experiments can also model
+/// larger configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WordAddr(pub u32);
+
+impl WordAddr {
+    /// The distinguished nil address. Word 0 of every [`Memory`] is
+    /// reserved so that nil never aliases real data.
+    pub const NIL: WordAddr = WordAddr(0);
+
+    /// Whether this is the nil address.
+    pub fn is_nil(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Address `offset` words beyond this one.
+    #[inline]
+    pub fn offset(self, offset: u32) -> WordAddr {
+        WordAddr(self.0 + offset)
+    }
+}
+
+impl std::fmt::Display for WordAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{:#06x}", self.0)
+    }
+}
+
+/// A byte address in the code store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteAddr(pub u32);
+
+impl ByteAddr {
+    /// Address `offset` bytes beyond this one.
+    #[inline]
+    pub fn offset(self, offset: u32) -> ByteAddr {
+        ByteAddr(self.0 + offset)
+    }
+
+    /// Signed displacement, for PC-relative jumps and short direct calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the result would be negative.
+    #[inline]
+    pub fn displace(self, disp: i32) -> ByteAddr {
+        let v = self.0 as i64 + disp as i64;
+        debug_assert!(v >= 0, "code address displaced below zero");
+        ByteAddr(v as u32)
+    }
+}
+
+impl std::fmt::Display for ByteAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{:#06x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nil_is_word_zero() {
+        assert!(WordAddr::NIL.is_nil());
+        assert!(!WordAddr(1).is_nil());
+    }
+
+    #[test]
+    fn word_addr_offset() {
+        assert_eq!(WordAddr(10).offset(5), WordAddr(15));
+    }
+
+    #[test]
+    fn byte_addr_displacement() {
+        assert_eq!(ByteAddr(100).displace(-4), ByteAddr(96));
+        assert_eq!(ByteAddr(100).displace(4), ByteAddr(104));
+        assert_eq!(ByteAddr(100).offset(2), ByteAddr(102));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(WordAddr(0x10).to_string(), "w0x0010");
+        assert_eq!(ByteAddr(0x10).to_string(), "c0x0010");
+    }
+}

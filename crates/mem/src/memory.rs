@@ -1,0 +1,186 @@
+//! Word-addressed data storage with reference accounting.
+
+use crate::{Word, WordAddr};
+
+/// Reference counts for a [`Memory`].
+///
+/// The paper's cost comparisons are in units of memory references, so the
+/// simulator needs these to be exact: every architectural data reference
+/// goes through [`Memory::read`]/[`Memory::write`] and bumps a counter,
+/// while host-side inspection uses [`Memory::peek`]/[`Memory::poke`],
+/// which do not.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemStats {
+    /// Architectural data-word reads.
+    pub data_reads: u64,
+    /// Architectural data-word writes.
+    pub data_writes: u64,
+}
+
+impl MemStats {
+    /// Total architectural references (reads + writes).
+    pub fn total(&self) -> u64 {
+        self.data_reads + self.data_writes
+    }
+
+    /// References accumulated since an earlier snapshot.
+    pub fn since(&self, earlier: MemStats) -> MemStats {
+        MemStats {
+            data_reads: self.data_reads - earlier.data_reads,
+            data_writes: self.data_writes - earlier.data_writes,
+        }
+    }
+}
+
+/// Word-addressed data storage.
+///
+/// Word 0 is reserved as the nil word (see [`WordAddr::NIL`]); reading it
+/// is legal and yields 0, but well-formed programs never store there.
+///
+/// # Example
+///
+/// ```
+/// use fpc_mem::{Memory, WordAddr};
+///
+/// let mut m = Memory::new(64);
+/// m.write(WordAddr(5), 42);
+/// let before = m.stats();
+/// assert_eq!(m.read(WordAddr(5)), 42);
+/// assert_eq!(m.stats().since(before).data_reads, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memory {
+    words: Vec<Word>,
+    stats: MemStats,
+}
+
+impl Memory {
+    /// Creates a zeroed memory of `size` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero (word 0 must exist as nil).
+    pub fn new(size: u32) -> Self {
+        assert!(size > 0, "memory must contain at least the nil word");
+        Memory {
+            words: vec![0; size as usize],
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Number of words.
+    pub fn size(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// Architectural read: counted in [`MemStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range — an out-of-range architectural
+    /// reference is a simulator bug, not a program error, because the
+    /// frame allocator and linker only hand out in-range addresses.
+    #[inline]
+    pub fn read(&mut self, addr: WordAddr) -> Word {
+        self.stats.data_reads += 1;
+        self.words[addr.0 as usize]
+    }
+
+    /// Architectural write: counted in [`MemStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn write(&mut self, addr: WordAddr, value: Word) {
+        self.stats.data_writes += 1;
+        self.words[addr.0 as usize] = value;
+    }
+
+    /// Host-side read for inspection and test assertions; not counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn peek(&self, addr: WordAddr) -> Word {
+        self.words[addr.0 as usize]
+    }
+
+    /// Host-side write for image loading; not counted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    #[inline]
+    pub fn poke(&mut self, addr: WordAddr, value: Word) {
+        self.words[addr.0 as usize] = value;
+    }
+
+    /// Current reference counters.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Resets the reference counters (e.g. after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = MemStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_and_writes_round_trip() {
+        let mut m = Memory::new(16);
+        m.write(WordAddr(3), 0x1234);
+        assert_eq!(m.read(WordAddr(3)), 0x1234);
+    }
+
+    #[test]
+    fn stats_count_only_architectural_accesses() {
+        let mut m = Memory::new(16);
+        m.poke(WordAddr(1), 7);
+        assert_eq!(m.stats().total(), 0);
+        let _ = m.peek(WordAddr(1));
+        assert_eq!(m.stats().total(), 0);
+        m.write(WordAddr(1), 8);
+        let _ = m.read(WordAddr(1));
+        assert_eq!(m.stats(), MemStats { data_reads: 1, data_writes: 1 });
+    }
+
+    #[test]
+    fn since_gives_deltas() {
+        let mut m = Memory::new(16);
+        m.write(WordAddr(1), 1);
+        let snap = m.stats();
+        m.write(WordAddr(2), 2);
+        let _ = m.read(WordAddr(2));
+        let d = m.stats().since(snap);
+        assert_eq!(d.data_reads, 1);
+        assert_eq!(d.data_writes, 1);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_counters() {
+        let mut m = Memory::new(16);
+        m.write(WordAddr(1), 1);
+        m.reset_stats();
+        assert_eq!(m.stats().total(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sized_memory_rejected() {
+        let _ = Memory::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_read_panics() {
+        let mut m = Memory::new(4);
+        let _ = m.read(WordAddr(4));
+    }
+}

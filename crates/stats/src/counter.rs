@@ -1,0 +1,116 @@
+//! A named monotonically increasing event counter.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// The simulator threads many of these through hot loops, so the type is
+/// deliberately a thin wrapper over `u64` with convenience arithmetic.
+///
+/// ```
+/// use fpc_stats::Counter;
+///
+/// let mut calls = Counter::new();
+/// calls.incr();
+/// calls.add(3);
+/// assert_eq!(calls.get(), 4);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments the counter by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets the counter to zero, returning the previous value.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+
+    /// Difference since a previous snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `earlier` is ahead of `self`; counters
+    /// are monotone, so that would indicate snapshots taken out of order.
+    pub fn since(self, earlier: Counter) -> u64 {
+        debug_assert!(self.0 >= earlier.0, "counter snapshots out of order");
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<Counter> for u64 {
+    fn from(c: Counter) -> u64 {
+        c.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Counter::new().get(), 0);
+        assert_eq!(Counter::default().get(), 0);
+    }
+
+    #[test]
+    fn incr_and_add_accumulate() {
+        let mut c = Counter::new();
+        c.incr();
+        c.incr();
+        c.add(10);
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn take_resets() {
+        let mut c = Counter::new();
+        c.add(5);
+        assert_eq!(c.take(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let mut c = Counter::new();
+        c.add(3);
+        let snap = c;
+        c.add(4);
+        assert_eq!(c.since(snap), 4);
+    }
+
+    #[test]
+    fn display_renders_value() {
+        let mut c = Counter::new();
+        c.add(17);
+        assert_eq!(c.to_string(), "17");
+    }
+}

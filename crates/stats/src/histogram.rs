@@ -1,0 +1,235 @@
+//! An exact histogram over `u64` samples.
+//!
+//! The experiments need exact distributional answers ("95% of frames are
+//! smaller than 80 bytes", "two-thirds of instructions are one byte"), and
+//! sample counts are modest, so this is a sorted-map histogram rather than
+//! an approximate sketch.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An exact histogram of `u64` samples.
+///
+/// ```
+/// use fpc_stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record_n(1, 2); // two one-byte instructions
+/// h.record(3);      // one three-byte instruction
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.min(), Some(1));
+/// assert_eq!(h.max(), Some(3));
+/// assert!((h.mean() - 5.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: BTreeMap<u64, u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample with the given value.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` samples with the given value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.buckets.entry(value).or_insert(0) += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.buckets.keys().next().copied()
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.buckets.keys().next_back().copied()
+    }
+
+    /// Arithmetic mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fraction of samples strictly below `threshold`, in `[0, 1]`.
+    ///
+    /// This is the paper's favourite statistic: "95% of all frames
+    /// allocated are smaller than 80 bytes" is `fraction_below(80) >= 0.95`.
+    pub fn fraction_below(&self, threshold: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let below: u64 = self
+            .buckets
+            .range(..threshold)
+            .map(|(_, &n)| n)
+            .sum();
+        below as f64 / self.count as f64
+    }
+
+    /// Fraction of samples equal to `value`.
+    pub fn fraction_at(&self, value: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        *self.buckets.get(&value).unwrap_or(&0) as f64 / self.count as f64
+    }
+
+    /// Smallest value `v` such that at least `q` (in `[0,1]`) of the
+    /// samples are `<= v`. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (&value, &n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// Iterates over `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&v, &n)| (v, n))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, n) in other.iter() {
+            self.record_n(v, n);
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "(empty histogram)");
+        }
+        writeln!(f, "n={} mean={:.2}", self.count, self.mean())?;
+        for (v, n) in self.iter() {
+            writeln!(f, "  {v:>8}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_statistics() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.fraction_below(100), 0.0);
+        assert_eq!(h.to_string(), "(empty histogram)");
+    }
+
+    #[test]
+    fn record_n_zero_is_noop() {
+        let mut h = Histogram::new();
+        h.record_n(5, 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn fraction_below_is_strict() {
+        let h: Histogram = [10u64, 20, 30].into_iter().collect();
+        assert_eq!(h.fraction_below(10), 0.0);
+        assert!((h.fraction_below(21) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.fraction_below(31), 1.0);
+    }
+
+    #[test]
+    fn quantiles_match_sorted_order() {
+        let h: Histogram = [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10].into_iter().collect();
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(5));
+        assert_eq!(h.quantile(0.95), Some(10));
+        assert_eq!(h.quantile(1.0), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_out_of_range() {
+        let h: Histogram = [1u64].into_iter().collect();
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a: Histogram = [1u64, 1, 2].into_iter().collect();
+        let b: Histogram = [2u64, 3].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.fraction_at(2), 0.4);
+    }
+
+    #[test]
+    fn mean_tracks_sum() {
+        let mut h = Histogram::new();
+        h.record_n(4, 3);
+        h.record(8);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(h.sum(), 20);
+    }
+}

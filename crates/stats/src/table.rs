@@ -1,0 +1,183 @@
+//! A small aligned-text table renderer for experiment output.
+//!
+//! Every `exp_*` binary prints its result as one of these, so the
+//! paper-vs-measured comparisons in `EXPERIMENTS.md` can be regenerated
+//! by re-running the harness and diffing the text.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Align {
+    /// Left-aligned (default; labels).
+    #[default]
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// An aligned plain-text table.
+///
+/// ```
+/// use fpc_stats::{Align, Table};
+///
+/// let mut t = Table::new(&["workload", "calls"]);
+/// t.align(1, Align::Right);
+/// t.row(&["fib", "21891"]);
+/// let text = t.to_string();
+/// assert!(text.contains("fib"));
+/// assert!(text.contains("21891"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            aligns: vec![Align::Left; header.len()],
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the alignment of column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn align(&mut self, col: usize, align: Align) -> &mut Self {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Right-aligns every column except the first. The common shape:
+    /// a label column followed by numeric columns.
+    pub fn numeric(&mut self) -> &mut Self {
+        for a in self.aligns.iter_mut().skip(1) {
+            *a = Align::Right;
+        }
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has a different arity than the header.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends a row of already-owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has a different arity than the header.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{cell:<width$}", width = widths[i])?,
+                    Align::Right => write!(f, "{cell:>width$}", width = widths[i])?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        write_row(f, &rule)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        let _ = ncols;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "n"]);
+        t.numeric();
+        t.row(&["a", "1"]);
+        t.row(&["longer", "12345"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+        // Numeric column right-aligned: "1" ends where "12345" ends.
+        assert!(lines[2].ends_with('1'));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn rejects_wrong_arity() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn empty_table_prints_header_and_rule() {
+        let t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        let s = t.to_string();
+        assert!(s.starts_with('x'));
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn row_owned_accepts_strings() {
+        let mut t = Table::new(&["k", "v"]);
+        t.row_owned(vec!["calls".into(), format!("{}", 42)]);
+        assert_eq!(t.len(), 1);
+        assert!(t.to_string().contains("42"));
+    }
+}

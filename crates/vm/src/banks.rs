@@ -1,0 +1,498 @@
+//! Register banks shadowing local frames (paper §7).
+//!
+//! "The processor has a small number of register banks (say 4–8) of
+//! some modest fixed size (say 16 words). Each of these banks can hold
+//! the first 16 words of some local frame. … References to the
+//! shadowed words are made directly to the register bank. … When the
+//! frame is freed, the shadowing register bank is also marked free …
+//! its contents are unimportant, and never need to be saved."
+//!
+//! The bank machine shadows the **locals region** of a frame (frame
+//! words 3…), matching the argument-renaming trick of §7.2: the bank
+//! holding the evaluation stack becomes the callee's local bank, so
+//! "the arguments will automatically appear as the first few local
+//! variables, without any actual data movement."
+//!
+//! Dirty bits per word implement the paper's "keep track of which
+//! registers have been written, to avoid the cost of dumping registers
+//! which have never been written."
+
+use std::collections::HashMap;
+
+use fpc_core::layout;
+use fpc_mem::{Memory, WordAddr};
+
+/// Counters kept by the bank machine (experiments E6, E9, A2).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BankStats {
+    /// Banks assigned to freshly created frames.
+    pub assigns: u64,
+    /// Assignments that renamed the evaluation stack into the callee's
+    /// local bank (§7.2).
+    pub renames: u64,
+    /// Argument words that appeared in place thanks to renaming.
+    pub renamed_words: u64,
+    /// Overflows: a bank had to be stolen (victim flushed) to satisfy
+    /// an assignment.
+    pub overflows: u64,
+    /// Underflows: an `XFER` reached a frame with no shadowing bank and
+    /// one had to be loaded from storage.
+    pub underflows: u64,
+    /// Dirty words written back by flushes.
+    pub flushed_words: u64,
+    /// Words loaded from storage on underflow.
+    pub loaded_words: u64,
+    /// Whole-machine flushes (unusual XFERs, process switches).
+    pub full_flushes: u64,
+    /// Indirect references diverted to a bank (§7.4 C2 handling).
+    pub diversions: u64,
+}
+
+impl BankStats {
+    /// Overflow + underflow events, the numerator of the paper's
+    /// "<5% of XFERs with 4 banks" statistic.
+    pub fn slow_events(&self) -> u64 {
+        self.overflows + self.underflows
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Bank {
+    /// Frame whose locals this bank shadows; `None` = free.
+    frame: Option<WordAddr>,
+    /// Words actually shadowed (min of bank size and the frame's
+    /// locals capacity).
+    shadow_words: u32,
+    data: Vec<u16>,
+    dirty: Vec<bool>,
+    /// LRU clock value of the last assignment/activation.
+    last_use: u64,
+}
+
+/// The register-bank machine.
+#[derive(Debug, Clone)]
+pub struct BankMachine {
+    banks: Vec<Bank>,
+    words: u32,
+    clock: u64,
+    by_frame: HashMap<u32, usize>,
+    stats: BankStats,
+}
+
+impl BankMachine {
+    /// Creates `banks` banks of `words` words each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two banks or zero words are requested (the
+    /// current frame's bank must never be the victim, so one bank
+    /// cannot rotate).
+    pub fn new(banks: usize, words: u32) -> Self {
+        assert!(banks >= 2, "at least two banks required");
+        assert!(words > 0, "banks must hold at least one word");
+        BankMachine {
+            banks: (0..banks)
+                .map(|_| Bank {
+                    frame: None,
+                    shadow_words: 0,
+                    data: vec![0; words as usize],
+                    dirty: vec![false; words as usize],
+                    last_use: 0,
+                })
+                .collect(),
+            words,
+            clock: 0,
+            by_frame: HashMap::new(),
+            stats: BankStats::default(),
+        }
+    }
+
+    /// Words per bank.
+    pub fn bank_words(&self) -> u32 {
+        self.words
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> BankStats {
+        self.stats
+    }
+
+    /// The bank index shadowing `frame`, if any.
+    pub fn bank_of(&self, frame: WordAddr) -> Option<usize> {
+        self.by_frame.get(&frame.0).copied()
+    }
+
+    /// Reads local `idx` of `frame` from its bank, if shadowed there.
+    pub fn read_local(&mut self, frame: WordAddr, idx: u32) -> Option<u16> {
+        let &b = self.by_frame.get(&frame.0)?;
+        let bank = &mut self.banks[b];
+        if idx < bank.shadow_words {
+            self.clock += 1;
+            bank.last_use = self.clock;
+            Some(bank.data[idx as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Writes local `idx` of `frame` into its bank, if shadowed there.
+    /// Returns `false` if the access must go to storage.
+    pub fn write_local(&mut self, frame: WordAddr, idx: u32, value: u16) -> bool {
+        let Some(&b) = self.by_frame.get(&frame.0) else { return false };
+        let bank = &mut self.banks[b];
+        if idx < bank.shadow_words {
+            self.clock += 1;
+            bank.last_use = self.clock;
+            bank.data[idx as usize] = value;
+            bank.dirty[idx as usize] = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Assigns a bank to a freshly created `frame` whose locals region
+    /// holds `locals_words` words. With `rename_args`, the argument
+    /// values land in slots `0..n` with no data movement (§7.2); they
+    /// are dirty (the frame in storage does not have them).
+    ///
+    /// `protect` is the current frame, whose bank must not be stolen.
+    /// Returns the memory references spent flushing a victim.
+    pub fn assign(
+        &mut self,
+        mem: &mut Memory,
+        frame: WordAddr,
+        locals_words: u32,
+        rename_args: Option<&[u16]>,
+        protect: Option<WordAddr>,
+    ) -> u64 {
+        let shadow = locals_words.min(self.words);
+        let (b, refs) = self.take_bank(mem, protect);
+        let bank = &mut self.banks[b];
+        bank.frame = Some(frame);
+        bank.shadow_words = shadow;
+        bank.data.iter_mut().for_each(|w| *w = 0);
+        bank.dirty.iter_mut().for_each(|d| *d = false);
+        self.clock += 1;
+        bank.last_use = self.clock;
+        self.stats.assigns += 1;
+        if let Some(args) = rename_args {
+            debug_assert!(args.len() as u32 <= shadow, "arguments exceed bank shadow");
+            for (i, &v) in args.iter().enumerate() {
+                bank.data[i] = v;
+                bank.dirty[i] = true;
+            }
+            self.stats.renames += 1;
+            self.stats.renamed_words += args.len() as u64;
+        }
+        self.by_frame.insert(frame.0, b);
+        refs
+    }
+
+    /// Ensures `frame` (an existing context being re-entered) has a
+    /// bank; loads it from storage on underflow. Returns the memory
+    /// references spent (victim flush + load).
+    pub fn activate(
+        &mut self,
+        mem: &mut Memory,
+        frame: WordAddr,
+        locals_words: u32,
+        protect: Option<WordAddr>,
+    ) -> u64 {
+        if let Some(&b) = self.by_frame.get(&frame.0) {
+            self.clock += 1;
+            self.banks[b].last_use = self.clock;
+            return 0;
+        }
+        // Underflow: "a free bank is assigned and loaded from the
+        // frame" (§7.1).
+        self.stats.underflows += 1;
+        let shadow = locals_words.min(self.words);
+        let (b, mut refs) = self.take_bank(mem, protect);
+        let bank = &mut self.banks[b];
+        bank.frame = Some(frame);
+        bank.shadow_words = shadow;
+        bank.dirty.iter_mut().for_each(|d| *d = false);
+        for i in 0..shadow {
+            bank.data[i as usize] = mem.read(layout::local_slot(frame, i));
+        }
+        refs += shadow as u64;
+        self.stats.loaded_words += shadow as u64;
+        self.clock += 1;
+        bank.last_use = self.clock;
+        self.by_frame.insert(frame.0, b);
+        refs
+    }
+
+    /// Releases the bank shadowing a freed frame: "its contents are
+    /// unimportant, and never need to be saved in storage."
+    pub fn release(&mut self, frame: WordAddr) {
+        if let Some(b) = self.by_frame.remove(&frame.0) {
+            self.banks[b].frame = None;
+            self.banks[b].shadow_words = 0;
+        }
+    }
+
+    /// Flushes the bank shadowing `frame` (dirty words to storage) and
+    /// unshadows it. Returns references spent. Used by the
+    /// flush-on-exit pointer policy and by full flushes.
+    pub fn flush_frame(&mut self, mem: &mut Memory, frame: WordAddr) -> u64 {
+        match self.by_frame.remove(&frame.0) {
+            Some(b) => self.flush_bank(mem, b),
+            None => 0,
+        }
+    }
+
+    /// Flushes every bank — the orderly fallback for process switches
+    /// and other unusual transfers ("all the banks are flushed into
+    /// storage", §7.1). Returns references spent.
+    pub fn flush_all(&mut self, mem: &mut Memory) -> u64 {
+        let frames: Vec<u32> = self.by_frame.keys().copied().collect();
+        if frames.is_empty() {
+            return 0;
+        }
+        self.stats.full_flushes += 1;
+        let mut refs = 0;
+        for f in frames {
+            let b = self.by_frame.remove(&f).expect("frame was mapped");
+            refs += self.flush_bank(mem, b);
+        }
+        refs
+    }
+
+    /// Checks whether `addr` falls inside any shadowed locals region —
+    /// the §7.4 "C2" detection. Returns `(frame, local index)` on a
+    /// match; the caller decides whether to divert or flush.
+    pub fn shadow_hit(&self, addr: WordAddr) -> Option<(WordAddr, u32)> {
+        for bank in &self.banks {
+            let Some(frame) = bank.frame else { continue };
+            let lo = layout::local_slot(frame, 0).0;
+            let hi = lo + bank.shadow_words;
+            if (lo..hi).contains(&addr.0) {
+                return Some((frame, addr.0 - lo));
+            }
+        }
+        None
+    }
+
+    /// Diverted indirect read of a shadowed local (§7.4's "the
+    /// reference can be diverted to read or write the proper
+    /// register").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is not actually shadowed; callers must use
+    /// [`BankMachine::shadow_hit`] first.
+    pub fn divert_read(&mut self, frame: WordAddr, idx: u32) -> u16 {
+        self.stats.diversions += 1;
+        self.read_local(frame, idx).expect("diverted read of unshadowed word")
+    }
+
+    /// Diverted indirect write of a shadowed local.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is not actually shadowed.
+    pub fn divert_write(&mut self, frame: WordAddr, idx: u32, value: u16) {
+        self.stats.diversions += 1;
+        assert!(self.write_local(frame, idx, value), "diverted write of unshadowed word");
+    }
+
+    /// Host-side inspection of a shadowed word (uncounted).
+    pub fn peek_local(&self, frame: WordAddr, idx: u32) -> Option<u16> {
+        let &b = self.by_frame.get(&frame.0)?;
+        let bank = &self.banks[b];
+        (idx < bank.shadow_words).then(|| bank.data[idx as usize])
+    }
+
+    /// Picks a free bank, or steals the least recently used one that is
+    /// not `protect` (overflow: "the contents of the oldest bank is
+    /// written out into the frame").
+    fn take_bank(&mut self, mem: &mut Memory, protect: Option<WordAddr>) -> (usize, u64) {
+        if let Some(b) = self.banks.iter().position(|b| b.frame.is_none()) {
+            return (b, 0);
+        }
+        self.stats.overflows += 1;
+        let victim = self
+            .banks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.frame != protect)
+            .min_by_key(|(_, b)| b.last_use)
+            .map(|(i, _)| i)
+            .expect("at least two banks, so a victim exists");
+        let f = self.banks[victim].frame.expect("victim shadows a frame");
+        self.by_frame.remove(&f.0);
+        let refs = self.flush_bank(mem, victim);
+        (victim, refs)
+    }
+
+    fn flush_bank(&mut self, mem: &mut Memory, b: usize) -> u64 {
+        let bank = &mut self.banks[b];
+        let Some(frame) = bank.frame else { return 0 };
+        let mut refs = 0;
+        for i in 0..bank.shadow_words {
+            if bank.dirty[i as usize] {
+                mem.write(layout::local_slot(frame, i), bank.data[i as usize]);
+                refs += 1;
+            }
+        }
+        self.stats.flushed_words += refs;
+        bank.frame = None;
+        bank.shadow_words = 0;
+        bank.dirty.iter_mut().for_each(|d| *d = false);
+        refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(0x1000)
+    }
+
+    #[test]
+    fn assign_and_access() {
+        let mut m = mem();
+        let mut bm = BankMachine::new(4, 16);
+        let f = WordAddr(0x100);
+        let refs = bm.assign(&mut m, f, 8, None, None);
+        assert_eq!(refs, 0);
+        assert!(bm.write_local(f, 3, 42));
+        assert_eq!(bm.read_local(f, 3), Some(42));
+        // Beyond the shadow: storage.
+        assert_eq!(bm.read_local(f, 9), None);
+    }
+
+    #[test]
+    fn renaming_places_args_without_movement() {
+        let mut m = mem();
+        let mut bm = BankMachine::new(4, 16);
+        let f = WordAddr(0x100);
+        bm.assign(&mut m, f, 8, Some(&[7, 8, 9]), None);
+        assert_eq!(bm.read_local(f, 0), Some(7));
+        assert_eq!(bm.read_local(f, 2), Some(9));
+        assert_eq!(bm.stats().renames, 1);
+        assert_eq!(bm.stats().renamed_words, 3);
+    }
+
+    #[test]
+    fn overflow_steals_lru_and_flushes_dirty_words() {
+        let mut m = mem();
+        let mut bm = BankMachine::new(2, 16);
+        let f1 = WordAddr(0x100);
+        let f2 = WordAddr(0x120);
+        let f3 = WordAddr(0x140);
+        bm.assign(&mut m, f1, 4, None, None);
+        bm.write_local(f1, 0, 11);
+        bm.write_local(f1, 1, 22);
+        bm.assign(&mut m, f2, 4, None, Some(f1));
+        // Third assignment must steal f1's bank (LRU, f2 protected).
+        let refs = bm.assign(&mut m, f3, 4, None, Some(f2));
+        assert_eq!(refs, 2, "two dirty words written back");
+        assert_eq!(bm.stats().overflows, 1);
+        assert!(bm.bank_of(f1).is_none());
+        // The flushed values are in storage.
+        assert_eq!(m.peek(layout::local_slot(f1, 0)), 11);
+        assert_eq!(m.peek(layout::local_slot(f1, 1)), 22);
+    }
+
+    #[test]
+    fn underflow_reloads_from_storage() {
+        let mut m = mem();
+        let mut bm = BankMachine::new(2, 16);
+        let f = WordAddr(0x100);
+        m.poke(layout::local_slot(f, 0), 77);
+        m.poke(layout::local_slot(f, 2), 99);
+        let refs = bm.activate(&mut m, f, 4, None);
+        assert_eq!(refs, 4, "four shadowed words loaded");
+        assert_eq!(bm.stats().underflows, 1);
+        assert_eq!(bm.read_local(f, 0), Some(77));
+        assert_eq!(bm.read_local(f, 2), Some(99));
+        // Re-activation is free.
+        assert_eq!(bm.activate(&mut m, f, 4, None), 0);
+        assert_eq!(bm.stats().underflows, 1);
+    }
+
+    #[test]
+    fn release_discards_contents() {
+        let mut m = mem();
+        let mut bm = BankMachine::new(2, 16);
+        let f = WordAddr(0x100);
+        bm.assign(&mut m, f, 4, None, None);
+        bm.write_local(f, 0, 123);
+        bm.release(f);
+        assert!(bm.bank_of(f).is_none());
+        // Nothing was written back — the frame is dead.
+        assert_eq!(m.peek(layout::local_slot(f, 0)), 0);
+        assert_eq!(m.stats().data_writes, 0);
+    }
+
+    #[test]
+    fn full_flush_writes_all_dirty_banks() {
+        let mut m = mem();
+        let mut bm = BankMachine::new(4, 16);
+        let f1 = WordAddr(0x100);
+        let f2 = WordAddr(0x140);
+        bm.assign(&mut m, f1, 4, None, None);
+        bm.assign(&mut m, f2, 4, None, None);
+        bm.write_local(f1, 0, 5);
+        bm.write_local(f2, 1, 6);
+        let refs = bm.flush_all(&mut m);
+        assert_eq!(refs, 2);
+        assert_eq!(bm.stats().full_flushes, 1);
+        assert_eq!(m.peek(layout::local_slot(f1, 0)), 5);
+        assert_eq!(m.peek(layout::local_slot(f2, 1)), 6);
+        assert!(bm.bank_of(f1).is_none());
+        // Empty flush is free and uncounted.
+        assert_eq!(bm.flush_all(&mut m), 0);
+        assert_eq!(bm.stats().full_flushes, 1);
+    }
+
+    #[test]
+    fn shadow_hit_finds_pointed_to_locals() {
+        let mut m = mem();
+        let mut bm = BankMachine::new(2, 16);
+        let f = WordAddr(0x100);
+        bm.assign(&mut m, f, 8, None, None);
+        let addr = layout::local_slot(f, 5);
+        assert_eq!(bm.shadow_hit(addr), Some((f, 5)));
+        // One word past the shadow: miss.
+        let past = layout::local_slot(f, 8);
+        assert_eq!(bm.shadow_hit(past), None);
+        // Unrelated address: miss.
+        assert_eq!(bm.shadow_hit(WordAddr(0x50)), None);
+    }
+
+    #[test]
+    fn diversion_reads_and_writes_the_register() {
+        let mut m = mem();
+        let mut bm = BankMachine::new(2, 16);
+        let f = WordAddr(0x100);
+        bm.assign(&mut m, f, 8, None, None);
+        bm.divert_write(f, 2, 31);
+        assert_eq!(bm.divert_read(f, 2), 31);
+        assert_eq!(bm.stats().diversions, 2);
+        // Storage never saw the value.
+        assert_eq!(m.peek(layout::local_slot(f, 2)), 0);
+    }
+
+    #[test]
+    fn dirty_bits_limit_flush_cost() {
+        let mut m = mem();
+        let mut bm = BankMachine::new(2, 16);
+        let f = WordAddr(0x100);
+        bm.assign(&mut m, f, 16, None, None);
+        bm.write_local(f, 0, 1); // only one dirty word
+        let refs = bm.flush_frame(&mut m, f);
+        assert_eq!(refs, 1, "clean words are not dumped");
+    }
+
+    #[test]
+    #[should_panic(expected = "two banks")]
+    fn single_bank_rejected() {
+        let _ = BankMachine::new(1, 16);
+    }
+}

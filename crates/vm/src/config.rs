@@ -1,0 +1,188 @@
+//! Machine configurations: the paper's implementations I1–I4 as presets
+//! over one engine.
+
+/// How local frames are allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocStrategy {
+    /// A conventional first-fit general heap (the §4 simple
+    /// implementation's "runtime routine … common in Algol and PL/1
+    /// implementations"). Costs are modelled charges.
+    General,
+    /// The §5.3 allocation-vector frame heap: 3 references to allocate,
+    /// 4 to free.
+    Av,
+    /// The AV heap fronted by the §7.1 processor free-frame stack:
+    /// frames up to the standard size cost **zero** serial references
+    /// while the cache holds; larger frames and cache misses fall back
+    /// to the AV path.
+    AvCached {
+        /// Capacity of the processor's free-frame stack.
+        cache_frames: usize,
+        /// Defer the memory-side allocation until a register bank must
+        /// actually be flushed (§7.1's alternative strategy): frames
+        /// that live entirely in a bank never pay allocation references.
+        defer: bool,
+    },
+}
+
+/// What to do about pointers to local variables under register banks
+/// (§7.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PtrLocalPolicy {
+    /// "The simplest solution is avoidance: outlaw pointers to local
+    /// variables" — `LLA` raises an error.
+    Outlaw,
+    /// Flag frames whose locals have their address taken; flush the
+    /// flagged frame's bank whenever control leaves its context and
+    /// reload on return, so ordinary storage instructions see correct
+    /// data from outside.
+    FlushOnExit,
+    /// Compare every indirect storage reference against the addresses
+    /// shadowed by banks and divert matching references to the
+    /// register (the PDP-10-style scheme); costs one extra cycle per
+    /// diverted reference.
+    #[default]
+    Divert,
+}
+
+/// Register-bank configuration (§7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankConfig {
+    /// Number of banks ("say 4–8").
+    pub banks: usize,
+    /// Words per bank ("some modest fixed size (say 16 words)").
+    pub words: u32,
+    /// Rename the evaluation-stack bank into the callee's local bank at
+    /// each call (§7.2), making argument passing free. Requires an
+    /// image compiled without prologue argument stores.
+    pub renaming: bool,
+    /// Pointer-to-local handling.
+    pub ptr_policy: PtrLocalPolicy,
+}
+
+impl BankConfig {
+    /// The paper's sketch: 8 banks ("say 4-8"; Patterson's <1%
+    /// overflow figure is for the top of that range) of 16 words,
+    /// renaming on, divert policy.
+    pub fn paper_default() -> Self {
+        BankConfig { banks: 8, words: 16, renaming: true, ptr_policy: PtrLocalPolicy::Divert }
+    }
+}
+
+/// A complete machine configuration.
+///
+/// The presets correspond to the paper's implementations:
+///
+/// | preset | return stack | banks | allocator |
+/// |--------|--------------|-------|-----------|
+/// | [`MachineConfig::i1`] | none | none | general heap |
+/// | [`MachineConfig::i2`] | none | none | AV frame heap |
+/// | [`MachineConfig::i3`] | 8 entries | none | AV frame heap |
+/// | [`MachineConfig::i4`] | 8 entries | 4×16, renaming | AV + free-frame cache |
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// IFU return-prediction stack depth; 0 disables it (§6).
+    pub return_stack: usize,
+    /// Register banks; `None` disables them (§7).
+    pub banks: Option<BankConfig>,
+    /// Frame allocation strategy.
+    pub alloc: AllocStrategy,
+    /// Enforce that calls find exactly their arguments on the
+    /// evaluation stack (catches compiler spill bugs).
+    pub strict_stack: bool,
+    /// Maximum evaluation-stack depth (the register stack size).
+    pub stack_depth: usize,
+}
+
+impl MachineConfig {
+    /// I1 (§4): the straightforward implementation — full frame records
+    /// from a general heap, no acceleration.
+    pub fn i1() -> Self {
+        MachineConfig {
+            return_stack: 0,
+            banks: None,
+            alloc: AllocStrategy::General,
+            strict_stack: true,
+            stack_depth: 16,
+        }
+    }
+
+    /// I2 (§5): the Mesa implementation — AV frame heap, packed tables,
+    /// no acceleration.
+    pub fn i2() -> Self {
+        MachineConfig { alloc: AllocStrategy::Av, ..Self::i1() }
+    }
+
+    /// I3 (§6): I2 plus the IFU return-prediction stack.
+    pub fn i3() -> Self {
+        MachineConfig { return_stack: 8, ..Self::i2() }
+    }
+
+    /// I4 (§7): I3 plus register banks with renaming and the processor
+    /// free-frame cache.
+    pub fn i4() -> Self {
+        MachineConfig {
+            banks: Some(BankConfig::paper_default()),
+            alloc: AllocStrategy::AvCached { cache_frames: 8, defer: true },
+            ..Self::i3()
+        }
+    }
+
+    /// Sets the return-stack depth.
+    pub fn with_return_stack(mut self, depth: usize) -> Self {
+        self.return_stack = depth;
+        self
+    }
+
+    /// Sets the bank configuration.
+    pub fn with_banks(mut self, banks: Option<BankConfig>) -> Self {
+        self.banks = banks;
+        self
+    }
+
+    /// Sets the allocation strategy.
+    pub fn with_alloc(mut self, alloc: AllocStrategy) -> Self {
+        self.alloc = alloc;
+        self
+    }
+
+    /// Whether bank renaming is active.
+    pub fn renaming(&self) -> bool {
+        self.banks.map(|b| b.renaming).unwrap_or(false)
+    }
+}
+
+impl Default for MachineConfig {
+    /// The default is the fully accelerated I4 machine.
+    fn default() -> Self {
+        Self::i4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_as_documented() {
+        assert_eq!(MachineConfig::i1().alloc, AllocStrategy::General);
+        assert_eq!(MachineConfig::i2().alloc, AllocStrategy::Av);
+        assert_eq!(MachineConfig::i2().return_stack, 0);
+        assert_eq!(MachineConfig::i3().return_stack, 8);
+        assert!(MachineConfig::i3().banks.is_none());
+        assert!(MachineConfig::i4().banks.is_some());
+        assert!(MachineConfig::i4().renaming());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = MachineConfig::i2().with_return_stack(4).with_alloc(AllocStrategy::General);
+        assert_eq!(c.return_stack, 4);
+        assert_eq!(c.alloc, AllocStrategy::General);
+    }
+
+    #[test]
+    fn default_is_i4() {
+        assert_eq!(MachineConfig::default(), MachineConfig::i4());
+    }
+}

@@ -1,0 +1,216 @@
+//! The cycle cost model and per-transfer statistics.
+//!
+//! Every comparison in the paper reduces to counting memory references
+//! and asking whether a call can proceed "as fast as an unconditional
+//! jump". The model here makes that checkable:
+//!
+//! * every instruction costs [`CYCLE_BASE`] to decode/execute;
+//! * every architectural **data** reference costs [`CYCLE_MEMREF`]
+//!   (sequential instruction fetch is covered by the IFU and free, as
+//!   the paper assumes a machine "likely to have some kind of
+//!   instruction fetch unit");
+//! * every **taken** control transfer — jump, call or return — costs
+//!   [`CYCLE_REFILL`] for the fetch-unit redirect.
+//!
+//! An unconditional jump therefore costs exactly
+//! [`jump_cycles`]`()` = 2, and a call or return is "as fast as a
+//! jump" exactly when it also completes in 2 cycles: no table
+//! indirection, no frame-word traffic, frame allocation hidden by the
+//! free-frame cache, arguments renamed rather than stored.
+
+use std::fmt;
+
+use fpc_stats::Histogram;
+
+/// Cycles to decode and execute any instruction.
+pub const CYCLE_BASE: u64 = 1;
+/// Cycles per architectural data-memory reference.
+pub const CYCLE_MEMREF: u64 = 1;
+/// Cycles to redirect the instruction-fetch unit on a taken transfer.
+pub const CYCLE_REFILL: u64 = 1;
+
+/// Cycles of an unconditional jump under this model — the yardstick
+/// for the paper's headline claim.
+pub const fn jump_cycles() -> u64 {
+    CYCLE_BASE + CYCLE_REFILL
+}
+
+/// The kinds of transfer event the machine classifies (E10, E12, E5,
+/// E6 all aggregate over these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferKind {
+    /// A procedure call (any linkage).
+    Call,
+    /// A procedure return.
+    Return,
+    /// A general `XFER` (coroutine transfer).
+    Coroutine,
+    /// A process switch.
+    ProcessSwitch,
+    /// A trap transfer.
+    Trap,
+}
+
+impl fmt::Display for TransferKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferKind::Call => write!(f, "call"),
+            TransferKind::Return => write!(f, "return"),
+            TransferKind::Coroutine => write!(f, "coroutine"),
+            TransferKind::ProcessSwitch => write!(f, "process-switch"),
+            TransferKind::Trap => write!(f, "trap"),
+        }
+    }
+}
+
+/// Aggregated statistics for one [`TransferKind`].
+#[derive(Debug, Default, Clone)]
+pub struct KindStats {
+    /// Number of events.
+    pub count: u64,
+    /// Events that completed at jump speed.
+    pub fast: u64,
+    /// Total cycles spent in these events.
+    pub cycles: u64,
+    /// Total data references made by these events.
+    pub refs: u64,
+    /// Distribution of cycles per event.
+    pub cycle_hist: Histogram,
+}
+
+impl KindStats {
+    /// Fraction of events at jump speed.
+    pub fn fast_fraction(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.fast as f64 / self.count as f64
+        }
+    }
+
+    /// Mean cycles per event.
+    pub fn mean_cycles(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.count as f64
+        }
+    }
+
+    /// Mean data references per event.
+    pub fn mean_refs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.refs as f64 / self.count as f64
+        }
+    }
+}
+
+/// Per-transfer statistics for a run.
+#[derive(Debug, Default, Clone)]
+pub struct TransferStats {
+    /// Calls.
+    pub calls: KindStats,
+    /// Returns.
+    pub returns: KindStats,
+    /// Coroutine transfers.
+    pub coroutines: KindStats,
+    /// Process switches.
+    pub switches: KindStats,
+    /// Traps.
+    pub traps: KindStats,
+}
+
+impl TransferStats {
+    /// Records one event.
+    pub fn record(&mut self, kind: TransferKind, cycles: u64, refs: u64) {
+        let k = self.kind_mut(kind);
+        k.count += 1;
+        k.cycles += cycles;
+        k.refs += refs;
+        k.cycle_hist.record(cycles);
+        if cycles <= jump_cycles() {
+            k.fast += 1;
+        }
+    }
+
+    fn kind_mut(&mut self, kind: TransferKind) -> &mut KindStats {
+        match kind {
+            TransferKind::Call => &mut self.calls,
+            TransferKind::Return => &mut self.returns,
+            TransferKind::Coroutine => &mut self.coroutines,
+            TransferKind::ProcessSwitch => &mut self.switches,
+            TransferKind::Trap => &mut self.traps,
+        }
+    }
+
+    /// Statistics for one kind.
+    pub fn kind(&self, kind: TransferKind) -> &KindStats {
+        match kind {
+            TransferKind::Call => &self.calls,
+            TransferKind::Return => &self.returns,
+            TransferKind::Coroutine => &self.coroutines,
+            TransferKind::ProcessSwitch => &self.switches,
+            TransferKind::Trap => &self.traps,
+        }
+    }
+
+    /// Calls plus returns — the denominator of the paper's "one call
+    /// or return for every 10 instructions" and of the 95% headline.
+    pub fn calls_and_returns(&self) -> u64 {
+        self.calls.count + self.returns.count
+    }
+
+    /// The headline metric: fraction of calls and returns that ran at
+    /// jump speed.
+    pub fn fast_call_return_fraction(&self) -> f64 {
+        let total = self.calls_and_returns();
+        if total == 0 {
+            0.0
+        } else {
+            (self.calls.fast + self.returns.fast) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jump_is_two_cycles() {
+        assert_eq!(jump_cycles(), 2);
+    }
+
+    #[test]
+    fn record_classifies_fast_events() {
+        let mut t = TransferStats::default();
+        t.record(TransferKind::Call, jump_cycles(), 0);
+        t.record(TransferKind::Call, 12, 10);
+        t.record(TransferKind::Return, 2, 0);
+        assert_eq!(t.calls.count, 2);
+        assert_eq!(t.calls.fast, 1);
+        assert_eq!(t.returns.fast, 1);
+        assert_eq!(t.calls_and_returns(), 3);
+        assert!((t.fast_call_return_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means_computed() {
+        let mut t = TransferStats::default();
+        t.record(TransferKind::Coroutine, 10, 8);
+        t.record(TransferKind::Coroutine, 20, 16);
+        let k = t.kind(TransferKind::Coroutine);
+        assert_eq!(k.mean_cycles(), 15.0);
+        assert_eq!(k.mean_refs(), 12.0);
+        assert_eq!(k.fast_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let t = TransferStats::default();
+        assert_eq!(t.fast_call_return_fraction(), 0.0);
+        assert_eq!(t.kind(TransferKind::Trap).mean_cycles(), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Virtual-machine errors and trap codes.
+
+use std::fmt;
+
+use fpc_frames::FrameError;
+use fpc_isa::DecodeError;
+
+/// Architectural trap codes raised by the interpreter.
+///
+/// A trap is a control transfer like any other (§5.1 mentions
+/// instructions combining `XFER` with other operations "to support
+/// traps"); if a handler context is installed the machine transfers to
+/// it, otherwise execution stops with [`VmError::UnhandledTrap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapCode {
+    /// Division or modulus by zero.
+    DivideByZero,
+    /// Evaluation-stack overflow (expression too deep for the register
+    /// stack).
+    StackOverflow,
+    /// A `TRAP n` instruction with a user code.
+    User(u8),
+}
+
+impl TrapCode {
+    /// The word pushed as the handler's argument.
+    pub fn code(self) -> u16 {
+        match self {
+            TrapCode::DivideByZero => 0xFF00,
+            TrapCode::StackOverflow => 0xFF01,
+            TrapCode::User(n) => n as u16,
+        }
+    }
+}
+
+impl fmt::Display for TrapCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrapCode::DivideByZero => write!(f, "divide by zero"),
+            TrapCode::StackOverflow => write!(f, "evaluation stack overflow"),
+            TrapCode::User(n) => write!(f, "user trap {n}"),
+        }
+    }
+}
+
+/// Errors that stop the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The instruction stream could not be decoded.
+    Decode(DecodeError),
+    /// Frame allocation failed.
+    Frame(FrameError),
+    /// Evaluation-stack underflow: the compiler or hand-written code
+    /// popped more than it pushed.
+    StackUnderflow,
+    /// `XFER` through the nil context outside a process root — e.g. a
+    /// return along a link that was never set.
+    XferToNil,
+    /// `XFER` to a word that is not a valid context in this image.
+    InvalidContext(u16),
+    /// A trap with no handler installed.
+    UnhandledTrap(TrapCode),
+    /// `LLA` executed under [`PtrLocalPolicy::Outlaw`]
+    /// (§7.4's "simplest solution is avoidance").
+    ///
+    /// [`PtrLocalPolicy::Outlaw`]: crate::PtrLocalPolicy::Outlaw
+    PointerToLocalOutlawed,
+    /// Strict stack discipline violated: a call found values on the
+    /// evaluation stack beyond the arguments. The compiler must spill
+    /// pending temporaries before a call (§5.2's `f[g[], h[]]` point).
+    StrictStackViolation {
+        /// Stack depth found.
+        depth: usize,
+        /// Arguments expected.
+        nargs: usize,
+    },
+    /// The instruction budget ran out before `HALT`.
+    OutOfFuel,
+    /// The image is malformed or incompatible with the configuration.
+    BadImage(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Decode(e) => write!(f, "decode error: {e}"),
+            VmError::Frame(e) => write!(f, "frame allocation error: {e}"),
+            VmError::StackUnderflow => write!(f, "evaluation stack underflow"),
+            VmError::XferToNil => write!(f, "XFER to NIL context"),
+            VmError::InvalidContext(w) => write!(f, "XFER to invalid context word {w:#06x}"),
+            VmError::UnhandledTrap(t) => write!(f, "unhandled trap: {t}"),
+            VmError::PointerToLocalOutlawed => {
+                write!(f, "pointer to local taken while the policy outlaws it")
+            }
+            VmError::StrictStackViolation { depth, nargs } => write!(
+                f,
+                "call with {depth} values on the stack but only {nargs} arguments; \
+                 pending temporaries must be spilled"
+            ),
+            VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            VmError::BadImage(m) => write!(f, "bad image: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::Decode(e) => Some(e),
+            VmError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for VmError {
+    fn from(e: DecodeError) -> Self {
+        VmError::Decode(e)
+    }
+}
+
+impl From<FrameError> for VmError {
+    fn from(e: FrameError) -> Self {
+        VmError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_codes_distinct() {
+        assert_ne!(TrapCode::DivideByZero.code(), TrapCode::StackOverflow.code());
+        assert_eq!(TrapCode::User(7).code(), 7);
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(VmError::XferToNil.to_string().contains("NIL"));
+        assert!(VmError::UnhandledTrap(TrapCode::DivideByZero)
+            .to_string()
+            .contains("divide"));
+        assert!(VmError::StrictStackViolation { depth: 3, nargs: 1 }
+            .to_string()
+            .contains("spilled"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: VmError = FrameError::OutOfMemory.into();
+        assert!(matches!(e, VmError::Frame(FrameError::OutOfMemory)));
+    }
+}

@@ -1,0 +1,623 @@
+//! Program images: the output of the linker, the input of the machine.
+//!
+//! An image is a placed code store (segments laid end to end, direct
+//! calls already patched) plus, per module: the entry-vector length,
+//! the link-vector contents, and the initial global values. Loading an
+//! image builds the §5.1 runtime structures in simulated memory:
+//!
+//! ```text
+//! 0x0000          reserved (nil)
+//! 0x0010  AV      allocation vector (one head per size class)
+//! 0x0040  GFT     global frame table, 1024 one-word entries
+//! 0x0440  link    per module: link vector (at negative offsets from
+//!                 the global frame), then the quad-aligned global
+//!                 frame [code base, globals…]
+//!   …     frames  the frame heap region, to the end of memory
+//! ```
+//!
+//! GFT indices are assigned deterministically: module *m* owns
+//! `ceil(nprocs/32)` consecutive entries (one per 2-bit bias step), so
+//! a linker and a loader built separately agree on descriptor packing.
+
+use fpc_core::{layout, Context, ContextWord, EvIndex, GftEntry, GftIndex, ProcDesc};
+use fpc_frames::SizeClasses;
+use fpc_isa::{AsmError, Assembler};
+use fpc_mem::{ByteAddr, CodeStore, Memory, WordAddr};
+
+use crate::error::VmError;
+
+/// Word address of the allocation vector.
+pub const AV_BASE: WordAddr = WordAddr(0x0010);
+/// Word address of the global frame table.
+pub const GFT_BASE: WordAddr = WordAddr(0x0040);
+/// Number of GFT entries (the 10-bit env field's range).
+pub const GFT_ENTRIES: u32 = 1024;
+/// First word after the GFT, where link vectors and global frames go.
+pub const LINK_BASE: WordAddr = WordAddr(0x0440);
+/// Default data-memory size in words.
+pub const DEFAULT_MEMORY_WORDS: u32 = 0x10000;
+
+/// Names a procedure by module index and entry-vector index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProcRef {
+    /// Module index within the image.
+    pub module: usize,
+    /// Entry-vector index within the module.
+    pub ev_index: u16,
+}
+
+/// One placed module.
+#[derive(Debug, Clone)]
+pub struct ModuleImage {
+    /// Module name, for diagnostics.
+    pub name: String,
+    /// Byte address of the segment base (the entry vector's first byte).
+    pub code_base: ByteAddr,
+    /// Number of entry-vector entries.
+    pub nprocs: u16,
+    /// Link-vector targets, resolved to context words at load time.
+    pub lv: Vec<ProcRef>,
+    /// Initial values of the module's global variables.
+    pub globals: Vec<u16>,
+    /// When `Some(j)`, this module is an **instance** of module `j`:
+    /// it shares `j`'s code segment (same `code_base`) but has its own
+    /// global frame, GFT entries and link vector — "the global frame
+    /// permits multiple instances of a module with a single copy of
+    /// the code" (§5.1). Direct calls always bind the owning module's
+    /// instance (the paper's D2 limitation).
+    pub code_of: Option<usize>,
+}
+
+/// A linked program.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// The full code store contents.
+    pub code: Vec<u8>,
+    /// Placed modules.
+    pub modules: Vec<ModuleImage>,
+    /// The procedure where execution starts.
+    pub entry: ProcRef,
+    /// The frame-size ladder the compiler assigned fsi values against.
+    pub classes: SizeClasses,
+    /// True if compiled for bank renaming: prologues do not store
+    /// arguments (§7.2); such images require a machine with renaming
+    /// banks.
+    pub bank_args: bool,
+}
+
+impl Image {
+    /// The GFT index of the first entry owned by `module`.
+    pub fn gft_base(&self, module: usize) -> u16 {
+        let mut base = 0u16;
+        for m in &self.modules[..module] {
+            base += gft_entries_for(m.nprocs);
+        }
+        base
+    }
+
+    /// The packed procedure-descriptor context word for `proc`.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadImage`] if the reference is out of range or the
+    /// descriptor does not pack (too many modules/entries).
+    pub fn proc_desc(&self, proc: ProcRef) -> Result<ContextWord, VmError> {
+        let m = self
+            .modules
+            .get(proc.module)
+            .ok_or_else(|| VmError::BadImage(format!("no module {}", proc.module)))?;
+        if proc.ev_index >= m.nprocs {
+            return Err(VmError::BadImage(format!(
+                "module {} has {} procedures, no entry {}",
+                m.name, m.nprocs, proc.ev_index
+            )));
+        }
+        let env = self.gft_base(proc.module) + proc.ev_index / 32;
+        let code = (proc.ev_index % 32) as u8;
+        let desc = ProcDesc::new(
+            GftIndex::new(env).map_err(|e| VmError::BadImage(e.to_string()))?,
+            EvIndex::new(code).expect("mod 32 fits five bits"),
+        );
+        Ok(ContextWord::from(Context::Proc(desc)))
+    }
+
+    /// Byte address of the procedure header for `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference is out of range (use [`Image::proc_desc`]
+    /// first for fallible validation).
+    pub fn proc_header_addr(&self, proc: ProcRef) -> ByteAddr {
+        let m = &self.modules[proc.module];
+        assert!(proc.ev_index < m.nprocs, "entry index out of range");
+        let ev_slot = layout::ev_slot(m.code_base, proc.ev_index);
+        let rel = u16::from_le_bytes([
+            self.code[ev_slot.0 as usize],
+            self.code[ev_slot.0 as usize + 1],
+        ]);
+        m.code_base.offset(rel as u32)
+    }
+}
+
+/// GFT entries needed for a module with `nprocs` entry points (one per
+/// 32-entry bias step, minimum one).
+pub fn gft_entries_for(nprocs: u16) -> u16 {
+    nprocs.div_ceil(32).max(1)
+}
+
+/// The memory placement computed at load time.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Word addresses of each module's global frame. Link-vector entry
+    /// `k` of module `m` lives at `gf_addrs[m] − 1 − k`
+    /// ([`layout::lv_slot`]).
+    pub gf_addrs: Vec<WordAddr>,
+    /// The frame-heap region.
+    pub frame_region: std::ops::Range<u32>,
+}
+
+/// Loads an image: builds the code store, the GFT, link vectors and
+/// global frames, and patches each procedure header's global-frame
+/// field (the `DIRECTCALL` fast path reads GF straight from the
+/// header, §6).
+///
+/// # Errors
+///
+/// [`VmError::BadImage`] for images that do not fit the address
+/// packing or memory.
+pub fn load(
+    image: &Image,
+    memory_words: u32,
+) -> Result<(Memory, CodeStore, Placement), VmError> {
+    let mut mem = Memory::new(memory_words);
+    let mut code = CodeStore::new();
+    code.append(&image.code);
+
+    // Assign GFT indices and check capacity.
+    let total_gft: u32 = image.modules.iter().map(|m| gft_entries_for(m.nprocs) as u32).sum();
+    if total_gft > GFT_ENTRIES {
+        return Err(VmError::BadImage(format!("{total_gft} GFT entries exceed {GFT_ENTRIES}")));
+    }
+
+    // Place link vectors and global frames after the GFT. The LV ends
+    // exactly at the (quad-aligned) global frame so entries are
+    // addressable at negative offsets from the GF register.
+    let mut cursor = LINK_BASE.0;
+    let mut gf_addrs = Vec::with_capacity(image.modules.len());
+    for m in &image.modules {
+        let gf = (cursor + m.lv.len() as u32 + 3) & !3;
+        gf_addrs.push(WordAddr(gf));
+        cursor = gf + layout::GF_GLOBALS + m.globals.len() as u32;
+    }
+    // Frames start two-word aligned after the link area.
+    let frame_start = (cursor + 1) & !1;
+    if frame_start >= memory_words {
+        return Err(VmError::BadImage("link area exceeds memory".into()));
+    }
+    let frame_region = frame_start..memory_words;
+
+    // Fill the GFT.
+    let mut gft_index = 0u32;
+    for (mi, m) in image.modules.iter().enumerate() {
+        for bias in 0..gft_entries_for(m.nprocs) {
+            let entry = GftEntry::new(gf_addrs[mi], bias as u8)
+                .map_err(|e| VmError::BadImage(e.to_string()))?;
+            mem.poke(GFT_BASE.offset(gft_index), entry.raw());
+            gft_index += 1;
+        }
+    }
+
+    // Fill link vectors and global frames; patch headers.
+    let mut raw_code = code.bytes().to_vec();
+    for (mi, m) in image.modules.iter().enumerate() {
+        let gf = gf_addrs[mi];
+        for (k, target) in m.lv.iter().enumerate() {
+            let w = image.proc_desc(*target)?;
+            mem.poke(layout::lv_slot(gf, k as u32), w.raw());
+        }
+        mem.poke(gf.offset(layout::GF_CODE_BASE), layout::code_base_word(m.code_base));
+        for (i, v) in m.globals.iter().enumerate() {
+            mem.poke(gf.offset(layout::GF_GLOBALS + i as u32), *v);
+        }
+        // Patch each procedure header's GF and code-base fields —
+        // owners only: instances share the owner's headers, whose GF
+        // field binds direct calls to the owning instance (D2).
+        if m.code_of.is_some() {
+            continue;
+        }
+        let cb = layout::code_base_word(m.code_base);
+        for p in 0..m.nprocs {
+            let hdr = image.proc_header_addr(ProcRef { module: mi, ev_index: p });
+            let at = hdr.0 as usize;
+            raw_code[at + layout::HDR_GF as usize] = gf.0 as u8;
+            raw_code[at + layout::HDR_GF as usize + 1] = (gf.0 >> 8) as u8;
+            raw_code[at + layout::HDR_CODE_BASE as usize] = cb as u8;
+            raw_code[at + layout::HDR_CODE_BASE as usize + 1] = (cb >> 8) as u8;
+        }
+    }
+    let mut code = CodeStore::new();
+    code.append(&raw_code);
+
+    Ok((mem, code, Placement { gf_addrs, frame_region }))
+}
+
+/// Builds small images by hand — used by the VM's own tests and the
+/// examples; the compiler's linker produces [`Image`]s directly.
+///
+/// # Example
+///
+/// ```
+/// use fpc_isa::Instr;
+/// use fpc_vm::{ImageBuilder, ProcSpec};
+///
+/// let mut b = ImageBuilder::new();
+/// let m = b.module("main");
+/// b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+///     a.instr(Instr::LoadImm(42));
+///     a.instr(Instr::Out);
+///     a.instr(Instr::Halt);
+/// });
+/// let image = b.build(fpc_vm::ProcRef { module: 0, ev_index: 0 }).unwrap();
+/// assert_eq!(image.modules.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ImageBuilder {
+    modules: Vec<BuilderModule>,
+    classes: Option<SizeClasses>,
+    bank_args: bool,
+}
+
+#[derive(Debug)]
+struct BuilderModule {
+    name: String,
+    procs: Vec<(ProcSpec, Vec<u8>)>,
+    lv: Vec<ProcRef>,
+    globals: Vec<u16>,
+    instance_of: Option<usize>,
+}
+
+/// Shape of one procedure for [`ImageBuilder`].
+#[derive(Debug, Clone)]
+pub struct ProcSpec {
+    /// Name, for diagnostics.
+    pub name: String,
+    /// Number of arguments.
+    pub nargs: u8,
+    /// Locals including arguments (frame words beyond the header).
+    pub nlocals: u32,
+    /// Whether the procedure takes addresses of locals (§7.4 flag).
+    pub addr_taken: bool,
+}
+
+impl ProcSpec {
+    /// A procedure with `nargs` arguments and `nlocals` total locals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nargs` exceeds `nlocals` (arguments are the first
+    /// locals).
+    pub fn new(name: &str, nargs: u8, nlocals: u32) -> Self {
+        assert!(nargs as u32 <= nlocals || nlocals == 0 && nargs == 0);
+        ProcSpec { name: name.into(), nargs, nlocals, addr_taken: false }
+    }
+
+    /// Marks the procedure as taking addresses of its locals.
+    pub fn with_addr_taken(mut self) -> Self {
+        self.addr_taken = true;
+        self
+    }
+}
+
+/// Handle to a module being built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuleHandle(usize);
+
+impl ModuleHandle {
+    /// The module's index in the built image (for [`ProcRef`]s).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl ImageBuilder {
+    /// Creates an empty builder (Mesa size classes, prologue stores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the image as compiled for bank renaming (no prologue
+    /// argument stores).
+    pub fn bank_args(&mut self) -> &mut Self {
+        self.bank_args = true;
+        self
+    }
+
+    /// Starts a new module.
+    pub fn module(&mut self, name: &str) -> ModuleHandle {
+        self.modules.push(BuilderModule {
+            name: name.into(),
+            procs: Vec::new(),
+            lv: Vec::new(),
+            globals: Vec::new(),
+            instance_of: None,
+        });
+        ModuleHandle(self.modules.len() - 1)
+    }
+
+    /// Creates a new **instance** of a fully defined module: its own
+    /// global frame (fresh copies of the globals' initial values), its
+    /// own GFT entries and link vector, sharing the original's code
+    /// segment (§5.1: "It is possible to have several instances of a
+    /// module, each with its own global variables").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of` is itself an instance.
+    pub fn instantiate(&mut self, of: ModuleHandle, name: &str) -> ModuleHandle {
+        assert!(
+            self.modules[of.0].instance_of.is_none(),
+            "instantiate the owning module, not an instance"
+        );
+        self.modules.push(BuilderModule {
+            name: name.into(),
+            procs: Vec::new(),
+            lv: Vec::new(),
+            globals: Vec::new(),
+            instance_of: Some(of.0),
+        });
+        ModuleHandle(self.modules.len() - 1)
+    }
+
+    /// Adds a global word with an initial value; returns its index.
+    pub fn global(&mut self, m: ModuleHandle, value: u16) -> u8 {
+        let g = &mut self.modules[m.0].globals;
+        g.push(value);
+        (g.len() - 1) as u8
+    }
+
+    /// Adds a link-vector entry naming `target`; returns the LV index
+    /// to use in `ExternalCall`.
+    pub fn import(&mut self, m: ModuleHandle, target: ProcRef) -> u8 {
+        let lv = &mut self.modules[m.0].lv;
+        lv.push(target);
+        (lv.len() - 1) as u8
+    }
+
+    /// Adds a procedure whose body is produced by `f` on a fresh
+    /// assembler; returns its entry-vector index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on assembly errors — hand-built test images should be
+    /// correct by construction.
+    pub fn proc_with(
+        &mut self,
+        m: ModuleHandle,
+        spec: ProcSpec,
+        f: impl FnOnce(&mut Assembler),
+    ) -> u16 {
+        self.try_proc_with(m, spec, f).expect("assembly failed")
+    }
+
+    /// Fallible form of [`ImageBuilder::proc_with`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler errors.
+    pub fn try_proc_with(
+        &mut self,
+        m: ModuleHandle,
+        spec: ProcSpec,
+        f: impl FnOnce(&mut Assembler),
+    ) -> Result<u16, AsmError> {
+        let mut a = Assembler::new();
+        f(&mut a);
+        let body = a.assemble()?.bytes;
+        let procs = &mut self.modules[m.0].procs;
+        procs.push((spec, body));
+        Ok((procs.len() - 1) as u16)
+    }
+
+    /// Links everything into an [`Image`] with `entry` as the start
+    /// procedure.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadImage`] if a frame exceeds the size ladder or the
+    /// entry reference is invalid.
+    pub fn build(&self, entry: ProcRef) -> Result<Image, VmError> {
+        let classes = self.classes.clone().unwrap_or_else(SizeClasses::mesa);
+        let mut code = Vec::new();
+        let mut modules: Vec<ModuleImage> = Vec::new();
+        for bm in &self.modules {
+            if let Some(owner) = bm.instance_of {
+                // An instance: share the owner's placed code, clone its
+                // link vector and initial globals.
+                let o = &modules[owner];
+                modules.push(ModuleImage {
+                    name: bm.name.clone(),
+                    code_base: o.code_base,
+                    nprocs: o.nprocs,
+                    lv: o.lv.clone(),
+                    globals: o.globals.clone(),
+                    code_of: Some(owner),
+                });
+                continue;
+            }
+            if code.len() % 2 != 0 {
+                code.push(0); // segments are word aligned
+            }
+            let code_base = ByteAddr(code.len() as u32);
+            let nprocs = bm.procs.len() as u16;
+            // Reserve the entry vector.
+            let ev_bytes = nprocs as usize * 2;
+            code.extend(std::iter::repeat_n(0u8, ev_bytes));
+            let mut ev = Vec::with_capacity(nprocs as usize);
+            for (spec, body) in &bm.procs {
+                let rel = (code.len() as u32 - code_base.0) as u16;
+                ev.push(rel);
+                let frame_words = layout::FRAME_HEADER_WORDS + spec.nlocals;
+                let fsi = classes
+                    .fsi_for(frame_words)
+                    .ok_or_else(|| VmError::BadImage(format!("{}: frame too large", spec.name)))?;
+                code.push(fsi);
+                code.push(layout::pack_flags(spec.nargs, spec.addr_taken));
+                code.extend([0u8, 0, 0, 0]); // GF + code base, patched at load
+                code.extend_from_slice(body);
+            }
+            // Write the entry vector.
+            for (i, rel) in ev.iter().enumerate() {
+                let at = code_base.0 as usize + i * 2;
+                code[at] = *rel as u8;
+                code[at + 1] = (*rel >> 8) as u8;
+            }
+            modules.push(ModuleImage {
+                name: bm.name.clone(),
+                code_base,
+                nprocs,
+                lv: bm.lv.clone(),
+                globals: bm.globals.clone(),
+                code_of: None,
+            });
+        }
+        let image = Image {
+            code,
+            modules,
+            entry,
+            classes,
+            bank_args: self.bank_args,
+        };
+        // Validate the entry reference.
+        image.proc_desc(entry)?;
+        Ok(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpc_isa::Instr;
+
+    fn tiny_image() -> Image {
+        let mut b = ImageBuilder::new();
+        let m = b.module("m");
+        b.proc_with(m, ProcSpec::new("main", 0, 1), |a| {
+            a.instr(Instr::LoadImm(7));
+            a.instr(Instr::Out);
+            a.instr(Instr::Halt);
+        });
+        b.build(ProcRef { module: 0, ev_index: 0 }).unwrap()
+    }
+
+    #[test]
+    fn builder_produces_loadable_image() {
+        let image = tiny_image();
+        let (mem, code, placement) = load(&image, DEFAULT_MEMORY_WORDS).unwrap();
+        assert!(!code.is_empty());
+        assert!(placement.frame_region.start > LINK_BASE.0);
+        // GFT entry 0 points at module 0's global frame.
+        let e = GftEntry::from_raw(mem.peek(GFT_BASE));
+        assert_eq!(e.global_frame(), placement.gf_addrs[0]);
+        assert_eq!(e.bias(), 0);
+    }
+
+    #[test]
+    fn global_frame_holds_code_base() {
+        let image = tiny_image();
+        let (mem, _, placement) = load(&image, DEFAULT_MEMORY_WORDS).unwrap();
+        let gf = placement.gf_addrs[0];
+        assert_eq!(
+            layout::code_base_bytes(mem.peek(gf.offset(layout::GF_CODE_BASE))),
+            image.modules[0].code_base
+        );
+    }
+
+    #[test]
+    fn link_vector_sits_below_global_frame() {
+        let mut b = ImageBuilder::new();
+        let m = b.module("m");
+        let p = b.proc_with(m, ProcSpec::new("f", 0, 0), |a| {
+            a.instr(Instr::Ret);
+        });
+        let idx = b.import(m, ProcRef { module: 0, ev_index: p });
+        assert_eq!(idx, 0);
+        b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        let (mem, _, placement) = load(&image, DEFAULT_MEMORY_WORDS).unwrap();
+        let gf = placement.gf_addrs[0];
+        let lv0 = mem.peek(layout::lv_slot(gf, 0));
+        assert_eq!(
+            lv0,
+            image.proc_desc(ProcRef { module: 0, ev_index: 0 }).unwrap().raw()
+        );
+    }
+
+    #[test]
+    fn header_gf_and_code_base_patched() {
+        let image = tiny_image();
+        let (_, code, placement) = load(&image, DEFAULT_MEMORY_WORDS).unwrap();
+        let hdr = image.proc_header_addr(ProcRef { module: 0, ev_index: 0 });
+        let gf = code.peek_u16(hdr.offset(layout::HDR_GF));
+        assert_eq!(gf as u32, placement.gf_addrs[0].0);
+        let cb = code.peek_u16(hdr.offset(layout::HDR_CODE_BASE));
+        assert_eq!(layout::code_base_bytes(cb), image.modules[0].code_base);
+    }
+
+    #[test]
+    fn proc_desc_packs_and_validates() {
+        let image = tiny_image();
+        let w = image.proc_desc(ProcRef { module: 0, ev_index: 0 }).unwrap();
+        assert!(w.is_proc());
+        assert!(image.proc_desc(ProcRef { module: 0, ev_index: 9 }).is_err());
+        assert!(image.proc_desc(ProcRef { module: 5, ev_index: 0 }).is_err());
+    }
+
+    #[test]
+    fn gft_entries_scale_with_entry_points() {
+        assert_eq!(gft_entries_for(0), 1);
+        assert_eq!(gft_entries_for(1), 1);
+        assert_eq!(gft_entries_for(32), 1);
+        assert_eq!(gft_entries_for(33), 2);
+        assert_eq!(gft_entries_for(128), 4);
+    }
+
+    #[test]
+    fn multi_module_gft_bases() {
+        let mut b = ImageBuilder::new();
+        let m0 = b.module("a");
+        for i in 0..40 {
+            b.proc_with(m0, ProcSpec::new(&format!("p{i}"), 0, 0), |a| {
+                a.instr(Instr::Ret);
+            });
+        }
+        let m1 = b.module("b");
+        b.proc_with(m1, ProcSpec::new("q", 0, 0), |a| {
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 1, ev_index: 0 }).unwrap();
+        // Module 0 needs 2 GFT entries (40 > 32), so module 1 starts at 2.
+        assert_eq!(image.gft_base(1), 2);
+        // Entry 33 of module 0 packs with env = base + 1, code = 1.
+        let w = image.proc_desc(ProcRef { module: 0, ev_index: 33 }).unwrap();
+        match Context::from(w) {
+            Context::Proc(p) => {
+                assert_eq!(p.env().get(), 1);
+                assert_eq!(p.code().get(), 1);
+            }
+            other => panic!("expected proc, got {other}"),
+        }
+    }
+
+    #[test]
+    fn ev_points_at_headers() {
+        let image = tiny_image();
+        let hdr = image.proc_header_addr(ProcRef { module: 0, ev_index: 0 });
+        // EV is 2 bytes (one proc), so the header follows it.
+        assert_eq!(hdr, image.modules[0].code_base.offset(2));
+        // Header byte 0 is the fsi for a 4-word frame.
+        let fsi = image.code[hdr.0 as usize];
+        assert_eq!(fsi, image.classes.fsi_for(4).unwrap());
+    }
+}

@@ -1,0 +1,135 @@
+//! Human-readable listings of linked images.
+
+use std::fmt::Write as _;
+
+use fpc_core::layout;
+use fpc_isa::{disassemble, DecodeError};
+
+use crate::image::{Image, ProcRef};
+
+/// Renders a full annotated listing of an image: per module, each
+/// procedure's header fields and disassembled body.
+///
+/// # Errors
+///
+/// [`DecodeError`] if the image contains undecodable bytes where code
+/// is expected (a linker bug, not a user error).
+///
+/// # Example
+///
+/// ```
+/// use fpc_isa::Instr;
+/// use fpc_vm::{listing, ImageBuilder, ProcRef, ProcSpec};
+///
+/// let mut b = ImageBuilder::new();
+/// let m = b.module("demo");
+/// b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+///     a.instr(Instr::LoadImm(1));
+///     a.instr(Instr::Out);
+///     a.instr(Instr::Halt);
+/// });
+/// let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+/// let text = listing(&image).unwrap();
+/// assert!(text.contains("demo#0"));
+/// assert!(text.contains("HALT"));
+/// ```
+pub fn listing(image: &Image) -> Result<String, DecodeError> {
+    let mut out = String::new();
+    // Segment boundaries, for body-end detection.
+    let mut boundaries: Vec<u32> = image.modules.iter().map(|m| m.code_base.0).collect();
+    boundaries.push(image.code.len() as u32);
+    for (mi, module) in image.modules.iter().enumerate() {
+        let seg_end = boundaries
+            .iter()
+            .copied()
+            .filter(|&b| b > module.code_base.0)
+            .min()
+            .unwrap_or(image.code.len() as u32);
+        let _ = writeln!(
+            out,
+            "module {} at {} ({} entry points, {} LV entries)",
+            module.name,
+            module.code_base,
+            module.nprocs,
+            module.lv.len()
+        );
+        // Header offsets in layout order.
+        let mut headers: Vec<(u16, u32)> = (0..module.nprocs)
+            .map(|p| (p, image.proc_header_addr(ProcRef { module: mi, ev_index: p }).0))
+            .collect();
+        headers.sort_by_key(|&(_, off)| off);
+        for (i, &(p, hdr)) in headers.iter().enumerate() {
+            let at = hdr as usize;
+            let fsi = image.code[at + layout::HDR_FSI as usize];
+            let (nargs, addr_taken) =
+                layout::unpack_flags(image.code[at + layout::HDR_FLAGS as usize]);
+            let frame_words = image.classes.size_of(fsi);
+            let _ = writeln!(
+                out,
+                "  {}#{p} at {hdr:#06x}: fsi={fsi} ({frame_words} words), {nargs} args{}",
+                module.name,
+                if addr_taken { ", takes local addresses" } else { "" },
+            );
+            let start = at + layout::PROC_HEADER_BYTES as usize;
+            let end = headers
+                .get(i + 1)
+                .map(|&(_, h)| h as usize)
+                .unwrap_or(seg_end as usize);
+            for (off, instr) in disassemble(&image.code, start, end)? {
+                let _ = writeln!(out, "    {off:04x}  {instr}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{ImageBuilder, ProcSpec};
+    use fpc_isa::Instr;
+
+    #[test]
+    fn lists_multi_module_images() {
+        let mut b = ImageBuilder::new();
+        let lib = b.module("lib");
+        b.proc_with(lib, ProcSpec::new("f", 1, 1), |a| {
+            a.instr(Instr::StoreLocal(0));
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::Ret);
+        });
+        let main = b.module("main");
+        let lv = b.import(main, ProcRef { module: 0, ev_index: 0 });
+        b.proc_with(main, ProcSpec::new("main", 0, 0).with_addr_taken(), move |a| {
+            a.instr(Instr::LoadImm(5));
+            a.instr(Instr::ExternalCall(lv));
+            a.instr(Instr::Out);
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 1, ev_index: 0 }).unwrap();
+        let text = listing(&image).unwrap();
+        assert!(text.contains("module lib"), "{text}");
+        assert!(text.contains("module main"), "{text}");
+        assert!(text.contains("lib#0"), "{text}");
+        assert!(text.contains("1 args"), "{text}");
+        assert!(text.contains("takes local addresses"), "{text}");
+        assert!(text.contains("EFC 0"), "{text}");
+        assert!(text.contains("1 LV entries"), "{text}");
+    }
+
+    #[test]
+    fn listing_covers_every_instruction() {
+        let mut b = ImageBuilder::new();
+        let m = b.module("m");
+        b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+            a.instr(Instr::LoadImm(300)); // 3-byte literal
+            a.instr(Instr::Out);
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+        let text = listing(&image).unwrap();
+        assert!(text.contains("LI 300"));
+        assert!(text.contains("OUT"));
+        assert!(text.contains("HALT"));
+    }
+}

@@ -1,0 +1,1745 @@
+//! The interpreter: one engine, four implementations.
+//!
+//! The machine executes the `fpc-isa` byte code under a
+//! [`MachineConfig`], realising the paper's implementations I1–I4 as
+//! configurations of the same engine:
+//!
+//! * the **general scheme** is always present: every context is a frame
+//!   in storage holding PC, return link and global-frame pointer, and
+//!   any `XFER` can fall back to it;
+//! * the **return-prediction stack** (§6) makes LIFO returns — and the
+//!   corresponding calls — run without touching frame words in memory;
+//! * **register banks** (§7) shadow the locals of recent frames and
+//!   absorb argument passing by renaming;
+//! * the **free-frame cache** (§7.1) hides allocation cost for
+//!   standard-size frames.
+//!
+//! Every architectural memory reference is counted, so "three
+//! references to allocate", "four levels of indirection" and "as fast
+//! as an unconditional jump" are measurements here, not claims.
+
+use std::collections::HashMap;
+
+use fpc_core::{layout, Context, ContextWord, FrameHandle, GftEntry, ProcDesc};
+use fpc_frames::{FrameError, FrameHeap, GeneralHeap, HeapStats};
+use fpc_isa::{decode, Instr};
+use fpc_mem::{ByteAddr, CodeStore, Memory, WordAddr};
+
+use crate::banks::{BankMachine, BankStats};
+use crate::cache::{CacheStats, FrameCache};
+use crate::config::{AllocStrategy, MachineConfig, PtrLocalPolicy};
+use crate::cost::{TransferKind, TransferStats, CYCLE_BASE, CYCLE_MEMREF, CYCLE_REFILL};
+use crate::error::{TrapCode, VmError};
+use crate::ifu::{ReturnEntry, ReturnStack, ReturnStackStats};
+use crate::image::{self, Image, ProcRef, AV_BASE, GFT_BASE};
+
+/// Whole-run statistics.
+#[derive(Debug, Default, Clone)]
+pub struct MachineStats {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Cycles under the [`crate::cost`] model.
+    pub cycles: u64,
+    /// Taken jumps (the yardstick events).
+    pub jumps_taken: u64,
+    /// Per-transfer-kind statistics.
+    pub transfers: TransferStats,
+    /// Extra cycles charged for §7.4 diverted references.
+    pub divert_cycles: u64,
+    /// Distribution of requested frame sizes in **bytes** (the class
+    /// the procedure header asked for), for the §7.1 "95% of frames
+    /// are smaller than 80 bytes" statistic (experiment E7).
+    pub frame_bytes: fpc_stats::Histogram,
+}
+
+impl MachineStats {
+    /// The paper's §1 density statistic: instructions per call-or-return
+    /// ("one call or return for every 10 instructions executed is not
+    /// uncommon").
+    pub fn instructions_per_transfer(&self) -> f64 {
+        let t = self.transfers.calls_and_returns();
+        if t == 0 {
+            f64::INFINITY
+        } else {
+            self.instructions as f64 / t as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FrameInfo {
+    /// Size class the frame actually occupies.
+    actual_fsi: u8,
+    /// Words in the locals region (class size minus the header).
+    locals_words: u32,
+    /// §7.4 flag from the procedure header.
+    addr_taken: bool,
+}
+
+#[derive(Debug)]
+enum Allocator {
+    General(GeneralHeap),
+    Av(FrameHeap),
+    Cached { heap: FrameHeap, cache: FrameCache },
+}
+
+#[derive(Debug, Clone)]
+struct Process {
+    /// Suspended context (a frame word), or the running marker.
+    ctx: ContextWord,
+    saved_stack: Vec<u16>,
+    alive: bool,
+}
+
+/// Where a module landed at load time (needed for §5 T2 relocation).
+#[derive(Debug, Clone)]
+struct LoadedModule {
+    gf: WordAddr,
+    code_base: ByteAddr,
+    code_len: u32,
+    nprocs: u16,
+}
+
+/// Outcome of [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An instruction was executed.
+    Ran,
+    /// The machine is halted.
+    Halted,
+}
+
+/// The byte-code machine.
+pub struct Machine {
+    mem: Memory,
+    code: CodeStore,
+    config: MachineConfig,
+    allocator: Allocator,
+    rs: ReturnStack,
+    banks: Option<BankMachine>,
+    defer_headers: bool,
+    classes: fpc_frames::SizeClasses,
+
+    // Registers.
+    lf: WordAddr,
+    gf: WordAddr,
+    code_base: ByteAddr,
+    pc: ByteAddr,
+    return_ctx: ContextWord,
+    stack: Vec<u16>,
+
+    frame_info: HashMap<u32, FrameInfo>,
+    modules: Vec<LoadedModule>,
+    processes: Vec<Process>,
+    current_proc: usize,
+    trap_handler: Option<ContextWord>,
+    output: Vec<u16>,
+    stats: MachineStats,
+    halted: bool,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &self.pc)
+            .field("lf", &self.lf)
+            .field("gf", &self.gf)
+            .field("halted", &self.halted)
+            .field("instructions", &self.stats.instructions)
+            .finish_non_exhaustive()
+    }
+}
+
+enum Flow {
+    Next,
+    Taken(Option<TransferKind>),
+    Halt,
+}
+
+impl Machine {
+    /// Loads an image under a configuration and prepares the entry
+    /// call (the entry procedure's frame is created; execution will
+    /// begin at its first instruction).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadImage`] for malformed or incompatible images
+    /// (e.g. a renaming machine requires an image compiled without
+    /// prologue argument stores, and vice versa).
+    pub fn load(image: &Image, config: MachineConfig) -> Result<Self, VmError> {
+        if image.bank_args != config.renaming() {
+            return Err(VmError::BadImage(format!(
+                "image bank_args={} but machine renaming={}",
+                image.bank_args,
+                config.renaming()
+            )));
+        }
+        let (mem, code, placement) =
+            image::load(image, image::DEFAULT_MEMORY_WORDS)?;
+        let mut mem = mem;
+        let region = placement.frame_region.clone();
+        let allocator = match config.alloc {
+            AllocStrategy::General => {
+                Allocator::General(GeneralHeap::new(region.start, region.end - region.start))
+            }
+            AllocStrategy::Av => Allocator::Av(FrameHeap::new(
+                &mut mem,
+                AV_BASE,
+                image.classes.clone(),
+                region,
+            )?),
+            AllocStrategy::AvCached { cache_frames, .. } => {
+                let heap = FrameHeap::new(&mut mem, AV_BASE, image.classes.clone(), region)?;
+                let cache = FrameCache::new(&heap, cache_frames);
+                Allocator::Cached { heap, cache }
+            }
+        };
+        let defer_headers = matches!(config.alloc, AllocStrategy::AvCached { defer: true, .. })
+            && config.return_stack > 0
+            && config.banks.is_some();
+        let banks = config.banks.map(|b| BankMachine::new(b.banks, b.words));
+        // Segment extents, for relocation: modules were placed in
+        // order, so each runs to the next base (or the end of code).
+        let mut bases: Vec<u32> = image.modules.iter().map(|m| m.code_base.0).collect();
+        bases.push(image.code.len() as u32);
+        let modules = image
+            .modules
+            .iter()
+            .enumerate()
+            .map(|(i, m)| LoadedModule {
+                gf: placement.gf_addrs[i],
+                code_base: m.code_base,
+                code_len: bases[i + 1..]
+                    .iter()
+                    .copied()
+                    .filter(|&b| b > m.code_base.0)
+                    .min()
+                    .unwrap_or(image.code.len() as u32)
+                    - m.code_base.0,
+                nprocs: m.nprocs,
+            })
+            .collect();
+        let mut machine = Machine {
+            mem,
+            code,
+            config,
+            allocator,
+            rs: ReturnStack::new(config.return_stack),
+            banks,
+            defer_headers,
+            classes: image.classes.clone(),
+            lf: WordAddr::NIL,
+            gf: WordAddr::NIL,
+            code_base: ByteAddr(0),
+            pc: ByteAddr(0),
+            return_ctx: ContextWord::NIL,
+            stack: Vec::new(),
+            frame_info: HashMap::new(),
+            modules,
+            processes: vec![Process { ctx: ContextWord::NIL, saved_stack: Vec::new(), alive: true }],
+            current_proc: 0,
+            trap_handler: None,
+            output: Vec::new(),
+            stats: MachineStats::default(),
+            halted: false,
+        };
+        machine.start(image)?;
+        Ok(machine)
+    }
+
+    /// Performs the initial transfer to the entry procedure.
+    fn start(&mut self, image: &Image) -> Result<(), VmError> {
+        let desc = image.proc_desc(image.entry)?;
+        let Context::Proc(p) = Context::from(desc) else { unreachable!("validated") };
+        let (header, dest_gf, dest_cb) = self.resolve_proc_desc(p)?;
+        // The root has no caller: return link stays NIL (memory is
+        // zeroed) and nothing is pushed on the return stack.
+        let (fsi, flags) = self.read_header(header);
+        let (nargs, addr_taken) = layout::unpack_flags(flags);
+        debug_assert_eq!(nargs, 0, "entry procedure takes no arguments");
+        let frame = self.alloc_frame(fsi, addr_taken)?;
+        if !self.defer_headers {
+            self.mem.write(frame.offset(layout::FRAME_GLOBAL), dest_gf.0 as u16);
+        }
+        let locals = self.frame_info[&frame.0].locals_words;
+        let rename: Option<&[u16]> = if self.config.renaming() { Some(&[]) } else { None };
+        if let Some(b) = self.banks.as_mut() {
+            b.assign(&mut self.mem, frame, locals, rename, None);
+        }
+        self.lf = frame;
+        self.gf = dest_gf;
+        self.code_base = dest_cb;
+        self.pc = header.offset(layout::PROC_HEADER_BYTES);
+        self.mem.reset_stats(); // setup is not part of the run
+        Ok(())
+    }
+
+    /// Installs a trap handler procedure; traps transfer to it with the
+    /// trap code as the single argument.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadImage`] if the reference is invalid.
+    pub fn set_trap_handler(&mut self, image: &Image, handler: ProcRef) -> Result<(), VmError> {
+        self.trap_handler = Some(image.proc_desc(handler)?);
+        Ok(())
+    }
+
+    /// Runs until `HALT`, all processes exit, or an error.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::OutOfFuel`] if `fuel` instructions were not enough,
+    /// or any execution error.
+    pub fn run(&mut self, fuel: u64) -> Result<(), VmError> {
+        for _ in 0..fuel {
+            if let StepOutcome::Halted = self.step()? {
+                return Ok(());
+            }
+        }
+        if self.halted {
+            Ok(())
+        } else {
+            Err(VmError::OutOfFuel)
+        }
+    }
+
+    /// Values emitted by `OUT`.
+    pub fn output(&self) -> &[u16] {
+        &self.output
+    }
+
+    /// The evaluation stack (e.g. results after the root returns).
+    pub fn stack(&self) -> &[u16] {
+        &self.stack
+    }
+
+    /// Whether the machine has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Return-stack statistics (E5).
+    pub fn return_stack_stats(&self) -> ReturnStackStats {
+        self.rs.stats()
+    }
+
+    /// Bank statistics (E6, E9), if banks are configured.
+    pub fn bank_stats(&self) -> Option<BankStats> {
+        self.banks.as_ref().map(|b| b.stats())
+    }
+
+    /// Free-frame-cache statistics (E8), if the cache is configured.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        match &self.allocator {
+            Allocator::Cached { cache, .. } => Some(cache.stats()),
+            _ => None,
+        }
+    }
+
+    /// AV-heap statistics (E3), when the AV allocator is in use.
+    pub fn heap_stats(&self) -> Option<&HeapStats> {
+        match &self.allocator {
+            Allocator::Av(h) | Allocator::Cached { heap: h, .. } => Some(h.stats()),
+            Allocator::General(_) => None,
+        }
+    }
+
+    /// Memory-reference counters.
+    pub fn mem_stats(&self) -> fpc_mem::MemStats {
+        self.mem.stats()
+    }
+
+    /// Host-side read of a word (uncounted), seeing through banks.
+    pub fn peek_word(&self, addr: WordAddr) -> u16 {
+        if let Some(b) = &self.banks {
+            if let Some((frame, idx)) = b.shadow_hit(addr) {
+                if let Some(v) = b.peek_local(frame, idx) {
+                    return v;
+                }
+            }
+        }
+        self.mem.peek(addr)
+    }
+
+    fn refs_total(&self) -> u64 {
+        let general = match &self.allocator {
+            Allocator::General(g) => g.charged_refs(),
+            _ => 0,
+        };
+        self.mem.stats().total() + self.code.stats().table_reads + general
+    }
+
+    /// Moves a module's code segment to freshly allocated space in the
+    /// code store and returns the new base — the paper's §5 point T2
+    /// made live: "the global frame permits the code segment to be
+    /// moved. This … allows a simple and efficient implementation of
+    /// code swapping and relocation."
+    ///
+    /// Works because every durable PC in the system is **relative** to
+    /// the code base: saved frame PCs, entry-vector slots and return
+    /// links all survive unchanged; only the global frame's code-base
+    /// word, the header copies of it, and the machine's own registers
+    /// are rebased. The accelerators hold absolute PCs, so the orderly
+    /// fallback flushes them first.
+    ///
+    /// Direct-call sites burned into *other* modules keep their old
+    /// absolute addresses — the paper's D3 trade-off: early binding
+    /// gives up exactly this freedom. Only Mesa-linkage images should
+    /// be relocated.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadImage`] if the module index is out of range.
+    pub fn relocate_module(&mut self, module: usize) -> Result<ByteAddr, VmError> {
+        let Some(info) = self.modules.get(module).cloned() else {
+            return Err(VmError::BadImage(format!("no module {module}")));
+        };
+        // Flush the absolute-PC caches (return stack, banks).
+        self.fallback_flush();
+        // Copy the segment to the end of the store, word-aligned.
+        if !self.code.len().is_multiple_of(2) {
+            self.code.append(&[0]);
+        }
+        let old = info.code_base;
+        let seg: Vec<u8> = (0..info.code_len)
+            .map(|i| self.code.peek(old.offset(i)))
+            .collect();
+        let new_base = self.code.append(&seg);
+        let new_cb = layout::code_base_word(new_base);
+        // Patch each procedure header's code-base field in the copy.
+        for p in 0..info.nprocs {
+            let ev = self.code.peek_u16(layout::ev_slot(new_base, p));
+            let hdr = new_base.offset(ev as u32);
+            self.code.poke(hdr.offset(layout::HDR_CODE_BASE), new_cb as u8);
+            self.code
+                .poke(hdr.offset(layout::HDR_CODE_BASE + 1), (new_cb >> 8) as u8);
+        }
+        // One architectural store moves the whole module: the global
+        // frame's code-base word.
+        self.mem.write(info.gf.offset(layout::GF_CODE_BASE), new_cb);
+        // Rebase the running registers if control is inside the module.
+        if self.code_base == old {
+            let rel = self.pc.0 - old.0;
+            self.code_base = new_base;
+            self.pc = new_base.offset(rel);
+        }
+        self.modules[module].code_base = new_base;
+        Ok(new_base)
+    }
+
+    /// Replaces a procedure's implementation at run time — the entry
+    /// vector's freedom from §5 T2: "EV permits a procedure to be
+    /// moved in the code segment. This allows a procedure to be
+    /// dynamically replaced by another of a different size, without
+    /// any loss of efficient packing."
+    ///
+    /// The new body (with `nargs` arguments and `nlocals` locals) is
+    /// placed in fresh code space; one entry-vector store redirects
+    /// all future calls, packed descriptors and link vectors included.
+    /// Activations already running the old body finish on it — their
+    /// saved PCs still resolve against the unchanged code base.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadImage`] if the reference is invalid, the new body
+    /// lands beyond the entry vector's 16-bit reach, or the frame
+    /// exceeds the size ladder; assembler errors likewise.
+    pub fn replace_proc(
+        &mut self,
+        module: usize,
+        ev_index: u16,
+        nargs: u8,
+        nlocals: u32,
+        build: impl FnOnce(&mut fpc_isa::Assembler),
+    ) -> Result<ByteAddr, VmError> {
+        let Some(info) = self.modules.get(module).cloned() else {
+            return Err(VmError::BadImage(format!("no module {module}")));
+        };
+        if ev_index >= info.nprocs {
+            return Err(VmError::BadImage(format!("no entry {ev_index}")));
+        }
+        let mut asm = fpc_isa::Assembler::new();
+        build(&mut asm);
+        let body = asm
+            .assemble()
+            .map_err(|e| VmError::BadImage(e.to_string()))?
+            .bytes;
+        let frame_words = layout::FRAME_HEADER_WORDS + nlocals;
+        let fsi = self
+            .classes
+            .fsi_for(frame_words)
+            .ok_or_else(|| VmError::BadImage("replacement frame too large".into()))?;
+        if !self.code.len().is_multiple_of(2) {
+            self.code.append(&[0]);
+        }
+        let cb = layout::code_base_word(info.code_base);
+        let mut blob = vec![
+            fsi,
+            layout::pack_flags(nargs, false),
+            (info.gf.0 as u16) as u8,
+            ((info.gf.0 as u16) >> 8) as u8,
+            cb as u8,
+            (cb >> 8) as u8,
+        ];
+        blob.extend_from_slice(&body);
+        let hdr = self.code.append(&blob);
+        let rel = hdr.0 - info.code_base.0;
+        let rel = u16::try_from(rel)
+            .map_err(|_| VmError::BadImage("replacement beyond the entry vector's reach".into()))?;
+        // The single redirecting store: the entry-vector slot.
+        let slot = layout::ev_slot(info.code_base, ev_index);
+        self.code.poke(slot, rel as u8);
+        self.code.poke(slot.offset(1), (rel >> 8) as u8);
+        Ok(hdr)
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Any [`VmError`]; the machine should be considered stopped after
+    /// an error.
+    pub fn step(&mut self) -> Result<StepOutcome, VmError> {
+        if self.halted {
+            return Ok(StepOutcome::Halted);
+        }
+        let refs0 = self.refs_total();
+        let divert0 = self.stats.divert_cycles;
+        let instr_start = self.pc;
+        let (instr, len) = decode(self.code.bytes(), instr_start.0 as usize)?;
+        self.pc = instr_start.offset(len as u32);
+        let flow = self.execute(instr, instr_start)?;
+        let refs = self.refs_total() - refs0;
+        let divert = self.stats.divert_cycles - divert0;
+        let mut cycles = CYCLE_BASE + refs * CYCLE_MEMREF + divert;
+        let mut kind = None;
+        match flow {
+            Flow::Next => {}
+            Flow::Taken(k) => {
+                cycles += CYCLE_REFILL;
+                kind = k;
+                if k.is_none() {
+                    self.stats.jumps_taken += 1;
+                }
+            }
+            Flow::Halt => self.halted = true,
+        }
+        self.stats.cycles += cycles;
+        self.stats.instructions += 1;
+        if let Some(k) = kind {
+            self.stats.transfers.record(k, cycles, refs);
+        }
+        Ok(StepOutcome::Ran)
+    }
+
+    fn push(&mut self, v: u16) -> Result<(), VmError> {
+        if self.stack.len() >= self.config.stack_depth {
+            // Overflow of the register stack is fatal rather than a
+            // catchable trap: the compiler bounds expression depth
+            // statically, so hitting this means miscompiled code.
+            return Err(VmError::UnhandledTrap(TrapCode::StackOverflow));
+        }
+        self.stack.push(v);
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<u16, VmError> {
+        self.stack.pop().ok_or(VmError::StackUnderflow)
+    }
+
+    fn read_local(&mut self, idx: u32) -> u16 {
+        if let Some(b) = self.banks.as_mut() {
+            if let Some(v) = b.read_local(self.lf, idx) {
+                return v;
+            }
+        }
+        self.mem.read(layout::local_slot(self.lf, idx))
+    }
+
+    fn write_local(&mut self, idx: u32, v: u16) {
+        if let Some(b) = self.banks.as_mut() {
+            if b.write_local(self.lf, idx, v) {
+                return;
+            }
+        }
+        self.mem.write(layout::local_slot(self.lf, idx), v);
+    }
+
+    fn read_indirect(&mut self, addr: WordAddr) -> u16 {
+        if let Some(b) = self.banks.as_mut() {
+            if let Some((frame, idx)) = b.shadow_hit(addr) {
+                self.stats.divert_cycles += 1;
+                return b.divert_read(frame, idx);
+            }
+        }
+        self.mem.read(addr)
+    }
+
+    fn write_indirect(&mut self, addr: WordAddr, v: u16) {
+        if let Some(b) = self.banks.as_mut() {
+            if let Some((frame, idx)) = b.shadow_hit(addr) {
+                self.stats.divert_cycles += 1;
+                b.divert_write(frame, idx, v);
+                return;
+            }
+        }
+        self.mem.write(addr, v);
+    }
+
+    fn global_addr(&self, idx: u32) -> WordAddr {
+        self.gf.offset(layout::GF_GLOBALS + idx)
+    }
+
+    fn lf_ctx(&self) -> ContextWord {
+        ContextWord::from(Context::Frame(
+            FrameHandle::from_addr(self.lf).expect("live frames are aligned and non-nil"),
+        ))
+    }
+
+    fn rel_pc(&self, pc: ByteAddr) -> u16 {
+        (pc.0 - self.code_base.0) as u16
+    }
+
+    /// Reads a procedure header's fsi and flags bytes. Header bytes are
+    /// part of the instruction stream and prefetched by the IFU, so
+    /// they cost no cycles (uncounted).
+    fn read_header(&self, header: ByteAddr) -> (u8, u8) {
+        (
+            self.code.peek(header.offset(layout::HDR_FSI)),
+            self.code.peek(header.offset(layout::HDR_FLAGS)),
+        )
+    }
+
+    fn read_header_gf_cb(&self, header: ByteAddr) -> (WordAddr, ByteAddr) {
+        let gf = self.code.peek_u16(header.offset(layout::HDR_GF));
+        let cb = self.code.peek_u16(header.offset(layout::HDR_CODE_BASE));
+        (WordAddr(gf as u32), layout::code_base_bytes(cb))
+    }
+
+    /// Resolves a packed procedure descriptor through the tables:
+    /// GFT → global frame (code base) → entry vector. (The LV read, if
+    /// any, happened at the call site.) Returns header, GF, code base.
+    fn resolve_proc_desc(
+        &mut self,
+        p: ProcDesc,
+    ) -> Result<(ByteAddr, WordAddr, ByteAddr), VmError> {
+        let raw = self.mem.read(GFT_BASE.offset(p.env().get() as u32));
+        let entry = GftEntry::from_raw(raw);
+        let gf = entry.global_frame();
+        let cb_word = self.mem.read(gf.offset(layout::GF_CODE_BASE));
+        let base = layout::code_base_bytes(cb_word);
+        let eff = entry.effective_ev_index(p.code().get());
+        let rel = self.code.read_table(layout::ev_slot(base, eff));
+        Ok((base.offset(rel as u32), gf, base))
+    }
+
+    fn alloc_frame(&mut self, fsi: u8, addr_taken: bool) -> Result<WordAddr, VmError> {
+        self.stats.frame_bytes.record(self.classes.size_of(fsi) as u64 * 2);
+        let (frame, actual_fsi) = match &mut self.allocator {
+            Allocator::General(g) => {
+                let words = self.classes.size_of(fsi);
+                (g.alloc(words)?, fsi)
+            }
+            Allocator::Av(h) => (h.alloc_fsi(&mut self.mem, fsi)?, fsi),
+            Allocator::Cached { heap, cache } => cache.alloc(heap, &mut self.mem, fsi)?,
+        };
+        // Bank shadowing is sized by the class the procedure asked
+        // for, not the (possibly larger) standard frame the cache
+        // handed out: the extra words are never referenced, so loading
+        // or flushing them would be pure waste.
+        let locals_words = self.classes.size_of(fsi) - layout::FRAME_HEADER_WORDS;
+        self.frame_info.insert(frame.0, FrameInfo { actual_fsi, locals_words, addr_taken });
+        Ok(frame)
+    }
+
+    fn free_frame(&mut self, frame: WordAddr) -> Result<(), VmError> {
+        let info = self
+            .frame_info
+            .remove(&frame.0)
+            .ok_or(VmError::Frame(FrameError::InvalidFrame(frame)))?;
+        if let Some(b) = self.banks.as_mut() {
+            b.release(frame);
+        }
+        match &mut self.allocator {
+            Allocator::General(g) => {
+                g.free(frame, self.classes.size_of(info.actual_fsi))?;
+            }
+            Allocator::Av(h) => h.free(&mut self.mem, frame)?,
+            Allocator::Cached { heap, cache } => {
+                cache.free(heap, &mut self.mem, frame, info.actual_fsi)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The orderly fallback: flush banks and the return stack so every
+    /// suspended frame's PC, return link and (when deferred) global
+    /// frame are valid in storage.
+    fn fallback_flush(&mut self) {
+        if let Some(b) = self.banks.as_mut() {
+            b.flush_all(&mut self.mem);
+        }
+        let entries = self.rs.flush();
+        let mut cur = self.lf;
+        for e in entries {
+            let link = ContextWord::from(Context::Frame(
+                FrameHandle::from_addr(e.frame).expect("stacked frames are valid"),
+            ));
+            self.mem.write(cur.offset(layout::FRAME_RETURN_LINK), link.raw());
+            self.mem
+                .write(e.frame.offset(layout::FRAME_PC), (e.pc.0 - e.code_base.0) as u16);
+            if self.defer_headers {
+                self.mem.write(e.frame.offset(layout::FRAME_GLOBAL), e.gf.0 as u16);
+            }
+            cur = e.frame;
+        }
+        if self.defer_headers {
+            // Materialise the current frame's header too: whoever
+            // re-enters it later goes through storage.
+            self.mem.write(self.lf.offset(layout::FRAME_GLOBAL), self.gf.0 as u16);
+        }
+    }
+
+    /// Enters an existing suspended frame: the general scheme's three
+    /// reads (PC, GF, code base), plus a bank activation.
+    fn enter_frame(&mut self, frame: WordAddr) -> Result<(), VmError> {
+        let pc_rel = self.mem.read(frame.offset(layout::FRAME_PC));
+        let gf = WordAddr(self.mem.read(frame.offset(layout::FRAME_GLOBAL)) as u32);
+        let cb_word = self.mem.read(gf.offset(layout::GF_CODE_BASE));
+        let base = layout::code_base_bytes(cb_word);
+        self.lf = frame;
+        self.gf = gf;
+        self.code_base = base;
+        self.pc = base.offset(pc_rel as u32);
+        if let Some(b) = self.banks.as_mut() {
+            let locals = self
+                .frame_info
+                .get(&frame.0)
+                .map(|i| i.locals_words)
+                .unwrap_or(0);
+            b.activate(&mut self.mem, frame, locals, None);
+        }
+        Ok(())
+    }
+
+    /// The common call path, shared by all four call linkages, traps
+    /// and `XFER`s to procedure descriptors.
+    fn perform_call(
+        &mut self,
+        header: ByteAddr,
+        dest_gf: WordAddr,
+        dest_cb: ByteAddr,
+        kind: TransferKind,
+        strict: bool,
+    ) -> Result<Flow, VmError> {
+        let (fsi, flags) = self.read_header(header);
+        let (nargs, addr_taken) = layout::unpack_flags(flags);
+        if strict && self.config.strict_stack && self.stack.len() != nargs as usize {
+            return Err(VmError::StrictStackViolation {
+                depth: self.stack.len(),
+                nargs: nargs as usize,
+            });
+        }
+        // §7.4 flush-on-exit: leaving a flagged context writes its bank
+        // back so storage references from elsewhere see current data.
+        if let (Some(b), Some(info)) = (self.banks.as_mut(), self.frame_info.get(&self.lf.0)) {
+            if info.addr_taken
+                && matches!(
+                    self.config.banks.map(|c| c.ptr_policy),
+                    Some(PtrLocalPolicy::FlushOnExit)
+                )
+            {
+                b.flush_frame(&mut self.mem, self.lf);
+            }
+        }
+        let frame = self.alloc_frame(fsi, addr_taken)?;
+
+        let caller_ctx = self.lf_ctx();
+        if self.rs.enabled() {
+            let entry = ReturnEntry {
+                frame: self.lf,
+                gf: self.gf,
+                code_base: self.code_base,
+                pc: self.pc,
+                bank: self.banks.as_ref().and_then(|b| b.bank_of(self.lf)),
+            };
+            if let Some(ev) = self.rs.push(entry) {
+                // Evicted caller: its PC goes to its frame; its callee's
+                // return link now lives in storage.
+                let callee = self.rs.bottom_frame().expect("stack non-empty after push");
+                let link = ContextWord::from(Context::Frame(
+                    FrameHandle::from_addr(ev.frame).expect("valid frame"),
+                ));
+                self.mem.write(callee.offset(layout::FRAME_RETURN_LINK), link.raw());
+                self.mem
+                    .write(ev.frame.offset(layout::FRAME_PC), (ev.pc.0 - ev.code_base.0) as u16);
+                if self.defer_headers {
+                    self.mem.write(ev.frame.offset(layout::FRAME_GLOBAL), ev.gf.0 as u16);
+                }
+            }
+            if !self.defer_headers {
+                self.mem.write(frame.offset(layout::FRAME_GLOBAL), dest_gf.0 as u16);
+            }
+        } else {
+            // General scheme: suspend the caller and link the callee.
+            let rel = self.rel_pc(self.pc);
+            self.mem.write(self.lf.offset(layout::FRAME_PC), rel);
+            self.mem.write(frame.offset(layout::FRAME_RETURN_LINK), caller_ctx.raw());
+            self.mem.write(frame.offset(layout::FRAME_GLOBAL), dest_gf.0 as u16);
+        }
+
+        if let Some(b) = self.banks.as_mut() {
+            let locals = self.frame_info[&frame.0].locals_words;
+            if self.config.renaming() {
+                // §7.2: the stack bank becomes the callee's local bank;
+                // arguments appear in place.
+                let at = self.stack.len().saturating_sub(nargs as usize);
+                let args: Vec<u16> = self.stack.split_off(at);
+                b.assign(&mut self.mem, frame, locals, Some(&args), Some(self.lf));
+            } else {
+                b.assign(&mut self.mem, frame, locals, None, Some(self.lf));
+            }
+        }
+
+        self.return_ctx = caller_ctx;
+        self.lf = frame;
+        self.gf = dest_gf;
+        self.code_base = dest_cb;
+        self.pc = header.offset(layout::PROC_HEADER_BYTES);
+        Ok(Flow::Taken(Some(kind)))
+    }
+
+    /// RETURN (§4/§5.1): free the frame, set `returnContext` to NIL,
+    /// `XFER` to the return link — served by the IFU stack when it can.
+    fn perform_return(&mut self) -> Result<Flow, VmError> {
+        let returning = self.lf;
+        if let Some(entry) = self.rs.pop() {
+            self.free_frame(returning)?;
+            self.lf = entry.frame;
+            self.gf = entry.gf;
+            self.code_base = entry.code_base;
+            self.pc = entry.pc;
+            self.return_ctx = ContextWord::NIL;
+            if let Some(b) = self.banks.as_mut() {
+                let locals = self
+                    .frame_info
+                    .get(&entry.frame.0)
+                    .map(|i| i.locals_words)
+                    .unwrap_or(0);
+                b.activate(&mut self.mem, entry.frame, locals, None);
+            }
+            return Ok(Flow::Taken(Some(TransferKind::Return)));
+        }
+        // General scheme.
+        let link = ContextWord::from_raw(
+            self.mem.read(returning.offset(layout::FRAME_RETURN_LINK)),
+        );
+        self.free_frame(returning)?;
+        self.return_ctx = ContextWord::NIL;
+        match Context::from(link) {
+            Context::Nil => self.process_exit(),
+            Context::Frame(h) => {
+                self.enter_frame(h.addr())?;
+                Ok(Flow::Taken(Some(TransferKind::Return)))
+            }
+            Context::Proc(_) => Err(VmError::InvalidContext(link.raw())),
+        }
+    }
+
+    /// The current process's root returned: mark it dead and resume the
+    /// next live process, or halt.
+    fn process_exit(&mut self) -> Result<Flow, VmError> {
+        self.processes[self.current_proc].alive = false;
+        let n = self.processes.len();
+        for off in 1..=n {
+            let i = (self.current_proc + off) % n;
+            if self.processes[i].alive {
+                self.current_proc = i;
+                let ctx = self.processes[i].ctx;
+                self.stack = std::mem::take(&mut self.processes[i].saved_stack);
+                let Context::Frame(h) = Context::from(ctx) else {
+                    return Err(VmError::InvalidContext(ctx.raw()));
+                };
+                self.enter_frame(h.addr())?;
+                return Ok(Flow::Taken(Some(TransferKind::ProcessSwitch)));
+            }
+        }
+        Ok(Flow::Halt)
+    }
+
+    /// General `XFER` through a context word popped from the stack.
+    fn perform_xfer(&mut self, w: ContextWord) -> Result<Flow, VmError> {
+        // Unusual transfer: orderly fallback first.
+        self.fallback_flush();
+        let rel = self.rel_pc(self.pc);
+        self.mem.write(self.lf.offset(layout::FRAME_PC), rel);
+        let source_ctx = self.lf_ctx();
+        match Context::from(w) {
+            Context::Nil => Err(VmError::XferToNil),
+            Context::Frame(h) => {
+                self.return_ctx = source_ctx;
+                self.enter_frame(h.addr())?;
+                Ok(Flow::Taken(Some(TransferKind::Coroutine)))
+            }
+            Context::Proc(p) => {
+                let (header, dest_gf, dest_cb) = self.resolve_proc_desc(p)?;
+                // A creation context: same as a call, but classified as
+                // a coroutine-style transfer and exempt from the strict
+                // stack check (the argument record rides the stack).
+                let flow =
+                    self.perform_call(header, dest_gf, dest_cb, TransferKind::Coroutine, false)?;
+                self.return_ctx = source_ctx;
+                Ok(flow)
+            }
+        }
+    }
+
+    /// Creates a suspended context for a procedure descriptor (NEWCTX).
+    fn create_context(&mut self, w: ContextWord) -> Result<ContextWord, VmError> {
+        let Context::Proc(p) = Context::from(w) else {
+            return Err(VmError::InvalidContext(w.raw()));
+        };
+        let (header, dest_gf, dest_cb) = self.resolve_proc_desc(p)?;
+        let (fsi, flags) = self.read_header(header);
+        let (_, addr_taken) = layout::unpack_flags(flags);
+        let frame = self.alloc_frame(fsi, addr_taken)?;
+        let entry_rel = (header.0 + layout::PROC_HEADER_BYTES - dest_cb.0) as u16;
+        self.mem.write(frame.offset(layout::FRAME_PC), entry_rel);
+        self.mem.write(frame.offset(layout::FRAME_GLOBAL), dest_gf.0 as u16);
+        self.mem
+            .write(frame.offset(layout::FRAME_RETURN_LINK), ContextWord::NIL.raw());
+        Ok(ContextWord::from(Context::Frame(
+            FrameHandle::from_addr(frame).expect("frames are aligned"),
+        )))
+    }
+
+    fn do_trap(&mut self, code: TrapCode) -> Result<Flow, VmError> {
+        let Some(handler) = self.trap_handler else {
+            return Err(VmError::UnhandledTrap(code));
+        };
+        let Context::Proc(p) = Context::from(handler) else {
+            return Err(VmError::InvalidContext(handler.raw()));
+        };
+        self.stack.push(code.code());
+        let (header, dest_gf, dest_cb) = self.resolve_proc_desc(p)?;
+        self.perform_call(header, dest_gf, dest_cb, TransferKind::Trap, false)
+    }
+
+    fn binary_op(&mut self, f: impl FnOnce(i16, i16) -> i16) -> Result<(), VmError> {
+        let b = self.pop()? as i16;
+        let a = self.pop()? as i16;
+        self.push(f(a, b) as u16)
+    }
+
+    fn compare(&mut self, f: impl FnOnce(i16, i16) -> bool) -> Result<(), VmError> {
+        let b = self.pop()? as i16;
+        let a = self.pop()? as i16;
+        self.push(f(a, b) as u16)
+    }
+
+    fn execute(&mut self, instr: Instr, instr_start: ByteAddr) -> Result<Flow, VmError> {
+        match instr {
+            Instr::LoadLocal(n) => {
+                let v = self.read_local(n as u32);
+                self.push(v)?;
+            }
+            Instr::StoreLocal(n) => {
+                let v = self.pop()?;
+                self.write_local(n as u32, v);
+            }
+            Instr::LoadLocalAddr(n) => {
+                if self.banks.is_some()
+                    && matches!(
+                        self.config.banks.map(|b| b.ptr_policy),
+                        Some(PtrLocalPolicy::Outlaw)
+                    )
+                {
+                    return Err(VmError::PointerToLocalOutlawed);
+                }
+                let addr = layout::local_slot(self.lf, n as u32);
+                self.push(addr.0 as u16)?;
+            }
+            Instr::LoadGlobal(n) => {
+                let v = self.mem.read(self.global_addr(n as u32));
+                self.push(v)?;
+            }
+            Instr::LoadGlobalAddr(n) => {
+                let addr = self.global_addr(n as u32);
+                self.push(addr.0 as u16)?;
+            }
+            Instr::StoreGlobal(n) => {
+                let v = self.pop()?;
+                self.mem.write(self.global_addr(n as u32), v);
+            }
+            Instr::LoadImm(v) => self.push(v)?,
+            Instr::Read => {
+                let addr = WordAddr(self.pop()? as u32);
+                let v = self.read_indirect(addr);
+                self.push(v)?;
+            }
+            Instr::Write => {
+                let addr = WordAddr(self.pop()? as u32);
+                let v = self.pop()?;
+                self.write_indirect(addr, v);
+            }
+            Instr::LoadIndex => {
+                let idx = self.pop()?;
+                let base = self.pop()?;
+                let v = self.read_indirect(WordAddr(base.wrapping_add(idx) as u32));
+                self.push(v)?;
+            }
+            Instr::StoreIndex => {
+                let idx = self.pop()?;
+                let base = self.pop()?;
+                let v = self.pop()?;
+                self.write_indirect(WordAddr(base.wrapping_add(idx) as u32), v);
+            }
+            Instr::Add => self.binary_op(|a, b| a.wrapping_add(b))?,
+            Instr::Sub => self.binary_op(|a, b| a.wrapping_sub(b))?,
+            Instr::Mul => self.binary_op(|a, b| a.wrapping_mul(b))?,
+            Instr::Div => {
+                let b = self.pop()? as i16;
+                let a = self.pop()? as i16;
+                if b == 0 {
+                    return self.do_trap(TrapCode::DivideByZero);
+                }
+                self.push(a.wrapping_div(b) as u16)?;
+            }
+            Instr::Mod => {
+                let b = self.pop()? as i16;
+                let a = self.pop()? as i16;
+                if b == 0 {
+                    return self.do_trap(TrapCode::DivideByZero);
+                }
+                self.push(a.wrapping_rem(b) as u16)?;
+            }
+            Instr::Neg => {
+                let a = self.pop()? as i16;
+                self.push(a.wrapping_neg() as u16)?;
+            }
+            Instr::And => self.binary_op(|a, b| a & b)?,
+            Instr::Or => self.binary_op(|a, b| a | b)?,
+            Instr::Xor => self.binary_op(|a, b| a ^ b)?,
+            Instr::Shl => {
+                let n = self.pop()? & 0x0F;
+                let v = self.pop()?;
+                self.push(v << n)?;
+            }
+            Instr::Shr => {
+                let n = self.pop()? & 0x0F;
+                let v = self.pop()?;
+                self.push(v >> n)?;
+            }
+            Instr::CmpEq => self.compare(|a, b| a == b)?,
+            Instr::CmpNe => self.compare(|a, b| a != b)?,
+            Instr::CmpLt => self.compare(|a, b| a < b)?,
+            Instr::CmpLe => self.compare(|a, b| a <= b)?,
+            Instr::CmpGt => self.compare(|a, b| a > b)?,
+            Instr::CmpGe => self.compare(|a, b| a >= b)?,
+            Instr::AddImm(n) => {
+                let v = self.pop()?;
+                self.push(v.wrapping_add(n as u16))?;
+            }
+            Instr::Dup => {
+                let v = *self.stack.last().ok_or(VmError::StackUnderflow)?;
+                self.push(v)?;
+            }
+            Instr::Drop => {
+                self.pop()?;
+            }
+            Instr::Exch => {
+                let b = self.pop()?;
+                let a = self.pop()?;
+                self.push(b)?;
+                self.push(a)?;
+            }
+            Instr::Jump(d) => {
+                self.pc = instr_start.displace(d);
+                return Ok(Flow::Taken(None));
+            }
+            Instr::JumpZero(d) => {
+                if self.pop()? == 0 {
+                    self.pc = instr_start.displace(d);
+                    return Ok(Flow::Taken(None));
+                }
+            }
+            Instr::JumpNotZero(d) => {
+                if self.pop()? != 0 {
+                    self.pc = instr_start.displace(d);
+                    return Ok(Flow::Taken(None));
+                }
+            }
+            Instr::ExternalCall(k) => {
+                // One reference into the link vector…
+                let w = ContextWord::from_raw(self.mem.read(layout::lv_slot(self.gf, k as u32)));
+                match Context::from(w) {
+                    Context::Proc(p) => {
+                        // …then GFT, global frame, entry vector.
+                        let (header, dest_gf, dest_cb) = self.resolve_proc_desc(p)?;
+                        return self.perform_call(
+                            header,
+                            dest_gf,
+                            dest_cb,
+                            TransferKind::Call,
+                            true,
+                        );
+                    }
+                    // A frame bound into the link vector: the
+                    // destination decides the discipline (F3).
+                    Context::Frame(_) => return self.perform_xfer(w),
+                    Context::Nil => return Err(VmError::XferToNil),
+                }
+            }
+            Instr::LocalCall(k) => {
+                // Same module: same environment and code base, one
+                // level of indirection (the entry vector).
+                let rel = self.code.read_table(layout::ev_slot(self.code_base, k as u16));
+                let header = self.code_base.offset(rel as u32);
+                return self.perform_call(
+                    header,
+                    self.gf,
+                    self.code_base,
+                    TransferKind::Call,
+                    true,
+                );
+            }
+            Instr::DirectCall(addr) => {
+                let header = ByteAddr(addr);
+                let (gf, cb) = self.read_header_gf_cb(header);
+                return self.perform_call(header, gf, cb, TransferKind::Call, true);
+            }
+            Instr::ShortDirectCall(d) => {
+                let header = instr_start.displace(d);
+                let (gf, cb) = self.read_header_gf_cb(header);
+                return self.perform_call(header, gf, cb, TransferKind::Call, true);
+            }
+            Instr::Ret => return self.perform_return(),
+            Instr::Xfer => {
+                let w = ContextWord::from_raw(self.pop()?);
+                return self.perform_xfer(w);
+            }
+            Instr::NewContext => {
+                let w = ContextWord::from_raw(self.pop()?);
+                let ctx = self.create_context(w)?;
+                self.push(ctx.raw())?;
+            }
+            Instr::FreeContext => {
+                let w = ContextWord::from_raw(self.pop()?);
+                let Context::Frame(h) = Context::from(w) else {
+                    return Err(VmError::InvalidContext(w.raw()));
+                };
+                if h.addr() == self.lf {
+                    return Err(VmError::InvalidContext(w.raw()));
+                }
+                self.free_frame(h.addr())?;
+            }
+            Instr::ReturnContext => {
+                let w = self.return_ctx.raw();
+                self.push(w)?;
+            }
+            Instr::AllocRecord(words) => {
+                // Long argument records come from the same allocator as
+                // frames (§5.3) and are tracked like frames: exactly
+                // one reference, freed by the receiver.
+                let fsi = self
+                    .classes
+                    .fsi_for(words as u32)
+                    .ok_or(VmError::Frame(FrameError::OversizeRequest {
+                        words: words as u32,
+                    }))?;
+                let rec = self.alloc_frame(fsi, false)?;
+                self.push(rec.0 as u16)?;
+            }
+            Instr::FreeRecord => {
+                let addr = WordAddr(self.pop()? as u32);
+                self.free_frame(addr)?;
+            }
+            Instr::Trap(n) => return self.do_trap(TrapCode::User(n)),
+            Instr::ProcessSwitch => {
+                let n = self.processes.len();
+                let next = (1..=n)
+                    .map(|off| (self.current_proc + off) % n)
+                    .find(|&i| i != self.current_proc && self.processes[i].alive);
+                let Some(next) = next else {
+                    return Ok(Flow::Next); // nothing to switch to
+                };
+                self.fallback_flush();
+                let rel = self.rel_pc(self.pc);
+                self.mem.write(self.lf.offset(layout::FRAME_PC), rel);
+                self.processes[self.current_proc].ctx = self.lf_ctx();
+                self.processes[self.current_proc].saved_stack = std::mem::take(&mut self.stack);
+                self.current_proc = next;
+                let ctx = self.processes[next].ctx;
+                self.stack = std::mem::take(&mut self.processes[next].saved_stack);
+                let Context::Frame(h) = Context::from(ctx) else {
+                    return Err(VmError::InvalidContext(ctx.raw()));
+                };
+                self.enter_frame(h.addr())?;
+                return Ok(Flow::Taken(Some(TransferKind::ProcessSwitch)));
+            }
+            Instr::Spawn => {
+                let w = ContextWord::from_raw(self.pop()?);
+                let ctx = self.create_context(w)?;
+                self.processes.push(Process { ctx, saved_stack: Vec::new(), alive: true });
+                let idx = (self.processes.len() - 1) as u16;
+                self.push(idx)?;
+            }
+            Instr::Out => {
+                let v = self.pop()?;
+                self.output.push(v);
+            }
+            Instr::Halt => return Ok(Flow::Halt),
+            Instr::Noop => {}
+        }
+        Ok(Flow::Next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{ImageBuilder, ProcSpec};
+
+    fn run_image(image: &Image, config: MachineConfig) -> Machine {
+        let mut m = Machine::load(image, config).unwrap();
+        m.run(1_000_000).unwrap();
+        m
+    }
+
+    fn all_configs() -> Vec<(&'static str, MachineConfig)> {
+        vec![
+            ("i1", MachineConfig::i1()),
+            ("i2", MachineConfig::i2()),
+            ("i3", MachineConfig::i3()),
+        ]
+    }
+
+    /// fib via local calls, with prologue argument stores.
+    fn fib_image(call: fn(&mut fpc_isa::Assembler)) -> Image {
+        let mut b = ImageBuilder::new();
+        let m = b.module("main");
+        // proc 0: fib(n)
+        b.proc_with(m, ProcSpec::new("fib", 1, 1), |a| {
+            a.instr(Instr::StoreLocal(0)); // prologue: store arg
+            let recurse = a.label();
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::LoadImm(2));
+            a.instr(Instr::CmpLt);
+            a.jump_zero(recurse);
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::Ret);
+            a.bind(recurse);
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::LoadImm(1));
+            a.instr(Instr::Sub);
+            call(a); // fib(n-1)
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::LoadImm(2));
+            a.instr(Instr::Sub);
+            a.instr(Instr::Exch); // keep first result below the arg
+            a.instr(Instr::Exch); // (net no-op; exercise stack ops)
+            // Spill the pending result before the second call.
+            a.instr(Instr::Exch);
+            a.instr(Instr::StoreLocal(0)); // reuse local 0 as temp
+            call(a); // fib(n-2)
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::Add);
+            a.instr(Instr::Ret);
+        });
+        // proc 1: main
+        b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+            a.instr(Instr::LoadImm(10));
+            call(a);
+            a.instr(Instr::Out);
+            a.instr(Instr::Halt);
+        });
+        b.build(ProcRef { module: 0, ev_index: 1 }).unwrap()
+    }
+
+    fn fib_local_calls() -> Image {
+        fib_image(|a| a.instr(Instr::LocalCall(0)))
+    }
+
+    #[test]
+    fn fib_runs_on_every_configuration() {
+        let image = fib_local_calls();
+        for (name, cfg) in all_configs() {
+            let m = run_image(&image, cfg);
+            assert_eq!(m.output(), &[55], "config {name}");
+        }
+        // I4 requires a renaming-free bank config for this image.
+        let cfg = MachineConfig::i4().with_banks(Some(crate::config::BankConfig {
+            renaming: false,
+            ..crate::config::BankConfig::paper_default()
+        }));
+        let m = run_image(&image, cfg);
+        assert_eq!(m.output(), &[55], "config i4/no-renaming");
+    }
+
+    #[test]
+    fn renaming_image_runs_on_renaming_machine() {
+        // Same fib but without the prologue store: with renaming the
+        // argument is already local 0.
+        let mut b = ImageBuilder::new();
+        b.bank_args();
+        let m = b.module("main");
+        b.proc_with(m, ProcSpec::new("fib", 1, 2), |a| {
+            let recurse = a.label();
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::LoadImm(2));
+            a.instr(Instr::CmpLt);
+            a.jump_zero(recurse);
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::Ret);
+            a.bind(recurse);
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::LoadImm(1));
+            a.instr(Instr::Sub);
+            a.instr(Instr::LocalCall(0));
+            a.instr(Instr::StoreLocal(1)); // spill result
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::LoadImm(2));
+            a.instr(Instr::Sub);
+            a.instr(Instr::LocalCall(0));
+            a.instr(Instr::LoadLocal(1));
+            a.instr(Instr::Add);
+            a.instr(Instr::Ret);
+        });
+        b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+            a.instr(Instr::LoadImm(10));
+            a.instr(Instr::LocalCall(0));
+            a.instr(Instr::Out);
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        let m = run_image(&image, MachineConfig::i4());
+        assert_eq!(m.output(), &[55]);
+        let bs = m.bank_stats().unwrap();
+        assert!(bs.renames > 100, "renaming was exercised: {bs:?}");
+    }
+
+    #[test]
+    fn mismatched_renaming_rejected() {
+        let image = fib_local_calls();
+        assert!(matches!(
+            Machine::load(&image, MachineConfig::i4()),
+            Err(VmError::BadImage(_))
+        ));
+    }
+
+    #[test]
+    fn external_call_crosses_modules() {
+        let mut b = ImageBuilder::new();
+        let lib = b.module("lib");
+        b.proc_with(lib, ProcSpec::new("inc", 1, 1), |a| {
+            a.instr(Instr::StoreLocal(0));
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::LoadImm(1));
+            a.instr(Instr::Add);
+            a.instr(Instr::Ret);
+        });
+        let main = b.module("main");
+        let lv = b.import(main, ProcRef { module: 0, ev_index: 0 });
+        b.proc_with(main, ProcSpec::new("main", 0, 0), move |a| {
+            a.instr(Instr::LoadImm(41));
+            a.instr(Instr::ExternalCall(lv));
+            a.instr(Instr::Out);
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 1, ev_index: 0 }).unwrap();
+        let m = run_image(&image, MachineConfig::i2());
+        assert_eq!(m.output(), &[42]);
+        // The external call made exactly 4 table references for the PC:
+        // LV, GFT, GF code base (EV is a code-table read).
+        assert!(m.stats().transfers.calls.count >= 1);
+    }
+
+    #[test]
+    fn external_call_costs_four_levels_of_indirection() {
+        // Measure just the call instruction's data references under I2.
+        let mut b = ImageBuilder::new();
+        let lib = b.module("lib");
+        b.proc_with(lib, ProcSpec::new("nop", 0, 0), |a| {
+            a.instr(Instr::Ret);
+        });
+        let main = b.module("main");
+        let lv = b.import(main, ProcRef { module: 0, ev_index: 0 });
+        b.proc_with(main, ProcSpec::new("main", 0, 0), move |a| {
+            a.instr(Instr::ExternalCall(lv));
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 1, ev_index: 0 }).unwrap();
+        let mut m = Machine::load(&image, MachineConfig::i2()).unwrap();
+        m.run(10).unwrap();
+        let call = &m.stats().transfers.calls;
+        assert_eq!(call.count, 1);
+        // 3 data reads (LV, GFT, GF) + 1 EV table read + 3 alloc refs
+        // + 3 header writes (caller PC, return link, callee GF) = 10.
+        assert_eq!(call.refs, 10, "refs per I2 external call");
+    }
+
+    #[test]
+    fn direct_call_avoids_indirection() {
+        // Hand-build: main direct-calls a procedure in the same image.
+        let mut b = ImageBuilder::new();
+        let m = b.module("main");
+        b.proc_with(m, ProcSpec::new("f", 0, 0), |a| {
+            a.instr(Instr::Ret);
+        });
+        b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+            a.instr(Instr::DirectCall(0)); // patched below
+            a.instr(Instr::Halt);
+        });
+        let mut image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        // Patch the DFC operand to f's header address.
+        let target = image.proc_header_addr(ProcRef { module: 0, ev_index: 0 });
+        let main_hdr = image.proc_header_addr(ProcRef { module: 0, ev_index: 1 });
+        let site = main_hdr.0 as usize + layout::PROC_HEADER_BYTES as usize;
+        assert_eq!(image.code[site], fpc_isa::opcode::DFC);
+        image.code[site + 1] = target.0 as u8;
+        image.code[site + 2] = (target.0 >> 8) as u8;
+        image.code[site + 3] = (target.0 >> 16) as u8;
+
+        let mut m = Machine::load(&image, MachineConfig::i2()).unwrap();
+        m.run(10).unwrap();
+        let call = &m.stats().transfers.calls;
+        assert_eq!(call.count, 1);
+        // No indirection: 3 alloc refs + 3 header writes only.
+        assert_eq!(call.refs, 6, "refs per I2 direct call");
+    }
+
+    /// Patches the first `DFC 0` site in `proc_ev` to call `target_ev`.
+    fn patch_direct_call(image: &mut Image, proc_ev: u16, target_ev: u16) {
+        let target = image.proc_header_addr(ProcRef { module: 0, ev_index: target_ev });
+        let hdr = image.proc_header_addr(ProcRef { module: 0, ev_index: proc_ev });
+        let mut at = hdr.0 as usize + layout::PROC_HEADER_BYTES as usize;
+        while image.code[at] != fpc_isa::opcode::DFC {
+            let (_, len) = decode(&image.code, at).unwrap();
+            at += len;
+        }
+        image.code[at + 1] = target.0 as u8;
+        image.code[at + 2] = (target.0 >> 8) as u8;
+        image.code[at + 3] = (target.0 >> 16) as u8;
+    }
+
+    #[test]
+    fn i4_direct_calls_run_at_jump_speed() {
+        // A leaf-call loop with DIRECTCALL linkage: under full I4 every
+        // call+return should hit the fast path after warm-up.
+        let mut b = ImageBuilder::new();
+        b.bank_args();
+        let m = b.module("main");
+        b.proc_with(m, ProcSpec::new("leaf", 1, 1), |a| {
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::Ret);
+        });
+        b.proc_with(m, ProcSpec::new("main", 0, 1), |a| {
+            a.instr(Instr::LoadImm(100));
+            a.instr(Instr::StoreLocal(0));
+            let top = a.label();
+            a.bind(top);
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::DirectCall(0)); // patched to leaf below
+            a.instr(Instr::Drop);
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::LoadImm(1));
+            a.instr(Instr::Sub);
+            a.instr(Instr::StoreLocal(0));
+            a.instr(Instr::LoadLocal(0));
+            a.jump_not_zero(top);
+            a.instr(Instr::Halt);
+        });
+        let mut image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        patch_direct_call(&mut image, 1, 0);
+        let m = run_image(&image, MachineConfig::i4());
+        let frac = m.stats().transfers.fast_call_return_fraction();
+        assert!(frac > 0.95, "fast fraction {frac}");
+        // And the fast events really cost exactly jump_cycles.
+        assert_eq!(
+            m.stats().transfers.returns.cycle_hist.quantile(0.5),
+            Some(crate::cost::jump_cycles())
+        );
+    }
+
+    #[test]
+    fn return_stack_hit_rate_high_on_recursion() {
+        let image = fib_local_calls();
+        let m = run_image(&image, MachineConfig::i3());
+        let rs = m.return_stack_stats();
+        assert!(rs.hit_rate() > 0.9, "hit rate {}", rs.hit_rate());
+        assert!(rs.pushes > 100);
+    }
+
+    #[test]
+    fn coroutine_ping_pong_via_newctx_and_xfer() {
+        let mut b = ImageBuilder::new();
+        let m = b.module("main");
+        // proc 0: generator — discovers its peer via RETCTX, yields
+        // 10, 20, then halts.
+        b.proc_with(m, ProcSpec::new("gen", 0, 1), |a| {
+            a.instr(Instr::ReturnContext);
+            a.instr(Instr::StoreLocal(0)); // peer
+            a.instr(Instr::LoadImm(10));
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::Xfer); // yield 10
+            a.instr(Instr::Drop); // value sent back in (unused)
+            a.instr(Instr::ReturnContext);
+            a.instr(Instr::StoreLocal(0));
+            a.instr(Instr::LoadImm(20));
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::Xfer); // yield 20
+            a.instr(Instr::Halt);
+        });
+        // proc 1: main — creates the generator with NEWCTX (the packed
+        // descriptor for gft 0 / ev 0 is 0x8000) and pulls two values.
+        b.proc_with(m, ProcSpec::new("main", 0, 1), |a| {
+            a.instr(Instr::LoadImm(0x8000));
+            a.instr(Instr::NewContext);
+            a.instr(Instr::StoreLocal(0));
+            // First transfer: expect 10.
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::Xfer);
+            a.instr(Instr::Out);
+            // Send a dummy value back to the generator (its context
+            // is in returnContext after it transferred to us).
+            a.instr(Instr::LoadImm(0));
+            a.instr(Instr::ReturnContext);
+            a.instr(Instr::Xfer);
+            a.instr(Instr::Out);
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        for cfg in [MachineConfig::i2(), MachineConfig::i3()] {
+            let m = run_image(&image, cfg);
+            assert_eq!(m.output(), &[10, 20]);
+            assert!(m.stats().transfers.coroutines.count >= 4);
+        }
+    }
+
+    #[test]
+    fn processes_round_robin() {
+        let mut b = ImageBuilder::new();
+        let m = b.module("main");
+        // proc 0: worker — emits 100, yields, emits 101, returns.
+        b.proc_with(m, ProcSpec::new("worker", 0, 0), |a| {
+            a.instr(Instr::LoadImm(100));
+            a.instr(Instr::Out);
+            a.instr(Instr::ProcessSwitch);
+            a.instr(Instr::LoadImm(101));
+            a.instr(Instr::Out);
+            a.instr(Instr::Ret); // process exit
+        });
+        // proc 1: main — spawns worker, emits 1, yields, emits 2, returns.
+        b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+            a.instr(Instr::LoadImm(0x8000)); // packed desc: gft 0, ev 0
+            a.instr(Instr::Spawn);
+            a.instr(Instr::Drop); // process index
+            a.instr(Instr::LoadImm(1));
+            a.instr(Instr::Out);
+            a.instr(Instr::ProcessSwitch);
+            a.instr(Instr::LoadImm(2));
+            a.instr(Instr::Out);
+            a.instr(Instr::Ret);
+        });
+        let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        let m = run_image(&image, MachineConfig::i3());
+        assert_eq!(m.output(), &[1, 100, 2, 101]);
+        assert!(m.stats().transfers.switches.count >= 2);
+    }
+
+    #[test]
+    fn divide_by_zero_without_handler_errors() {
+        let mut b = ImageBuilder::new();
+        let m = b.module("main");
+        b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+            a.instr(Instr::LoadImm(1));
+            a.instr(Instr::LoadImm(0));
+            a.instr(Instr::Div);
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+        let mut m = Machine::load(&image, MachineConfig::i2()).unwrap();
+        assert_eq!(
+            m.run(10).unwrap_err(),
+            VmError::UnhandledTrap(TrapCode::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn trap_handler_catches_and_resumes() {
+        let mut b = ImageBuilder::new();
+        let m = b.module("main");
+        // proc 0: handler(code) — emits the code and returns.
+        b.proc_with(m, ProcSpec::new("handler", 1, 1), |a| {
+            a.instr(Instr::StoreLocal(0));
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::Out);
+            a.instr(Instr::Ret);
+        });
+        // proc 1: main — traps, then emits 5.
+        b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+            a.instr(Instr::Trap(9));
+            a.instr(Instr::LoadImm(5));
+            a.instr(Instr::Out);
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        let mut machine = Machine::load(&image, MachineConfig::i3()).unwrap();
+        machine.set_trap_handler(&image, ProcRef { module: 0, ev_index: 0 }).unwrap();
+        machine.run(100).unwrap();
+        assert_eq!(machine.output(), &[9, 5]);
+        assert_eq!(machine.stats().transfers.traps.count, 1);
+    }
+
+    #[test]
+    fn strict_stack_violation_detected() {
+        let mut b = ImageBuilder::new();
+        let m = b.module("main");
+        b.proc_with(m, ProcSpec::new("f", 0, 0), |a| {
+            a.instr(Instr::Ret);
+        });
+        b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+            a.instr(Instr::LoadImm(1)); // pending value, never spilled
+            a.instr(Instr::LocalCall(0));
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        let mut m = Machine::load(&image, MachineConfig::i2()).unwrap();
+        assert!(matches!(
+            m.run(10).unwrap_err(),
+            VmError::StrictStackViolation { depth: 1, nargs: 0 }
+        ));
+    }
+
+    #[test]
+    fn pointer_to_local_respects_policies() {
+        let build = || {
+            let mut b = ImageBuilder::new();
+            let m = b.module("main");
+            b.proc_with(m, ProcSpec::new("main", 0, 2).with_addr_taken(), |a| {
+                a.instr(Instr::LoadImm(31));
+                a.instr(Instr::StoreLocal(1));
+                a.instr(Instr::LoadLocalAddr(1));
+                a.instr(Instr::Read); // read own local through pointer
+                a.instr(Instr::Out);
+                a.instr(Instr::Halt);
+            });
+            b.build(ProcRef { module: 0, ev_index: 0 }).unwrap()
+        };
+        let image = build();
+        // Divert: works, counts a diversion.
+        let cfg = MachineConfig::i3().with_banks(Some(crate::config::BankConfig {
+            renaming: false,
+            ptr_policy: PtrLocalPolicy::Divert,
+            ..crate::config::BankConfig::paper_default()
+        }));
+        let m = run_image(&image, cfg);
+        assert_eq!(m.output(), &[31]);
+        assert!(m.bank_stats().unwrap().diversions >= 1);
+        // Outlaw: errors.
+        let cfg = MachineConfig::i3().with_banks(Some(crate::config::BankConfig {
+            renaming: false,
+            ptr_policy: PtrLocalPolicy::Outlaw,
+            ..crate::config::BankConfig::paper_default()
+        }));
+        let mut machine = Machine::load(&image, cfg).unwrap();
+        assert_eq!(machine.run(100).unwrap_err(), VmError::PointerToLocalOutlawed);
+        // No banks at all: plain storage access.
+        let m = run_image(&image, MachineConfig::i2());
+        assert_eq!(m.output(), &[31]);
+    }
+
+    #[test]
+    fn output_and_arith_cover_opcodes() {
+        let mut b = ImageBuilder::new();
+        let m = b.module("main");
+        b.proc_with(m, ProcSpec::new("main", 0, 1), |a| {
+            // (7*3 - 1) / 2 = 10; 10 mod 3 = 1; -(1) = -1; (-1 ^ -1)=0;
+            // (0 | 5) & 13 = 5; 5 << 1 = 10; 10 >> 1 = 5.
+            a.instr(Instr::LoadImm(7));
+            a.instr(Instr::LoadImm(3));
+            a.instr(Instr::Mul);
+            a.instr(Instr::LoadImm(1));
+            a.instr(Instr::Sub);
+            a.instr(Instr::LoadImm(2));
+            a.instr(Instr::Div);
+            a.instr(Instr::LoadImm(3));
+            a.instr(Instr::Mod);
+            a.instr(Instr::Neg);
+            a.instr(Instr::Dup);
+            a.instr(Instr::Xor);
+            a.instr(Instr::LoadImm(5));
+            a.instr(Instr::Or);
+            a.instr(Instr::LoadImm(13));
+            a.instr(Instr::And);
+            a.instr(Instr::LoadImm(1));
+            a.instr(Instr::Shl);
+            a.instr(Instr::LoadImm(1));
+            a.instr(Instr::Shr);
+            a.instr(Instr::Out);
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+        let m = run_image(&image, MachineConfig::i2());
+        assert_eq!(m.output(), &[5]);
+    }
+
+    #[test]
+    fn globals_and_arrays_work() {
+        let mut b = ImageBuilder::new();
+        let m = b.module("main");
+        let g = b.global(m, 5);
+        b.proc_with(m, ProcSpec::new("main", 0, 4), |a| {
+            // global += 2 → 7; local array [3] at locals 1..4: a[2]=g.
+            a.instr(Instr::LoadGlobal(g));
+            a.instr(Instr::AddImm(2));
+            a.instr(Instr::StoreGlobal(g));
+            a.instr(Instr::LoadGlobal(g));
+            a.instr(Instr::LoadLocalAddr(1)); // base of array
+            a.instr(Instr::LoadImm(2));
+            a.instr(Instr::StoreIndex); // a[2] = 7
+            a.instr(Instr::LoadLocalAddr(1));
+            a.instr(Instr::LoadImm(2));
+            a.instr(Instr::LoadIndex);
+            a.instr(Instr::Out);
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+        for cfg in [MachineConfig::i1(), MachineConfig::i2(), MachineConfig::i3()] {
+            let m = run_image(&image, cfg);
+            assert_eq!(m.output(), &[7], "config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn jump_cost_is_the_yardstick() {
+        let mut b = ImageBuilder::new();
+        let m = b.module("main");
+        b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+            let l = a.label();
+            a.jump(l);
+            a.bind(l);
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+        let mut m = Machine::load(&image, MachineConfig::i2()).unwrap();
+        m.run(10).unwrap();
+        // jump (2 cycles) + halt (1 cycle)
+        assert_eq!(m.stats().cycles, 3);
+        assert_eq!(m.stats().jumps_taken, 1);
+    }
+
+    #[test]
+    fn instructions_per_transfer_computed() {
+        let image = fib_local_calls();
+        let m = run_image(&image, MachineConfig::i2());
+        let ipt = m.stats().instructions_per_transfer();
+        assert!(ipt > 2.0 && ipt < 30.0, "instructions per transfer {ipt}");
+    }
+}

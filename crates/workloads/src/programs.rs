@@ -1,0 +1,772 @@
+//! The Mesa-lite program corpus, with host-computed reference outputs.
+//!
+//! The VM's arithmetic is wrapping 16-bit two's-complement, so every
+//! host reference below uses `i16`/`wrapping_*` arithmetic and the
+//! outputs agree bit-for-bit.
+
+use crate::{Kind, Workload};
+
+/// All corpus programs.
+pub fn all() -> Vec<Workload> {
+    vec![
+        fib(15),
+        ackermann(3, 3),
+        tak(12, 8, 4),
+        sieve(),
+        quicksort(),
+        treewalk(7),
+        matrix(),
+        leafcalls(1000),
+        nest(100),
+        evenodd(),
+        prodcons(10),
+        pingpong(10),
+        pointers(),
+        hanoi(10),
+        pipeline3(5),
+        gcdsum(50),
+        accounts(12),
+    ]
+}
+
+fn host_fib(n: i16) -> i16 {
+    if n < 2 {
+        n
+    } else {
+        host_fib(n - 1).wrapping_add(host_fib(n - 2))
+    }
+}
+
+/// Recursive Fibonacci — the canonical call-dense workload.
+pub fn fib(n: i16) -> Workload {
+    let src = format!(
+        "module Fib;
+         proc fib(n: int): int
+         begin
+           if n < 2 then return n; end;
+           return fib(n - 1) + fib(n - 2);
+         end;
+         proc main() begin out fib({n}); end;
+         end."
+    );
+    Workload {
+        name: "fib",
+        sources: vec![src],
+        expected: vec![host_fib(n) as u16],
+        fuel: 50_000_000,
+        kind: Kind::CallHeavy,
+    }
+}
+
+fn host_ack(m: i16, n: i16) -> i16 {
+    if m == 0 {
+        n.wrapping_add(1)
+    } else if n == 0 {
+        host_ack(m - 1, 1)
+    } else {
+        host_ack(m - 1, host_ack(m, n - 1))
+    }
+}
+
+/// Ackermann's function — deep recursion with a nested-call argument
+/// (a spill site at every level).
+pub fn ackermann(m: i16, n: i16) -> Workload {
+    let src = format!(
+        "module Ack;
+         proc ack(m: int, n: int): int
+         begin
+           if m = 0 then return n + 1; end;
+           if n = 0 then return ack(m - 1, 1); end;
+           return ack(m - 1, ack(m, n - 1));
+         end;
+         proc main() begin out ack({m}, {n}); end;
+         end."
+    );
+    Workload {
+        name: "ackermann",
+        sources: vec![src],
+        expected: vec![host_ack(m, n) as u16],
+        fuel: 50_000_000,
+        kind: Kind::CallHeavy,
+    }
+}
+
+fn host_tak(x: i16, y: i16, z: i16) -> i16 {
+    if y < x {
+        host_tak(
+            host_tak(x - 1, y, z),
+            host_tak(y - 1, z, x),
+            host_tak(z - 1, x, y),
+        )
+    } else {
+        z
+    }
+}
+
+/// Takeuchi's function — three nested calls per level, maximal spill
+/// pressure.
+pub fn tak(x: i16, y: i16, z: i16) -> Workload {
+    let src = format!(
+        "module Tak;
+         proc tak(x: int, y: int, z: int): int
+         begin
+           if y < x then
+             return tak(tak(x - 1, y, z), tak(y - 1, z, x), tak(z - 1, x, y));
+           end;
+           return z;
+         end;
+         proc main() begin out tak({x}, {y}, {z}); end;
+         end."
+    );
+    Workload {
+        name: "tak",
+        sources: vec![src],
+        expected: vec![host_tak(x, y, z) as u16],
+        fuel: 50_000_000,
+        kind: Kind::CallHeavy,
+    }
+}
+
+/// Sieve of Eratosthenes over a global array — iterative, few calls.
+pub fn sieve() -> Workload {
+    let src = "module Sieve;
+         var flags: array[100] of int;
+         proc main()
+         var i: int;
+         var j: int;
+         var count: int;
+         begin
+           i := 2;
+           while i < 100 do flags[i] := 1; i := i + 1; end;
+           i := 2;
+           while i < 100 do
+             if flags[i] then
+               count := count + 1;
+               j := i + i;
+               while j < 100 do flags[j] := 0; j := j + i; end;
+             end;
+             i := i + 1;
+           end;
+           out count;
+         end;
+         end."
+        .to_string();
+    // Host reference: primes below 100.
+    let mut flags = [true; 100];
+    let mut count = 0u16;
+    for i in 2..100usize {
+        if flags[i] {
+            count += 1;
+            let mut j = i + i;
+            while j < 100 {
+                flags[j] = false;
+                j += i;
+            }
+        }
+    }
+    Workload {
+        name: "sieve",
+        sources: vec![src],
+        expected: vec![count],
+        fuel: 10_000_000,
+        kind: Kind::Iterative,
+    }
+}
+
+/// Quicksort of a global array (Lomuto partition) — recursive calls
+/// mixed with heavy data traffic.
+pub fn quicksort() -> Workload {
+    let src = "module Qsort;
+         var a: array[64] of int;
+         proc swap(i: int, j: int)
+         var t: int;
+         begin t := a[i]; a[i] := a[j]; a[j] := t; end;
+         proc part(lo: int, hi: int): int
+         var p: int;
+         var i: int;
+         var j: int;
+         begin
+           p := a[hi];
+           i := lo;
+           j := lo;
+           while j < hi do
+             if a[j] < p then swap(i, j); i := i + 1; end;
+             j := j + 1;
+           end;
+           swap(i, hi);
+           return i;
+         end;
+         proc qsort(lo: int, hi: int)
+         var m: int;
+         begin
+           if lo < hi then
+             m := part(lo, hi);
+             qsort(lo, m - 1);
+             qsort(m + 1, hi);
+           end;
+         end;
+         proc main()
+         var i: int;
+         var x: int;
+         begin
+           x := 7;
+           i := 0;
+           while i < 64 do
+             x := (x * 13 + 11) % 1000;
+             a[i] := x;
+             i := i + 1;
+           end;
+           qsort(0, 63);
+           i := 1;
+           x := 1;
+           while i < 64 do
+             if a[i] < a[i - 1] then x := 0; end;
+             i := i + 1;
+           end;
+           out x;
+           out a[0];
+           out a[63];
+         end;
+         end."
+        .to_string();
+    // Host reference.
+    let mut a = [0i16; 64];
+    let mut x: i16 = 7;
+    for v in a.iter_mut() {
+        x = (x.wrapping_mul(13).wrapping_add(11)) % 1000;
+        *v = x;
+    }
+    a.sort_unstable();
+    Workload {
+        name: "quicksort",
+        sources: vec![src],
+        expected: vec![1, a[0] as u16, a[63] as u16],
+        fuel: 10_000_000,
+        kind: Kind::Mixed,
+    }
+}
+
+fn host_walk(depth: i16, v: i16) -> i16 {
+    if depth == 0 {
+        v
+    } else {
+        host_walk(depth - 1, v.wrapping_mul(2))
+            .wrapping_add(host_walk(depth - 1, v.wrapping_mul(2).wrapping_add(1)))
+            .wrapping_sub(v)
+    }
+}
+
+/// A recursive walk of an implicit perfect binary tree.
+pub fn treewalk(depth: i16) -> Workload {
+    let src = format!(
+        "module Tree;
+         proc walk(depth: int, v: int): int
+         begin
+           if depth = 0 then return v; end;
+           return walk(depth - 1, v * 2) + walk(depth - 1, v * 2 + 1) - v;
+         end;
+         proc main() begin out walk({depth}, 1); end;
+         end."
+    );
+    Workload {
+        name: "treewalk",
+        sources: vec![src],
+        expected: vec![host_walk(depth, 1) as u16],
+        fuel: 50_000_000,
+        kind: Kind::CallHeavy,
+    }
+}
+
+/// 8×8 integer matrix multiply over global arrays — the low-call-density
+/// extreme.
+pub fn matrix() -> Workload {
+    let src = "module Mat;
+         var ma: array[64] of int;
+         var mb: array[64] of int;
+         var mc: array[64] of int;
+         proc main()
+         var i: int;
+         var j: int;
+         var k: int;
+         var s: int;
+         begin
+           i := 0;
+           while i < 64 do
+             ma[i] := i % 7;
+             mb[i] := i % 5 + 1;
+             i := i + 1;
+           end;
+           i := 0;
+           while i < 8 do
+             j := 0;
+             while j < 8 do
+               s := 0;
+               k := 0;
+               while k < 8 do
+                 s := s + ma[i * 8 + k] * mb[k * 8 + j];
+                 k := k + 1;
+               end;
+               mc[i * 8 + j] := s;
+               j := j + 1;
+             end;
+             i := i + 1;
+           end;
+           s := 0;
+           i := 0;
+           while i < 64 do s := s + mc[i]; i := i + 1; end;
+           out mc[0];
+           out mc[63];
+           out s;
+         end;
+         end."
+        .to_string();
+    // Host reference.
+    let mut ma = [0i16; 64];
+    let mut mb = [0i16; 64];
+    for i in 0..64 {
+        ma[i] = (i % 7) as i16;
+        mb[i] = (i % 5 + 1) as i16;
+    }
+    let mut mc = [0i16; 64];
+    for i in 0..8 {
+        for j in 0..8 {
+            let mut s: i16 = 0;
+            for k in 0..8 {
+                s = s.wrapping_add(ma[i * 8 + k].wrapping_mul(mb[k * 8 + j]));
+            }
+            mc[i * 8 + j] = s;
+        }
+    }
+    let sum = mc.iter().fold(0i16, |a, &b| a.wrapping_add(b));
+    Workload {
+        name: "matrix",
+        sources: vec![src],
+        expected: vec![mc[0] as u16, mc[63] as u16, sum as u16],
+        fuel: 10_000_000,
+        kind: Kind::Iterative,
+    }
+}
+
+/// A tight loop of leaf calls — the headline microworkload: every call
+/// and return should hit the fast path.
+pub fn leafcalls(n: i16) -> Workload {
+    let src = format!(
+        "module Leaf;
+         proc leaf(x: int): int begin return x + 1; end;
+         proc main()
+         var i: int;
+         begin
+           i := 0;
+           while i < {n} do i := leaf(i); end;
+           out i;
+         end;
+         end."
+    );
+    Workload {
+        name: "leafcalls",
+        sources: vec![src],
+        expected: vec![n as u16],
+        fuel: 10_000_000,
+        kind: Kind::CallHeavy,
+    }
+}
+
+/// A cross-module call chain — exercises EXTERNALCALL linkage.
+pub fn nest(iters: i16) -> Workload {
+    let lib = "module NestLib;
+         proc n3(x: int): int begin return x + 3; end;
+         proc n2(x: int): int begin return n3(x) + 2; end;
+         proc n1(x: int): int begin return n2(x) + 1; end;
+         end."
+        .to_string();
+    let main = format!(
+        "module NestMain imports NestLib;
+         proc chain(i: int): int begin return NestLib.n1(i); end;
+         proc main()
+         var i: int;
+         var s: int;
+         begin
+           i := 0;
+           while i < {iters} do s := s + chain(i); i := i + 1; end;
+           out s;
+         end;
+         end."
+    );
+    let mut s: i16 = 0;
+    for i in 0..iters {
+        s = s.wrapping_add(i.wrapping_add(6));
+    }
+    Workload {
+        name: "nest",
+        sources: vec![lib, main],
+        expected: vec![s as u16],
+        fuel: 10_000_000,
+        kind: Kind::CallHeavy,
+    }
+}
+
+/// Mutual recursion — forward references and alternating frames.
+pub fn evenodd() -> Workload {
+    let src = "module Parity;
+         proc is_even(n: int): int
+         begin
+           if n = 0 then return 1; end;
+           return is_odd(n - 1);
+         end;
+         proc is_odd(n: int): int
+         begin
+           if n = 0 then return 0; end;
+           return is_even(n - 1);
+         end;
+         proc main()
+         begin
+           out is_even(100);
+           out is_odd(77);
+         end;
+         end."
+        .to_string();
+    Workload {
+        name: "evenodd",
+        sources: vec![src],
+        expected: vec![1, 1],
+        fuel: 10_000_000,
+        kind: Kind::CallHeavy,
+    }
+}
+
+/// Producer/consumer coroutines: the producer yields squares of the
+/// values the consumer sends in.
+pub fn prodcons(n: i16) -> Workload {
+    let src = format!(
+        "module Prod;
+         proc producer()
+         var peer: ctx;
+         var i: int;
+         begin
+           i := 1;
+           while true do
+             peer := co_caller();
+             i := co_transfer(peer, i * i);
+           end;
+         end;
+         proc main()
+         var c: ctx;
+         var sum: int;
+         var i: int;
+         var v: int;
+         begin
+           c := co_create(producer);
+           v := co_start(c);
+           sum := v;
+           i := 2;
+           while i <= {n} do
+             v := co_transfer(co_caller(), i);
+             sum := sum + v;
+             i := i + 1;
+           end;
+           out sum;
+         end;
+         end."
+    );
+    let mut sum: i16 = 0;
+    for i in 1..=n {
+        sum = sum.wrapping_add(i.wrapping_mul(i));
+    }
+    Workload {
+        name: "prodcons",
+        sources: vec![src],
+        expected: vec![sum as u16],
+        fuel: 10_000_000,
+        kind: Kind::Coroutine,
+    }
+}
+
+/// Two spawned processes and the root co-operatively decrement a
+/// shared counter.
+pub fn pingpong(turns: i16) -> Workload {
+    let src = format!(
+        "module Ping;
+         var turns: int;
+         proc player()
+         begin
+           while turns > 0 do
+             turns := turns - 1;
+             yield;
+           end;
+         end;
+         proc main()
+         begin
+           turns := {turns};
+           spawn(player);
+           spawn(player);
+           while turns > 0 do yield; end;
+           out turns;
+           out 42;
+         end;
+         end."
+    );
+    Workload {
+        name: "pingpong",
+        sources: vec![src],
+        expected: vec![0, 42],
+        fuel: 10_000_000,
+        kind: Kind::Process,
+    }
+}
+
+/// Pointer-passing workload: fills and sums a local array through
+/// pointers to locals (§7.4's troublesome case).
+pub fn pointers() -> Workload {
+    let src = "module Ptrs;
+         proc fill(p: ptr, n: int)
+         var i: int;
+         begin
+           i := 0;
+           while i < n do p[i] := i * 3; i := i + 1; end;
+         end;
+         proc sum(p: ptr, n: int): int
+         var i: int;
+         var s: int;
+         begin
+           i := 0;
+           while i < n do s := s + p[i]; i := i + 1; end;
+           return s;
+         end;
+         proc main()
+         var buf: array[16] of int;
+         begin
+           fill(&buf[0], 16);
+           out sum(&buf[0], 16);
+         end;
+         end."
+        .to_string();
+    let sum: i16 = (0..16).map(|i| i * 3).sum();
+    Workload {
+        name: "pointers",
+        sources: vec![src],
+        expected: vec![sum as u16],
+        fuel: 10_000_000,
+        kind: Kind::Pointer,
+    }
+}
+
+/// Towers of Hanoi — the classic procedure-call benchmark of the era:
+/// two recursive calls per level and a global move counter.
+pub fn hanoi(discs: i16) -> Workload {
+    let src = format!(
+        "module Hanoi;
+         var moves: int;
+         proc hanoi(n: int, from: int, to: int, via: int)
+         begin
+           if n > 0 then
+             hanoi(n - 1, from, via, to);
+             moves := moves + 1;
+             hanoi(n - 1, via, to, from);
+           end;
+         end;
+         proc main() begin hanoi({discs}, 1, 2, 3); out moves; end;
+         end."
+    );
+    let moves = (1u32 << discs) - 1;
+    Workload {
+        name: "hanoi",
+        sources: vec![src],
+        expected: vec![moves as u16],
+        fuel: 50_000_000,
+        kind: Kind::CallHeavy,
+    }
+}
+
+/// A three-stage coroutine pipeline: `source → square → main`. Each
+/// pull crosses two coroutine boundaries; the stages discover their
+/// peers through `returnContext`, and the first transfer to the
+/// source's *descriptor* creates its instance — the creation-context
+/// semantics of §3 used as plumbing.
+pub fn pipeline3(n: i16) -> Workload {
+    let src = format!(
+        "module Pipe;
+         var src_ctx: ctx;
+         proc source()
+         var i: int;
+         begin
+           i := 0;
+           while true do
+             i := i + 1;
+             co_transfer(co_caller(), i);
+           end;
+         end;
+         proc square()
+         var down: ctx;
+         var v: int;
+         begin
+           while true do
+             down := co_caller();
+             v := co_transfer(src_ctx, 0);
+             src_ctx := co_caller();  -- the source instance from now on
+             co_transfer(down, v * v);
+           end;
+         end;
+         proc main()
+         var sq: ctx;
+         var i: int;
+         var sum: int;
+         begin
+           src_ctx := co_create(source);
+           sq := co_create(square);
+           sum := co_start(sq);
+           i := 2;
+           while i <= {n} do
+             sum := sum + co_transfer(co_caller(), 0);
+             i := i + 1;
+           end;
+           out sum;
+         end;
+         end."
+    );
+    let mut sum: i16 = 0;
+    for i in 1..=n {
+        sum = sum.wrapping_add(i.wrapping_mul(i));
+    }
+    Workload {
+        name: "pipeline3",
+        sources: vec![src],
+        expected: vec![sum as u16],
+        fuel: 10_000_000,
+        kind: Kind::Coroutine,
+    }
+}
+
+fn host_gcd(a: i16, b: i16) -> i16 {
+    if b == 0 {
+        a
+    } else {
+        host_gcd(b, a % b)
+    }
+}
+
+/// A loop of Euclid's algorithm — short mixed-depth recursions, the
+/// everyday shape between leaf calls and deep recursion.
+pub fn gcdsum(n: i16) -> Workload {
+    let src = format!(
+        "module Gcd;
+         proc gcd(a: int, b: int): int
+         begin
+           if b = 0 then return a; end;
+           return gcd(b, a % b);
+         end;
+         proc main()
+         var i: int;
+         var s: int;
+         begin
+           i := 1;
+           while i <= {n} do
+             s := s + gcd(i, 24);
+             i := i + 1;
+           end;
+           out s;
+         end;
+         end."
+    );
+    let mut s: i16 = 0;
+    for i in 1..=n {
+        s = s.wrapping_add(host_gcd(i, 24));
+    }
+    Workload {
+        name: "gcdsum",
+        sources: vec![src],
+        expected: vec![s as u16],
+        fuel: 10_000_000,
+        kind: Kind::CallHeavy,
+    }
+}
+
+/// Two instances of an `Account` module (§5.1): one code segment, two
+/// global frames; deposits alternate between them and the balances
+/// must stay independent.
+pub fn accounts(rounds: i16) -> Workload {
+    let account = "
+        module Account;
+        var balance: int;
+        var ops: int;
+        proc deposit(v: int): int
+        begin
+          ops := ops + 1;
+          balance := balance + v;
+          return balance;
+        end;
+        proc audit(): int begin return balance * 100 + ops; end;
+        end."
+        .to_string();
+    let main = format!(
+        "module Bank imports Account;
+         instance Savings of Account;
+         proc main()
+         var i: int;
+         var a: int;
+         var b: int;
+         begin
+           i := 1;
+           while i <= {rounds} do
+             a := Account.deposit(i);
+             b := Savings.deposit(i * 2);
+             i := i + 1;
+           end;
+           out a;
+           out b;
+           out Account.audit();
+           out Savings.audit();
+         end;
+         end."
+    );
+    // Host reference.
+    let mut bal_a: i16 = 0;
+    let mut bal_b: i16 = 0;
+    for i in 1..=rounds {
+        bal_a = bal_a.wrapping_add(i);
+        bal_b = bal_b.wrapping_add(i.wrapping_mul(2));
+    }
+    let audit = |bal: i16, ops: i16| bal.wrapping_mul(100).wrapping_add(ops) as u16;
+    Workload {
+        name: "accounts",
+        sources: vec![account, main],
+        expected: vec![
+            bal_a as u16,
+            bal_b as u16,
+            audit(bal_a, rounds),
+            audit(bal_b, rounds),
+        ],
+        fuel: 10_000_000,
+        kind: Kind::Mixed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_references_sane() {
+        assert_eq!(host_fib(10), 55);
+        assert_eq!(host_ack(2, 3), 9);
+        assert_eq!(host_tak(12, 8, 4), 5);
+        assert_eq!(fib(15).expected, vec![610]);
+    }
+
+    #[test]
+    fn parameterised_workloads_embed_parameters() {
+        let w = fib(9);
+        assert!(w.sources[0].contains("fib(9)"));
+        assert_eq!(w.expected, vec![34]);
+    }
+
+    #[test]
+    fn kinds_cover_the_space() {
+        let kinds: std::collections::HashSet<_> =
+            all().into_iter().map(|w| w.kind).collect();
+        assert!(kinds.contains(&Kind::CallHeavy));
+        assert!(kinds.contains(&Kind::Iterative));
+        assert!(kinds.contains(&Kind::Coroutine));
+        assert!(kinds.contains(&Kind::Process));
+        assert!(kinds.contains(&Kind::Pointer));
+    }
+}

@@ -1,0 +1,86 @@
+//! Replays the call/return sequence of the paper's **figure 3** against
+//! the register-bank machine, printing which bank shadows which frame
+//! after every event — the "assignment of register banks for stacks
+//! and frames" picture.
+//!
+//! The sequence (from the figure): begin in X, call A, return, call B,
+//! call C, return, call D, return.
+//!
+//! Run with `cargo run --example bank_machine`.
+
+use fpc_core::layout;
+use fpc_mem::{Memory, WordAddr};
+use fpc_vm::BankMachine;
+
+#[derive(Clone, Copy)]
+struct Frame {
+    name: &'static str,
+    addr: WordAddr,
+}
+
+fn show(bm: &BankMachine, frames: &[Frame], event: &str) {
+    let mut cells = Vec::new();
+    for f in frames {
+        if let Some(b) = bm.bank_of(f.addr) {
+            cells.push(format!("{}=bank{}", f.name, b));
+        }
+    }
+    println!("{event:<12} {}", cells.join("  "));
+}
+
+fn main() {
+    println!("figure 3: bank assignment during a call/return sequence\n");
+    let mut mem = Memory::new(0x4000);
+    let mut bm = BankMachine::new(4, 16);
+
+    let x = Frame { name: "X", addr: WordAddr(0x100) };
+    let a = Frame { name: "A", addr: WordAddr(0x140) };
+    let b = Frame { name: "B", addr: WordAddr(0x180) };
+    let c = Frame { name: "C", addr: WordAddr(0x1C0) };
+    let d = Frame { name: "D", addr: WordAddr(0x200) };
+    let all = [x, a, b, c, d];
+
+    // Begin in X.
+    bm.assign(&mut mem, x.addr, 8, Some(&[]), None);
+    bm.write_local(x.addr, 0, 7); // X has live locals
+    show(&bm, &all, "begin in X");
+
+    // call A: the stack bank is renamed to A's locals (§7.2).
+    bm.assign(&mut mem, a.addr, 8, Some(&[1, 2]), Some(x.addr));
+    show(&bm, &all, "call A");
+
+    // return from A: its bank is freed, contents discarded.
+    bm.release(a.addr);
+    bm.activate(&mut mem, x.addr, 8, None);
+    show(&bm, &all, "return");
+
+    // call B, then C (nested).
+    bm.assign(&mut mem, b.addr, 8, Some(&[3]), Some(x.addr));
+    show(&bm, &all, "call B");
+    bm.assign(&mut mem, c.addr, 8, Some(&[4]), Some(b.addr));
+    show(&bm, &all, "call C");
+
+    // return from C, call D.
+    bm.release(c.addr);
+    bm.activate(&mut mem, b.addr, 8, None);
+    show(&bm, &all, "return");
+    bm.assign(&mut mem, d.addr, 8, Some(&[5]), Some(b.addr));
+    show(&bm, &all, "call D");
+    bm.release(d.addr);
+    bm.activate(&mut mem, b.addr, 8, None);
+    show(&bm, &all, "return");
+
+    let s = bm.stats();
+    println!(
+        "\n{} assignments, {} renames ({} words moved for free), \
+         {} overflows, {} underflows",
+        s.assigns, s.renames, s.renamed_words, s.overflows, s.underflows
+    );
+    println!(
+        "X's local 0 is still {} in its bank (never written to storage: \
+         {} words flushed)",
+        bm.peek_local(WordAddr(0x100), 0).expect("still shadowed"),
+        s.flushed_words,
+    );
+    let _ = layout::FRAME_HEADER_WORDS;
+}

@@ -1,0 +1,67 @@
+//! Coroutines as ordinary programs (paper §3's feature F3: the
+//! transfer discipline is chosen by the destination, not the caller).
+//!
+//! A producer coroutine yields running sums to the consumer; the same
+//! `XFER` primitive that implements calls implements the transfers,
+//! and the "orderly fallback" flushes the accelerators around each
+//! one.
+//!
+//! Run with `cargo run --example coroutines`.
+
+use fpc_compiler::{compile, Options};
+use fpc_vm::{Machine, MachineConfig};
+
+const SRC: &str = "
+    module Streams;
+
+    -- Yields 1, 1+2, 1+2+3, ... to whoever starts it; each transfer
+    -- back in carries the next increment.
+    proc summer()
+    var total: int;
+    var step: int;
+    begin
+      step := 1;
+      while true do
+        total := total + step;
+        step := co_transfer(co_caller(), total);
+      end;
+    end;
+
+    proc main()
+    var c: ctx;
+    var v: int;
+    var i: int;
+    begin
+      c := co_create(summer);
+      v := co_start(c);          -- 1
+      out v;
+      i := 2;
+      while i <= 6 do
+        v := co_transfer(co_caller(), i);
+        out v;                   -- triangular numbers
+        i := i + 1;
+      end;
+    end;
+    end.";
+
+fn main() {
+    let compiled = compile(&[SRC], Options::default()).expect("compiles");
+    for (name, config) in [
+        ("I2", MachineConfig::i2()),
+        ("I3", MachineConfig::i3()),
+    ] {
+        let mut m = Machine::load(&compiled.image, config).expect("loads");
+        m.run(100_000).expect("runs");
+        let t = &m.stats().transfers;
+        println!(
+            "{name}: triangular numbers = {:?}",
+            m.output()
+        );
+        println!(
+            "  {} coroutine transfers at {:.1} cycles each (calls would be {:.1})",
+            t.coroutines.count,
+            t.coroutines.mean_cycles(),
+            t.calls.mean_cycles().max(2.0),
+        );
+    }
+}

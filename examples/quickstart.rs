@@ -1,0 +1,83 @@
+//! Quickstart: the two levels of the reproduction in one file.
+//!
+//! 1. The abstract §3 model — contexts and `XFER` — run directly.
+//! 2. A Mesa-lite program compiled to the byte code and executed on
+//!    the space-optimal (I2) and fully accelerated (I4) machines, with
+//!    the cost difference the paper is about.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use fpc_compiler::{compile, Linkage, Options};
+use fpc_core::model::{Machine as ModelMachine, Op, Procedure};
+use fpc_vm::{cost, Machine, MachineConfig};
+
+fn model_level() {
+    println!("== the abstract transfer model (paper §3) ==");
+    let mut m = ModelMachine::new();
+    let double = m.define(Procedure::new(
+        "double",
+        1,
+        vec![
+            Op::TakeArgs(1),
+            Op::PushLocal(0),
+            Op::PushLocal(0),
+            Op::Add,
+            Op::Return(1),
+        ],
+    ));
+    let main = m.define(Procedure::new(
+        "main",
+        0,
+        vec![
+            Op::TakeArgs(0),
+            Op::PushConst(21),
+            Op::Call { proc: double, nargs: 1 },
+            Op::TakeResults(1),
+            Op::Emit,
+            Op::Halt,
+        ],
+    ));
+    let out = m.run(main, &[], 1000).expect("model runs");
+    println!("double(21) via XFER = {:?} ({} transfers)\n", out, m.xfers());
+}
+
+fn machine_level() {
+    println!("== the byte-coded implementations (paper §5-§7) ==");
+    let src = "
+        module Quick;
+        proc fib(n: int): int
+        begin
+          if n < 2 then return n; end;
+          return fib(n - 1) + fib(n - 2);
+        end;
+        proc main() begin out fib(17); end;
+        end.";
+
+    for (name, config, linkage) in [
+        ("I2 (Mesa encoding)", MachineConfig::i2(), Linkage::Mesa),
+        ("I4 (fully accelerated)", MachineConfig::i4(), Linkage::Direct),
+    ] {
+        let compiled = compile(
+            &[src],
+            Options { linkage, bank_args: config.renaming() },
+        )
+        .expect("compiles");
+        let mut m = Machine::load(&compiled.image, config).expect("loads");
+        m.run(10_000_000).expect("runs");
+        let t = &m.stats().transfers;
+        println!(
+            "{name}: fib(17) = {:?}\n  {} calls+returns, {:.2} cycles/call, \
+             {:.1}% at jump speed (jump = {} cycles)",
+            m.output(),
+            t.calls_and_returns(),
+            t.calls.mean_cycles(),
+            100.0 * t.fast_call_return_fraction(),
+            cost::jump_cycles(),
+        );
+    }
+}
+
+fn main() {
+    model_level();
+    machine_level();
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Umbrella crate for the *Fast Procedure Calls* reproduction
+//! (Lampson, ASPLOS 1982).
+//!
+//! Re-exports the workspace crates under one roof. See the individual
+//! crates for the substance:
+//!
+//! * [`core`] — the XFER transfer model, packed context words, layouts;
+//! * [`mem`] — simulated storage with reference accounting;
+//! * [`isa`] — the Mesa-like byte code, assembler and disassembler;
+//! * [`frames`] — the AV frame heap and baseline allocators;
+//! * [`vm`] — the I1–I4 machines;
+//! * [`compiler`] — the Mesa-lite compiler and linker;
+//! * [`workloads`] — the benchmark corpus and trace generators;
+//! * [`stats`] — counters, histograms, tables.
+//!
+//! The runnable entry points are in `examples/` and the experiment
+//! binaries live in the `fpc-bench` crate (`exp_e1_indirection` …).
+
+pub use fpc_compiler as compiler;
+pub use fpc_core as core;
+pub use fpc_frames as frames;
+pub use fpc_isa as isa;
+pub use fpc_mem as mem;
+pub use fpc_stats as stats;
+pub use fpc_vm as vm;
+pub use fpc_workloads as workloads;

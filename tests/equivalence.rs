@@ -1,0 +1,98 @@
+//! Cross-implementation equivalence: the paper's model promises that
+//! "with either linkage the program behaves identically (except for
+//! space and speed)" (§6) — so every corpus program must produce the
+//! same output under every implementation × linkage combination, while
+//! the cost statistics differ in the direction the paper predicts.
+
+use fpc_compiler::{Linkage, Options};
+use fpc_vm::MachineConfig;
+use fpc_workloads::{corpus, run_workload};
+
+fn configs() -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("i1", MachineConfig::i1()),
+        ("i2", MachineConfig::i2()),
+        ("i3", MachineConfig::i3()),
+        ("i4", MachineConfig::i4()),
+    ]
+}
+
+#[test]
+fn outputs_identical_across_implementations_and_linkages() {
+    for w in corpus() {
+        for (cname, config) in configs() {
+            for linkage in [Linkage::Mesa, Linkage::Direct, Linkage::ShortDirect] {
+                if w.name == "accounts" && linkage != Linkage::Mesa {
+                    // §6 D2: early binding collapses module instances
+                    // onto the owner; only the Mesa linkage preserves
+                    // instance semantics (asserted in fpc-compiler).
+                    continue;
+                }
+                let m = run_workload(&w, config, Options { linkage, bank_args: false })
+                    .unwrap_or_else(|e| panic!("{} on {cname}/{linkage:?}: {e}", w.name));
+                assert_eq!(
+                    m.output(),
+                    w.expected.as_slice(),
+                    "{} on {cname}/{linkage:?}",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn instruction_counts_identical_across_cost_only_configs() {
+    // I1, I2 and I3 run the same image and differ only in cost, so
+    // the executed instruction stream is identical. I4 runs the
+    // renaming image, whose prologues have no argument stores — it
+    // must execute *fewer* instructions on call-dense code, never
+    // more (§7.2's point made visible).
+    for w in corpus() {
+        let counts: Vec<u64> = configs()
+            .into_iter()
+            .map(|(_, config)| {
+                run_workload(&w, config, Options::default())
+                    .unwrap()
+                    .stats()
+                    .instructions
+            })
+            .collect();
+        assert_eq!(counts[0], counts[1], "{}: I1 vs I2", w.name);
+        assert_eq!(counts[1], counts[2], "{}: I2 vs I3", w.name);
+        assert!(
+            counts[3] <= counts[2],
+            "{}: renaming image ran more instructions: {counts:?}",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn acceleration_never_increases_cycles() {
+    for w in corpus() {
+        let i2 = run_workload(&w, MachineConfig::i2(), Options::default())
+            .unwrap()
+            .stats()
+            .cycles;
+        let i3 = run_workload(&w, MachineConfig::i3(), Options::default())
+            .unwrap()
+            .stats()
+            .cycles;
+        assert!(
+            i3 <= i2,
+            "{}: I3 ({i3} cycles) slower than I2 ({i2} cycles)",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn renaming_images_agree_with_store_images() {
+    // The same source compiled both ways produces the same output.
+    for w in corpus() {
+        let stores = run_workload(&w, MachineConfig::i3(), Options::default()).unwrap();
+        let renames = run_workload(&w, MachineConfig::i4(), Options::default()).unwrap();
+        assert_eq!(stores.output(), renames.output(), "{}", w.name);
+    }
+}

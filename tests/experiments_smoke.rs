@@ -1,0 +1,33 @@
+//! Every experiment report regenerates without panicking and carries
+//! its identifying markers — the guarantee that `EXPERIMENTS.md` can
+//! always be rebuilt from this tree.
+
+use fpc_bench::experiments::*;
+
+#[test]
+fn every_report_regenerates() {
+    let reports: Vec<(&str, String, &str)> = vec![
+        ("E1", e1::report(), "levels of indirection"),
+        ("E2", e2::report(), "paper example: n=3"),
+        ("E3", e3::report(), "frame allocation heap"),
+        ("E4", e4::report(), "call-site space"),
+        ("E5", e5::report(), "return-prediction stack"),
+        ("E6", e6::report(), "bank overflow"),
+        ("E7", e7::report(), "frame-size distribution"),
+        ("E8", e8::report(), "effective frame-allocation"),
+        ("E9", e9::report(), "argument passing"),
+        ("E10", e10::report(), "jump speed"),
+        ("E11", e11::report(), "instruction-length distribution"),
+        ("E12", e12::report(), "call/return density"),
+        ("A1", a1::report(), "ablation"),
+        ("A2", a2::report(), "pointer-to-local"),
+    ];
+    for (name, report, marker) in reports {
+        assert!(
+            report.contains(marker),
+            "{name} report lost its marker: {report}"
+        );
+        // Every report has at least a header rule and one data row.
+        assert!(report.lines().count() > 5, "{name} report too short");
+    }
+}

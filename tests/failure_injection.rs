@@ -1,0 +1,100 @@
+//! Failure injection: the orderly *error* paths — transfers through
+//! NIL, resource exhaustion, compile-time limits — fail loudly and
+//! precisely, never silently.
+
+use fpc_compiler::{compile, Options};
+use fpc_vm::{Machine, MachineConfig, TrapCode, VmError};
+
+fn run_src(src: &str, config: MachineConfig) -> Result<Machine, VmError> {
+    let compiled = compile(&[src], Options::default())
+        .map_err(|e| VmError::BadImage(e.to_string()))?;
+    let mut m = Machine::load(&compiled.image, config)?;
+    m.run(10_000_000)?;
+    Ok(m)
+}
+
+#[test]
+fn transfer_through_nil_context_is_caught() {
+    // A ctx variable defaults to zero = NIL; transferring to it is the
+    // §4 error ("an attempt to return from this return would be an
+    // error").
+    let src = "
+        module M;
+        proc main()
+        var c: ctx;
+        begin
+          out co_transfer(c, 1);
+        end;
+        end.";
+    for config in [MachineConfig::i2(), MachineConfig::i3()] {
+        assert_eq!(run_src(src, config).unwrap_err(), VmError::XferToNil);
+    }
+}
+
+#[test]
+fn unbounded_recursion_exhausts_the_frame_heap() {
+    let src = "
+        module M;
+        proc rec(n: int): int begin return rec(n + 1); end;
+        proc main() begin out rec(0); end;
+        end.";
+    let err = run_src(src, MachineConfig::i2()).unwrap_err();
+    assert!(
+        matches!(err, VmError::Frame(fpc_frames::FrameError::OutOfMemory)),
+        "expected frame exhaustion, got {err}"
+    );
+}
+
+#[test]
+fn division_by_zero_traps_on_every_machine() {
+    let src = "module M; proc main() var z: int; begin out 7 / z; end; end.";
+    for config in [MachineConfig::i1(), MachineConfig::i2(), MachineConfig::i3()] {
+        assert_eq!(
+            run_src(src, config).unwrap_err(),
+            VmError::UnhandledTrap(TrapCode::DivideByZero)
+        );
+    }
+}
+
+#[test]
+fn compiler_rejects_expressions_beyond_the_register_stack() {
+    // 15 nested additions exceed the 14-deep generator limit.
+    let mut expr = String::from("1");
+    for _ in 0..16 {
+        expr = format!("(1 + {expr})");
+    }
+    // Force depth with a right-leaning tree of parenthesised operands.
+    let mut deep = String::from("1");
+    for _ in 0..16 {
+        deep = format!("(2 * {deep})");
+    }
+    let src = format!(
+        "module M; proc main() begin out {deep} + {expr}; end; end."
+    );
+    let err = compile(&[&src], Options::default()).unwrap_err();
+    assert!(err.to_string().contains("too deep"), "{err}");
+}
+
+#[test]
+fn out_of_fuel_is_distinguished_from_errors() {
+    let src = "module M; proc main() begin while true do end; end; end.";
+    let compiled = compile(&[src], Options::default()).unwrap();
+    let mut m = Machine::load(&compiled.image, MachineConfig::i2()).unwrap();
+    assert_eq!(m.run(1000).unwrap_err(), VmError::OutOfFuel);
+    assert!(!m.halted());
+}
+
+#[test]
+fn compiler_rejects_too_large_frames() {
+    // A local array beyond the largest size class (2048 words).
+    let src = "
+        module M;
+        proc main() var a: array[4096] of int; begin a[0] := 1; end;
+        end.";
+    let err = compile(&[src], Options::default()).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("local words") || msg.contains("largest class"),
+        "{msg}"
+    );
+}

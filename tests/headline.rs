@@ -1,0 +1,109 @@
+//! The paper's headline claims, asserted end to end across the crates.
+
+use fpc_compiler::{compile, Linkage, Options};
+use fpc_vm::{cost, MachineConfig, TransferKind};
+use fpc_workloads::{corpus, run_workload, Kind};
+
+/// "Simple Pascal-style calls and returns can be … as fast as
+/// unconditional jumps at least 95% of the time" (abstract).
+#[test]
+fn call_heavy_corpus_meets_95_percent_under_i4() {
+    let mut total_fast = 0u64;
+    let mut total = 0u64;
+    for w in corpus() {
+        // The headline is about ordinary Pascal-style programs. Deep
+        // *linear* recursion (evenodd's 100-deep chain, ackermann's
+        // long monotone descents) is the documented pathology: "long
+        // runs of calls nearly uninterrupted by returns" (§7.1) defeat
+        // any small LIFO window, and the machine falls back to the
+        // general scheme — slower, never wrong. E10's table reports
+        // those rows too.
+        if w.kind != Kind::CallHeavy || w.name == "evenodd" || w.name == "ackermann" {
+            continue;
+        }
+        let m = run_workload(
+            &w,
+            MachineConfig::i4(),
+            Options { linkage: Linkage::Direct, bank_args: true },
+        )
+        .unwrap();
+        let t = &m.stats().transfers;
+        total_fast += t.calls.fast + t.returns.fast;
+        total += t.calls_and_returns();
+    }
+    let frac = total_fast as f64 / total as f64;
+    assert!(
+        frac >= 0.95,
+        "call-heavy corpus fast fraction {frac:.3} under I4 ({total} transfers)"
+    );
+}
+
+/// The fast path really is jump speed, not merely "fast": the modal
+/// call and return cost exactly `jump_cycles()`.
+#[test]
+fn fast_transfers_cost_exactly_jump_cycles() {
+    let w = corpus().into_iter().find(|w| w.name == "leafcalls").unwrap();
+    let m = run_workload(
+        &w,
+        MachineConfig::i4(),
+        Options { linkage: Linkage::Direct, bank_args: true },
+    )
+    .unwrap();
+    let t = &m.stats().transfers;
+    assert_eq!(
+        t.kind(TransferKind::Call).cycle_hist.quantile(0.5),
+        Some(cost::jump_cycles())
+    );
+    assert_eq!(
+        t.kind(TransferKind::Return).cycle_hist.quantile(0.5),
+        Some(cost::jump_cycles())
+    );
+}
+
+/// "About two-thirds of the instructions … occupy a single byte" (§5).
+#[test]
+fn encoding_density_near_two_thirds() {
+    let mut total = fpc_isa::sizing::SizeStats::new();
+    for w in corpus() {
+        let refs: Vec<&str> = w.sources.iter().map(|s| s.as_str()).collect();
+        let c = compile(&refs, Options::default()).unwrap();
+        total.merge(&c.stats.size);
+    }
+    let frac = total.one_byte_fraction();
+    assert!(frac >= 0.60, "one-byte fraction {frac:.3}");
+}
+
+/// "One call or return for every 10 instructions executed is not
+/// uncommon" (§1) — holds for the call-heavy half of the corpus.
+#[test]
+fn call_density_near_one_in_ten() {
+    let mut ratios = Vec::new();
+    for w in corpus() {
+        if w.kind != Kind::CallHeavy {
+            continue;
+        }
+        let m = run_workload(&w, MachineConfig::i2(), Options::default()).unwrap();
+        ratios.push(m.stats().instructions_per_transfer());
+    }
+    let mean = fpc_stats::mean(&ratios);
+    assert!(
+        (4.0..16.0).contains(&mean),
+        "mean instructions per transfer {mean:.1}"
+    );
+}
+
+/// The generality is not given up for the speed: the very machine that
+/// runs calls at jump speed still runs coroutines and processes.
+#[test]
+fn accelerated_machine_keeps_the_general_model() {
+    for name in ["prodcons", "pingpong"] {
+        let w = corpus().into_iter().find(|w| w.name == name).unwrap();
+        let m = run_workload(
+            &w,
+            MachineConfig::i4(),
+            Options { linkage: Linkage::Direct, bank_args: true },
+        )
+        .unwrap();
+        assert_eq!(m.output(), w.expected.as_slice(), "{name}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests spanning the compiler and the machines.
+//!
+//! * Random expression programs compile and evaluate identically on
+//!   the space-optimal and fully accelerated machines, and match a
+//!   host evaluator using the same wrapping 16-bit arithmetic.
+//! * Random local-access sequences through the register banks read
+//!   back exactly what a flat memory model holds, and a flush makes
+//!   storage agree word-for-word (the §7 "orderly fallback" invariant).
+
+use proptest::prelude::*;
+
+use fpc_compiler::{compile, Linkage, Options};
+use fpc_core::layout;
+use fpc_mem::{Memory, WordAddr};
+use fpc_vm::{BankMachine, Machine, MachineConfig};
+
+#[derive(Debug, Clone)]
+enum E {
+    Num(i16),
+    X,
+    Y,
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    CallDouble(Box<E>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (0i16..100).prop_map(E::Num),
+        Just(E::X),
+        Just(E::Y),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
+            inner.prop_map(|a| E::CallDouble(a.into())),
+        ]
+    })
+}
+
+fn to_source(e: &E) -> String {
+    match e {
+        E::Num(n) => n.to_string(),
+        E::X => "x".into(),
+        E::Y => "y".into(),
+        E::Add(a, b) => format!("({} + {})", to_source(a), to_source(b)),
+        E::Sub(a, b) => format!("({} - {})", to_source(a), to_source(b)),
+        E::Mul(a, b) => format!("({} * {})", to_source(a), to_source(b)),
+        E::CallDouble(a) => format!("double({})", to_source(a)),
+    }
+}
+
+fn host_eval(e: &E, x: i16, y: i16) -> i16 {
+    match e {
+        E::Num(n) => *n,
+        E::X => x,
+        E::Y => y,
+        E::Add(a, b) => host_eval(a, x, y).wrapping_add(host_eval(b, x, y)),
+        E::Sub(a, b) => host_eval(a, x, y).wrapping_sub(host_eval(b, x, y)),
+        E::Mul(a, b) => host_eval(a, x, y).wrapping_mul(host_eval(b, x, y)),
+        E::CallDouble(a) => {
+            let v = host_eval(a, x, y);
+            v.wrapping_add(v)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_expressions_agree_everywhere(
+        e in expr_strategy(),
+        x in -50i16..50,
+        y in -50i16..50,
+    ) {
+        let src = format!(
+            "module P;
+             proc double(v: int): int begin return v + v; end;
+             proc f(x: int, y: int): int begin return {}; end;
+             proc main() begin out f({x}, {y}); end;
+             end.",
+            to_source(&e)
+        );
+        let expected = host_eval(&e, x, y) as u16;
+        for (config, bank_args) in [
+            (MachineConfig::i2(), false),
+            (MachineConfig::i4(), true),
+        ] {
+            let compiled = match compile(
+                &[&src],
+                Options { linkage: Linkage::Mesa, bank_args },
+            ) {
+                Ok(c) => c,
+                // Very deep expressions can exceed the register stack;
+                // the compiler must say so rather than miscompile.
+                Err(e) => {
+                    prop_assert!(
+                        e.to_string().contains("too deep"),
+                        "unexpected compile error: {e}"
+                    );
+                    continue;
+                }
+            };
+            let mut m = Machine::load(&compiled.image, config).unwrap();
+            m.run(1_000_000).unwrap();
+            prop_assert_eq!(m.output(), &[expected], "config {:?}", config);
+        }
+    }
+
+    #[test]
+    fn banks_agree_with_flat_memory(
+        ops in prop::collection::vec((0u32..12, 0u16..1000, any::<bool>()), 1..120),
+    ) {
+        let frame = WordAddr(0x100);
+        let mut mem = Memory::new(0x1000);
+        let mut banks = BankMachine::new(2, 16);
+        banks.assign(&mut mem, frame, 12, None, None);
+        // A mirror of what the locals should hold.
+        let mut mirror = [0u16; 12];
+        for (idx, val, is_write) in ops {
+            if is_write {
+                prop_assert!(banks.write_local(frame, idx, val));
+                mirror[idx as usize] = val;
+            } else {
+                let got = banks.read_local(frame, idx).expect("shadowed");
+                prop_assert_eq!(got, mirror[idx as usize]);
+            }
+        }
+        // The orderly fallback: after a flush, storage agrees exactly.
+        banks.flush_all(&mut mem);
+        for i in 0..12u32 {
+            prop_assert_eq!(mem.peek(layout::local_slot(frame, i)), mirror[i as usize]);
+        }
+    }
+}

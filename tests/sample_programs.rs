@@ -1,0 +1,40 @@
+//! The sample programs shipped in `examples/programs/` compile and
+//! produce their documented outputs on the slow and fast machines.
+
+use fpc_compiler::{compile, Linkage, Options};
+use fpc_vm::{Machine, MachineConfig};
+
+fn run_file(path: &str, config: MachineConfig, linkage: Linkage) -> Vec<u16> {
+    let src = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let options = Options { linkage, bank_args: config.renaming() };
+    let compiled = compile(&[&src], options).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let mut m = Machine::load(&compiled.image, config).unwrap();
+    m.run(50_000_000).unwrap();
+    m.output().to_vec()
+}
+
+#[test]
+fn queens_finds_all_92_solutions() {
+    for (config, linkage) in [
+        (MachineConfig::i2(), Linkage::Mesa),
+        (MachineConfig::i4(), Linkage::Direct),
+    ] {
+        assert_eq!(
+            run_file("examples/programs/queens.mesa", config, linkage),
+            vec![92],
+            "config {config:?}"
+        );
+    }
+}
+
+#[test]
+fn streams_pipeline_sums_squares() {
+    for config in [MachineConfig::i2(), MachineConfig::i3()] {
+        assert_eq!(
+            run_file("examples/programs/streams.mesa", config, Linkage::Mesa),
+            vec![204],
+            "config {config:?}"
+        );
+    }
+}
