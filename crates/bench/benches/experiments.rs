@@ -1,10 +1,11 @@
-//! Criterion benches wrapping every experiment's core computation —
-//! one group per table/figure of the paper (DESIGN.md §4) — and
-//! printing each regenerated report once so `cargo bench` reproduces
-//! the evaluation end to end.
+//! Benches wrapping every experiment's core computation — one block
+//! per table/figure of the paper (DESIGN.md §4) — and printing each
+//! regenerated report once so `cargo bench` reproduces the evaluation
+//! end to end. Plain `harness = false` main timed with
+//! `std::time::Instant`; no external crates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use fpc_bench::experiments::*;
 use fpc_core::tables::TableSpaceModel;
@@ -12,7 +13,18 @@ use fpc_frames::SizeClasses;
 use fpc_vm::MachineConfig;
 use fpc_workloads::traces::{drive_banks, drive_return_stack, tree_trace};
 
-fn print_reports(_c: &mut Criterion) {
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..10 {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    println!("{name:32} {:>12.3} ms/iter", best * 1e3);
+}
+
+fn print_reports() {
     // Regenerate every table once, so bench output contains the full
     // evaluation (EXPERIMENTS.md records paper-vs-measured).
     for (name, report) in [
@@ -35,77 +47,38 @@ fn print_reports(_c: &mut Criterion) {
     }
 }
 
-fn bench_e1_call_cost(c: &mut Criterion) {
-    c.bench_function("e1_external_call_measure", |b| {
-        b.iter(|| {
-            e1::measure(
-                true,
-                fpc_compiler::Linkage::Mesa,
-                black_box(MachineConfig::i2()),
-                false,
-            )
-        })
+fn main() {
+    print_reports();
+    bench("e1_external_call_measure", || {
+        e1::measure(
+            true,
+            fpc_compiler::Linkage::Mesa,
+            black_box(MachineConfig::i2()),
+            false,
+        )
     });
-}
-
-fn bench_e2_space_model(c: &mut Criterion) {
-    c.bench_function("e2_table_space_sweep", |b| {
-        b.iter(|| {
-            let m = TableSpaceModel::new(10, 32);
-            let mut total = 0i64;
-            for n in 1..black_box(1000u64) {
-                total += m.saving_bits(n);
-            }
-            total
-        })
+    bench("e2_table_space_sweep", || {
+        let m = TableSpaceModel::new(10, 32);
+        let mut total = 0i64;
+        for n in 1..black_box(1000u64) {
+            total += m.saving_bits(n);
+        }
+        total
     });
-}
-
-fn bench_e3_frame_heap(c: &mut Criterion) {
-    c.bench_function("e3_av_heap_20k_ops", |b| {
-        b.iter(|| e3::drive_av(SizeClasses::mesa(), black_box(20_000), 42))
+    bench("e3_av_heap_20k_ops", || {
+        e3::drive_av(SizeClasses::mesa(), black_box(20_000), 42)
     });
-    c.bench_function("e3_general_heap_20k_ops", |b| {
-        b.iter(|| e3::drive_general(black_box(20_000), 42))
+    bench("e3_general_heap_20k_ops", || {
+        e3::drive_general(black_box(20_000), 42)
     });
-}
-
-fn bench_e5_return_stack(c: &mut Criterion) {
     let trace = tree_trace(15, 6);
-    c.bench_function("e5_return_stack_tree15", |b| {
-        b.iter(|| drive_return_stack(black_box(&trace), 8))
+    bench("e5_return_stack_tree15", || {
+        drive_return_stack(black_box(&trace), 8)
     });
-}
-
-fn bench_e6_banks(c: &mut Criterion) {
-    let trace = tree_trace(15, 6);
-    c.bench_function("e6_bank_drive_tree15", |b| {
-        b.iter(|| drive_banks(black_box(&trace), 4, 16))
+    bench("e6_bank_drive_tree15", || {
+        drive_banks(black_box(&trace), 4, 16)
     });
+    let w = fpc_workloads::programs::leafcalls(200);
+    bench("e8_leafcalls_i4", || e8::measure(black_box(&w)));
+    bench("e11_compile_corpus", e11::aggregate);
 }
-
-fn bench_e8_effective_speed(c: &mut Criterion) {
-    c.bench_function("e8_leafcalls_i4", |b| {
-        let w = fpc_workloads::programs::leafcalls(200);
-        b.iter(|| e8::measure(black_box(&w)))
-    });
-}
-
-fn bench_e11_density(c: &mut Criterion) {
-    c.bench_function("e11_compile_corpus", |b| b.iter(e11::aggregate));
-}
-
-criterion_group! {
-    name = experiments;
-    config = Criterion::default().sample_size(10);
-    targets =
-        print_reports,
-        bench_e1_call_cost,
-        bench_e2_space_model,
-        bench_e3_frame_heap,
-        bench_e5_return_stack,
-        bench_e6_banks,
-        bench_e8_effective_speed,
-        bench_e11_density,
-}
-criterion_main!(experiments);

@@ -1,17 +1,29 @@
-//! Criterion benches of raw simulator throughput per implementation —
-//! the wall-clock cost of running the same workload under I1–I4, and
-//! of the transfer fast paths in isolation.
+//! Benches of raw simulator throughput per implementation — the
+//! wall-clock cost of running the same workload under I1–I4, and of
+//! the transfer fast paths in isolation. Plain `harness = false`
+//! mains timed with `std::time::Instant`; no external crates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use fpc_compiler::{Linkage, Options};
 use fpc_vm::{Machine, MachineConfig};
 use fpc_workloads::{compile_workload, programs};
 
-fn bench_configs(c: &mut Criterion) {
+fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    // One warm-up, then ten timed runs; report the best (least noisy).
+    black_box(f());
+    let mut best = f64::INFINITY;
+    for _ in 0..10 {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    println!("{name:32} {:>12.3} ms/iter", best * 1e3);
+}
+
+fn bench_configs() {
     let w = programs::fib(12);
-    let mut group = c.benchmark_group("fib12");
     for (name, config, linkage) in [
         ("i1", MachineConfig::i1(), Linkage::Mesa),
         ("i2", MachineConfig::i2(), Linkage::Mesa),
@@ -20,41 +32,38 @@ fn bench_configs(c: &mut Criterion) {
     ] {
         let compiled = compile_workload(
             &w,
-            Options { linkage, bank_args: config.renaming() },
+            Options {
+                linkage,
+                bank_args: config.renaming(),
+            },
         )
         .expect("compiles");
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut m =
-                    Machine::load(black_box(&compiled.image), config).expect("loads");
-                m.run(50_000_000).expect("runs");
-                m.stats().cycles
-            })
+        bench(&format!("fib12/{name}"), || {
+            let mut m = Machine::load(black_box(&compiled.image), config).expect("loads");
+            m.run(50_000_000).expect("runs");
+            m.stats().cycles
         });
     }
-    group.finish();
 }
 
-fn bench_leaf_loop(c: &mut Criterion) {
+fn bench_leaf_loop() {
     let w = programs::leafcalls(1000);
     let compiled = compile_workload(
         &w,
-        Options { linkage: Linkage::Direct, bank_args: true },
+        Options {
+            linkage: Linkage::Direct,
+            bank_args: true,
+        },
     )
     .expect("compiles");
-    c.bench_function("leafcalls1000_i4", |b| {
-        b.iter(|| {
-            let mut m = Machine::load(black_box(&compiled.image), MachineConfig::i4())
-                .expect("loads");
-            m.run(10_000_000).expect("runs");
-            m.stats().transfers.fast_call_return_fraction()
-        })
+    bench("leafcalls1000_i4", || {
+        let mut m = Machine::load(black_box(&compiled.image), MachineConfig::i4()).expect("loads");
+        m.run(10_000_000).expect("runs");
+        m.stats().transfers.fast_call_return_fraction()
     });
 }
 
-criterion_group! {
-    name = transfers;
-    config = Criterion::default().sample_size(10);
-    targets = bench_configs, bench_leaf_loop,
+fn main() {
+    bench_configs();
+    bench_leaf_loop();
 }
-criterion_main!(transfers);

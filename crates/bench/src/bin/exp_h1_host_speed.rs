@@ -1,0 +1,11 @@
+//! Regenerates experiment H1 (see DESIGN.md §4): host-side simulator
+//! throughput, byte-decode vs predecoded dispatch. Writes
+//! `BENCH_host.json` next to the report.
+
+fn main() {
+    let (report, json) = fpc_bench::experiments::h1::report_and_json();
+    print!("{report}");
+    let path = "BENCH_host.json";
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("wrote {path}");
+}

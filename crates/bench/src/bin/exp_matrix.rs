@@ -1,0 +1,24 @@
+//! Runs the corpus × {I1..I4} matrix on all host cores (the parallel
+//! experiment driver; see `fpc_bench::driver`). `FPC_THREADS=1` forces
+//! a serial run — the output is identical by construction.
+
+use std::time::Instant;
+
+use fpc_bench::driver;
+
+fn main() {
+    let jobs = driver::corpus_matrix();
+    let workers = driver::default_workers(jobs.len());
+    let t0 = Instant::now();
+    let cells = driver::parallel_map(&jobs, workers, driver::run_job);
+    let elapsed = t0.elapsed();
+    println!(
+        "matrix: {} cells ({} workloads x {} implementations) on {} worker(s) in {:.2?}\n",
+        cells.len(),
+        jobs.len() / driver::implementations().len(),
+        driver::implementations().len(),
+        workers,
+        elapsed,
+    );
+    print!("{}", driver::matrix_table(&cells));
+}

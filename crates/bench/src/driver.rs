@@ -1,0 +1,278 @@
+//! The parallel experiment driver.
+//!
+//! Every experiment in this harness reduces to the same shape: run
+//! each corpus workload under each machine implementation (I1–I4) and
+//! read counters off the halted machine. The cells are completely
+//! independent — a [`fpc_vm::Machine`] owns all of its state — so the
+//! driver fans them out across host threads with [`std::thread::scope`]
+//! (no external thread-pool dependency) and merges the results back
+//! **in job order**, so a parallel run is byte-for-byte identical to a
+//! serial one. Determinism comes from indexing, not scheduling: workers
+//! pull job *indices* from a shared cursor and tag each result with its
+//! index; the merge sorts by index, so thread count and interleaving
+//! never show through. `tests/driver_determinism.rs` pins this down.
+//!
+//! Wall-clock *measurements* (H1) are the one thing that must not run
+//! here: timing cells while sibling threads compete for the same cores
+//! would measure the scheduler, not the simulator. Counter-reading
+//! experiments are immune — the counters are simulated, identical on
+//! any host — which is exactly why the whole E-series can fan out.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use fpc_compiler::Linkage;
+use fpc_stats::Table;
+use fpc_vm::{Machine, MachineConfig};
+use fpc_workloads::{corpus, run_workload, Workload};
+
+/// Applies `f` to every item, possibly in parallel, returning results
+/// in **item order** regardless of how the work was scheduled.
+///
+/// Worker threads pull indices from a shared cursor (so a slow cell
+/// never stalls the queue behind it), collect `(index, result)` pairs
+/// privately, and the merge reorders by index. With one worker (or one
+/// item) this degrades to a plain serial map — same code path, same
+/// results.
+///
+/// # Panics
+///
+/// A panic in `f` is resumed on the calling thread after the scope
+/// joins, exactly as a serial map would panic.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(results) => results,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k == i));
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Worker count for a job list: one per host core, but never more than
+/// there are jobs, and overridable (e.g. `FPC_THREADS=1` to compare
+/// against a serial run) without recompiling.
+pub fn default_workers(jobs: usize) -> usize {
+    let cores = std::env::var("FPC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
+    cores.clamp(1, jobs.max(1))
+}
+
+/// One cell of the corpus × implementation matrix.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The workload to run.
+    pub workload: Workload,
+    /// Implementation name ("I1".."I4").
+    pub config_name: &'static str,
+    /// The machine configuration.
+    pub config: MachineConfig,
+    /// Linkage the compiler should use for this implementation.
+    pub linkage: Linkage,
+}
+
+/// Simulated counters summarising one finished cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Implementation name.
+    pub config_name: &'static str,
+    /// Simulated instructions executed.
+    pub instructions: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Calls plus returns.
+    pub transfers: u64,
+    /// Fraction of calls+returns at jump speed.
+    pub fast_fraction: f64,
+}
+
+/// The implementation ladder the matrix fans over, with the linkage
+/// each one is meant to run (the Mesa encoding for the table-driven
+/// machines, early-bound direct calls once the IFU can use them).
+pub fn implementations() -> [(&'static str, MachineConfig, Linkage); 4] {
+    [
+        ("I1", MachineConfig::i1(), Linkage::Mesa),
+        ("I2", MachineConfig::i2(), Linkage::Mesa),
+        ("I3", MachineConfig::i3(), Linkage::Direct),
+        ("I4", MachineConfig::i4(), Linkage::Direct),
+    ]
+}
+
+/// The full corpus × {I1..I4} job list, in deterministic order
+/// (workloads in corpus order, implementations in ladder order).
+pub fn corpus_matrix() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for workload in corpus() {
+        for (config_name, config, linkage) in implementations() {
+            jobs.push(Job {
+                workload: workload.clone(),
+                config_name,
+                config,
+                linkage,
+            });
+        }
+    }
+    jobs
+}
+
+/// Runs one job to completion and summarises its counters.
+///
+/// # Panics
+///
+/// Panics if the workload fails to compile or run — the corpus is
+/// expected to be green on every implementation.
+pub fn run_job(job: &Job) -> CellResult {
+    let m = run_workload(
+        &job.workload,
+        job.config,
+        fpc_compiler::Options {
+            linkage: job.linkage,
+            bank_args: job.config.renaming(),
+        },
+    )
+    .unwrap_or_else(|e| panic!("{}/{}: {e}", job.workload.name, job.config_name));
+    summarise(&job.workload, job.config_name, &m)
+}
+
+fn summarise(w: &Workload, config_name: &'static str, m: &Machine) -> CellResult {
+    let s = m.stats();
+    CellResult {
+        workload: w.name,
+        config_name,
+        instructions: s.instructions,
+        cycles: s.cycles,
+        transfers: s.transfers.calls_and_returns(),
+        fast_fraction: s.transfers.fast_call_return_fraction(),
+    }
+}
+
+/// Runs the whole corpus × implementation matrix on `workers` threads,
+/// returning cells in the same order as [`corpus_matrix`].
+pub fn run_matrix(workers: usize) -> Vec<CellResult> {
+    let jobs = corpus_matrix();
+    parallel_map(&jobs, workers, run_job)
+}
+
+/// Renders matrix results as one row per workload with the per-
+/// implementation cycle totals and the I4 fast fraction.
+pub fn matrix_table(cells: &[CellResult]) -> String {
+    let mut t = Table::new(&[
+        "workload",
+        "instrs (I1)",
+        "I1 cycles",
+        "I2 cycles",
+        "I3 cycles",
+        "I4 cycles",
+        "I4 fast",
+    ]);
+    t.numeric();
+    for chunk in cells.chunks(implementations().len()) {
+        let mut row = vec![
+            chunk[0].workload.to_string(),
+            chunk[0].instructions.to_string(),
+        ];
+        for cell in chunk {
+            row.push(cell.cycles.to_string());
+        }
+        let i4 = chunk.last().expect("non-empty chunk");
+        row.push(crate::pct(i4.fast_fraction));
+        t.row_owned(row);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        // Uneven per-item work so completion order differs from item
+        // order under any real scheduler.
+        let f = |&x: &u64| {
+            let mut acc = x;
+            for _ in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        };
+        let serial = parallel_map(&items, 1, f);
+        let parallel = parallel_map(&items, 8, f);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[41].0, 41);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(parallel_map(&empty, 8, |&x| x).len(), 0);
+        assert_eq!(parallel_map(&[7u32], 8, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items = [1u32, 2, 3];
+        let _ = parallel_map(&items, 2, |&x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn matrix_jobs_enumerate_corpus_times_ladder() {
+        let jobs = corpus_matrix();
+        assert_eq!(jobs.len(), corpus().len() * implementations().len());
+        assert_eq!(jobs[0].config_name, "I1");
+        assert_eq!(jobs[1].config_name, "I2");
+        assert_eq!(jobs[0].workload.name, jobs[3].workload.name);
+    }
+
+    #[test]
+    fn one_cell_runs_and_summarises() {
+        let jobs = corpus_matrix();
+        let job = jobs
+            .iter()
+            .find(|j| j.workload.name == "leafcalls" && j.config_name == "I4")
+            .unwrap();
+        let cell = run_job(job);
+        assert!(cell.instructions > 0);
+        assert!(cell.transfers > 0);
+        assert!(cell.fast_fraction > 0.9);
+    }
+}

@@ -36,11 +36,26 @@ pub fn ladder() -> Vec<Rung> {
         ptr_policy: PtrLocalPolicy::Divert,
     };
     let banks_norename = Some(norename);
-    let banks_rename = Some(BankConfig { renaming: true, ..norename });
+    let banks_rename = Some(BankConfig {
+        renaming: true,
+        ..norename
+    });
     vec![
-        Rung { name: "I2 (Mesa linkage)", config: MachineConfig::i2(), linkage: Linkage::Mesa },
-        Rung { name: "+ direct calls", config: MachineConfig::i2(), linkage: Linkage::Direct },
-        Rung { name: "+ return stack (I3)", config: MachineConfig::i3(), linkage: Linkage::Direct },
+        Rung {
+            name: "I2 (Mesa linkage)",
+            config: MachineConfig::i2(),
+            linkage: Linkage::Mesa,
+        },
+        Rung {
+            name: "+ direct calls",
+            config: MachineConfig::i2(),
+            linkage: Linkage::Direct,
+        },
+        Rung {
+            name: "+ return stack (I3)",
+            config: MachineConfig::i3(),
+            linkage: Linkage::Direct,
+        },
         Rung {
             name: "+ banks (no renaming)",
             config: MachineConfig::i3().with_banks(banks_norename),
@@ -53,9 +68,12 @@ pub fn ladder() -> Vec<Rung> {
         },
         Rung {
             name: "+ frame cache (I4)",
-            config: MachineConfig::i3()
-                .with_banks(banks_rename)
-                .with_alloc(AllocStrategy::AvCached { cache_frames: 8, defer: true }),
+            config: MachineConfig::i3().with_banks(banks_rename).with_alloc(
+                AllocStrategy::AvCached {
+                    cache_frames: 8,
+                    defer: true,
+                },
+            ),
             linkage: Linkage::Direct,
         },
     ]
@@ -66,7 +84,10 @@ pub fn measure(w: &Workload, rung: &Rung) -> (f64, u64) {
     let m = run_workload(
         w,
         rung.config,
-        Options { linkage: rung.linkage, bank_args: rung.config.renaming() },
+        Options {
+            linkage: rung.linkage,
+            bank_args: rung.config.renaming(),
+        },
     )
     .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name, rung.name));
     let t = &m.stats().transfers;
@@ -87,8 +108,10 @@ pub fn cycles_per_transfer(w: &Workload, rung: &Rung) -> f64 {
 /// Regenerates the A1 table.
 pub fn report() -> String {
     let names = ["fib", "leafcalls", "nest", "quicksort"];
-    let workloads: Vec<_> =
-        corpus().into_iter().filter(|w| names.contains(&w.name)).collect();
+    let workloads: Vec<_> = corpus()
+        .into_iter()
+        .filter(|w| names.contains(&w.name))
+        .collect();
     let mut header = vec!["mechanism".to_string()];
     header.extend(workloads.iter().map(|w| w.name.to_string()));
     let hdr: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
@@ -127,15 +150,14 @@ mod tests {
 
     #[test]
     fn every_rung_improves_leafcalls() {
-        let w = corpus().into_iter().find(|w| w.name == "leafcalls").unwrap();
+        let w = corpus()
+            .into_iter()
+            .find(|w| w.name == "leafcalls")
+            .unwrap();
         let mut last = f64::INFINITY;
         for rung in ladder() {
             let c = cycles_per_transfer(&w, &rung);
-            assert!(
-                c <= last + 0.3,
-                "{} regressed: {c} after {last}",
-                rung.name
-            );
+            assert!(c <= last + 0.3, "{} regressed: {c} after {last}", rung.name);
             last = c;
         }
         assert!(last < 2.5, "full I4 leafcalls: {last} cycles/transfer");

@@ -30,20 +30,20 @@ pub fn run_policy(w: &Workload, policy: PtrLocalPolicy) -> Result<Machine, VmErr
     run_workload(
         w,
         config_with(policy),
-        Options { linkage: Linkage::Direct, bank_args: true },
+        Options {
+            linkage: Linkage::Direct,
+            bank_args: true,
+        },
     )
 }
 
 /// Regenerates the A2 table.
 pub fn report() -> String {
-    let w = corpus().into_iter().find(|w| w.name == "pointers").expect("pointers workload");
-    let mut t = Table::new(&[
-        "policy",
-        "outcome",
-        "diversions",
-        "flushed words",
-        "cycles",
-    ]);
+    let w = corpus()
+        .into_iter()
+        .find(|w| w.name == "pointers")
+        .expect("pointers workload");
+    let mut t = Table::new(&["policy", "outcome", "diversions", "flushed words", "cycles"]);
     t.numeric();
     for (name, policy) in [
         ("outlaw", PtrLocalPolicy::Outlaw),
@@ -56,7 +56,11 @@ pub fn report() -> String {
                 let ok = m.output() == w.expected.as_slice();
                 t.row_owned(vec![
                     name.into(),
-                    if ok { "correct".into() } else { "WRONG OUTPUT".into() },
+                    if ok {
+                        "correct".into()
+                    } else {
+                        "WRONG OUTPUT".into()
+                    },
                     b.diversions.to_string(),
                     b.flushed_words.to_string(),
                     m.stats().cycles.to_string(),
@@ -112,8 +116,11 @@ mod tests {
     #[test]
     fn policies_do_not_disturb_pointer_free_code() {
         let w = corpus().into_iter().find(|w| w.name == "fib").unwrap();
-        for policy in [PtrLocalPolicy::Outlaw, PtrLocalPolicy::FlushOnExit, PtrLocalPolicy::Divert]
-        {
+        for policy in [
+            PtrLocalPolicy::Outlaw,
+            PtrLocalPolicy::FlushOnExit,
+            PtrLocalPolicy::Divert,
+        ] {
             let m = run_policy(&w, policy).unwrap();
             assert_eq!(m.output(), w.expected.as_slice(), "policy {policy:?}");
         }

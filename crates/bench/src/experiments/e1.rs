@@ -29,13 +29,11 @@ fn single_call_sources(cross_module: bool) -> Vec<String> {
             "module M imports L; proc main() begin out L.f(7); end; end.".to_string(),
         ]
     } else {
-        vec![
-            "module M;
+        vec!["module M;
              proc f(x: int): int begin return x; end;
              proc main() begin out f(7); end;
              end."
-                .to_string(),
-        ]
+            .to_string()]
     }
 }
 
@@ -53,13 +51,19 @@ pub fn measure(
         (single_call_sources(cross_module), 100_000)
     };
     let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
-    let options = Options { linkage, bank_args: config.renaming() };
+    let options = Options {
+        linkage,
+        bank_args: config.renaming(),
+    };
     let compiled = compile(&refs, options).expect("experiment program compiles");
     let mut m = Machine::load(&compiled.image, config).expect("loads");
     m.run(fuel).expect("runs");
     let k = m.stats().transfers.kind(TransferKind::Call);
     assert!(k.count >= 1);
-    CallCost { refs: k.mean_refs(), cycles: k.mean_cycles() }
+    CallCost {
+        refs: k.mean_refs(),
+        cycles: k.mean_cycles(),
+    }
 }
 
 /// Regenerates the E1 table.

@@ -35,7 +35,10 @@ pub fn measure(w: &Workload, config: MachineConfig, linkage: Linkage) -> Option<
     let m = run_workload(
         w,
         config,
-        Options { linkage, bank_args: config.renaming() },
+        Options {
+            linkage,
+            bank_args: config.renaming(),
+        },
     )
     .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     let t = &m.stats().transfers;
@@ -115,7 +118,10 @@ mod tests {
 
     #[test]
     fn leafcalls_meets_the_95_percent_headline() {
-        let w = corpus().into_iter().find(|w| w.name == "leafcalls").unwrap();
+        let w = corpus()
+            .into_iter()
+            .find(|w| w.name == "leafcalls")
+            .unwrap();
         let h = measure(&w, MachineConfig::i4(), Linkage::Direct).unwrap();
         assert!(h.fast_fraction > 0.95, "fast fraction {}", h.fast_fraction);
         assert!(h.call_cycles < 2.2, "cycles/call {}", h.call_cycles);
@@ -132,7 +138,10 @@ mod tests {
 
     #[test]
     fn i2_is_never_at_jump_speed() {
-        let w = corpus().into_iter().find(|w| w.name == "leafcalls").unwrap();
+        let w = corpus()
+            .into_iter()
+            .find(|w| w.name == "leafcalls")
+            .unwrap();
         let h = measure(&w, MachineConfig::i2(), Linkage::Mesa).unwrap();
         assert_eq!(h.fast_fraction, 0.0);
         assert!(h.call_cycles > 8.0);
@@ -167,6 +176,10 @@ mod tests {
         // calls reach jump speed too.
         let w = corpus().into_iter().find(|w| w.name == "nest").unwrap();
         let h = measure(&w, MachineConfig::i4(), Linkage::Mixed).unwrap();
-        assert!(h.fast_fraction > 0.2, "nest under mixed: {}", h.fast_fraction);
+        assert!(
+            h.fast_fraction > 0.2,
+            "nest under mixed: {}",
+            h.fast_fraction
+        );
     }
 }

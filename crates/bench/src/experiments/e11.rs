@@ -22,10 +22,15 @@ pub fn aggregate() -> SizeStats {
 
 /// Regenerates the E11 table.
 pub fn report() -> String {
-    let mut t = Table::new(&["workload", "instrs", "1B", "2B", "3B", "4B", "1-byte", "mean len"]);
+    let mut t = Table::new(&[
+        "workload", "instrs", "1B", "2B", "3B", "4B", "1-byte", "mean len",
+    ]);
     t.numeric();
     for w in corpus() {
-        let s = compile_workload(&w, Options::default()).expect("compiles").stats.size;
+        let s = compile_workload(&w, Options::default())
+            .expect("compiles")
+            .stats
+            .size;
         t.row_owned(vec![
             w.name.into(),
             s.total().to_string(),
@@ -68,9 +73,6 @@ mod tests {
     #[test]
     fn nothing_longer_than_four_bytes() {
         let a = aggregate();
-        assert_eq!(
-            a.total(),
-            a.count(1) + a.count(2) + a.count(3) + a.count(4)
-        );
+        assert_eq!(a.total(), a.count(1) + a.count(2) + a.count(3) + a.count(4));
     }
 }

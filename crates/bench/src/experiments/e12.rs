@@ -12,7 +12,13 @@ use fpc_workloads::corpus;
 
 /// Regenerates the E12 table.
 pub fn report() -> String {
-    let mut t = Table::new(&["workload", "kind", "instructions", "calls+returns", "instrs/transfer"]);
+    let mut t = Table::new(&[
+        "workload",
+        "kind",
+        "instructions",
+        "calls+returns",
+        "instrs/transfer",
+    ]);
     t.numeric();
     for w in corpus() {
         let m = crate::run(&w, MachineConfig::i2(), Linkage::Mesa);
@@ -40,7 +46,10 @@ mod tests {
         let w = corpus().into_iter().find(|w| w.name == "fib").unwrap();
         let m = crate::run(&w, MachineConfig::i2(), Linkage::Mesa);
         let ipt = m.stats().instructions_per_transfer();
-        assert!(ipt > 4.0 && ipt < 16.0, "fib: {ipt} instructions per transfer");
+        assert!(
+            ipt > 4.0 && ipt < 16.0,
+            "fib: {ipt} instructions per transfer"
+        );
     }
 
     #[test]

@@ -13,9 +13,8 @@
 
 use fpc_frames::{FrameError, FrameHeap, GeneralHeap, SizeClasses, StackAllocator};
 use fpc_mem::{Memory, WordAddr};
+use fpc_rng::Rng;
 use fpc_stats::Table;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use fpc_workloads::traces::sample_frame_words;
 
@@ -37,12 +36,12 @@ pub fn drive_av(classes: SizeClasses, ops: usize, seed: u64) -> AllocRun {
     let mut mem = Memory::new(0x10000);
     let mut heap =
         FrameHeap::new(&mut mem, WordAddr(0x10), classes, 0x100..0x10000).expect("heap fits");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut live: Vec<WordAddr> = Vec::new();
     for _ in 0..ops {
         let full = live.len() >= 64;
         if !live.is_empty() && (full || rng.gen_bool(0.5)) {
-            let i = rng.gen_range(0..live.len());
+            let i = rng.gen_index(live.len());
             let f = live.swap_remove(i);
             heap.free(&mut mem, f).expect("live frame frees");
         } else {
@@ -51,18 +50,22 @@ pub fn drive_av(classes: SizeClasses, ops: usize, seed: u64) -> AllocRun {
         }
     }
     let s = heap.stats();
-    AllocRun { refs_per_op: s.refs_per_op(), fragmentation: s.fragmentation(), traps: s.traps }
+    AllocRun {
+        refs_per_op: s.refs_per_op(),
+        fragmentation: s.fragmentation(),
+        traps: s.traps,
+    }
 }
 
 /// The same request mix against the first-fit general heap.
 pub fn drive_general(ops: usize, seed: u64) -> AllocRun {
     let mut heap = GeneralHeap::new(0x100, 0x20000);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut live: Vec<(WordAddr, u32)> = Vec::new();
     for _ in 0..ops {
         let full = live.len() >= 64;
         if !live.is_empty() && (full || rng.gen_bool(0.5)) {
-            let i = rng.gen_range(0..live.len());
+            let i = rng.gen_index(live.len());
             let (f, w) = live.swap_remove(i);
             heap.free(f, w).expect("live frame frees");
         } else {
@@ -70,20 +73,24 @@ pub fn drive_general(ops: usize, seed: u64) -> AllocRun {
             live.push((heap.alloc(words).expect("fits"), words));
         }
     }
-    AllocRun { refs_per_op: heap.refs_per_op(), fragmentation: 0.0, traps: 0 }
+    AllocRun {
+        refs_per_op: heap.refs_per_op(),
+        fragmentation: 0.0,
+        traps: 0,
+    }
 }
 
 /// Counts how many frees of a non-LIFO lifetime pattern the stack
 /// allocator rejects (out of the total frees attempted).
 pub fn stack_non_lifo_failures(ops: usize, seed: u64) -> (u64, u64) {
     let mut stack = StackAllocator::new(0x100, 0x40000);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut live: Vec<WordAddr> = Vec::new();
     let (mut failures, mut frees) = (0u64, 0u64);
     for _ in 0..ops {
         let full = live.len() >= 64;
         if !live.is_empty() && (full || rng.gen_bool(0.5)) {
-            let i = rng.gen_range(0..live.len());
+            let i = rng.gen_index(live.len());
             let f = live[i];
             frees += 1;
             match stack.free(f) {

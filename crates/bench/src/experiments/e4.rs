@@ -36,17 +36,29 @@ pub fn report() -> String {
         ]);
     }
 
-    let mut t2 = Table::new(&["workload", "mesa bytes", "direct bytes", "short bytes", "direct growth"]);
+    let mut t2 = Table::new(&[
+        "workload",
+        "mesa bytes",
+        "direct bytes",
+        "short bytes",
+        "direct growth",
+    ]);
     t2.numeric();
     for w in corpus() {
         let sizes: Vec<u64> = [Linkage::Mesa, Linkage::Direct, Linkage::ShortDirect]
             .into_iter()
             .map(|linkage| {
-                compile_workload(&w, Options { linkage, bank_args: false })
-                    .expect("corpus compiles")
-                    .stats
-                    .size
-                    .bytes()
+                compile_workload(
+                    &w,
+                    Options {
+                        linkage,
+                        bank_args: false,
+                    },
+                )
+                .expect("corpus compiles")
+                .stats
+                .size
+                .bytes()
             })
             .collect();
         t2.row_owned(vec![
@@ -82,10 +94,17 @@ mod tests {
     #[test]
     fn measured_direct_code_is_larger() {
         let w = corpus().into_iter().find(|w| w.name == "fib").unwrap();
-        let mesa = compile_workload(&w, Options::default()).unwrap().stats.size.bytes();
+        let mesa = compile_workload(&w, Options::default())
+            .unwrap()
+            .stats
+            .size
+            .bytes();
         let direct = compile_workload(
             &w,
-            Options { linkage: Linkage::Direct, ..Default::default() },
+            Options {
+                linkage: Linkage::Direct,
+                ..Default::default()
+            },
         )
         .unwrap()
         .stats

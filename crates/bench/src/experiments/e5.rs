@@ -10,9 +10,7 @@
 use fpc_compiler::Linkage;
 use fpc_stats::Table;
 use fpc_vm::MachineConfig;
-use fpc_workloads::traces::{
-    drive_return_stack, generate, leafy_trace, tree_trace, TraceParams,
-};
+use fpc_workloads::traces::{drive_return_stack, generate, leafy_trace, tree_trace, TraceParams};
 use fpc_workloads::{corpus, Kind};
 
 /// Depths swept by the report.
@@ -46,8 +44,17 @@ pub fn report() -> String {
 
     // Synthetic traces.
     let tree = tree_trace(15, 6);
-    let leafy = leafy_trace(TraceParams { len: 100_000, ..Default::default() }, 0.8);
-    let walk = generate(TraceParams { len: 100_000, ..Default::default() });
+    let leafy = leafy_trace(
+        TraceParams {
+            len: 100_000,
+            ..Default::default()
+        },
+        0.8,
+    );
+    let walk = generate(TraceParams {
+        len: 100_000,
+        ..Default::default()
+    });
     for (name, trace) in [
         ("trace:tree(15)", &tree),
         ("trace:leafy", &leafy),
@@ -89,7 +96,10 @@ mod tests {
 
     #[test]
     fn depth_zero_is_the_general_scheme() {
-        let w = corpus().into_iter().find(|w| w.name == "leafcalls").unwrap();
+        let w = corpus()
+            .into_iter()
+            .find(|w| w.name == "leafcalls")
+            .unwrap();
         let m = crate::run(&w, MachineConfig::i2(), Linkage::Mesa);
         assert_eq!(m.return_stack_stats().hits, 0);
     }

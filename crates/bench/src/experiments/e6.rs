@@ -34,7 +34,10 @@ pub fn workload_rate(w: &Workload, banks: usize) -> f64 {
     let m = run_workload(
         w,
         config,
-        Options { linkage: Linkage::Direct, bank_args: true },
+        Options {
+            linkage: Linkage::Direct,
+            bank_args: true,
+        },
     )
     .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     let stats = m.bank_stats().expect("banks configured");
@@ -66,8 +69,17 @@ pub fn report() -> String {
     }
 
     let tree = tree_trace(15, 6);
-    let leafy = leafy_trace(TraceParams { len: 100_000, ..Default::default() }, 0.8);
-    let walk = generate(TraceParams { len: 100_000, ..Default::default() });
+    let leafy = leafy_trace(
+        TraceParams {
+            len: 100_000,
+            ..Default::default()
+        },
+        0.8,
+    );
+    let walk = generate(TraceParams {
+        len: 100_000,
+        ..Default::default()
+    });
     for (name, trace) in [
         ("trace:tree(15)", &tree),
         ("trace:leafy", &leafy),
@@ -93,7 +105,10 @@ mod tests {
 
     #[test]
     fn leafcalls_has_negligible_rate_with_four_banks() {
-        let w = corpus().into_iter().find(|w| w.name == "leafcalls").unwrap();
+        let w = corpus()
+            .into_iter()
+            .find(|w| w.name == "leafcalls")
+            .unwrap();
         let r = workload_rate(&w, 4);
         assert!(r < 0.05, "rate {r}");
     }

@@ -42,9 +42,14 @@ pub fn dynamic_histogram() -> Histogram {
 pub fn report() -> String {
     let s = static_histogram();
     let d = dynamic_histogram();
-    let mut t = Table::new(&["view", "frames", "min B", "median B", "p95 B", "max B", "< 80 B"]);
+    let mut t = Table::new(&[
+        "view", "frames", "min B", "median B", "p95 B", "max B", "< 80 B",
+    ]);
     t.numeric();
-    for (name, h) in [("static (per procedure)", &s), ("dynamic (per allocation)", &d)] {
+    for (name, h) in [
+        ("static (per procedure)", &s),
+        ("dynamic (per allocation)", &d),
+    ] {
         t.row_owned(vec![
             name.into(),
             h.count().to_string(),

@@ -34,11 +34,18 @@ pub fn measure(w: &Workload) -> CacheRun {
     let m = run_workload(
         w,
         MachineConfig::i4(),
-        Options { linkage: Linkage::Direct, bank_args: true },
+        Options {
+            linkage: Linkage::Direct,
+            bank_args: true,
+        },
     )
     .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     let c = m.cache_stats().expect("cache configured");
-    CacheRun { hit_rate: c.hit_rate(), fast_frees: c.fast_frees, slow_frees: c.slow_frees }
+    CacheRun {
+        hit_rate: c.hit_rate(),
+        fast_frees: c.fast_frees,
+        slow_frees: c.slow_frees,
+    }
 }
 
 /// Regenerates the E8 tables.
@@ -87,7 +94,10 @@ mod tests {
 
     #[test]
     fn leafcalls_cache_hits_nearly_always() {
-        let w = corpus().into_iter().find(|w| w.name == "leafcalls").unwrap();
+        let w = corpus()
+            .into_iter()
+            .find(|w| w.name == "leafcalls")
+            .unwrap();
         let r = measure(&w);
         assert!(r.hit_rate > 0.95, "hit rate {}", r.hit_rate);
         assert!(r.slow_frees <= 8 + 2, "slow frees {}", r.slow_frees);

@@ -36,13 +36,19 @@ pub fn measure(w: &Workload) -> ArgCosts {
     let stores = run_workload(
         w,
         MachineConfig::i3(),
-        Options { linkage: Linkage::Direct, bank_args: false },
+        Options {
+            linkage: Linkage::Direct,
+            bank_args: false,
+        },
     )
     .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     let renaming = run_workload(
         w,
         MachineConfig::i4(),
-        Options { linkage: Linkage::Direct, bank_args: true },
+        Options {
+            linkage: Linkage::Direct,
+            bank_args: true,
+        },
     )
     .unwrap_or_else(|e| panic!("{}: {e}", w.name));
     let spills = compile_workload(w, Options::default())

@@ -24,6 +24,7 @@
 //! | [`experiments::a1`] | §5–§7 | ablation: cycles/transfer per mechanism |
 //! | [`experiments::a2`] | §7.4 | pointer-to-local policies |
 
+pub mod driver;
 pub mod experiments;
 
 use fpc_compiler::{Linkage, Options};
@@ -37,8 +38,15 @@ use fpc_workloads::{run_workload, Workload};
 ///
 /// Panics if the workload fails — experiments assume a working corpus.
 pub fn run(w: &Workload, config: MachineConfig, linkage: Linkage) -> Machine {
-    run_workload(w, config, Options { linkage, bank_args: false })
-        .unwrap_or_else(|e| panic!("workload {} failed: {e}", w.name))
+    run_workload(
+        w,
+        config,
+        Options {
+            linkage,
+            bank_args: false,
+        },
+    )
+    .unwrap_or_else(|e| panic!("workload {} failed: {e}", w.name))
 }
 
 /// Formats a fraction as a percentage with one decimal.

@@ -1,0 +1,27 @@
+//! The driver's contract: a parallel run of the corpus × {I1..I4}
+//! matrix is indistinguishable from a serial one — same cell order,
+//! same simulated counters, bit for bit. Scheduling must never show
+//! through, because every experiment report is built from these cells.
+
+use fpc_bench::driver;
+
+#[test]
+fn parallel_matrix_matches_serial_matrix() {
+    let jobs = driver::corpus_matrix();
+    let serial: Vec<_> = jobs.iter().map(driver::run_job).collect();
+    let parallel = driver::parallel_map(&jobs, 8, driver::run_job);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s, p,
+            "cell {}/{} diverged across schedules",
+            s.workload, s.config_name
+        );
+    }
+}
+
+#[test]
+fn worker_count_never_exceeds_jobs() {
+    assert_eq!(driver::default_workers(1), 1);
+    assert!(driver::default_workers(1000) >= 1);
+}

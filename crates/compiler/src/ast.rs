@@ -293,9 +293,9 @@ impl Expr {
     /// Source line of the expression, where tracked.
     pub fn line(&self) -> Option<u32> {
         match self {
-            Expr::Var { line, .. }
-            | Expr::Index { line, .. }
-            | Expr::AddrOf { line, .. } => Some(*line),
+            Expr::Var { line, .. } | Expr::Index { line, .. } | Expr::AddrOf { line, .. } => {
+                Some(*line)
+            }
             Expr::Call(c) => Some(c.target.line),
             Expr::CoCreate(p) | Expr::Spawn(p) => Some(p.line),
             Expr::Unary { expr, .. } | Expr::Deref(expr) | Expr::CoStart(expr) => expr.line(),
@@ -322,7 +322,10 @@ mod tests {
     fn expr_lines_propagate() {
         let e = Expr::Binary {
             op: BinOp::Add,
-            lhs: Box::new(Expr::Var { name: "x".into(), line: 3 }),
+            lhs: Box::new(Expr::Var {
+                name: "x".into(),
+                line: 3,
+            }),
             rhs: Box::new(Expr::Num(1)),
         };
         assert_eq!(e.line(), Some(3));

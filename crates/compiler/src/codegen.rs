@@ -222,7 +222,11 @@ pub fn gen_proc(
     // (§4): copy the record into the locals and free it — "the
     // receiver can therefore free it as soon as he is done with it."
     let nparams = proc.params.len();
-    let nargs = if nparams > LONG_ARG_THRESHOLD { 1u8 } else { nparams as u8 };
+    let nargs = if nparams > LONG_ARG_THRESHOLD {
+        1u8
+    } else {
+        nparams as u8
+    };
     if nparams > LONG_ARG_THRESHOLD {
         if !options.bank_args {
             // The record pointer parks in slot 0 (overwritten last).
@@ -346,7 +350,12 @@ impl Gen<'_> {
                 }
                 self.depth -= 1;
             }
-            Stmt::StoreIndex { name, index, value, line } => {
+            Stmt::StoreIndex {
+                name,
+                index,
+                value,
+                line,
+            } => {
                 self.expr(value)?;
                 self.push_base(name, *line)?;
                 self.expr(index)?;
@@ -511,7 +520,11 @@ impl Gen<'_> {
                 let l = self.asm.label();
                 self.asm.bind(l);
                 self.asm.raw(&[fpc_isa::opcode::DFC, 0, 0, 0]);
-                self.fixups.push(CallFixup { label: l, kind: FixKind::Direct, target: (mi, pi) });
+                self.fixups.push(CallFixup {
+                    label: l,
+                    kind: FixKind::Direct,
+                    target: (mi, pi),
+                });
                 self.calls.direct += 1;
             }
             Linkage::ShortDirect => {
@@ -540,14 +553,22 @@ impl Gen<'_> {
         let l = self.asm.label();
         self.asm.bind(l);
         self.asm.raw(&[fpc_isa::opcode::LIW, 0, 0]);
-        self.fixups.push(CallFixup { label: l, kind: FixKind::DescWord, target: t });
+        self.fixups.push(CallFixup {
+            label: l,
+            kind: FixKind::DescWord,
+            target: t,
+        });
         self.pushed(Some(target.line))
     }
 
     fn expr(&mut self, e: &Expr) -> Result<(), CompileError> {
         match e {
             Expr::Num(n) => {
-                let v = if *n < 0 { (*n as i16) as u16 } else { *n as u16 };
+                let v = if *n < 0 {
+                    (*n as i16) as u16
+                } else {
+                    *n as u16
+                };
                 self.emit(Instr::LoadImm(v));
                 self.pushed(e.line())
             }
@@ -598,7 +619,11 @@ impl Gen<'_> {
                         self.expr(rhs)?;
                         self.emit(Instr::LoadImm(0));
                         self.emit(Instr::CmpNe);
-                        self.emit(if *op == BinOp::And { Instr::And } else { Instr::Or });
+                        self.emit(if *op == BinOp::And {
+                            Instr::And
+                        } else {
+                            Instr::Or
+                        });
                     }
                     _ => {
                         self.expr(lhs)?;

@@ -40,7 +40,11 @@ pub struct CompileError {
 impl CompileError {
     /// Creates an error.
     pub fn new(phase: Phase, line: Option<u32>, msg: impl Into<String>) -> Self {
-        CompileError { phase, line, msg: msg.into() }
+        CompileError {
+            phase,
+            line,
+            msg: msg.into(),
+        }
     }
 
     /// The phase that failed.

@@ -44,7 +44,7 @@ mod token;
 pub use ast::{BinOp, Expr, Module, ProcDecl, ProcName, Stmt, Type, UnOp, VarDecl};
 pub use codegen::{CallSiteCounts, Linkage, Options, LONG_ARG_THRESHOLD, MAX_DEPTH};
 pub use error::{CompileError, Phase};
-pub use link::{Compiled, CompileStats, FrameStat};
+pub use link::{CompileStats, Compiled, FrameStat};
 pub use parser::parse_module;
 pub use sema::{analyze, ProgramInfo};
 
@@ -57,8 +57,10 @@ pub use sema::{analyze, ProgramInfo};
 ///
 /// The first [`CompileError`] encountered in any phase.
 pub fn compile(sources: &[&str], options: Options) -> Result<Compiled, CompileError> {
-    let modules: Vec<Module> =
-        sources.iter().map(|s| parse_module(s)).collect::<Result<_, _>>()?;
+    let modules: Vec<Module> = sources
+        .iter()
+        .map(|s| parse_module(s))
+        .collect::<Result<_, _>>()?;
     let info = analyze(&modules)?;
     link::link(&modules, &info, options)
 }
@@ -126,7 +128,11 @@ mod tests {
         assert_eq!(run_default(src), vec![18]);
         // The compiler must have recorded at least one static spill.
         let c = compile(&[src], Options::default()).unwrap();
-        assert!(c.stats.static_spills >= 1, "spills {}", c.stats.static_spills);
+        assert!(
+            c.stats.static_spills >= 1,
+            "spills {}",
+            c.stats.static_spills
+        );
     }
 
     #[test]
@@ -149,13 +155,20 @@ mod tests {
             end.";
         assert_eq!(run_default(src), vec![50]);
         let c = compile(&[src], Options::default()).unwrap();
-        assert!(c.stats.static_spills >= 3, "spills {}", c.stats.static_spills);
+        assert!(
+            c.stats.static_spills >= 3,
+            "spills {}",
+            c.stats.static_spills
+        );
         // And the same under full acceleration with renaming.
         assert_eq!(
             run(
                 src,
                 MachineConfig::i4(),
-                Options { bank_args: true, ..Default::default() }
+                Options {
+                    bank_args: true,
+                    ..Default::default()
+                }
             ),
             vec![50]
         );
@@ -230,7 +243,14 @@ mod tests {
         assert_eq!(run_default(src), vec![15]);
         // Also under register banks with the divert policy.
         assert_eq!(
-            run(src, MachineConfig::i4(), Options { bank_args: true, ..Default::default() }),
+            run(
+                src,
+                MachineConfig::i4(),
+                Options {
+                    bank_args: true,
+                    ..Default::default()
+                }
+            ),
             vec![15]
         );
     }
@@ -329,11 +349,22 @@ mod tests {
 
     #[test]
     fn direct_linkage_is_larger() {
-        let mesa = compile(&[FIB], Options { linkage: Linkage::Mesa, ..Default::default() })
-            .unwrap();
-        let direct =
-            compile(&[FIB], Options { linkage: Linkage::Direct, ..Default::default() })
-                .unwrap();
+        let mesa = compile(
+            &[FIB],
+            Options {
+                linkage: Linkage::Mesa,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let direct = compile(
+            &[FIB],
+            Options {
+                linkage: Linkage::Direct,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(
             direct.stats.size.bytes() > mesa.stats.size.bytes(),
             "direct {} vs mesa {}",
@@ -371,7 +402,14 @@ mod tests {
             (MachineConfig::i3(), false),
             (MachineConfig::i4(), true),
         ] {
-            let out = run(src, cfg, Options { bank_args, ..Default::default() });
+            let out = run(
+                src,
+                cfg,
+                Options {
+                    bank_args,
+                    ..Default::default()
+                },
+            );
             assert_eq!(out, expected, "config {cfg:?}");
         }
         // The records were allocated and freed in step: run on I2 and
@@ -380,7 +418,10 @@ mod tests {
         let mut m = Machine::load(&compiled.image, MachineConfig::i2()).unwrap();
         m.run(1_000_000).unwrap();
         let heap = m.heap_stats().unwrap();
-        assert_eq!(heap.live, 0, "records and frames all freed after main returns");
+        assert_eq!(
+            heap.live, 0,
+            "records and frames all freed after main returns"
+        );
         assert!(heap.allocs >= 40, "20 calls allocated 20 records + frames");
     }
 
@@ -436,11 +477,14 @@ mod tests {
         assert_eq!(compiled.image.modules[2].name, "Counter2");
         assert_eq!(compiled.image.modules[2].code_of, Some(0));
         assert_eq!(
-            compiled.image.modules[2].code_base,
-            compiled.image.modules[0].code_base,
+            compiled.image.modules[2].code_base, compiled.image.modules[0].code_base,
             "one copy of the code"
         );
-        for cfg in [MachineConfig::i1(), MachineConfig::i2(), MachineConfig::i3()] {
+        for cfg in [
+            MachineConfig::i1(),
+            MachineConfig::i2(),
+            MachineConfig::i3(),
+        ] {
             let mut m = Machine::load(&compiled.image, cfg).unwrap();
             m.run(10_000).unwrap();
             assert_eq!(m.output(), &[1, 2, 1, 3, 2], "config {cfg:?}");
@@ -455,7 +499,10 @@ mod tests {
         // binding funnels every bump into Counter's globals.
         let compiled = compile(
             &COUNTERS,
-            Options { linkage: Linkage::Direct, ..Default::default() },
+            Options {
+                linkage: Linkage::Direct,
+                ..Default::default()
+            },
         )
         .unwrap();
         let mut m = Machine::load(&compiled.image, MachineConfig::i3()).unwrap();
@@ -469,11 +516,7 @@ mod tests {
         let third = "module Other imports Main;
              proc f() begin Counter2.bump(); end;
              end.";
-        let e = compile(
-            &[COUNTERS[0], COUNTERS[1], third],
-            Options::default(),
-        )
-        .unwrap_err();
+        let e = compile(&[COUNTERS[0], COUNTERS[1], third], Options::default()).unwrap_err();
         assert!(e.to_string().contains("does not import"), "{e}");
         // Instantiating an instance is rejected.
         let bad = "module M imports Counter;
@@ -497,9 +540,14 @@ mod tests {
             proc g(x: int): int begin return x * 2; end;
             proc main() begin out g(Lib.f(20)); end;
             end.";
-        let compiled =
-            compile(&[lib, main], Options { linkage: Linkage::Mixed, ..Default::default() })
-                .unwrap();
+        let compiled = compile(
+            &[lib, main],
+            Options {
+                linkage: Linkage::Mixed,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // Intra-module call stays a LOCALCALL, cross-module becomes a
         // DIRECTCALL; nothing goes through the link vector.
         assert_eq!(compiled.stats.calls.local, 1);
@@ -519,11 +567,17 @@ mod tests {
             proc main() begin out Lib.f(g(1)); end;
             end.";
         let size = |linkage| {
-            compile(&[lib, main], Options { linkage, ..Default::default() })
-                .unwrap()
-                .stats
-                .size
-                .bytes()
+            compile(
+                &[lib, main],
+                Options {
+                    linkage,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .stats
+            .size
+            .bytes()
         };
         let mesa = size(Linkage::Mesa);
         let mixed = size(Linkage::Mixed);
@@ -554,7 +608,11 @@ mod tests {
             end.";
         let compiled = compile(&[&lib, main], Options::default()).unwrap();
         assert_eq!(compiled.image.gft_base(1), 2, "Big owns two GFT entries");
-        for config in [MachineConfig::i1(), MachineConfig::i2(), MachineConfig::i3()] {
+        for config in [
+            MachineConfig::i1(),
+            MachineConfig::i2(),
+            MachineConfig::i3(),
+        ] {
             let mut m = Machine::load(&compiled.image, config).unwrap();
             m.run(100_000).unwrap();
             assert_eq!(m.output(), &[100, 133, 139]);

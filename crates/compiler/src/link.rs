@@ -147,7 +147,10 @@ pub fn link(
             lv: lvb
                 .targets()
                 .iter()
-                .map(|&(tm, tp)| ProcRef { module: tm, ev_index: tp as u16 })
+                .map(|&(tm, tp)| ProcRef {
+                    module: tm,
+                    ev_index: tp as u16,
+                })
                 .collect(),
             globals_words: info.modules[mi].globals_words,
             name: m.name.clone(),
@@ -198,7 +201,10 @@ pub fn link(
     let mut image = Image {
         code,
         modules: image_modules,
-        entry: ProcRef { module: info.main.0, ev_index: info.main.1 },
+        entry: ProcRef {
+            module: info.main.0,
+            ev_index: info.main.1,
+        },
         classes,
         bank_args: options.bank_args,
     };
@@ -234,7 +240,10 @@ pub fn link(
                 }
                 FixKind::DescWord => {
                     let w = image
-                        .proc_desc(ProcRef { module: tm, ev_index: tp as u16 })
+                        .proc_desc(ProcRef {
+                            module: tm,
+                            ev_index: tp as u16,
+                        })
                         .map_err(|e| lerr(e.to_string()))?
                         .raw();
                     image.code[site as usize + 1] = w as u8;

@@ -101,7 +101,11 @@ impl Parser {
                     self.expect(Tok::Of)?;
                     let of = self.ident()?;
                     self.expect(Tok::Semi)?;
-                    instances.push(InstanceDecl { name: iname, of, line: iline });
+                    instances.push(InstanceDecl {
+                        name: iname,
+                        of,
+                        line: iline,
+                    });
                 }
                 Tok::End => break,
                 other => return Err(self.err(format!("expected declaration, found {other}"))),
@@ -109,7 +113,14 @@ impl Parser {
         }
         self.expect(Tok::End)?;
         self.expect(Tok::Dot)?;
-        Ok(Module { name, imports, globals, procs, instances, line })
+        Ok(Module {
+            name,
+            imports,
+            globals,
+            procs,
+            instances,
+            line,
+        })
     }
 
     fn var_decl(&mut self) -> Result<VarDecl, CompileError> {
@@ -161,14 +172,22 @@ impl Parser {
                 if !ty.is_scalar() {
                     return Err(self.err("array parameters are not supported; pass a pointer"));
                 }
-                params.push(VarDecl { name: pname, ty, line: pline });
+                params.push(VarDecl {
+                    name: pname,
+                    ty,
+                    line: pline,
+                });
                 if !self.eat(Tok::Comma) {
                     break;
                 }
             }
             self.expect(Tok::RParen)?;
         }
-        let ret = if self.eat(Tok::Colon) { Some(self.ty()?) } else { None };
+        let ret = if self.eat(Tok::Colon) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
         if let Some(t) = ret {
             if !t.is_scalar() {
                 return Err(self.err("procedures cannot return arrays"));
@@ -180,7 +199,14 @@ impl Parser {
         }
         let body = self.block()?;
         self.eat(Tok::Semi); // optional after `end`
-        Ok(ProcDecl { name, params, ret, locals, body, line })
+        Ok(ProcDecl {
+            name,
+            params,
+            ret,
+            locals,
+            body,
+            line,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
@@ -206,8 +232,7 @@ impl Parser {
                 let mut arms = Vec::new();
                 let cond = self.expr()?;
                 self.expect(Tok::Then)?;
-                let body =
-                    self.stmts_until(&[Tok::Elsif, Tok::Else, Tok::End])?;
+                let body = self.stmts_until(&[Tok::Elsif, Tok::Else, Tok::End])?;
                 arms.push((cond, body));
                 while self.eat(Tok::Elsif) {
                     let c = self.expr()?;
@@ -235,7 +260,11 @@ impl Parser {
             }
             Tok::Return => {
                 self.bump();
-                let value = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                let value = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(Tok::Semi)?;
                 Ok(Stmt::Return { value, line })
             }
@@ -280,7 +309,12 @@ impl Parser {
                         self.expect(Tok::Assign)?;
                         let value = self.expr()?;
                         self.expect(Tok::Semi)?;
-                        Ok(Stmt::StoreIndex { name, index, value, line })
+                        Ok(Stmt::StoreIndex {
+                            name,
+                            index,
+                            value,
+                            line,
+                        })
                     }
                     Tok::LParen | Tok::Dot => {
                         // A call statement, or a builtin.
@@ -321,7 +355,11 @@ impl Parser {
         let mut e = self.and_expr()?;
         while self.eat(Tok::Or) {
             let r = self.and_expr()?;
-            e = Expr::Binary { op: BinOp::Or, lhs: Box::new(e), rhs: Box::new(r) };
+            e = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(e),
+                rhs: Box::new(r),
+            };
         }
         Ok(e)
     }
@@ -330,7 +368,11 @@ impl Parser {
         let mut e = self.cmp_expr()?;
         while self.eat(Tok::And) {
             let r = self.cmp_expr()?;
-            e = Expr::Binary { op: BinOp::And, lhs: Box::new(e), rhs: Box::new(r) };
+            e = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(e),
+                rhs: Box::new(r),
+            };
         }
         Ok(e)
     }
@@ -348,7 +390,11 @@ impl Parser {
         };
         self.bump();
         let r = self.add_expr()?;
-        Ok(Expr::Binary { op, lhs: Box::new(e), rhs: Box::new(r) })
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(e),
+            rhs: Box::new(r),
+        })
     }
 
     fn add_expr(&mut self) -> Result<Expr, CompileError> {
@@ -361,7 +407,11 @@ impl Parser {
             };
             self.bump();
             let r = self.mul_expr()?;
-            e = Expr::Binary { op, lhs: Box::new(e), rhs: Box::new(r) };
+            e = Expr::Binary {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(r),
+            };
         }
         Ok(e)
     }
@@ -377,7 +427,11 @@ impl Parser {
             };
             self.bump();
             let r = self.unary()?;
-            e = Expr::Binary { op, lhs: Box::new(e), rhs: Box::new(r) };
+            e = Expr::Binary {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(r),
+            };
         }
         Ok(e)
     }
@@ -387,12 +441,18 @@ impl Parser {
             Tok::Minus => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(e) })
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(e),
+                })
             }
             Tok::Not => {
                 self.bump();
                 let e = self.unary()?;
-                Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(e) })
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(e),
+                })
             }
             Tok::Star => {
                 self.bump();
@@ -419,9 +479,17 @@ impl Parser {
     fn proc_name(&mut self, first: String, line: u32) -> Result<ProcName, CompileError> {
         if self.eat(Tok::Dot) {
             let name = self.ident()?;
-            Ok(ProcName { module: Some(first), name, line })
+            Ok(ProcName {
+                module: Some(first),
+                name,
+                line,
+            })
         } else {
-            Ok(ProcName { module: None, name: first, line })
+            Ok(ProcName {
+                module: None,
+                name: first,
+                line,
+            })
         }
     }
 
@@ -442,7 +510,11 @@ impl Parser {
                         self.bump();
                         let index = self.expr()?;
                         self.expect(Tok::RBracket)?;
-                        Ok(Expr::Index { name, index: Box::new(index), line })
+                        Ok(Expr::Index {
+                            name,
+                            index: Box::new(index),
+                            line,
+                        })
                     }
                     Tok::LParen | Tok::Dot => {
                         // Builtins are syntactically calls.
@@ -523,10 +595,8 @@ mod tests {
 
     #[test]
     fn parses_imports_and_globals() {
-        let m = parse_module(
-            "module M imports A, B;\nvar g: int;\nvar t: array[8] of int;\nend.",
-        )
-        .unwrap();
+        let m = parse_module("module M imports A, B;\nvar g: int;\nvar t: array[8] of int;\nend.")
+            .unwrap();
         assert_eq!(m.imports, vec!["A", "B"]);
         assert_eq!(m.globals.len(), 2);
         assert_eq!(m.globals[1].ty, Type::Array(8));
@@ -646,21 +716,33 @@ mod tests {
              end.",
         )
         .unwrap();
-        let Stmt::If { arms, els } = &m.procs[0].body[0] else { panic!() };
+        let Stmt::If { arms, els } = &m.procs[0].body[0] else {
+            panic!()
+        };
         assert_eq!(arms.len(), 2);
         assert_eq!(els.len(), 1);
     }
 
     #[test]
     fn operator_precedence() {
-        let m = parse_module(
-            "module M; proc f(): int begin return 1 + 2 * 3 < 4 and true; end; end.",
-        )
-        .unwrap();
+        let m =
+            parse_module("module M; proc f(): int begin return 1 + 2 * 3 < 4 and true; end; end.")
+                .unwrap();
         // Shape: ((1 + (2*3)) < 4) and true
-        let Stmt::Return { value: Some(e), .. } = &m.procs[0].body[0] else { panic!() };
-        let Expr::Binary { op: BinOp::And, lhs, .. } = e else { panic!("top is and: {e:?}") };
-        let Expr::Binary { op: BinOp::Lt, .. } = lhs.as_ref() else { panic!() };
+        let Stmt::Return { value: Some(e), .. } = &m.procs[0].body[0] else {
+            panic!()
+        };
+        let Expr::Binary {
+            op: BinOp::And,
+            lhs,
+            ..
+        } = e
+        else {
+            panic!("top is and: {e:?}")
+        };
+        let Expr::Binary { op: BinOp::Lt, .. } = lhs.as_ref() else {
+            panic!()
+        };
     }
 
     #[test]

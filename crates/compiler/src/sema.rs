@@ -78,11 +78,7 @@ impl ProgramInfo {
     ///
     /// [`CompileError`] for unknown modules/procedures or modules not
     /// imported.
-    pub fn resolve(
-        &self,
-        from: usize,
-        target: &ProcName,
-    ) -> Result<(usize, usize), CompileError> {
+    pub fn resolve(&self, from: usize, target: &ProcName) -> Result<(usize, usize), CompileError> {
         let err = |msg: String| CompileError::new(Phase::Sema, Some(target.line), msg);
         let (mi, name) = match &target.module {
             None => (from, &target.name),
@@ -108,7 +104,10 @@ impl ProgramInfo {
             .get(name)
             .copied()
             .ok_or_else(|| {
-                err(format!("unknown procedure `{}` in module `{}`", name, self.modules[mi].name))
+                err(format!(
+                    "unknown procedure `{}` in module `{}`",
+                    name, self.modules[mi].name
+                ))
             })?;
         Ok((mi, pi))
     }
@@ -149,10 +148,19 @@ pub fn analyze(modules: &[Module]) -> Result<ProgramInfo, CompileError> {
         let mut offset = 0u32;
         for g in &m.globals {
             if offset > MAX_GLOBAL_OFFSET {
-                return Err(err(g.line, format!("global `{}` beyond word offset 255", g.name)));
+                return Err(err(
+                    g.line,
+                    format!("global `{}` beyond word offset 255", g.name),
+                ));
             }
             if globals
-                .insert(g.name.clone(), GlobalSlot { offset: offset as u8, ty: g.ty })
+                .insert(
+                    g.name.clone(),
+                    GlobalSlot {
+                        offset: offset as u8,
+                        ty: g.ty,
+                    },
+                )
                 .is_some()
             {
                 return Err(err(g.line, format!("duplicate global `{}`", g.name)));
@@ -160,19 +168,25 @@ pub fn analyze(modules: &[Module]) -> Result<ProgramInfo, CompileError> {
             offset += g.ty.words();
         }
         if m.procs.len() > MAX_PROCS {
-            return Err(err(m.line, format!("module `{}` has more than 256 procedures", m.name)));
+            return Err(err(
+                m.line,
+                format!("module `{}` has more than 256 procedures", m.name),
+            ));
         }
         let mut procs = Vec::new();
         let mut proc_index = HashMap::new();
         for (pi, p) in m.procs.iter().enumerate() {
             if p.params.len() > MAX_PARAMS {
-                return Err(err(p.line, format!("`{}` has more than 63 parameters", p.name)));
+                return Err(err(
+                    p.line,
+                    format!("`{}` has more than 63 parameters", p.name),
+                ));
             }
             if proc_index.insert(p.name.clone(), pi).is_some() {
                 return Err(err(p.line, format!("duplicate procedure `{}`", p.name)));
             }
-            let addr_taken = p.locals.iter().any(|l| !l.ty.is_scalar())
-                || body_takes_local_addrs(p, &p.body);
+            let addr_taken =
+                p.locals.iter().any(|l| !l.ty.is_scalar()) || body_takes_local_addrs(p, &p.body);
             procs.push(ProcSig {
                 name: p.name.clone(),
                 params: p.params.iter().map(|v| v.ty).collect(),
@@ -212,12 +226,18 @@ pub fn analyze(modules: &[Module]) -> Result<ProgramInfo, CompileError> {
                 return Err(err(inst.line, format!("duplicate module `{}`", inst.name)));
             }
             let &owner = by_name.get(&inst.of).ok_or_else(|| {
-                err(inst.line, format!("unknown module `{}` in instance", inst.of))
+                err(
+                    inst.line,
+                    format!("unknown module `{}` in instance", inst.of),
+                )
             })?;
             if infos[owner].instance_of.is_some() {
                 return Err(err(
                     inst.line,
-                    format!("`{}` is itself an instance; instantiate `{}`'s owner", inst.of, inst.of),
+                    format!(
+                        "`{}` is itself an instance; instantiate `{}`'s owner",
+                        inst.of, inst.of
+                    ),
                 ));
             }
             let mut clone = infos[owner].clone();
@@ -241,16 +261,22 @@ pub fn analyze(modules: &[Module]) -> Result<ProgramInfo, CompileError> {
                 return Err(err(modules[mi].line, "more than one `main`".into()));
             }
             if !info.procs[pi].params.is_empty() {
-                return Err(err(modules[mi].procs[pi].line, "`main` takes no parameters".into()));
+                return Err(err(
+                    modules[mi].procs[pi].line,
+                    "`main` takes no parameters".into(),
+                ));
             }
             main = Some((mi, pi as u16));
         }
     }
-    let main = main.ok_or_else(|| {
-        CompileError::new(Phase::Sema, None, "no `main` procedure in any module")
-    })?;
+    let main = main
+        .ok_or_else(|| CompileError::new(Phase::Sema, None, "no `main` procedure in any module"))?;
 
-    let info = ProgramInfo { modules: infos, by_name, main };
+    let info = ProgramInfo {
+        modules: infos,
+        by_name,
+        main,
+    };
 
     // Pass 2: walk bodies.
     for (mi, m) in modules.iter().enumerate() {
@@ -281,17 +307,16 @@ fn body_takes_local_addrs(p: &ProcDecl, body: &[Stmt]) -> bool {
             Expr::Binary { lhs, rhs, .. } => expr_has(lhs, locals) || expr_has(rhs, locals),
             Expr::Index { index, .. } => expr_has(index, locals),
             Expr::Call(c) => c.args.iter().any(|a| expr_has(a, locals)),
-            Expr::CoTransfer { ctx, value } => {
-                expr_has(ctx, locals) || expr_has(value, locals)
-            }
+            Expr::CoTransfer { ctx, value } => expr_has(ctx, locals) || expr_has(value, locals),
             _ => false,
         }
     }
     fn stmt_has(s: &Stmt, locals: &[&str]) -> bool {
         match s {
-            Stmt::Assign { value, .. } | Stmt::Out(value) | Stmt::CoFree(value) | Stmt::Expr(value) => {
-                expr_has(value, locals)
-            }
+            Stmt::Assign { value, .. }
+            | Stmt::Out(value)
+            | Stmt::CoFree(value)
+            | Stmt::Expr(value) => expr_has(value, locals),
             Stmt::StoreIndex { index, value, .. } => {
                 expr_has(index, locals) || expr_has(value, locals)
             }
@@ -299,16 +324,14 @@ fn body_takes_local_addrs(p: &ProcDecl, body: &[Stmt]) -> bool {
                 expr_has(ptr, locals) || expr_has(value, locals)
             }
             Stmt::If { arms, els } => {
-                arms.iter().any(|(c, b)| {
-                    expr_has(c, locals) || b.iter().any(|s| stmt_has(s, locals))
-                }) || els.iter().any(|s| stmt_has(s, locals))
+                arms.iter()
+                    .any(|(c, b)| expr_has(c, locals) || b.iter().any(|s| stmt_has(s, locals)))
+                    || els.iter().any(|s| stmt_has(s, locals))
             }
             Stmt::While { cond, body } => {
                 expr_has(cond, locals) || body.iter().any(|s| stmt_has(s, locals))
             }
-            Stmt::Return { value, .. } => {
-                value.as_ref().is_some_and(|v| expr_has(v, locals))
-            }
+            Stmt::Return { value, .. } => value.as_ref().is_some_and(|v| expr_has(v, locals)),
             Stmt::Call(c) => c.args.iter().any(|a| expr_has(a, locals)),
             Stmt::Halt | Stmt::Yield => false,
         }
@@ -331,11 +354,7 @@ struct Checker<'a> {
 }
 
 impl<'a> Checker<'a> {
-    fn new(
-        info: &'a ProgramInfo,
-        module: usize,
-        p: &'a ProcDecl,
-    ) -> Result<Self, CompileError> {
+    fn new(info: &'a ProgramInfo, module: usize, p: &'a ProcDecl) -> Result<Self, CompileError> {
         let mut scope: HashMap<&str, Binding> = HashMap::new();
         for (name, slot) in &info.modules[module].globals {
             // Borrow global names from the info (same lifetime).
@@ -361,7 +380,12 @@ impl<'a> Checker<'a> {
                 format!("`{}` needs more than 255 local words", p.name),
             ));
         }
-        Ok(Checker { info, module, ret: p.ret, scope })
+        Ok(Checker {
+            info,
+            module,
+            ret: p.ret,
+            scope,
+        })
     }
 
     fn err(&self, line: Option<u32>, msg: String) -> CompileError {
@@ -394,15 +418,18 @@ impl<'a> Checker<'a> {
                 }
                 self.expr(value)
             }
-            Stmt::StoreIndex { name, index, value, line } => {
+            Stmt::StoreIndex {
+                name,
+                index,
+                value,
+                line,
+            } => {
                 let b = self.lookup(name, *line)?;
                 let ty = match b {
                     Binding::Local(t) | Binding::Global(t) => t,
                 };
                 if !matches!(ty, Type::Array(_) | Type::Ptr) {
-                    return Err(
-                        self.err(Some(*line), format!("`{name}` is not indexable"))
-                    );
+                    return Err(self.err(Some(*line), format!("`{name}` is not indexable")));
                 }
                 self.expr(index)?;
                 self.expr(value)
@@ -425,12 +452,8 @@ impl<'a> Checker<'a> {
             Stmt::Return { value, line } => match (self.ret, value) {
                 (Some(_), Some(e)) => self.expr(e),
                 (None, None) => Ok(()),
-                (Some(_), None) => {
-                    Err(self.err(Some(*line), "missing return value".into()))
-                }
-                (None, Some(_)) => {
-                    Err(self.err(Some(*line), "procedure returns no value".into()))
-                }
+                (Some(_), None) => Err(self.err(Some(*line), "missing return value".into())),
+                (None, Some(_)) => Err(self.err(Some(*line), "procedure returns no value".into())),
             },
             Stmt::Out(e) | Stmt::CoFree(e) | Stmt::Expr(e) => self.expr(e),
             Stmt::Halt | Stmt::Yield => Ok(()),
@@ -534,8 +557,7 @@ mod tests {
     use crate::parser::parse_module;
 
     fn analyze_srcs(srcs: &[&str]) -> Result<ProgramInfo, CompileError> {
-        let modules: Vec<Module> =
-            srcs.iter().map(|s| parse_module(s).unwrap()).collect();
+        let modules: Vec<Module> = srcs.iter().map(|s| parse_module(s).unwrap()).collect();
         analyze(&modules)
     }
 
@@ -548,14 +570,12 @@ mod tests {
 
     #[test]
     fn global_offsets_account_for_arrays() {
-        let info = analyze_srcs(&[
-            "module M;
+        let info = analyze_srcs(&["module M;
              var a: int;
              var t: array[5] of int;
              var b: int;
              proc main() begin b := a; end;
-             end.",
-        ])
+             end."])
         .unwrap();
         let g = &info.modules[0].globals;
         assert_eq!(g["a"].offset, 0);
@@ -576,35 +596,29 @@ mod tests {
 
     #[test]
     fn arity_checked() {
-        let e = analyze_srcs(&[
-            "module M;
+        let e = analyze_srcs(&["module M;
              proc f(a: int, b: int): int begin return a + b; end;
              proc main() begin out f(1); end;
-             end.",
-        ])
+             end."])
         .unwrap_err();
         assert!(e.to_string().contains("2 arguments"));
     }
 
     #[test]
     fn void_call_in_expression_rejected() {
-        let e = analyze_srcs(&[
-            "module M;
+        let e = analyze_srcs(&["module M;
              proc f() begin end;
              proc main() begin out f(); end;
-             end.",
-        ])
+             end."])
         .unwrap_err();
         assert!(e.to_string().contains("returns no value"));
     }
 
     #[test]
     fn array_as_value_rejected() {
-        let e = analyze_srcs(&[
-            "module M;
+        let e = analyze_srcs(&["module M;
              proc main() var a: array[3] of int; begin out a; end;
-             end.",
-        ])
+             end."])
         .unwrap_err();
         assert!(e.to_string().contains("used as a value"));
     }
@@ -612,9 +626,7 @@ mod tests {
     #[test]
     fn unknown_names_rejected() {
         assert!(analyze_srcs(&["module M; proc main() begin out x; end; end."]).is_err());
-        assert!(
-            analyze_srcs(&["module M; proc main() begin out g(); end; end."]).is_err()
-        );
+        assert!(analyze_srcs(&["module M; proc main() begin out g(); end; end."]).is_err());
     }
 
     #[test]
@@ -643,14 +655,12 @@ mod tests {
 
     #[test]
     fn addr_taken_flag_computed() {
-        let info = analyze_srcs(&[
-            "module M;
+        let info = analyze_srcs(&["module M;
              proc plain(x: int): int begin return x; end;
              proc takes() var v: int; begin out *(&v); end;
              proc arr() var a: array[2] of int; begin a[0] := 1; end;
              proc main() begin end;
-             end.",
-        ])
+             end."])
         .unwrap();
         let procs = &info.modules[0].procs;
         assert!(!procs[0].addr_taken);
@@ -661,12 +671,10 @@ mod tests {
 
     #[test]
     fn globals_do_not_set_addr_taken() {
-        let info = analyze_srcs(&[
-            "module M;
+        let info = analyze_srcs(&["module M;
              var t: array[4] of int;
              proc main() begin t[1] := 2; out &t[1]; end;
-             end.",
-        ])
+             end."])
         .unwrap();
         assert!(!info.modules[0].procs[0].addr_taken);
     }

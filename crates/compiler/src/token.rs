@@ -207,9 +207,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -227,7 +225,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                 if n > u16::MAX as i32 {
                     return Err(err(line, format!("literal {n} exceeds the 16-bit word")));
                 }
-                out.push(Token { kind: Tok::Num(n), line });
+                out.push(Token {
+                    kind: Tok::Num(n),
+                    line,
+                });
             }
             _ => {
                 let (kind, adv) = match (c, bytes.get(i + 1).map(|&b| b as char)) {
@@ -259,7 +260,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
             }
         }
     }
-    out.push(Token { kind: Tok::Eof, line });
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -306,7 +310,10 @@ mod tests {
 
     #[test]
     fn minus_minus_needs_no_space_before() {
-        assert_eq!(kinds("1-2"), vec![Tok::Num(1), Tok::Minus, Tok::Num(2), Tok::Eof]);
+        assert_eq!(
+            kinds("1-2"),
+            vec![Tok::Num(1), Tok::Minus, Tok::Num(2), Tok::Eof]
+        );
     }
 
     #[test]

@@ -66,7 +66,11 @@ impl GftIndex {
         if index < Self::LIMIT {
             Ok(GftIndex(index))
         } else {
-            Err(PackError { what: "GFT index", value: index as u32, limit: Self::LIMIT as u32 - 1 })
+            Err(PackError {
+                what: "GFT index",
+                value: index as u32,
+                limit: Self::LIMIT as u32 - 1,
+            })
         }
     }
 
@@ -95,7 +99,11 @@ impl EvIndex {
         if index < Self::LIMIT {
             Ok(EvIndex(index))
         } else {
-            Err(PackError { what: "EV index", value: index as u32, limit: Self::LIMIT as u32 - 1 })
+            Err(PackError {
+                what: "EV index",
+                value: index as u32,
+                limit: Self::LIMIT as u32 - 1,
+            })
         }
     }
 
@@ -152,13 +160,25 @@ impl FrameHandle {
     /// nil, or does not fit in 16 bits.
     pub fn from_addr(addr: WordAddr) -> Result<Self, PackError> {
         if addr.is_nil() {
-            return Err(PackError { what: "frame address (nil)", value: 0, limit: 0 });
+            return Err(PackError {
+                what: "frame address (nil)",
+                value: 0,
+                limit: 0,
+            });
         }
         if !addr.0.is_multiple_of(2) {
-            return Err(PackError { what: "frame alignment", value: addr.0, limit: 2 });
+            return Err(PackError {
+                what: "frame alignment",
+                value: addr.0,
+                limit: 2,
+            });
         }
         if addr.0 >= (1 << 16) {
-            return Err(PackError { what: "frame address", value: addr.0, limit: (1 << 16) - 1 });
+            return Err(PackError {
+                what: "frame address",
+                value: addr.0,
+                limit: (1 << 16) - 1,
+            });
         }
         Ok(FrameHandle((addr.0 >> 1) as u16))
     }

@@ -49,7 +49,11 @@ impl GftEntry {
             return Err(PackError::new("global frame alignment", global_frame.0, 4));
         }
         if global_frame.0 >= 1 << 16 {
-            return Err(PackError::new("global frame address", global_frame.0, (1 << 16) - 1));
+            return Err(PackError::new(
+                "global frame address",
+                global_frame.0,
+                (1 << 16) - 1,
+            ));
         }
         if bias > 3 {
             return Err(PackError::new("GFT bias", bias as u32, 3));

@@ -62,7 +62,10 @@ impl Val {
     fn as_int(self) -> Result<i64, ModelError> {
         match self {
             Val::Int(i) => Ok(i),
-            other => Err(ModelError::TypeMismatch { expected: "int", got: other }),
+            other => Err(ModelError::TypeMismatch {
+                expected: "int",
+                got: other,
+            }),
         }
     }
 }
@@ -161,7 +164,11 @@ pub struct Procedure {
 impl Procedure {
     /// Defines a procedure with `nlocals` locals (arguments included).
     pub fn new(name: &str, nlocals: usize, code: Vec<Op>) -> Self {
-        Procedure { name: name.into(), nlocals, code: code.into() }
+        Procedure {
+            name: name.into(),
+            nlocals,
+            code: code.into(),
+        }
     }
 
     /// The procedure's name, for traces and errors.
@@ -252,7 +259,10 @@ pub struct Machine {
 impl Machine {
     /// Creates an empty machine.
     pub fn new() -> Self {
-        Machine { return_context: Val::Nil, ..Default::default() }
+        Machine {
+            return_context: Val::Nil,
+            ..Default::default()
+        }
     }
 
     /// Defines a procedure and returns its descriptor id.
@@ -355,7 +365,10 @@ impl Machine {
                 // it", with returnContext and argumentRecord unchanged.
                 Ok(self.create_context(p))
             }
-            Val::Int(_) => Err(ModelError::TypeMismatch { expected: "context", got: dest }),
+            Val::Int(_) => Err(ModelError::TypeMismatch {
+                expected: "context",
+                got: dest,
+            }),
         }
     }
 
@@ -398,8 +411,16 @@ impl Machine {
             }
             Op::PushConst(c) => state.stack.push(Val::Int(c)),
             Op::Add | Op::Sub | Op::Mul | Op::Lt => {
-                let b = state.stack.pop().ok_or(ModelError::StackUnderflow)?.as_int()?;
-                let a = state.stack.pop().ok_or(ModelError::StackUnderflow)?.as_int()?;
+                let b = state
+                    .stack
+                    .pop()
+                    .ok_or(ModelError::StackUnderflow)?
+                    .as_int()?;
+                let a = state
+                    .stack
+                    .pop()
+                    .ok_or(ModelError::StackUnderflow)?
+                    .as_int()?;
                 let r = match op {
                     Op::Add => a.wrapping_add(b),
                     Op::Sub => a.wrapping_sub(b),
@@ -417,7 +438,11 @@ impl Machine {
                 state.pc = t;
             }
             Op::BranchIfZero(t) => {
-                let v = state.stack.pop().ok_or(ModelError::StackUnderflow)?.as_int()?;
+                let v = state
+                    .stack
+                    .pop()
+                    .ok_or(ModelError::StackUnderflow)?
+                    .as_int()?;
                 if v == 0 {
                     if t > code.len() {
                         return Err(ModelError::BadJump(t));
@@ -483,7 +508,11 @@ impl Machine {
             }
             Op::Retain => state.retained = true,
             Op::Emit => {
-                let v = state.stack.pop().ok_or(ModelError::StackUnderflow)?.as_int()?;
+                let v = state
+                    .stack
+                    .pop()
+                    .ok_or(ModelError::StackUnderflow)?
+                    .as_int()?;
                 self.output.push(v);
             }
             Op::Halt => return Ok(Step::Halt),
@@ -518,12 +547,18 @@ mod tests {
             Op::PushLocal(0),
             Op::PushConst(1),
             Op::Sub,
-            Op::Call { proc: fib, nargs: 1 },
+            Op::Call {
+                proc: fib,
+                nargs: 1,
+            },
             Op::TakeResults(1),
             Op::PushLocal(0),
             Op::PushConst(2),
             Op::Sub,
-            Op::Call { proc: fib, nargs: 1 },
+            Op::Call {
+                proc: fib,
+                nargs: 1,
+            },
             Op::TakeResults(1),
             Op::Add,
             Op::Return(1),
@@ -542,7 +577,10 @@ mod tests {
             vec![
                 Op::TakeArgs(0),
                 Op::PushConst(10),
-                Op::Call { proc: fib, nargs: 1 },
+                Op::Call {
+                    proc: fib,
+                    nargs: 1,
+                },
                 Op::TakeResults(1),
                 Op::Emit,
                 Op::Halt,
@@ -561,7 +599,10 @@ mod tests {
             vec![
                 Op::TakeArgs(0),
                 Op::PushConst(8),
-                Op::Call { proc: fib, nargs: 1 },
+                Op::Call {
+                    proc: fib,
+                    nargs: 1,
+                },
                 Op::TakeResults(1),
                 Op::Emit,
                 Op::Halt,
@@ -590,7 +631,10 @@ mod tests {
             0,
             vec![
                 Op::TakeArgs(0),
-                Op::Call { proc: bad, nargs: 0 },
+                Op::Call {
+                    proc: bad,
+                    nargs: 0,
+                },
                 // After bad returns, "return" again from main: our
                 // return link is NIL because main was entered via run.
                 Op::Return(0),
@@ -695,14 +739,22 @@ mod tests {
         let divmod = m.define(Procedure::new(
             "pair",
             0,
-            vec![Op::TakeArgs(0), Op::PushConst(3), Op::PushConst(4), Op::Return(2)],
+            vec![
+                Op::TakeArgs(0),
+                Op::PushConst(3),
+                Op::PushConst(4),
+                Op::Return(2),
+            ],
         ));
         let main = m.define(Procedure::new(
             "main",
             0,
             vec![
                 Op::TakeArgs(0),
-                Op::Call { proc: divmod, nargs: 0 },
+                Op::Call {
+                    proc: divmod,
+                    nargs: 0,
+                },
                 Op::TakeResults(2),
                 Op::Emit, // 4 (top)
                 Op::Emit, // 3
@@ -724,7 +776,14 @@ mod tests {
         let main = m.define(Procedure::new(
             "main",
             0,
-            vec![Op::TakeArgs(0), Op::Call { proc: keep, nargs: 0 }, Op::Halt],
+            vec![
+                Op::TakeArgs(0),
+                Op::Call {
+                    proc: keep,
+                    nargs: 0,
+                },
+                Op::Halt,
+            ],
         ));
         let live_before = m.live_contexts();
         let _ = m.run(main, &[], 1000).unwrap();

@@ -29,7 +29,10 @@ impl TableSpaceModel {
             index_bits < addr_bits,
             "table index ({index_bits} bits) must be shorter than the address ({addr_bits} bits)"
         );
-        TableSpaceModel { index_bits, addr_bits }
+        TableSpaceModel {
+            index_bits,
+            addr_bits,
+        }
     }
 
     /// Bits used with the address stored directly at each of `n` uses.

@@ -1,57 +1,70 @@
-//! Property tests for the packed representations of §5.1.
-
-use proptest::prelude::*;
+//! Exhaustive tests for the packed representations of §5.1.
+//!
+//! These were property-based samples under proptest; the domains are
+//! small enough (≤ 2¹⁶ points each) that the container's offline build
+//! can simply sweep them completely, which is strictly stronger.
 
 use fpc_core::{Context, ContextWord, EvIndex, FrameHandle, GftEntry, GftIndex, ProcDesc};
 use fpc_mem::WordAddr;
 
-proptest! {
-    /// Every 16-bit word decodes to a context that re-encodes to the
-    /// same word: the packing is a bijection over its domain.
-    #[test]
-    fn context_word_bijection(raw in any::<u16>()) {
+/// Every 16-bit word decodes to a context that re-encodes to the same
+/// word: the packing is a bijection over its whole domain.
+#[test]
+fn context_word_bijection() {
+    for raw in 0..=u16::MAX {
         let w = ContextWord::from_raw(raw);
         let ctx = Context::from(w);
-        prop_assert_eq!(ContextWord::from(ctx).raw(), raw);
+        assert_eq!(ContextWord::from(ctx).raw(), raw, "raw {raw:#06x}");
     }
+}
 
-    /// Packed procedure descriptors round-trip their fields.
-    #[test]
-    fn proc_desc_round_trip(env in 0u16..1024, code in 0u8..32) {
-        let p = ProcDesc::new(GftIndex::new(env).unwrap(), EvIndex::new(code).unwrap());
-        let w = ContextWord::from(Context::Proc(p));
-        prop_assert!(w.is_proc());
-        match Context::from(w) {
-            Context::Proc(q) => {
-                prop_assert_eq!(q.env().get(), env);
-                prop_assert_eq!(q.code().get(), code);
+/// Packed procedure descriptors round-trip their fields over the full
+/// GFT-index × EV-index domain.
+#[test]
+fn proc_desc_round_trip() {
+    for env in 0u16..1024 {
+        for code in 0u8..32 {
+            let p = ProcDesc::new(GftIndex::new(env).unwrap(), EvIndex::new(code).unwrap());
+            let w = ContextWord::from(Context::Proc(p));
+            assert!(w.is_proc());
+            match Context::from(w) {
+                Context::Proc(q) => {
+                    assert_eq!(q.env().get(), env);
+                    assert_eq!(q.code().get(), code);
+                }
+                other => panic!("decoded {other}"),
             }
-            other => prop_assert!(false, "decoded {other}"),
         }
     }
+}
 
-    /// Frame handles round-trip every aligned, in-range address, and
-    /// frame words never collide with procedure words.
-    #[test]
-    fn frame_handles_round_trip(addr in 1u32..(1 << 15)) {
-        let addr = WordAddr(addr * 2);
+/// Frame handles round-trip every aligned, in-range address, and frame
+/// words never collide with procedure words.
+#[test]
+fn frame_handles_round_trip() {
+    for half in 1u32..(1 << 15) {
+        let addr = WordAddr(half * 2);
         let h = FrameHandle::from_addr(addr).unwrap();
-        prop_assert_eq!(h.addr(), addr);
+        assert_eq!(h.addr(), addr);
         let w = ContextWord::from(Context::Frame(h));
-        prop_assert!(w.is_frame());
-        prop_assert!(!w.is_proc());
-        prop_assert!(!w.is_nil());
+        assert!(w.is_frame());
+        assert!(!w.is_proc());
+        assert!(!w.is_nil());
     }
+}
 
-    /// GFT entries round-trip address and bias for every quad-aligned
-    /// address in the 64K segment.
-    #[test]
-    fn gft_entries_round_trip(quad in 0u32..(1 << 14), bias in 0u8..4) {
-        let gf = WordAddr(quad * 4);
-        let e = GftEntry::new(gf, bias).unwrap();
-        let back = GftEntry::from_raw(e.raw());
-        prop_assert_eq!(back.global_frame(), gf);
-        prop_assert_eq!(back.bias(), bias);
-        prop_assert_eq!(back.effective_ev_index(31), bias as u16 * 32 + 31);
+/// GFT entries round-trip address and bias for every quad-aligned
+/// address in the 64K segment.
+#[test]
+fn gft_entries_round_trip() {
+    for quad in 0u32..(1 << 14) {
+        for bias in 0u8..4 {
+            let gf = WordAddr(quad * 4);
+            let e = GftEntry::new(gf, bias).unwrap();
+            let back = GftEntry::from_raw(e.raw());
+            assert_eq!(back.global_frame(), gf);
+            assert_eq!(back.bias(), bias);
+            assert_eq!(back.effective_ev_index(31), bias as u16 * 32 + 31);
+        }
     }
 }

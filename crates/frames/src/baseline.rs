@@ -37,7 +37,12 @@ impl GeneralHeap {
     pub fn new(start: u32, words: u32) -> Self {
         assert!(words > 2, "empty region");
         let start = start | 1;
-        GeneralHeap { free: vec![(start, words - 1)], charged_refs: 0, allocs: 0, frees: 0 }
+        GeneralHeap {
+            free: vec![(start, words - 1)],
+            charged_refs: 0,
+            allocs: 0,
+            frees: 0,
+        }
     }
 
     /// Total modelled memory references charged so far.
@@ -96,7 +101,7 @@ impl GeneralHeap {
         self.charged_refs += 1; // read header
         let pos = self.free.partition_point(|&(a, _)| a < addr);
         self.charged_refs += 2 * pos.min(self.free.len()) as u64; // walk to position
-        // Overlap checks (double free / bad pointer).
+                                                                  // Overlap checks (double free / bad pointer).
         if pos > 0 {
             let (pa, ps) = self.free[pos - 1];
             if pa + ps > addr {
@@ -108,7 +113,7 @@ impl GeneralHeap {
         }
         self.free.insert(pos, (addr, size));
         self.charged_refs += 3; // link in
-        // Coalesce with successor then predecessor.
+                                // Coalesce with successor then predecessor.
         if pos + 1 < self.free.len() {
             let (a, s) = self.free[pos];
             let (na, ns) = self.free[pos + 1];
@@ -169,7 +174,13 @@ pub struct StackAllocator {
 impl StackAllocator {
     /// Creates a stack growing upward from `base` with `words` capacity.
     pub fn new(base: u32, words: u32) -> Self {
-        StackAllocator { base, limit: base + words, frames: Vec::new(), sp: base, peak: base }
+        StackAllocator {
+            base,
+            limit: base + words,
+            frames: Vec::new(),
+            sp: base,
+            peak: base,
+        }
     }
 
     /// Pushes a frame of `words` words.
@@ -317,6 +328,9 @@ mod tests {
     #[test]
     fn stack_free_of_unknown_frame() {
         let mut s = StackAllocator::new(0, 10);
-        assert_eq!(s.free(WordAddr(5)), Err(FrameError::InvalidFrame(WordAddr(5))));
+        assert_eq!(
+            s.free(WordAddr(5)),
+            Err(FrameError::InvalidFrame(WordAddr(5)))
+        );
     }
 }

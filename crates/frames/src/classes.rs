@@ -137,10 +137,14 @@ mod tests {
     #[test]
     fn mesa_ladder_shape() {
         let c = SizeClasses::mesa();
-        assert!(c.len() < 32, "fsi must fit comfortably in a byte: {}", c.len());
+        assert!(
+            c.len() < 32,
+            "fsi must fit comfortably in a byte: {}",
+            c.len()
+        );
         assert!(c.max_words() >= 2048);
         assert_eq!(c.size_of(0), 9); // ≈16 bytes
-        // Monotone strictly increasing, all odd.
+                                     // Monotone strictly increasing, all odd.
         for (i, (_, s)) in c.iter().enumerate() {
             assert_eq!(s % 2, 1, "class {i} size {s} not odd");
             if i > 0 {
@@ -163,7 +167,11 @@ mod tests {
             let fsi = c.fsi_for(req).unwrap();
             assert!(c.size_of(fsi) >= req);
             if fsi > 0 {
-                assert!(c.size_of(fsi - 1) < req, "class {} would suffice for {req}", fsi - 1);
+                assert!(
+                    c.size_of(fsi - 1) < req,
+                    "class {} would suffice for {req}",
+                    fsi - 1
+                );
             }
         }
     }

@@ -1,6 +1,5 @@
 //! The AV free-list frame heap (§5.3, figure 2).
 
-use std::collections::HashSet;
 use std::fmt;
 use std::ops::Range;
 
@@ -119,7 +118,10 @@ pub struct FrameHeap {
     classes: SizeClasses,
     carve: u32,
     region_end: u32,
-    live_set: HashSet<u32>,
+    /// Liveness per frame address, indexed directly (frames live in
+    /// the bounded simulated memory, and alloc/free sit on the call
+    /// path, so this is a flat vector rather than a hash set).
+    live_set: Vec<bool>,
     stats: HeapStats,
 }
 
@@ -164,7 +166,7 @@ impl FrameHeap {
             classes,
             carve,
             region_end: region.end,
-            live_set: HashSet::new(),
+            live_set: Vec::new(),
             stats: HeapStats::default(),
         })
     }
@@ -238,8 +240,12 @@ impl FrameHeap {
         self.stats.granted_words += self.classes.size_of(fsi) as u64;
         self.stats.live += 1;
         self.stats.peak_live = self.stats.peak_live.max(self.stats.live);
-        let inserted = self.live_set.insert(frame.0);
-        debug_assert!(inserted, "allocator handed out a live frame");
+        let i = frame.0 as usize;
+        if i >= self.live_set.len() {
+            self.live_set.resize(i + 1, false);
+        }
+        debug_assert!(!self.live_set[i], "allocator handed out a live frame");
+        self.live_set[i] = true;
         Ok(frame)
     }
 
@@ -252,9 +258,10 @@ impl FrameHeap {
     /// [`FrameError::InvalidFrame`] if `frame` is not a live frame of
     /// this heap.
     pub fn free(&mut self, mem: &mut Memory, frame: WordAddr) -> Result<(), FrameError> {
-        if !self.live_set.remove(&frame.0) {
+        if !self.is_live(frame) {
             return Err(FrameError::InvalidFrame(frame));
         }
+        self.live_set[frame.0 as usize] = false;
         let fsi = mem.read(WordAddr(frame.0 - 1)); // ref 1
         debug_assert!((fsi as usize) < self.classes.len(), "corrupt fsi word");
         let head_slot = self.av_base.offset(fsi as u32);
@@ -269,7 +276,10 @@ impl FrameHeap {
 
     /// Whether `frame` is currently live.
     pub fn is_live(&self, frame: WordAddr) -> bool {
-        self.live_set.contains(&frame.0)
+        self.live_set
+            .get(frame.0 as usize)
+            .copied()
+            .unwrap_or(false)
     }
 
     /// The software allocator: carve fresh blocks of class `fsi` from
@@ -462,7 +472,12 @@ mod tests {
     fn av_overlap_is_a_panic() {
         let mut mem = Memory::new(0x1000);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            FrameHeap::new(&mut mem, WordAddr(0x100), SizeClasses::mesa(), 0x100..0x1000)
+            FrameHeap::new(
+                &mut mem,
+                WordAddr(0x100),
+                SizeClasses::mesa(),
+                0x100..0x1000,
+            )
         }));
         assert!(r.is_err());
     }

@@ -145,7 +145,10 @@ impl Assembler {
     /// displacements go through relaxation.
     pub fn instr(&mut self, i: Instr) {
         assert!(
-            !matches!(i, Instr::Jump(_) | Instr::JumpZero(_) | Instr::JumpNotZero(_)),
+            !matches!(
+                i,
+                Instr::Jump(_) | Instr::JumpZero(_) | Instr::JumpNotZero(_)
+            ),
             "use the labelled jump methods for branches"
         );
         self.items.push(Item::Fixed(i));
@@ -158,17 +161,26 @@ impl Assembler {
 
     /// Appends an unconditional jump to `target`.
     pub fn jump(&mut self, target: Label) {
-        self.items.push(Item::Branch { kind: BranchKind::Jump, target });
+        self.items.push(Item::Branch {
+            kind: BranchKind::Jump,
+            target,
+        });
     }
 
     /// Appends a pop-and-jump-if-zero to `target`.
     pub fn jump_zero(&mut self, target: Label) {
-        self.items.push(Item::Branch { kind: BranchKind::JumpZero, target });
+        self.items.push(Item::Branch {
+            kind: BranchKind::JumpZero,
+            target,
+        });
     }
 
     /// Appends a pop-and-jump-if-not-zero to `target`.
     pub fn jump_not_zero(&mut self, target: Label) {
-        self.items.push(Item::Branch { kind: BranchKind::JumpNotZero, target });
+        self.items.push(Item::Branch {
+            kind: BranchKind::JumpNotZero,
+            target,
+        });
     }
 
     /// Number of items appended so far (for tests and diagnostics).
@@ -267,7 +279,10 @@ impl Assembler {
                 }
             }
         }
-        Ok(Assembled { bytes, offsets: label_offsets })
+        Ok(Assembled {
+            bytes,
+            offsets: label_offsets,
+        })
     }
 }
 

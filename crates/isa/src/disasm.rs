@@ -1,6 +1,65 @@
-//! Linear disassembly of an instruction run.
+//! Linear walking and disassembly of an instruction run.
 
 use crate::instr::{decode, DecodeError, Instr};
+
+/// A linear walk over the instructions in `bytes[start..end]`.
+///
+/// Yields `(offset, instruction, length)` triples in address order;
+/// stops at `end` or at the first undecodable byte (which is yielded
+/// as an `Err`, after which the walker is exhausted). This is the one
+/// segment-walking loop shared by the disassembler and the VM's
+/// predecoder — anything that needs to enumerate instruction
+/// boundaries uses it rather than hand-rolling the decode loop.
+///
+/// # Example
+///
+/// ```
+/// use fpc_isa::{walk, Instr};
+///
+/// let mut code = Vec::new();
+/// Instr::LoadImm(7).encode(&mut code);
+/// Instr::Out.encode(&mut code);
+/// let triples: Vec<_> = walk(&code, 0, code.len()).map(Result::unwrap).collect();
+/// assert_eq!(triples, vec![(0, Instr::LoadImm(7), 2), (2, Instr::Out, 1)]);
+/// ```
+pub fn walk(bytes: &[u8], start: usize, end: usize) -> InstrWalker<'_> {
+    InstrWalker {
+        bytes,
+        pc: start,
+        end: end.min(bytes.len()),
+        failed: false,
+    }
+}
+
+/// Iterator returned by [`walk`].
+#[derive(Debug, Clone)]
+pub struct InstrWalker<'a> {
+    bytes: &'a [u8],
+    pc: usize,
+    end: usize,
+    failed: bool,
+}
+
+impl Iterator for InstrWalker<'_> {
+    type Item = Result<(usize, Instr, usize), DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed || self.pc >= self.end {
+            return None;
+        }
+        match decode(self.bytes, self.pc) {
+            Ok((instr, len)) => {
+                let at = self.pc;
+                self.pc += len;
+                Some(Ok((at, instr, len)))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
 
 /// Disassembles `bytes[start..end]` as a straight-line instruction run,
 /// returning `(offset, instruction)` pairs.
@@ -29,14 +88,9 @@ pub fn disassemble(
     start: usize,
     end: usize,
 ) -> Result<Vec<(usize, Instr)>, DecodeError> {
-    let mut out = Vec::new();
-    let mut pc = start;
-    while pc < end {
-        let (i, len) = decode(bytes, pc)?;
-        out.push((pc, i));
-        pc += len;
-    }
-    Ok(out)
+    walk(bytes, start, end)
+        .map(|r| r.map(|(off, i, _)| (off, i)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -46,7 +100,12 @@ mod tests {
     #[test]
     fn disassembles_a_run() {
         let mut code = Vec::new();
-        for i in [Instr::LoadLocal(0), Instr::AddImm(3), Instr::StoreLocal(0), Instr::Ret] {
+        for i in [
+            Instr::LoadLocal(0),
+            Instr::AddImm(3),
+            Instr::StoreLocal(0),
+            Instr::Ret,
+        ] {
             i.encode(&mut code);
         }
         let l = disassemble(&code, 0, code.len()).unwrap();
@@ -66,5 +125,25 @@ mod tests {
     #[test]
     fn reports_junk() {
         assert!(disassemble(&[0xFF], 0, 1).is_err());
+    }
+
+    #[test]
+    fn walker_yields_lengths_and_stops_after_error() {
+        let mut code = Vec::new();
+        Instr::LoadImm(300).encode(&mut code); // 3 bytes
+        code.push(0xFF); // junk
+        Instr::Halt.encode(&mut code); // unreachable past the junk
+        let mut w = walk(&code, 0, code.len());
+        assert_eq!(w.next().unwrap().unwrap(), (0, Instr::LoadImm(300), 3));
+        assert!(w.next().unwrap().is_err());
+        assert!(w.next().is_none(), "walker is exhausted after an error");
+    }
+
+    #[test]
+    fn walker_clamps_end_to_bytes() {
+        let mut code = Vec::new();
+        Instr::Noop.encode(&mut code);
+        let triples: Vec<_> = walk(&code, 0, 100).map(Result::unwrap).collect();
+        assert_eq!(triples.len(), 1);
     }
 }

@@ -609,7 +609,13 @@ mod tests {
     #[test]
     fn unknown_opcode_reported() {
         let err = decode(&[0xFF], 0).unwrap_err();
-        assert_eq!(err, DecodeError::UnknownOpcode { byte: 0xFF, offset: 0 });
+        assert_eq!(
+            err,
+            DecodeError::UnknownOpcode {
+                byte: 0xFF,
+                offset: 0
+            }
+        );
     }
 
     #[test]
@@ -617,8 +623,14 @@ mod tests {
         let mut buf = Vec::new();
         Instr::LoadImm(0x1234).encode(&mut buf);
         buf.truncate(2);
-        assert_eq!(decode(&buf, 0).unwrap_err(), DecodeError::Truncated { offset: 0 });
-        assert_eq!(decode(&[], 0).unwrap_err(), DecodeError::Truncated { offset: 0 });
+        assert_eq!(
+            decode(&buf, 0).unwrap_err(),
+            DecodeError::Truncated { offset: 0 }
+        );
+        assert_eq!(
+            decode(&[], 0).unwrap_err(),
+            DecodeError::Truncated { offset: 0 }
+        );
     }
 
     #[test]

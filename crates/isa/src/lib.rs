@@ -46,5 +46,5 @@ pub mod opcode;
 pub mod sizing;
 
 pub use asm::{AsmError, Assembler, Label};
-pub use disasm::disassemble;
+pub use disasm::{disassemble, walk, InstrWalker};
 pub use instr::{decode, DecodeError, Instr};

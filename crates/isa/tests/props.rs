@@ -1,84 +1,102 @@
-//! Property tests for the instruction encoding.
+//! Randomized tests for the instruction encoding, driven by the
+//! in-tree seeded generator (the container builds offline, so these
+//! are fuzz-style loops rather than proptest strategies).
 
-use proptest::prelude::*;
+use fpc_rng::Rng;
 
 use fpc_isa::{decode, disassemble, Assembler, Instr};
 
-fn instr_strategy() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (0u8..=255).prop_map(Instr::LoadLocal),
-        (0u8..=255).prop_map(Instr::StoreLocal),
-        (0u8..=255).prop_map(Instr::LoadLocalAddr),
-        (0u8..=255).prop_map(Instr::LoadGlobal),
-        (0u8..=255).prop_map(Instr::StoreGlobal),
-        (0u8..=255).prop_map(Instr::LoadGlobalAddr),
-        any::<u16>().prop_map(Instr::LoadImm),
-        (0u8..=255).prop_map(Instr::AddImm),
-        (0u8..=255).prop_map(Instr::ExternalCall),
-        (0u8..=255).prop_map(Instr::LocalCall),
-        (0u32..(1 << 24)).prop_map(Instr::DirectCall),
-        (-32768i32..=32767).prop_map(Instr::ShortDirectCall),
-        (0u8..=255).prop_map(Instr::Trap),
-        Just(Instr::Add),
-        Just(Instr::Sub),
-        Just(Instr::Mul),
-        Just(Instr::Div),
-        Just(Instr::Mod),
-        Just(Instr::Neg),
-        Just(Instr::And),
-        Just(Instr::Or),
-        Just(Instr::Xor),
-        Just(Instr::Shl),
-        Just(Instr::Shr),
-        Just(Instr::CmpEq),
-        Just(Instr::CmpNe),
-        Just(Instr::CmpLt),
-        Just(Instr::CmpLe),
-        Just(Instr::CmpGt),
-        Just(Instr::CmpGe),
-        Just(Instr::Dup),
-        Just(Instr::Drop),
-        Just(Instr::Exch),
-        Just(Instr::Read),
-        Just(Instr::Write),
-        Just(Instr::LoadIndex),
-        Just(Instr::StoreIndex),
-        Just(Instr::Ret),
-        Just(Instr::Xfer),
-        Just(Instr::NewContext),
-        Just(Instr::FreeContext),
-        Just(Instr::ReturnContext),
-        Just(Instr::ProcessSwitch),
-        Just(Instr::Spawn),
-        Just(Instr::Out),
-        Just(Instr::Halt),
-        Just(Instr::Noop),
-    ]
+/// A uniform-ish random instruction covering every variant.
+fn random_instr(rng: &mut Rng) -> Instr {
+    match rng.gen_index(47) {
+        0 => Instr::LoadLocal(rng.gen_range_u32(0, 255) as u8),
+        1 => Instr::StoreLocal(rng.gen_range_u32(0, 255) as u8),
+        2 => Instr::LoadLocalAddr(rng.gen_range_u32(0, 255) as u8),
+        3 => Instr::LoadGlobal(rng.gen_range_u32(0, 255) as u8),
+        4 => Instr::StoreGlobal(rng.gen_range_u32(0, 255) as u8),
+        5 => Instr::LoadGlobalAddr(rng.gen_range_u32(0, 255) as u8),
+        6 => Instr::LoadImm(rng.gen_range_u32(0, 0xFFFF) as u16),
+        7 => Instr::AddImm(rng.gen_range_u32(0, 255) as u8),
+        8 => Instr::ExternalCall(rng.gen_range_u32(0, 255) as u8),
+        9 => Instr::LocalCall(rng.gen_range_u32(0, 255) as u8),
+        10 => Instr::DirectCall(rng.gen_range_u32(0, (1 << 24) - 1)),
+        11 => Instr::ShortDirectCall(rng.gen_range_i16(i16::MIN, i16::MAX) as i32),
+        12 => Instr::Trap(rng.gen_range_u32(0, 255) as u8),
+        13 => Instr::AllocRecord(rng.gen_range_u32(0, 255) as u8),
+        14 => Instr::Add,
+        15 => Instr::Sub,
+        16 => Instr::Mul,
+        17 => Instr::Div,
+        18 => Instr::Mod,
+        19 => Instr::Neg,
+        20 => Instr::And,
+        21 => Instr::Or,
+        22 => Instr::Xor,
+        23 => Instr::Shl,
+        24 => Instr::Shr,
+        25 => Instr::CmpEq,
+        26 => Instr::CmpNe,
+        27 => Instr::CmpLt,
+        28 => Instr::CmpLe,
+        29 => Instr::CmpGt,
+        30 => Instr::CmpGe,
+        31 => Instr::Dup,
+        32 => Instr::Drop,
+        33 => Instr::Exch,
+        34 => Instr::Read,
+        35 => Instr::Write,
+        36 => Instr::LoadIndex,
+        37 => Instr::StoreIndex,
+        38 => Instr::Ret,
+        39 => Instr::Xfer,
+        40 => Instr::NewContext,
+        41 => Instr::FreeContext,
+        42 => Instr::ReturnContext,
+        43 => Instr::ProcessSwitch,
+        44 => Instr::Spawn,
+        45 => Instr::Out,
+        _ => match rng.gen_index(4) {
+            0 => Instr::Halt,
+            1 => Instr::Noop,
+            2 => Instr::FreeRecord,
+            _ => Instr::Jump(rng.gen_range_i16(-30000, 30000) as i32),
+        },
+    }
 }
 
-proptest! {
-    /// decode(encode(i)) = i, and the advertised length is the real one.
-    #[test]
-    fn encode_decode_round_trip(instrs in prop::collection::vec(instr_strategy(), 1..64)) {
+/// decode(encode(i)) = i, and the advertised length is the real one.
+#[test]
+fn encode_decode_round_trip() {
+    let mut rng = Rng::seed_from_u64(0x15A_DEC0DE);
+    for _ in 0..256 {
+        let instrs: Vec<Instr> = (0..rng.gen_range_u32(1, 64))
+            .map(|_| random_instr(&mut rng))
+            .collect();
         let mut bytes = Vec::new();
         let mut offsets = Vec::new();
         for i in &instrs {
             offsets.push(bytes.len());
             let n = i.encode(&mut bytes);
-            prop_assert_eq!(n, i.encoded_len());
+            assert_eq!(n, i.encoded_len(), "encoded_len mismatch for {i}");
         }
         let listing = disassemble(&bytes, 0, bytes.len()).unwrap();
-        prop_assert_eq!(listing.len(), instrs.len());
+        assert_eq!(listing.len(), instrs.len());
         for ((off, got), (want_off, want)) in listing.into_iter().zip(offsets.iter().zip(&instrs)) {
-            prop_assert_eq!(off, *want_off);
-            prop_assert_eq!(got, *want);
+            assert_eq!(off, *want_off);
+            assert_eq!(got, *want);
         }
     }
+}
 
-    /// Decoding arbitrary bytes never panics: every byte string is
-    /// either a valid instruction or a clean error.
-    #[test]
-    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+/// Decoding arbitrary bytes never panics: every byte string is either a
+/// valid instruction or a clean error.
+#[test]
+fn decode_never_panics() {
+    let mut rng = Rng::seed_from_u64(0xF077);
+    for _ in 0..2048 {
+        let bytes: Vec<u8> = (0..rng.gen_index(64))
+            .map(|_| rng.gen_range_u32(0, 255) as u8)
+            .collect();
         let _ = decode(&bytes, 0);
         let mut pc = 0;
         while pc < bytes.len() {
@@ -88,13 +106,17 @@ proptest! {
             }
         }
     }
+}
 
-    /// Relaxed jumps always land on instruction boundaries.
-    #[test]
-    fn assembled_jumps_land_on_boundaries(
-        gaps in prop::collection::vec(0usize..40, 1..8),
-        backward in any::<bool>(),
-    ) {
+/// Relaxed jumps always land on instruction boundaries.
+#[test]
+fn assembled_jumps_land_on_boundaries() {
+    let mut rng = Rng::seed_from_u64(0xA55E);
+    for _ in 0..128 {
+        let gaps: Vec<usize> = (0..rng.gen_range_u32(1, 7))
+            .map(|_| rng.gen_index(40))
+            .collect();
+        let backward = rng.gen_bool(0.5);
         let mut a = Assembler::new();
         let target = a.label();
         if backward {
@@ -116,11 +138,11 @@ proptest! {
         let boundaries: Vec<usize> = listing.iter().map(|(o, _)| *o).collect();
         // The label is a boundary (or the very end).
         let t = out.offset_of(target) as usize;
-        prop_assert!(t == out.bytes.len() || boundaries.contains(&t));
+        assert!(t == out.bytes.len() || boundaries.contains(&t));
         // Every jump displacement resolves to the label.
         for (off, instr) in listing {
             if let Instr::Jump(d) = instr {
-                prop_assert_eq!((off as i64 + d as i64) as usize, t);
+                assert_eq!((off as i64 + d as i64) as usize, t);
             }
         }
     }

@@ -26,6 +26,10 @@ use crate::ByteAddr;
 pub struct CodeStore {
     bytes: Vec<u8>,
     stats: CodeStats,
+    /// Bumped on every mutation (`append`, `poke`) so host-side caches
+    /// over the code bytes (e.g. the VM's predecoded instruction
+    /// stream) can detect staleness with one comparison.
+    version: u64,
 }
 
 /// Reference counts for a [`CodeStore`].
@@ -47,6 +51,7 @@ impl CodeStore {
     pub fn append(&mut self, bytes: &[u8]) -> ByteAddr {
         let base = ByteAddr(self.bytes.len() as u32);
         self.bytes.extend_from_slice(bytes);
+        self.version += 1;
         base
     }
 
@@ -106,6 +111,15 @@ impl CodeStore {
     #[inline]
     pub fn poke(&mut self, addr: ByteAddr, value: u8) {
         self.bytes[addr.0 as usize] = value;
+        self.version += 1;
+    }
+
+    /// Mutation counter: changes whenever the code bytes may have
+    /// changed. Caches keyed on this value (and nothing else) are
+    /// always coherent with [`CodeStore::bytes`].
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Uncounted 16-bit little-endian read.
@@ -167,6 +181,21 @@ mod tests {
         assert_eq!(c.read_table(ByteAddr(0)), 0x1234);
         assert_eq!(c.peek_u16(ByteAddr(0)), 0x1234);
         assert_eq!(c.stats().table_reads, 1);
+    }
+
+    #[test]
+    fn version_tracks_mutation_only() {
+        let mut c = CodeStore::new();
+        let v0 = c.version();
+        c.append(&[1, 2]);
+        let v1 = c.version();
+        assert_ne!(v0, v1);
+        let _ = c.fetch(ByteAddr(0));
+        let _ = c.peek(ByteAddr(1));
+        let _ = c.read_table(ByteAddr(0));
+        assert_eq!(c.version(), v1, "reads do not invalidate");
+        c.poke(ByteAddr(0), 9);
+        assert_ne!(c.version(), v1);
     }
 
     #[test]

@@ -148,7 +148,13 @@ mod tests {
         assert_eq!(m.stats().total(), 0);
         m.write(WordAddr(1), 8);
         let _ = m.read(WordAddr(1));
-        assert_eq!(m.stats(), MemStats { data_reads: 1, data_writes: 1 });
+        assert_eq!(
+            m.stats(),
+            MemStats {
+                data_reads: 1,
+                data_writes: 1
+            }
+        );
     }
 
     #[test]

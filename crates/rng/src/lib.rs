@@ -1,0 +1,253 @@
+#![warn(missing_docs)]
+//! A tiny, dependency-free, seeded pseudo-random number generator for
+//! the experiment corpus and the randomized tests.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! the usual `rand` stack is unavailable; everything random in the
+//! repository goes through this crate instead. Two classic generators
+//! are provided:
+//!
+//! * [`SplitMix64`] — the 64-bit finalizer-based generator of Steele,
+//!   Lea & Flood; one multiply-xorshift pipeline per output. Used for
+//!   seeding and for places that need a `Copy` one-liner.
+//! * [`Xoshiro256`] — xoshiro256\*\* by Blackman & Vigna, seeded from
+//!   SplitMix64 as its authors recommend. The default generator.
+//!
+//! Both are fully deterministic functions of the seed, so every trace,
+//! workload and test in the repository is reproducible bit-for-bit
+//! across platforms. **These are not cryptographic generators.**
+//!
+//! The previous revision of this repository used `rand::StdRng`
+//! (ChaCha12) for the synthetic traces; seeds produce different — but
+//! statistically equivalent — event sequences now. Every consumer
+//! asserts distributional properties, not literal sequences, so the
+//! swap is behaviour-preserving at the level the experiments care
+//! about.
+//!
+//! # Example
+//!
+//! ```
+//! use fpc_rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let coin = rng.gen_bool(0.5);
+//! let byte = rng.gen_range_u32(0, 255);
+//! assert!(byte <= 255);
+//! let _ = coin;
+//! // Same seed, same stream.
+//! assert_eq!(Rng::seed_from_u64(7).next_u64(), Rng::seed_from_u64(7).next_u64());
+//! ```
+
+/// SplitMix64: a 64-bit generator with a single `u64` of state.
+///
+/// Passes BigCrush when used as a stream; its main role here is
+/// expanding one seed word into the larger xoshiro state, but it is a
+/// perfectly good standalone generator for small jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256\*\*: the repository's default generator.
+///
+/// 256 bits of state, period 2²⁵⁶ − 1, excellent statistical quality
+/// and a few nanoseconds per output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the full 256-bit state from one word via SplitMix64, as
+    /// the xoshiro authors recommend.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The convenience generator used across the workspace: xoshiro256\*\*
+/// plus the sampling helpers the corpus and tests need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    inner: Xoshiro256,
+}
+
+impl Rng {
+    /// Creates a generator from a seed; same seed, same stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng {
+            inner: Xoshiro256::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniform `u32` in `[lo, hi]` (both inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn gen_range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi - lo) as u64 + 1;
+        // Multiply-shift range reduction (Lemire); the bias for spans
+        // this small (≪ 2^64) is far below anything the statistical
+        // assertions can see.
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as u32)
+    }
+
+    /// A uniform index in `[0, len)` for indexing a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[inline]
+    pub fn gen_index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot sample an index from an empty slice");
+        ((self.next_u64() as u128 * len as u128) >> 64) as usize
+    }
+
+    /// A uniform `i16` in `[lo, hi]` (both inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn gen_range_i16(&mut self, lo: i16, hi: i16) -> i16 {
+        let span = (hi as i32 - lo as i32) as u32;
+        (lo as i32 + self.gen_range_u32(0, span) as i32) as i16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference values from the public-domain splitmix64.c with
+        // seed 1234567.
+        let mut sm = SplitMix64::new(1234567);
+        assert_eq!(sm.next_u64(), 6457827717110365317);
+        assert_eq!(sm.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        let mut c = Xoshiro256::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f64_samples_stay_in_unit_interval_and_look_uniform() {
+        let mut rng = Rng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(99);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn ranges_are_inclusive_and_cover() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range_u32(3, 12);
+            assert!((3..=12).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in range sampled");
+        for _ in 0..1000 {
+            let v = rng.gen_range_i16(-5, 5);
+            assert!((-5..=5).contains(&v));
+        }
+        assert_eq!(rng.gen_range_u32(9, 9), 9);
+    }
+
+    #[test]
+    fn indices_stay_in_bounds() {
+        let mut rng = Rng::seed_from_u64(11);
+        for len in [1usize, 2, 3, 64, 1000] {
+            for _ in 0..200 {
+                assert!(rng.gen_index(len) < len);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_index_rejected() {
+        let _ = Rng::seed_from_u64(0).gen_index(0);
+    }
+}

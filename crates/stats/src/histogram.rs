@@ -1,12 +1,23 @@
 //! An exact histogram over `u64` samples.
 //!
 //! The experiments need exact distributional answers ("95% of frames are
-//! smaller than 80 bytes", "two-thirds of instructions are one byte"), and
-//! sample counts are modest, so this is a sorted-map histogram rather than
-//! an approximate sketch.
+//! smaller than 80 bytes", "two-thirds of instructions are one byte"),
+//! and sample counts are modest, so this is an exact histogram rather
+//! than an approximate sketch.
+//!
+//! Internally it is split by value: small values (the overwhelming
+//! majority — cycle counts, frame sizes, instruction lengths) are
+//! counted in a dense array indexed by value, anything larger spills to
+//! a sorted map. `record` sits on the simulator's per-transfer path, so
+//! the common case must be an array increment, not a tree walk.
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Values below this are counted in the dense array; the rest go to the
+/// spill map. Large enough for every per-event statistic the simulator
+/// records (cycles, references, frame bytes).
+const DENSE_LIMIT: u64 = 1024;
 
 /// An exact histogram of `u64` samples.
 ///
@@ -21,11 +32,14 @@ use std::fmt;
 /// assert_eq!(h.max(), Some(3));
 /// assert!((h.mean() - 5.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Eq)]
+#[derive(Default, Clone)]
 pub struct Histogram {
-    buckets: BTreeMap<u64, u64>,
-    count: u64,
-    sum: u128,
+    /// `dense[v]` counts samples of value `v`; grown lazily, so the
+    /// length carries no information beyond the largest small value
+    /// ever recorded.
+    dense: Vec<u64>,
+    /// Counts for values `>= DENSE_LIMIT`.
+    spill: BTreeMap<u64, u64>,
 }
 
 impl Histogram {
@@ -35,46 +49,60 @@ impl Histogram {
     }
 
     /// Records one sample with the given value.
+    #[inline]
     pub fn record(&mut self, value: u64) {
         self.record_n(value, 1);
     }
 
     /// Records `n` samples with the given value.
+    ///
+    /// Totals (`count`, `sum`) are derived at query time, not
+    /// maintained here: recording must stay a bare array increment,
+    /// because the simulator calls it on every transfer.
+    #[inline]
     pub fn record_n(&mut self, value: u64, n: u64) {
-        if n == 0 {
-            return;
+        if value < DENSE_LIMIT {
+            let i = value as usize;
+            if i >= self.dense.len() {
+                self.dense.resize(i + 1, 0);
+            }
+            self.dense[i] += n;
+        } else if n > 0 {
+            *self.spill.entry(value).or_insert(0) += n;
         }
-        *self.buckets.entry(value).or_insert(0) += n;
-        self.count += n;
-        self.sum += value as u128 * n as u128;
     }
 
     /// Total number of samples recorded.
     pub fn count(&self) -> u64 {
-        self.count
+        self.dense.iter().sum::<u64>() + self.spill.values().sum::<u64>()
     }
 
     /// Sum of all samples.
     pub fn sum(&self) -> u128 {
-        self.sum
+        self.iter().map(|(v, n)| v as u128 * n as u128).sum()
     }
 
     /// Smallest recorded value, if any.
     pub fn min(&self) -> Option<u64> {
-        self.buckets.keys().next().copied()
+        self.iter().next().map(|(v, _)| v)
     }
 
     /// Largest recorded value, if any.
     pub fn max(&self) -> Option<u64> {
-        self.buckets.keys().next_back().copied()
+        self.spill
+            .keys()
+            .next_back()
+            .copied()
+            .or_else(|| self.dense.iter().rposition(|&n| n > 0).map(|i| i as u64))
     }
 
     /// Arithmetic mean; `0.0` when empty.
     pub fn mean(&self) -> f64 {
-        if self.count == 0 {
+        let count = self.count();
+        if count == 0 {
             0.0
         } else {
-            self.sum as f64 / self.count as f64
+            self.sum() as f64 / count as f64
         }
     }
 
@@ -83,23 +111,28 @@ impl Histogram {
     /// This is the paper's favourite statistic: "95% of all frames
     /// allocated are smaller than 80 bytes" is `fraction_below(80) >= 0.95`.
     pub fn fraction_below(&self, threshold: u64) -> f64 {
-        if self.count == 0 {
+        let count = self.count();
+        if count == 0 {
             return 0.0;
         }
-        let below: u64 = self
-            .buckets
-            .range(..threshold)
-            .map(|(_, &n)| n)
-            .sum();
-        below as f64 / self.count as f64
+        let cut = (threshold.min(DENSE_LIMIT) as usize).min(self.dense.len());
+        let below: u64 = self.dense[..cut].iter().sum::<u64>()
+            + self.spill.range(..threshold).map(|(_, &n)| n).sum::<u64>();
+        below as f64 / count as f64
     }
 
     /// Fraction of samples equal to `value`.
     pub fn fraction_at(&self, value: u64) -> f64 {
-        if self.count == 0 {
+        let count = self.count();
+        if count == 0 {
             return 0.0;
         }
-        *self.buckets.get(&value).unwrap_or(&0) as f64 / self.count as f64
+        let at = if value < DENSE_LIMIT {
+            self.dense.get(value as usize).copied().unwrap_or(0)
+        } else {
+            self.spill.get(&value).copied().unwrap_or(0)
+        };
+        at as f64 / count as f64
     }
 
     /// Smallest value `v` such that at least `q` (in `[0,1]`) of the
@@ -110,12 +143,13 @@ impl Histogram {
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
-        if self.count == 0 {
+        let count = self.count();
+        if count == 0 {
             return None;
         }
-        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let target = (q * count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
-        for (&value, &n) in &self.buckets {
+        for (value, n) in self.iter() {
             seen += n;
             if seen >= target {
                 return Some(value);
@@ -126,7 +160,12 @@ impl Histogram {
 
     /// Iterates over `(value, count)` pairs in increasing value order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.buckets.iter().map(|(&v, &n)| (v, n))
+        self.dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(v, &n)| (v as u64, n))
+            .chain(self.spill.iter().map(|(&v, &n)| (v, n)))
     }
 
     /// Merges another histogram into this one.
@@ -137,12 +176,41 @@ impl Histogram {
     }
 }
 
+/// Equality is over the recorded multiset — the dense array's trailing
+/// zeros (an artifact of growth order) do not participate.
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Histogram {}
+
+/// Debug shows the logical `(value, count)` map, not the dense/spill
+/// split, so representation details never leak into golden output.
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct Buckets<'a>(&'a Histogram);
+        impl fmt::Debug for Buckets<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.debug_map().entries(self.0.iter()).finish()
+            }
+        }
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("buckets", &Buckets(self))
+            .finish()
+    }
+}
+
 impl fmt::Display for Histogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.count == 0 {
+        let count = self.count();
+        if count == 0 {
             return write!(f, "(empty histogram)");
         }
-        writeln!(f, "n={} mean={:.2}", self.count, self.mean())?;
+        writeln!(f, "n={count} mean={:.2}", self.mean())?;
         for (v, n) in self.iter() {
             writeln!(f, "  {v:>8}: {n}")?;
         }
@@ -231,5 +299,37 @@ mod tests {
         h.record(8);
         assert!((h.mean() - 5.0).abs() < 1e-12);
         assert_eq!(h.sum(), 20);
+    }
+
+    #[test]
+    fn spill_values_join_the_distribution() {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record_n(5_000, 2); // beyond the dense range
+        h.record(70_000);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(70_000));
+        assert_eq!(h.quantile(0.5), Some(5_000));
+        assert!((h.fraction_below(5_000) - 0.25).abs() < 1e-12);
+        assert!((h.fraction_below(5_001) - 0.75).abs() < 1e-12);
+        assert_eq!(h.fraction_at(5_000), 0.5);
+        assert_eq!(
+            h.iter().collect::<Vec<_>>(),
+            vec![(3, 1), (5_000, 2), (70_000, 1)]
+        );
+    }
+
+    #[test]
+    fn equality_ignores_growth_order() {
+        let mut a = Histogram::new();
+        a.record(100); // grows dense past the other's length
+        a.record(2);
+        let mut b = Histogram::new();
+        b.record(2);
+        b.record(100);
+        assert_eq!(a, b);
+        let c: Histogram = [2u64].into_iter().collect();
+        assert_ne!(a, c);
     }
 }

@@ -17,7 +17,7 @@
 //! registers have been written, to avoid the cost of dumping registers
 //! which have never been written."
 
-use std::collections::HashMap;
+use std::cell::Cell;
 
 use fpc_core::layout;
 use fpc_mem::{Memory, WordAddr};
@@ -56,6 +56,11 @@ impl BankStats {
     }
 }
 
+/// Hard cap on words per bank. The paper's sketch says "some modest
+/// fixed size (say 16 words)"; capping at 64 lets each bank's storage
+/// live inline in the `Bank` struct and dirtiness be one bitmask.
+pub const MAX_BANK_WORDS: u32 = 64;
+
 #[derive(Debug, Clone)]
 struct Bank {
     /// Frame whose locals this bank shadows; `None` = free.
@@ -63,8 +68,9 @@ struct Bank {
     /// Words actually shadowed (min of bank size and the frame's
     /// locals capacity).
     shadow_words: u32,
-    data: Vec<u16>,
-    dirty: Vec<bool>,
+    data: [u16; MAX_BANK_WORDS as usize],
+    /// Bit `i` set = word `i` written since assignment/activation.
+    dirty: u64,
     /// LRU clock value of the last assignment/activation.
     last_use: u64,
 }
@@ -75,7 +81,12 @@ pub struct BankMachine {
     banks: Vec<Bank>,
     words: u32,
     clock: u64,
-    by_frame: HashMap<u32, usize>,
+    /// Memo of the last `(frame, bank)` resolution. Local reads and
+    /// writes resolve the same (current) frame almost every time, so
+    /// this turns the per-access scan into one comparison. The memo is
+    /// validated against the bank's own `frame` field on every use, so
+    /// it can never serve a stale mapping.
+    memo: Cell<(u32, u32)>,
     stats: BankStats,
 }
 
@@ -90,19 +101,23 @@ impl BankMachine {
     pub fn new(banks: usize, words: u32) -> Self {
         assert!(banks >= 2, "at least two banks required");
         assert!(words > 0, "banks must hold at least one word");
+        assert!(
+            words <= MAX_BANK_WORDS,
+            "banks hold at most {MAX_BANK_WORDS} words"
+        );
         BankMachine {
             banks: (0..banks)
                 .map(|_| Bank {
                     frame: None,
                     shadow_words: 0,
-                    data: vec![0; words as usize],
-                    dirty: vec![false; words as usize],
+                    data: [0; MAX_BANK_WORDS as usize],
+                    dirty: 0,
                     last_use: 0,
                 })
                 .collect(),
             words,
             clock: 0,
-            by_frame: HashMap::new(),
+            memo: Cell::new((u32::MAX, 0)),
             stats: BankStats::default(),
         }
     }
@@ -117,14 +132,29 @@ impl BankMachine {
         self.stats
     }
 
-    /// The bank index shadowing `frame`, if any.
+    /// The bank index shadowing `frame`, if any. There are at most a
+    /// handful of banks (the paper says 4–8), so this is a linear scan
+    /// rather than a map — it sits on the per-instruction local
+    /// read/write path, where a hashed lookup would dominate the cost
+    /// of the access itself.
+    #[inline]
     pub fn bank_of(&self, frame: WordAddr) -> Option<usize> {
-        self.by_frame.get(&frame.0).copied()
+        let (f, b) = self.memo.get();
+        if f == frame.0 {
+            if let Some(bank) = self.banks.get(b as usize) {
+                if bank.frame == Some(frame) {
+                    return Some(b as usize);
+                }
+            }
+        }
+        let idx = self.banks.iter().position(|b| b.frame == Some(frame))?;
+        self.memo.set((frame.0, idx as u32));
+        Some(idx)
     }
 
     /// Reads local `idx` of `frame` from its bank, if shadowed there.
     pub fn read_local(&mut self, frame: WordAddr, idx: u32) -> Option<u16> {
-        let &b = self.by_frame.get(&frame.0)?;
+        let b = self.bank_of(frame)?;
         let bank = &mut self.banks[b];
         if idx < bank.shadow_words {
             self.clock += 1;
@@ -138,13 +168,15 @@ impl BankMachine {
     /// Writes local `idx` of `frame` into its bank, if shadowed there.
     /// Returns `false` if the access must go to storage.
     pub fn write_local(&mut self, frame: WordAddr, idx: u32, value: u16) -> bool {
-        let Some(&b) = self.by_frame.get(&frame.0) else { return false };
+        let Some(b) = self.bank_of(frame) else {
+            return false;
+        };
         let bank = &mut self.banks[b];
         if idx < bank.shadow_words {
             self.clock += 1;
             bank.last_use = self.clock;
             bank.data[idx as usize] = value;
-            bank.dirty[idx as usize] = true;
+            bank.dirty |= 1 << idx;
             true
         } else {
             false
@@ -171,21 +203,18 @@ impl BankMachine {
         let bank = &mut self.banks[b];
         bank.frame = Some(frame);
         bank.shadow_words = shadow;
-        bank.data.iter_mut().for_each(|w| *w = 0);
-        bank.dirty.iter_mut().for_each(|d| *d = false);
+        bank.data[..shadow as usize].fill(0);
+        bank.dirty = 0;
         self.clock += 1;
         bank.last_use = self.clock;
         self.stats.assigns += 1;
         if let Some(args) = rename_args {
             debug_assert!(args.len() as u32 <= shadow, "arguments exceed bank shadow");
-            for (i, &v) in args.iter().enumerate() {
-                bank.data[i] = v;
-                bank.dirty[i] = true;
-            }
+            bank.data[..args.len()].copy_from_slice(args);
+            bank.dirty = ((1u128 << args.len()) - 1) as u64;
             self.stats.renames += 1;
             self.stats.renamed_words += args.len() as u64;
         }
-        self.by_frame.insert(frame.0, b);
         refs
     }
 
@@ -199,7 +228,7 @@ impl BankMachine {
         locals_words: u32,
         protect: Option<WordAddr>,
     ) -> u64 {
-        if let Some(&b) = self.by_frame.get(&frame.0) {
+        if let Some(b) = self.bank_of(frame) {
             self.clock += 1;
             self.banks[b].last_use = self.clock;
             return 0;
@@ -212,7 +241,7 @@ impl BankMachine {
         let bank = &mut self.banks[b];
         bank.frame = Some(frame);
         bank.shadow_words = shadow;
-        bank.dirty.iter_mut().for_each(|d| *d = false);
+        bank.dirty = 0;
         for i in 0..shadow {
             bank.data[i as usize] = mem.read(layout::local_slot(frame, i));
         }
@@ -220,14 +249,13 @@ impl BankMachine {
         self.stats.loaded_words += shadow as u64;
         self.clock += 1;
         bank.last_use = self.clock;
-        self.by_frame.insert(frame.0, b);
         refs
     }
 
     /// Releases the bank shadowing a freed frame: "its contents are
     /// unimportant, and never need to be saved in storage."
     pub fn release(&mut self, frame: WordAddr) {
-        if let Some(b) = self.by_frame.remove(&frame.0) {
+        if let Some(b) = self.bank_of(frame) {
             self.banks[b].frame = None;
             self.banks[b].shadow_words = 0;
         }
@@ -237,7 +265,7 @@ impl BankMachine {
     /// unshadows it. Returns references spent. Used by the
     /// flush-on-exit pointer policy and by full flushes.
     pub fn flush_frame(&mut self, mem: &mut Memory, frame: WordAddr) -> u64 {
-        match self.by_frame.remove(&frame.0) {
+        match self.bank_of(frame) {
             Some(b) => self.flush_bank(mem, b),
             None => 0,
         }
@@ -247,14 +275,12 @@ impl BankMachine {
     /// and other unusual transfers ("all the banks are flushed into
     /// storage", §7.1). Returns references spent.
     pub fn flush_all(&mut self, mem: &mut Memory) -> u64 {
-        let frames: Vec<u32> = self.by_frame.keys().copied().collect();
-        if frames.is_empty() {
+        if self.banks.iter().all(|b| b.frame.is_none()) {
             return 0;
         }
         self.stats.full_flushes += 1;
         let mut refs = 0;
-        for f in frames {
-            let b = self.by_frame.remove(&f).expect("frame was mapped");
+        for b in 0..self.banks.len() {
             refs += self.flush_bank(mem, b);
         }
         refs
@@ -285,7 +311,8 @@ impl BankMachine {
     /// [`BankMachine::shadow_hit`] first.
     pub fn divert_read(&mut self, frame: WordAddr, idx: u32) -> u16 {
         self.stats.diversions += 1;
-        self.read_local(frame, idx).expect("diverted read of unshadowed word")
+        self.read_local(frame, idx)
+            .expect("diverted read of unshadowed word")
     }
 
     /// Diverted indirect write of a shadowed local.
@@ -295,12 +322,15 @@ impl BankMachine {
     /// Panics if the word is not actually shadowed.
     pub fn divert_write(&mut self, frame: WordAddr, idx: u32, value: u16) {
         self.stats.diversions += 1;
-        assert!(self.write_local(frame, idx, value), "diverted write of unshadowed word");
+        assert!(
+            self.write_local(frame, idx, value),
+            "diverted write of unshadowed word"
+        );
     }
 
     /// Host-side inspection of a shadowed word (uncounted).
     pub fn peek_local(&self, frame: WordAddr, idx: u32) -> Option<u16> {
-        let &b = self.by_frame.get(&frame.0)?;
+        let b = self.bank_of(frame)?;
         let bank = &self.banks[b];
         (idx < bank.shadow_words).then(|| bank.data[idx as usize])
     }
@@ -321,8 +351,6 @@ impl BankMachine {
             .min_by_key(|(_, b)| b.last_use)
             .map(|(i, _)| i)
             .expect("at least two banks, so a victim exists");
-        let f = self.banks[victim].frame.expect("victim shadows a frame");
-        self.by_frame.remove(&f.0);
         let refs = self.flush_bank(mem, victim);
         (victim, refs)
     }
@@ -331,16 +359,19 @@ impl BankMachine {
         let bank = &mut self.banks[b];
         let Some(frame) = bank.frame else { return 0 };
         let mut refs = 0;
-        for i in 0..bank.shadow_words {
-            if bank.dirty[i as usize] {
-                mem.write(layout::local_slot(frame, i), bank.data[i as usize]);
-                refs += 1;
-            }
+        // Walk set bits only: "avoid the cost of dumping registers
+        // which have never been written."
+        let mut dirty = bank.dirty;
+        while dirty != 0 {
+            let i = dirty.trailing_zeros();
+            mem.write(layout::local_slot(frame, i), bank.data[i as usize]);
+            dirty &= dirty - 1;
+            refs += 1;
         }
         self.stats.flushed_words += refs;
         bank.frame = None;
         bank.shadow_words = 0;
-        bank.dirty.iter_mut().for_each(|d| *d = false);
+        bank.dirty = 0;
         refs
     }
 }

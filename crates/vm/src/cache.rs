@@ -65,7 +65,12 @@ impl FrameCache {
             .classes()
             .fsi_for(Self::STANDARD_WORDS)
             .expect("ladder covers the standard frame size");
-        FrameCache { frames: Vec::with_capacity(capacity), capacity, standard_fsi, stats: CacheStats::default() }
+        FrameCache {
+            frames: Vec::with_capacity(capacity),
+            capacity,
+            standard_fsi,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The standard size class.
@@ -154,13 +159,8 @@ mod tests {
 
     fn setup() -> (Memory, FrameHeap) {
         let mut mem = Memory::new(0x8000);
-        let heap = FrameHeap::new(
-            &mut mem,
-            WordAddr(0x10),
-            SizeClasses::mesa(),
-            0x100..0x8000,
-        )
-        .unwrap();
+        let heap =
+            FrameHeap::new(&mut mem, WordAddr(0x10), SizeClasses::mesa(), 0x100..0x8000).unwrap();
         (mem, heap)
     }
 
@@ -208,8 +208,9 @@ mod tests {
     fn full_cache_overflows_to_heap() {
         let (mut mem, mut heap) = setup();
         let mut cache = FrameCache::new(&heap, 2);
-        let frames: Vec<_> =
-            (0..3).map(|_| cache.alloc(&mut heap, &mut mem, 0).unwrap()).collect();
+        let frames: Vec<_> = (0..3)
+            .map(|_| cache.alloc(&mut heap, &mut mem, 0).unwrap())
+            .collect();
         for (f, fsi) in frames {
             cache.free(&mut heap, &mut mem, f, fsi).unwrap();
         }

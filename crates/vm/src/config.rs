@@ -65,7 +65,12 @@ impl BankConfig {
     /// overflow figure is for the top of that range) of 16 words,
     /// renaming on, divert policy.
     pub fn paper_default() -> Self {
-        BankConfig { banks: 8, words: 16, renaming: true, ptr_policy: PtrLocalPolicy::Divert }
+        BankConfig {
+            banks: 8,
+            words: 16,
+            renaming: true,
+            ptr_policy: PtrLocalPolicy::Divert,
+        }
     }
 }
 
@@ -92,6 +97,13 @@ pub struct MachineConfig {
     pub strict_stack: bool,
     /// Maximum evaluation-stack depth (the register stack size).
     pub stack_depth: usize,
+    /// Dispatch from a predecoded instruction stream instead of
+    /// re-parsing code bytes on every step. A pure host-side
+    /// optimisation: the simulated cost model is bit-identical either
+    /// way (decode makes no counted references), so this defaults to
+    /// on and exists mainly so experiments can measure the byte-decode
+    /// baseline.
+    pub predecode: bool,
 }
 
 impl MachineConfig {
@@ -104,18 +116,25 @@ impl MachineConfig {
             alloc: AllocStrategy::General,
             strict_stack: true,
             stack_depth: 16,
+            predecode: true,
         }
     }
 
     /// I2 (§5): the Mesa implementation — AV frame heap, packed tables,
     /// no acceleration.
     pub fn i2() -> Self {
-        MachineConfig { alloc: AllocStrategy::Av, ..Self::i1() }
+        MachineConfig {
+            alloc: AllocStrategy::Av,
+            ..Self::i1()
+        }
     }
 
     /// I3 (§6): I2 plus the IFU return-prediction stack.
     pub fn i3() -> Self {
-        MachineConfig { return_stack: 8, ..Self::i2() }
+        MachineConfig {
+            return_stack: 8,
+            ..Self::i2()
+        }
     }
 
     /// I4 (§7): I3 plus register banks with renaming and the processor
@@ -123,7 +142,10 @@ impl MachineConfig {
     pub fn i4() -> Self {
         MachineConfig {
             banks: Some(BankConfig::paper_default()),
-            alloc: AllocStrategy::AvCached { cache_frames: 8, defer: true },
+            alloc: AllocStrategy::AvCached {
+                cache_frames: 8,
+                defer: true,
+            },
             ..Self::i3()
         }
     }
@@ -143,6 +165,13 @@ impl MachineConfig {
     /// Sets the allocation strategy.
     pub fn with_alloc(mut self, alloc: AllocStrategy) -> Self {
         self.alloc = alloc;
+        self
+    }
+
+    /// Enables or disables the predecoded instruction stream
+    /// (host-side only; simulated costs are unaffected).
+    pub fn with_predecode(mut self, on: bool) -> Self {
+        self.predecode = on;
         self
     }
 
@@ -176,9 +205,13 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = MachineConfig::i2().with_return_stack(4).with_alloc(AllocStrategy::General);
+        let c = MachineConfig::i2()
+            .with_return_stack(4)
+            .with_alloc(AllocStrategy::General);
         assert_eq!(c.return_stack, 4);
         assert_eq!(c.alloc, AllocStrategy::General);
+        assert!(c.predecode, "predecode defaults to on");
+        assert!(!c.with_predecode(false).predecode);
     }
 
     #[test]

@@ -131,7 +131,10 @@ mod tests {
 
     #[test]
     fn trap_codes_distinct() {
-        assert_ne!(TrapCode::DivideByZero.code(), TrapCode::StackOverflow.code());
+        assert_ne!(
+            TrapCode::DivideByZero.code(),
+            TrapCode::StackOverflow.code()
+        );
         assert_eq!(TrapCode::User(7).code(), 7);
     }
 

@@ -77,7 +77,11 @@ pub struct ReturnStack {
 impl ReturnStack {
     /// Creates a stack holding up to `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        ReturnStack { entries: VecDeque::with_capacity(capacity), capacity, stats: ReturnStackStats::default() }
+        ReturnStack {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: ReturnStackStats::default(),
+        }
     }
 
     /// Whether the stack is enabled at all.

@@ -165,18 +165,21 @@ pub struct Placement {
 ///
 /// [`VmError::BadImage`] for images that do not fit the address
 /// packing or memory.
-pub fn load(
-    image: &Image,
-    memory_words: u32,
-) -> Result<(Memory, CodeStore, Placement), VmError> {
+pub fn load(image: &Image, memory_words: u32) -> Result<(Memory, CodeStore, Placement), VmError> {
     let mut mem = Memory::new(memory_words);
     let mut code = CodeStore::new();
     code.append(&image.code);
 
     // Assign GFT indices and check capacity.
-    let total_gft: u32 = image.modules.iter().map(|m| gft_entries_for(m.nprocs) as u32).sum();
+    let total_gft: u32 = image
+        .modules
+        .iter()
+        .map(|m| gft_entries_for(m.nprocs) as u32)
+        .sum();
     if total_gft > GFT_ENTRIES {
-        return Err(VmError::BadImage(format!("{total_gft} GFT entries exceed {GFT_ENTRIES}")));
+        return Err(VmError::BadImage(format!(
+            "{total_gft} GFT entries exceed {GFT_ENTRIES}"
+        )));
     }
 
     // Place link vectors and global frames after the GFT. The LV ends
@@ -215,7 +218,10 @@ pub fn load(
             let w = image.proc_desc(*target)?;
             mem.poke(layout::lv_slot(gf, k as u32), w.raw());
         }
-        mem.poke(gf.offset(layout::GF_CODE_BASE), layout::code_base_word(m.code_base));
+        mem.poke(
+            gf.offset(layout::GF_CODE_BASE),
+            layout::code_base_word(m.code_base),
+        );
         for (i, v) in m.globals.iter().enumerate() {
             mem.poke(gf.offset(layout::GF_GLOBALS + i as u32), *v);
         }
@@ -227,7 +233,10 @@ pub fn load(
         }
         let cb = layout::code_base_word(m.code_base);
         for p in 0..m.nprocs {
-            let hdr = image.proc_header_addr(ProcRef { module: mi, ev_index: p });
+            let hdr = image.proc_header_addr(ProcRef {
+                module: mi,
+                ev_index: p,
+            });
             let at = hdr.0 as usize;
             raw_code[at + layout::HDR_GF as usize] = gf.0 as u8;
             raw_code[at + layout::HDR_GF as usize + 1] = (gf.0 >> 8) as u8;
@@ -238,7 +247,14 @@ pub fn load(
     let mut code = CodeStore::new();
     code.append(&raw_code);
 
-    Ok((mem, code, Placement { gf_addrs, frame_region }))
+    Ok((
+        mem,
+        code,
+        Placement {
+            gf_addrs,
+            frame_region,
+        },
+    ))
 }
 
 /// Builds small images by hand — used by the VM's own tests and the
@@ -298,7 +314,12 @@ impl ProcSpec {
     /// locals).
     pub fn new(name: &str, nargs: u8, nlocals: u32) -> Self {
         assert!(nargs as u32 <= nlocals || nlocals == 0 && nargs == 0);
-        ProcSpec { name: name.into(), nargs, nlocals, addr_taken: false }
+        ProcSpec {
+            name: name.into(),
+            nargs,
+            nlocals,
+            addr_taken: false,
+        }
     }
 
     /// Marks the procedure as taking addresses of its locals.
@@ -506,7 +527,11 @@ mod tests {
             a.instr(Instr::Out);
             a.instr(Instr::Halt);
         });
-        b.build(ProcRef { module: 0, ev_index: 0 }).unwrap()
+        b.build(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .unwrap()
     }
 
     #[test]
@@ -539,18 +564,35 @@ mod tests {
         let p = b.proc_with(m, ProcSpec::new("f", 0, 0), |a| {
             a.instr(Instr::Ret);
         });
-        let idx = b.import(m, ProcRef { module: 0, ev_index: p });
+        let idx = b.import(
+            m,
+            ProcRef {
+                module: 0,
+                ev_index: p,
+            },
+        );
         assert_eq!(idx, 0);
         b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
             a.instr(Instr::Halt);
         });
-        let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        let image = b
+            .build(ProcRef {
+                module: 0,
+                ev_index: 1,
+            })
+            .unwrap();
         let (mem, _, placement) = load(&image, DEFAULT_MEMORY_WORDS).unwrap();
         let gf = placement.gf_addrs[0];
         let lv0 = mem.peek(layout::lv_slot(gf, 0));
         assert_eq!(
             lv0,
-            image.proc_desc(ProcRef { module: 0, ev_index: 0 }).unwrap().raw()
+            image
+                .proc_desc(ProcRef {
+                    module: 0,
+                    ev_index: 0
+                })
+                .unwrap()
+                .raw()
         );
     }
 
@@ -558,7 +600,10 @@ mod tests {
     fn header_gf_and_code_base_patched() {
         let image = tiny_image();
         let (_, code, placement) = load(&image, DEFAULT_MEMORY_WORDS).unwrap();
-        let hdr = image.proc_header_addr(ProcRef { module: 0, ev_index: 0 });
+        let hdr = image.proc_header_addr(ProcRef {
+            module: 0,
+            ev_index: 0,
+        });
         let gf = code.peek_u16(hdr.offset(layout::HDR_GF));
         assert_eq!(gf as u32, placement.gf_addrs[0].0);
         let cb = code.peek_u16(hdr.offset(layout::HDR_CODE_BASE));
@@ -568,10 +613,25 @@ mod tests {
     #[test]
     fn proc_desc_packs_and_validates() {
         let image = tiny_image();
-        let w = image.proc_desc(ProcRef { module: 0, ev_index: 0 }).unwrap();
+        let w = image
+            .proc_desc(ProcRef {
+                module: 0,
+                ev_index: 0,
+            })
+            .unwrap();
         assert!(w.is_proc());
-        assert!(image.proc_desc(ProcRef { module: 0, ev_index: 9 }).is_err());
-        assert!(image.proc_desc(ProcRef { module: 5, ev_index: 0 }).is_err());
+        assert!(image
+            .proc_desc(ProcRef {
+                module: 0,
+                ev_index: 9
+            })
+            .is_err());
+        assert!(image
+            .proc_desc(ProcRef {
+                module: 5,
+                ev_index: 0
+            })
+            .is_err());
     }
 
     #[test]
@@ -596,11 +656,21 @@ mod tests {
         b.proc_with(m1, ProcSpec::new("q", 0, 0), |a| {
             a.instr(Instr::Halt);
         });
-        let image = b.build(ProcRef { module: 1, ev_index: 0 }).unwrap();
+        let image = b
+            .build(ProcRef {
+                module: 1,
+                ev_index: 0,
+            })
+            .unwrap();
         // Module 0 needs 2 GFT entries (40 > 32), so module 1 starts at 2.
         assert_eq!(image.gft_base(1), 2);
         // Entry 33 of module 0 packs with env = base + 1, code = 1.
-        let w = image.proc_desc(ProcRef { module: 0, ev_index: 33 }).unwrap();
+        let w = image
+            .proc_desc(ProcRef {
+                module: 0,
+                ev_index: 33,
+            })
+            .unwrap();
         match Context::from(w) {
             Context::Proc(p) => {
                 assert_eq!(p.env().get(), 1);
@@ -613,7 +683,10 @@ mod tests {
     #[test]
     fn ev_points_at_headers() {
         let image = tiny_image();
-        let hdr = image.proc_header_addr(ProcRef { module: 0, ev_index: 0 });
+        let hdr = image.proc_header_addr(ProcRef {
+            module: 0,
+            ev_index: 0,
+        });
         // EV is 2 bytes (one proc), so the header follows it.
         assert_eq!(hdr, image.modules[0].code_base.offset(2));
         // Header byte 0 is the fsi for a 4-word frame.

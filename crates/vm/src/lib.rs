@@ -51,6 +51,7 @@ mod ifu;
 mod image;
 mod listing;
 mod machine;
+mod predecode;
 
 pub use banks::{BankMachine, BankStats};
 pub use cache::{CacheStats, FrameCache};
@@ -64,3 +65,4 @@ pub use image::{
 };
 pub use listing::listing;
 pub use machine::{Machine, MachineStats, StepOutcome};
+pub use predecode::{DecodedOp, PredecodeCache, PredecodeStats};

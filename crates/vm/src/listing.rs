@@ -55,7 +55,17 @@ pub fn listing(image: &Image) -> Result<String, DecodeError> {
         );
         // Header offsets in layout order.
         let mut headers: Vec<(u16, u32)> = (0..module.nprocs)
-            .map(|p| (p, image.proc_header_addr(ProcRef { module: mi, ev_index: p }).0))
+            .map(|p| {
+                (
+                    p,
+                    image
+                        .proc_header_addr(ProcRef {
+                            module: mi,
+                            ev_index: p,
+                        })
+                        .0,
+                )
+            })
             .collect();
         headers.sort_by_key(|&(_, off)| off);
         for (i, &(p, hdr)) in headers.iter().enumerate() {
@@ -68,7 +78,11 @@ pub fn listing(image: &Image) -> Result<String, DecodeError> {
                 out,
                 "  {}#{p} at {hdr:#06x}: fsi={fsi} ({frame_words} words), {nargs} args{}",
                 module.name,
-                if addr_taken { ", takes local addresses" } else { "" },
+                if addr_taken {
+                    ", takes local addresses"
+                } else {
+                    ""
+                },
             );
             let start = at + layout::PROC_HEADER_BYTES as usize;
             let end = headers
@@ -99,14 +113,29 @@ mod tests {
             a.instr(Instr::Ret);
         });
         let main = b.module("main");
-        let lv = b.import(main, ProcRef { module: 0, ev_index: 0 });
-        b.proc_with(main, ProcSpec::new("main", 0, 0).with_addr_taken(), move |a| {
-            a.instr(Instr::LoadImm(5));
-            a.instr(Instr::ExternalCall(lv));
-            a.instr(Instr::Out);
-            a.instr(Instr::Halt);
-        });
-        let image = b.build(ProcRef { module: 1, ev_index: 0 }).unwrap();
+        let lv = b.import(
+            main,
+            ProcRef {
+                module: 0,
+                ev_index: 0,
+            },
+        );
+        b.proc_with(
+            main,
+            ProcSpec::new("main", 0, 0).with_addr_taken(),
+            move |a| {
+                a.instr(Instr::LoadImm(5));
+                a.instr(Instr::ExternalCall(lv));
+                a.instr(Instr::Out);
+                a.instr(Instr::Halt);
+            },
+        );
+        let image = b
+            .build(ProcRef {
+                module: 1,
+                ev_index: 0,
+            })
+            .unwrap();
         let text = listing(&image).unwrap();
         assert!(text.contains("module lib"), "{text}");
         assert!(text.contains("module main"), "{text}");
@@ -126,7 +155,12 @@ mod tests {
             a.instr(Instr::Out);
             a.instr(Instr::Halt);
         });
-        let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+        let image = b
+            .build(ProcRef {
+                module: 0,
+                ev_index: 0,
+            })
+            .unwrap();
         let text = listing(&image).unwrap();
         assert!(text.contains("LI 300"));
         assert!(text.contains("OUT"));

@@ -18,8 +18,6 @@
 //! references to allocate", "four levels of indirection" and "as fast
 //! as an unconditional jump" are measurements here, not claims.
 
-use std::collections::HashMap;
-
 use fpc_core::{layout, Context, ContextWord, FrameHandle, GftEntry, ProcDesc};
 use fpc_frames::{FrameError, FrameHeap, GeneralHeap, HeapStats};
 use fpc_isa::{decode, Instr};
@@ -32,6 +30,7 @@ use crate::cost::{TransferKind, TransferStats, CYCLE_BASE, CYCLE_MEMREF, CYCLE_R
 use crate::error::{TrapCode, VmError};
 use crate::ifu::{ReturnEntry, ReturnStack, ReturnStackStats};
 use crate::image::{self, Image, ProcRef, AV_BASE, GFT_BASE};
+use crate::predecode::{PredecodeCache, PredecodeStats};
 
 /// Whole-run statistics.
 #[derive(Debug, Default, Clone)]
@@ -74,6 +73,37 @@ struct FrameInfo {
     locals_words: u32,
     /// §7.4 flag from the procedure header.
     addr_taken: bool,
+}
+
+/// Bookkeeping for live frames, indexed directly by frame word address.
+///
+/// Frames live in the (bounded) simulated memory, so the table is a
+/// flat vector rather than a hash map: insert/remove sit on the
+/// call/return path, where hashing the key would cost more than the
+/// whole frame-allocation bookkeeping it guards. The vector grows
+/// lazily to the highest frame address actually used.
+#[derive(Debug, Default)]
+struct FrameTable {
+    slots: Vec<Option<FrameInfo>>,
+}
+
+impl FrameTable {
+    fn insert(&mut self, addr: u32, info: FrameInfo) {
+        let i = addr as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        self.slots[i] = Some(info);
+    }
+
+    fn remove(&mut self, addr: u32) -> Option<FrameInfo> {
+        self.slots.get_mut(addr as usize).and_then(Option::take)
+    }
+
+    #[inline]
+    fn get(&self, addr: u32) -> Option<&FrameInfo> {
+        self.slots.get(addr as usize).and_then(Option::as_ref)
+    }
 }
 
 #[derive(Debug)]
@@ -119,6 +149,7 @@ pub struct Machine {
     banks: Option<BankMachine>,
     defer_headers: bool,
     classes: fpc_frames::SizeClasses,
+    predecode: Option<PredecodeCache>,
 
     // Registers.
     lf: WordAddr,
@@ -128,7 +159,7 @@ pub struct Machine {
     return_ctx: ContextWord,
     stack: Vec<u16>,
 
-    frame_info: HashMap<u32, FrameInfo>,
+    frame_info: FrameTable,
     modules: Vec<LoadedModule>,
     processes: Vec<Process>,
     current_proc: usize,
@@ -174,8 +205,7 @@ impl Machine {
                 config.renaming()
             )));
         }
-        let (mem, code, placement) =
-            image::load(image, image::DEFAULT_MEMORY_WORDS)?;
+        let (mem, code, placement) = image::load(image, image::DEFAULT_MEMORY_WORDS)?;
         let mut mem = mem;
         let region = placement.frame_region.clone();
         let allocator = match config.alloc {
@@ -228,15 +258,20 @@ impl Machine {
             banks,
             defer_headers,
             classes: image.classes.clone(),
+            predecode: config.predecode.then(PredecodeCache::new),
             lf: WordAddr::NIL,
             gf: WordAddr::NIL,
             code_base: ByteAddr(0),
             pc: ByteAddr(0),
             return_ctx: ContextWord::NIL,
             stack: Vec::new(),
-            frame_info: HashMap::new(),
+            frame_info: FrameTable::default(),
             modules,
-            processes: vec![Process { ctx: ContextWord::NIL, saved_stack: Vec::new(), alive: true }],
+            processes: vec![Process {
+                ctx: ContextWord::NIL,
+                saved_stack: Vec::new(),
+                alive: true,
+            }],
             current_proc: 0,
             trap_handler: None,
             output: Vec::new(),
@@ -244,13 +279,68 @@ impl Machine {
             halted: false,
         };
         machine.start(image)?;
+        machine.refresh_predecode();
         Ok(machine)
+    }
+
+    /// Eagerly (re)translates every loaded procedure body into the
+    /// predecode cache, so steady-state dispatch never falls back to
+    /// the lazy byte decoder. Called after load and after every code
+    /// mutation; a no-op when predecoding is off or already coherent.
+    ///
+    /// Bodies are found by walking each module's entry vector —
+    /// exactly the data structure `replace_proc` redirects, so a
+    /// replaced procedure's fresh body is picked up and its old one is
+    /// dropped. Everything between a header's end and the next header
+    /// (or segment boundary) is treated as one straight-line run; runs
+    /// that stop decoding early are left to the lazy path.
+    fn refresh_predecode(&mut self) {
+        let Some(cache) = self.predecode.as_mut() else {
+            return;
+        };
+        // Stops: segment bases (entry vectors are data), every header,
+        // and the end of the store.
+        let mut headers: Vec<u32> = Vec::new();
+        for m in &self.modules {
+            for p in 0..m.nprocs {
+                let rel = self.code.peek_u16(layout::ev_slot(m.code_base, p));
+                headers.push(m.code_base.0 + rel as u32);
+            }
+        }
+        let mut stops: Vec<u32> = self.modules.iter().map(|m| m.code_base.0).collect();
+        stops.extend_from_slice(&headers);
+        stops.push(self.code.len());
+        stops.sort_unstable();
+        stops.dedup();
+        cache.sync(&self.code);
+        for &h in &headers {
+            let body = h + layout::PROC_HEADER_BYTES;
+            let end = stops
+                .iter()
+                .copied()
+                .find(|&s| s >= body)
+                .unwrap_or_else(|| self.code.len());
+            cache.translate_range(&self.code, body, end);
+        }
+    }
+
+    /// Predecode-cache statistics, when predecoding is enabled.
+    pub fn predecode_stats(&self) -> Option<PredecodeStats> {
+        self.predecode.as_ref().map(|p| {
+            let mut s = p.stats();
+            // One lookup per executed instruction; the cache leaves the
+            // hit counter to us so its hot path stays counter-free.
+            s.hits = self.stats.instructions.saturating_sub(s.lazy_decodes);
+            s
+        })
     }
 
     /// Performs the initial transfer to the entry procedure.
     fn start(&mut self, image: &Image) -> Result<(), VmError> {
         let desc = image.proc_desc(image.entry)?;
-        let Context::Proc(p) = Context::from(desc) else { unreachable!("validated") };
+        let Context::Proc(p) = Context::from(desc) else {
+            unreachable!("validated")
+        };
         let (header, dest_gf, dest_cb) = self.resolve_proc_desc(p)?;
         // The root has no caller: return link stays NIL (memory is
         // zeroed) and nothing is pushed on the return stack.
@@ -259,10 +349,19 @@ impl Machine {
         debug_assert_eq!(nargs, 0, "entry procedure takes no arguments");
         let frame = self.alloc_frame(fsi, addr_taken)?;
         if !self.defer_headers {
-            self.mem.write(frame.offset(layout::FRAME_GLOBAL), dest_gf.0 as u16);
+            self.mem
+                .write(frame.offset(layout::FRAME_GLOBAL), dest_gf.0 as u16);
         }
-        let locals = self.frame_info[&frame.0].locals_words;
-        let rename: Option<&[u16]> = if self.config.renaming() { Some(&[]) } else { None };
+        let locals = self
+            .frame_info
+            .get(frame.0)
+            .expect("just allocated")
+            .locals_words;
+        let rename: Option<&[u16]> = if self.config.renaming() {
+            Some(&[])
+        } else {
+            None
+        };
         if let Some(b) = self.banks.as_mut() {
             b.assign(&mut self.mem, frame, locals, rename, None);
         }
@@ -416,7 +515,8 @@ impl Machine {
         for p in 0..info.nprocs {
             let ev = self.code.peek_u16(layout::ev_slot(new_base, p));
             let hdr = new_base.offset(ev as u32);
-            self.code.poke(hdr.offset(layout::HDR_CODE_BASE), new_cb as u8);
+            self.code
+                .poke(hdr.offset(layout::HDR_CODE_BASE), new_cb as u8);
             self.code
                 .poke(hdr.offset(layout::HDR_CODE_BASE + 1), (new_cb >> 8) as u8);
         }
@@ -430,6 +530,10 @@ impl Machine {
             self.pc = new_base.offset(rel);
         }
         self.modules[module].code_base = new_base;
+        // The appends and pokes above bumped the store's version, so
+        // the predecode cache is already invalid; walk the relocated
+        // segment now rather than on first execution.
+        self.refresh_predecode();
         Ok(new_base)
     }
 
@@ -496,6 +600,9 @@ impl Machine {
         let slot = layout::ev_slot(info.code_base, ev_index);
         self.code.poke(slot, rel as u8);
         self.code.poke(slot.offset(1), (rel >> 8) as u8);
+        // Version bumped; retranslate so the new body (found through
+        // the redirected entry-vector slot) is predecoded up front.
+        self.refresh_predecode();
         Ok(hdr)
     }
 
@@ -512,7 +619,10 @@ impl Machine {
         let refs0 = self.refs_total();
         let divert0 = self.stats.divert_cycles;
         let instr_start = self.pc;
-        let (instr, len) = decode(self.code.bytes(), instr_start.0 as usize)?;
+        let (instr, len) = match self.predecode.as_mut() {
+            Some(cache) => cache.lookup(&self.code, instr_start.0)?,
+            None => decode(self.code.bytes(), instr_start.0 as usize)?,
+        };
         self.pc = instr_start.offset(len as u32);
         let flow = self.execute(instr, instr_start)?;
         let refs = self.refs_total() - refs0;
@@ -640,7 +750,9 @@ impl Machine {
     }
 
     fn alloc_frame(&mut self, fsi: u8, addr_taken: bool) -> Result<WordAddr, VmError> {
-        self.stats.frame_bytes.record(self.classes.size_of(fsi) as u64 * 2);
+        self.stats
+            .frame_bytes
+            .record(self.classes.size_of(fsi) as u64 * 2);
         let (frame, actual_fsi) = match &mut self.allocator {
             Allocator::General(g) => {
                 let words = self.classes.size_of(fsi);
@@ -654,14 +766,21 @@ impl Machine {
         // handed out: the extra words are never referenced, so loading
         // or flushing them would be pure waste.
         let locals_words = self.classes.size_of(fsi) - layout::FRAME_HEADER_WORDS;
-        self.frame_info.insert(frame.0, FrameInfo { actual_fsi, locals_words, addr_taken });
+        self.frame_info.insert(
+            frame.0,
+            FrameInfo {
+                actual_fsi,
+                locals_words,
+                addr_taken,
+            },
+        );
         Ok(frame)
     }
 
     fn free_frame(&mut self, frame: WordAddr) -> Result<(), VmError> {
         let info = self
             .frame_info
-            .remove(&frame.0)
+            .remove(frame.0)
             .ok_or(VmError::Frame(FrameError::InvalidFrame(frame)))?;
         if let Some(b) = self.banks.as_mut() {
             b.release(frame);
@@ -691,18 +810,23 @@ impl Machine {
             let link = ContextWord::from(Context::Frame(
                 FrameHandle::from_addr(e.frame).expect("stacked frames are valid"),
             ));
-            self.mem.write(cur.offset(layout::FRAME_RETURN_LINK), link.raw());
             self.mem
-                .write(e.frame.offset(layout::FRAME_PC), (e.pc.0 - e.code_base.0) as u16);
+                .write(cur.offset(layout::FRAME_RETURN_LINK), link.raw());
+            self.mem.write(
+                e.frame.offset(layout::FRAME_PC),
+                (e.pc.0 - e.code_base.0) as u16,
+            );
             if self.defer_headers {
-                self.mem.write(e.frame.offset(layout::FRAME_GLOBAL), e.gf.0 as u16);
+                self.mem
+                    .write(e.frame.offset(layout::FRAME_GLOBAL), e.gf.0 as u16);
             }
             cur = e.frame;
         }
         if self.defer_headers {
             // Materialise the current frame's header too: whoever
             // re-enters it later goes through storage.
-            self.mem.write(self.lf.offset(layout::FRAME_GLOBAL), self.gf.0 as u16);
+            self.mem
+                .write(self.lf.offset(layout::FRAME_GLOBAL), self.gf.0 as u16);
         }
     }
 
@@ -720,7 +844,7 @@ impl Machine {
         if let Some(b) = self.banks.as_mut() {
             let locals = self
                 .frame_info
-                .get(&frame.0)
+                .get(frame.0)
                 .map(|i| i.locals_words)
                 .unwrap_or(0);
             b.activate(&mut self.mem, frame, locals, None);
@@ -748,7 +872,7 @@ impl Machine {
         }
         // §7.4 flush-on-exit: leaving a flagged context writes its bank
         // back so storage references from elsewhere see current data.
-        if let (Some(b), Some(info)) = (self.banks.as_mut(), self.frame_info.get(&self.lf.0)) {
+        if let (Some(b), Some(info)) = (self.banks.as_mut(), self.frame_info.get(self.lf.0)) {
             if info.addr_taken
                 && matches!(
                     self.config.banks.map(|c| c.ptr_policy),
@@ -776,32 +900,49 @@ impl Machine {
                 let link = ContextWord::from(Context::Frame(
                     FrameHandle::from_addr(ev.frame).expect("valid frame"),
                 ));
-                self.mem.write(callee.offset(layout::FRAME_RETURN_LINK), link.raw());
                 self.mem
-                    .write(ev.frame.offset(layout::FRAME_PC), (ev.pc.0 - ev.code_base.0) as u16);
+                    .write(callee.offset(layout::FRAME_RETURN_LINK), link.raw());
+                self.mem.write(
+                    ev.frame.offset(layout::FRAME_PC),
+                    (ev.pc.0 - ev.code_base.0) as u16,
+                );
                 if self.defer_headers {
-                    self.mem.write(ev.frame.offset(layout::FRAME_GLOBAL), ev.gf.0 as u16);
+                    self.mem
+                        .write(ev.frame.offset(layout::FRAME_GLOBAL), ev.gf.0 as u16);
                 }
             }
             if !self.defer_headers {
-                self.mem.write(frame.offset(layout::FRAME_GLOBAL), dest_gf.0 as u16);
+                self.mem
+                    .write(frame.offset(layout::FRAME_GLOBAL), dest_gf.0 as u16);
             }
         } else {
             // General scheme: suspend the caller and link the callee.
             let rel = self.rel_pc(self.pc);
             self.mem.write(self.lf.offset(layout::FRAME_PC), rel);
-            self.mem.write(frame.offset(layout::FRAME_RETURN_LINK), caller_ctx.raw());
-            self.mem.write(frame.offset(layout::FRAME_GLOBAL), dest_gf.0 as u16);
+            self.mem
+                .write(frame.offset(layout::FRAME_RETURN_LINK), caller_ctx.raw());
+            self.mem
+                .write(frame.offset(layout::FRAME_GLOBAL), dest_gf.0 as u16);
         }
 
         if let Some(b) = self.banks.as_mut() {
-            let locals = self.frame_info[&frame.0].locals_words;
+            let locals = self
+                .frame_info
+                .get(frame.0)
+                .expect("just allocated")
+                .locals_words;
             if self.config.renaming() {
                 // §7.2: the stack bank becomes the callee's local bank;
                 // arguments appear in place.
                 let at = self.stack.len().saturating_sub(nargs as usize);
-                let args: Vec<u16> = self.stack.split_off(at);
-                b.assign(&mut self.mem, frame, locals, Some(&args), Some(self.lf));
+                b.assign(
+                    &mut self.mem,
+                    frame,
+                    locals,
+                    Some(&self.stack[at..]),
+                    Some(self.lf),
+                );
+                self.stack.truncate(at);
             } else {
                 b.assign(&mut self.mem, frame, locals, None, Some(self.lf));
             }
@@ -829,7 +970,7 @@ impl Machine {
             if let Some(b) = self.banks.as_mut() {
                 let locals = self
                     .frame_info
-                    .get(&entry.frame.0)
+                    .get(entry.frame.0)
                     .map(|i| i.locals_words)
                     .unwrap_or(0);
                 b.activate(&mut self.mem, entry.frame, locals, None);
@@ -837,9 +978,8 @@ impl Machine {
             return Ok(Flow::Taken(Some(TransferKind::Return)));
         }
         // General scheme.
-        let link = ContextWord::from_raw(
-            self.mem.read(returning.offset(layout::FRAME_RETURN_LINK)),
-        );
+        let link =
+            ContextWord::from_raw(self.mem.read(returning.offset(layout::FRAME_RETURN_LINK)));
         self.free_frame(returning)?;
         self.return_ctx = ContextWord::NIL;
         match Context::from(link) {
@@ -911,9 +1051,12 @@ impl Machine {
         let frame = self.alloc_frame(fsi, addr_taken)?;
         let entry_rel = (header.0 + layout::PROC_HEADER_BYTES - dest_cb.0) as u16;
         self.mem.write(frame.offset(layout::FRAME_PC), entry_rel);
-        self.mem.write(frame.offset(layout::FRAME_GLOBAL), dest_gf.0 as u16);
         self.mem
-            .write(frame.offset(layout::FRAME_RETURN_LINK), ContextWord::NIL.raw());
+            .write(frame.offset(layout::FRAME_GLOBAL), dest_gf.0 as u16);
+        self.mem.write(
+            frame.offset(layout::FRAME_RETURN_LINK),
+            ContextWord::NIL.raw(),
+        );
         Ok(ContextWord::from(Context::Frame(
             FrameHandle::from_addr(frame).expect("frames are aligned"),
         )))
@@ -1099,7 +1242,9 @@ impl Machine {
             Instr::LocalCall(k) => {
                 // Same module: same environment and code base, one
                 // level of indirection (the entry vector).
-                let rel = self.code.read_table(layout::ev_slot(self.code_base, k as u16));
+                let rel = self
+                    .code
+                    .read_table(layout::ev_slot(self.code_base, k as u16));
                 let header = self.code_base.offset(rel as u32);
                 return self.perform_call(
                     header,
@@ -1147,12 +1292,11 @@ impl Machine {
                 // Long argument records come from the same allocator as
                 // frames (§5.3) and are tracked like frames: exactly
                 // one reference, freed by the receiver.
-                let fsi = self
-                    .classes
-                    .fsi_for(words as u32)
-                    .ok_or(VmError::Frame(FrameError::OversizeRequest {
+                let fsi = self.classes.fsi_for(words as u32).ok_or(VmError::Frame(
+                    FrameError::OversizeRequest {
                         words: words as u32,
-                    }))?;
+                    },
+                ))?;
                 let rec = self.alloc_frame(fsi, false)?;
                 self.push(rec.0 as u16)?;
             }
@@ -1186,7 +1330,11 @@ impl Machine {
             Instr::Spawn => {
                 let w = ContextWord::from_raw(self.pop()?);
                 let ctx = self.create_context(w)?;
-                self.processes.push(Process { ctx, saved_stack: Vec::new(), alive: true });
+                self.processes.push(Process {
+                    ctx,
+                    saved_stack: Vec::new(),
+                    alive: true,
+                });
                 let idx = (self.processes.len() - 1) as u16;
                 self.push(idx)?;
             }
@@ -1244,7 +1392,7 @@ mod tests {
             a.instr(Instr::Sub);
             a.instr(Instr::Exch); // keep first result below the arg
             a.instr(Instr::Exch); // (net no-op; exercise stack ops)
-            // Spill the pending result before the second call.
+                                  // Spill the pending result before the second call.
             a.instr(Instr::Exch);
             a.instr(Instr::StoreLocal(0)); // reuse local 0 as temp
             call(a); // fib(n-2)
@@ -1259,7 +1407,11 @@ mod tests {
             a.instr(Instr::Out);
             a.instr(Instr::Halt);
         });
-        b.build(ProcRef { module: 0, ev_index: 1 }).unwrap()
+        b.build(ProcRef {
+            module: 0,
+            ev_index: 1,
+        })
+        .unwrap()
     }
 
     fn fib_local_calls() -> Image {
@@ -1317,7 +1469,12 @@ mod tests {
             a.instr(Instr::Out);
             a.instr(Instr::Halt);
         });
-        let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        let image = b
+            .build(ProcRef {
+                module: 0,
+                ev_index: 1,
+            })
+            .unwrap();
         let m = run_image(&image, MachineConfig::i4());
         assert_eq!(m.output(), &[55]);
         let bs = m.bank_stats().unwrap();
@@ -1345,14 +1502,25 @@ mod tests {
             a.instr(Instr::Ret);
         });
         let main = b.module("main");
-        let lv = b.import(main, ProcRef { module: 0, ev_index: 0 });
+        let lv = b.import(
+            main,
+            ProcRef {
+                module: 0,
+                ev_index: 0,
+            },
+        );
         b.proc_with(main, ProcSpec::new("main", 0, 0), move |a| {
             a.instr(Instr::LoadImm(41));
             a.instr(Instr::ExternalCall(lv));
             a.instr(Instr::Out);
             a.instr(Instr::Halt);
         });
-        let image = b.build(ProcRef { module: 1, ev_index: 0 }).unwrap();
+        let image = b
+            .build(ProcRef {
+                module: 1,
+                ev_index: 0,
+            })
+            .unwrap();
         let m = run_image(&image, MachineConfig::i2());
         assert_eq!(m.output(), &[42]);
         // The external call made exactly 4 table references for the PC:
@@ -1369,12 +1537,23 @@ mod tests {
             a.instr(Instr::Ret);
         });
         let main = b.module("main");
-        let lv = b.import(main, ProcRef { module: 0, ev_index: 0 });
+        let lv = b.import(
+            main,
+            ProcRef {
+                module: 0,
+                ev_index: 0,
+            },
+        );
         b.proc_with(main, ProcSpec::new("main", 0, 0), move |a| {
             a.instr(Instr::ExternalCall(lv));
             a.instr(Instr::Halt);
         });
-        let image = b.build(ProcRef { module: 1, ev_index: 0 }).unwrap();
+        let image = b
+            .build(ProcRef {
+                module: 1,
+                ev_index: 0,
+            })
+            .unwrap();
         let mut m = Machine::load(&image, MachineConfig::i2()).unwrap();
         m.run(10).unwrap();
         let call = &m.stats().transfers.calls;
@@ -1396,10 +1575,21 @@ mod tests {
             a.instr(Instr::DirectCall(0)); // patched below
             a.instr(Instr::Halt);
         });
-        let mut image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        let mut image = b
+            .build(ProcRef {
+                module: 0,
+                ev_index: 1,
+            })
+            .unwrap();
         // Patch the DFC operand to f's header address.
-        let target = image.proc_header_addr(ProcRef { module: 0, ev_index: 0 });
-        let main_hdr = image.proc_header_addr(ProcRef { module: 0, ev_index: 1 });
+        let target = image.proc_header_addr(ProcRef {
+            module: 0,
+            ev_index: 0,
+        });
+        let main_hdr = image.proc_header_addr(ProcRef {
+            module: 0,
+            ev_index: 1,
+        });
         let site = main_hdr.0 as usize + layout::PROC_HEADER_BYTES as usize;
         assert_eq!(image.code[site], fpc_isa::opcode::DFC);
         image.code[site + 1] = target.0 as u8;
@@ -1416,8 +1606,14 @@ mod tests {
 
     /// Patches the first `DFC 0` site in `proc_ev` to call `target_ev`.
     fn patch_direct_call(image: &mut Image, proc_ev: u16, target_ev: u16) {
-        let target = image.proc_header_addr(ProcRef { module: 0, ev_index: target_ev });
-        let hdr = image.proc_header_addr(ProcRef { module: 0, ev_index: proc_ev });
+        let target = image.proc_header_addr(ProcRef {
+            module: 0,
+            ev_index: target_ev,
+        });
+        let hdr = image.proc_header_addr(ProcRef {
+            module: 0,
+            ev_index: proc_ev,
+        });
         let mut at = hdr.0 as usize + layout::PROC_HEADER_BYTES as usize;
         while image.code[at] != fpc_isa::opcode::DFC {
             let (_, len) = decode(&image.code, at).unwrap();
@@ -1455,7 +1651,12 @@ mod tests {
             a.jump_not_zero(top);
             a.instr(Instr::Halt);
         });
-        let mut image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        let mut image = b
+            .build(ProcRef {
+                module: 0,
+                ev_index: 1,
+            })
+            .unwrap();
         patch_direct_call(&mut image, 1, 0);
         let m = run_image(&image, MachineConfig::i4());
         let frac = m.stats().transfers.fast_call_return_fraction();
@@ -1514,7 +1715,12 @@ mod tests {
             a.instr(Instr::Out);
             a.instr(Instr::Halt);
         });
-        let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        let image = b
+            .build(ProcRef {
+                module: 0,
+                ev_index: 1,
+            })
+            .unwrap();
         for cfg in [MachineConfig::i2(), MachineConfig::i3()] {
             let m = run_image(&image, cfg);
             assert_eq!(m.output(), &[10, 20]);
@@ -1547,7 +1753,12 @@ mod tests {
             a.instr(Instr::Out);
             a.instr(Instr::Ret);
         });
-        let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        let image = b
+            .build(ProcRef {
+                module: 0,
+                ev_index: 1,
+            })
+            .unwrap();
         let m = run_image(&image, MachineConfig::i3());
         assert_eq!(m.output(), &[1, 100, 2, 101]);
         assert!(m.stats().transfers.switches.count >= 2);
@@ -1563,7 +1774,12 @@ mod tests {
             a.instr(Instr::Div);
             a.instr(Instr::Halt);
         });
-        let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+        let image = b
+            .build(ProcRef {
+                module: 0,
+                ev_index: 0,
+            })
+            .unwrap();
         let mut m = Machine::load(&image, MachineConfig::i2()).unwrap();
         assert_eq!(
             m.run(10).unwrap_err(),
@@ -1589,9 +1805,22 @@ mod tests {
             a.instr(Instr::Out);
             a.instr(Instr::Halt);
         });
-        let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        let image = b
+            .build(ProcRef {
+                module: 0,
+                ev_index: 1,
+            })
+            .unwrap();
         let mut machine = Machine::load(&image, MachineConfig::i3()).unwrap();
-        machine.set_trap_handler(&image, ProcRef { module: 0, ev_index: 0 }).unwrap();
+        machine
+            .set_trap_handler(
+                &image,
+                ProcRef {
+                    module: 0,
+                    ev_index: 0,
+                },
+            )
+            .unwrap();
         machine.run(100).unwrap();
         assert_eq!(machine.output(), &[9, 5]);
         assert_eq!(machine.stats().transfers.traps.count, 1);
@@ -1609,7 +1838,12 @@ mod tests {
             a.instr(Instr::LocalCall(0));
             a.instr(Instr::Halt);
         });
-        let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+        let image = b
+            .build(ProcRef {
+                module: 0,
+                ev_index: 1,
+            })
+            .unwrap();
         let mut m = Machine::load(&image, MachineConfig::i2()).unwrap();
         assert!(matches!(
             m.run(10).unwrap_err(),
@@ -1630,7 +1864,11 @@ mod tests {
                 a.instr(Instr::Out);
                 a.instr(Instr::Halt);
             });
-            b.build(ProcRef { module: 0, ev_index: 0 }).unwrap()
+            b.build(ProcRef {
+                module: 0,
+                ev_index: 0,
+            })
+            .unwrap()
         };
         let image = build();
         // Divert: works, counts a diversion.
@@ -1649,7 +1887,10 @@ mod tests {
             ..crate::config::BankConfig::paper_default()
         }));
         let mut machine = Machine::load(&image, cfg).unwrap();
-        assert_eq!(machine.run(100).unwrap_err(), VmError::PointerToLocalOutlawed);
+        assert_eq!(
+            machine.run(100).unwrap_err(),
+            VmError::PointerToLocalOutlawed
+        );
         // No banks at all: plain storage access.
         let m = run_image(&image, MachineConfig::i2());
         assert_eq!(m.output(), &[31]);
@@ -1685,7 +1926,12 @@ mod tests {
             a.instr(Instr::Out);
             a.instr(Instr::Halt);
         });
-        let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+        let image = b
+            .build(ProcRef {
+                module: 0,
+                ev_index: 0,
+            })
+            .unwrap();
         let m = run_image(&image, MachineConfig::i2());
         assert_eq!(m.output(), &[5]);
     }
@@ -1710,8 +1956,17 @@ mod tests {
             a.instr(Instr::Out);
             a.instr(Instr::Halt);
         });
-        let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
-        for cfg in [MachineConfig::i1(), MachineConfig::i2(), MachineConfig::i3()] {
+        let image = b
+            .build(ProcRef {
+                module: 0,
+                ev_index: 0,
+            })
+            .unwrap();
+        for cfg in [
+            MachineConfig::i1(),
+            MachineConfig::i2(),
+            MachineConfig::i3(),
+        ] {
             let m = run_image(&image, cfg);
             assert_eq!(m.output(), &[7], "config {cfg:?}");
         }
@@ -1727,7 +1982,12 @@ mod tests {
             a.bind(l);
             a.instr(Instr::Halt);
         });
-        let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+        let image = b
+            .build(ProcRef {
+                module: 0,
+                ev_index: 0,
+            })
+            .unwrap();
         let mut m = Machine::load(&image, MachineConfig::i2()).unwrap();
         m.run(10).unwrap();
         // jump (2 cycles) + halt (1 cycle)

@@ -3,8 +3,8 @@
 
 use fpc_isa::Instr;
 use fpc_vm::{
-    BankConfig, Image, ImageBuilder, Machine, MachineConfig, ProcRef, ProcSpec,
-    PtrLocalPolicy, TrapCode, VmError,
+    BankConfig, Image, ImageBuilder, Machine, MachineConfig, ProcRef, ProcSpec, PtrLocalPolicy,
+    TrapCode, VmError,
 };
 
 fn load_and_run(image: &Image, config: MachineConfig, fuel: u64) -> Result<Machine, VmError> {
@@ -26,7 +26,12 @@ fn freeing_the_current_frame_is_rejected() {
         a.instr(Instr::FreeContext);
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .unwrap();
     let machine = load_and_run(&image, MachineConfig::i2(), 100).unwrap();
     assert!(machine.halted());
 }
@@ -40,7 +45,12 @@ fn freeing_a_non_context_word_is_rejected() {
         a.instr(Instr::FreeContext);
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .unwrap();
     let err = load_and_run(&image, MachineConfig::i2(), 100).unwrap_err();
     assert!(matches!(err, VmError::InvalidContext(_)));
 }
@@ -55,7 +65,12 @@ fn newctx_of_a_frame_word_is_rejected() {
         a.instr(Instr::NewContext); // NEWCTX of a frame: invalid
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .unwrap();
     let err = load_and_run(&image, MachineConfig::i2(), 100).unwrap_err();
     assert!(matches!(err, VmError::InvalidContext(_)));
 }
@@ -70,7 +85,12 @@ fn pswitch_with_a_single_process_is_a_noop() {
         a.instr(Instr::Out);
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .unwrap();
     let machine = load_and_run(&image, MachineConfig::i3(), 100).unwrap();
     assert_eq!(machine.output(), &[9]);
     assert_eq!(machine.stats().transfers.switches.count, 0);
@@ -104,7 +124,12 @@ fn many_processes_round_robin_fairly() {
         a.instr(Instr::Out);
         a.instr(Instr::Ret);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 1,
+        })
+        .unwrap();
     let machine = load_and_run(&image, MachineConfig::i3(), 10_000).unwrap();
     assert_eq!(
         machine.output(),
@@ -130,7 +155,12 @@ fn locals_beyond_the_bank_shadow_live_in_memory() {
         a.instr(Instr::Out);
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .unwrap();
     let cfg = MachineConfig::i3().with_banks(Some(BankConfig {
         banks: 4,
         words: 16,
@@ -166,7 +196,12 @@ fn partially_shadowed_array_reads_divert_per_word() {
         }
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .unwrap();
     let cfg = MachineConfig::i3().with_banks(Some(BankConfig {
         banks: 4,
         words: 16,
@@ -199,10 +234,21 @@ fn trap_inside_trap_handler_reports_cleanly() {
         a.instr(Instr::Div);
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 1,
+        })
+        .unwrap();
     let mut machine = Machine::load(&image, MachineConfig::i2()).unwrap();
     machine
-        .set_trap_handler(&image, ProcRef { module: 0, ev_index: 0 })
+        .set_trap_handler(
+            &image,
+            ProcRef {
+                module: 0,
+                ev_index: 0,
+            },
+        )
         .unwrap();
     let err = machine.run(1_000_000).unwrap_err();
     assert!(
@@ -236,7 +282,12 @@ fn coroutine_transfers_work_under_full_acceleration() {
         a.instr(Instr::Out);
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 1,
+        })
+        .unwrap();
     let machine = load_and_run(&image, MachineConfig::i4(), 1000).unwrap();
     assert_eq!(machine.output(), &[10]);
     let bstats = machine.bank_stats().unwrap();
@@ -284,13 +335,21 @@ fn return_stack_flush_chain_restores_memory_links() {
         a.instr(Instr::Out);
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 2 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 2,
+        })
+        .unwrap();
     let machine = load_and_run(&image, MachineConfig::i3(), 10_000).unwrap();
     assert_eq!(machine.output(), &[1]);
     let rs = machine.return_stack_stats();
     assert!(rs.flushes >= 1, "the XF flushed the stack: {rs:?}");
     // The deep returns after the flush went through memory (misses).
-    assert!(rs.misses >= 4, "returns fell back to the general scheme: {rs:?}");
+    assert!(
+        rs.misses >= 4,
+        "returns fell back to the general scheme: {rs:?}"
+    );
 }
 
 #[test]
@@ -311,7 +370,12 @@ fn xfer_into_a_coroutine_carries_the_stack_as_argument_record() {
         a.instr(Instr::Xfer);
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 1,
+        })
+        .unwrap();
     let machine = load_and_run(&image, MachineConfig::i2(), 100).unwrap();
     assert_eq!(machine.output(), &[77]);
 }
@@ -353,7 +417,12 @@ fn code_relocation_mid_run_is_invisible_to_the_program() {
         }
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 1,
+        })
+        .unwrap();
 
     // Reference run, no relocation.
     let mut reference = Machine::load(&image, MachineConfig::i3()).unwrap();
@@ -377,7 +446,10 @@ fn code_relocation_mid_run_is_invisible_to_the_program() {
         }
         assert!(steps < 1_000_000, "runaway");
     }
-    assert!(moves >= 3, "the run was long enough to move the code: {moves}");
+    assert!(
+        moves >= 3,
+        "the run was long enough to move the code: {moves}"
+    );
     assert_eq!(machine.output(), want.as_slice());
 }
 
@@ -388,7 +460,12 @@ fn relocating_an_unknown_module_errors() {
     b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .unwrap();
     let mut machine = Machine::load(&image, MachineConfig::i2()).unwrap();
     assert!(matches!(
         machine.relocate_module(3),
@@ -420,7 +497,12 @@ fn procedures_can_be_replaced_at_run_time() {
         }
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 1 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 1,
+        })
+        .unwrap();
     let mut machine = Machine::load(&image, MachineConfig::i2()).unwrap();
     // Run until two outputs have appeared, then swap in v2 (a larger
     // body returning x * 3).
@@ -449,10 +531,19 @@ fn replacement_of_unknown_entries_errors() {
     b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 0, ev_index: 0 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .unwrap();
     let mut machine = Machine::load(&image, MachineConfig::i2()).unwrap();
-    assert!(machine.replace_proc(0, 5, 0, 0, |a| a.instr(Instr::Ret)).is_err());
-    assert!(machine.replace_proc(9, 0, 0, 0, |a| a.instr(Instr::Ret)).is_err());
+    assert!(machine
+        .replace_proc(0, 5, 0, 0, |a| a.instr(Instr::Ret))
+        .is_err());
+    assert!(machine
+        .replace_proc(9, 0, 0, 0, |a| a.instr(Instr::Ret))
+        .is_err());
 }
 
 #[test]
@@ -473,8 +564,20 @@ fn module_instances_share_code_but_not_globals() {
     });
     let counter2 = b.instantiate(counter, "counter2");
     let main = b.module("main");
-    let lv_a = b.import(main, ProcRef { module: counter.index(), ev_index: 0 });
-    let lv_b = b.import(main, ProcRef { module: counter2.index(), ev_index: 0 });
+    let lv_a = b.import(
+        main,
+        ProcRef {
+            module: counter.index(),
+            ev_index: 0,
+        },
+    );
+    let lv_b = b.import(
+        main,
+        ProcRef {
+            module: counter2.index(),
+            ev_index: 0,
+        },
+    );
     b.proc_with(main, ProcSpec::new("main", 0, 0), move |a| {
         a.instr(Instr::ExternalCall(lv_a)); // counter  -> 1
         a.instr(Instr::Out);
@@ -486,11 +589,20 @@ fn module_instances_share_code_but_not_globals() {
         a.instr(Instr::Out);
         a.instr(Instr::Halt);
     });
-    let image = b.build(ProcRef { module: 2, ev_index: 0 }).unwrap();
+    let image = b
+        .build(ProcRef {
+            module: 2,
+            ev_index: 0,
+        })
+        .unwrap();
     // One code segment: the instance reports the owner's base.
     assert_eq!(image.modules[1].code_base, image.modules[0].code_base);
     assert_eq!(image.modules[1].code_of, Some(0));
-    for config in [MachineConfig::i1(), MachineConfig::i2(), MachineConfig::i3()] {
+    for config in [
+        MachineConfig::i1(),
+        MachineConfig::i2(),
+        MachineConfig::i3(),
+    ] {
         let machine = load_and_run(&image, config, 1000).unwrap();
         assert_eq!(machine.output(), &[1, 2, 1, 3], "config {config:?}");
     }
@@ -521,10 +633,21 @@ fn direct_calls_bind_the_owning_instance_only() {
         }
         a.instr(Instr::Halt);
     });
-    let mut image = b.build(ProcRef { module: 2, ev_index: 0 }).unwrap();
+    let mut image = b
+        .build(ProcRef {
+            module: 2,
+            ev_index: 0,
+        })
+        .unwrap();
     // Patch all three DFC sites to the shared bump header.
-    let target = image.proc_header_addr(ProcRef { module: 0, ev_index: 0 });
-    let main_hdr = image.proc_header_addr(ProcRef { module: 2, ev_index: 0 });
+    let target = image.proc_header_addr(ProcRef {
+        module: 0,
+        ev_index: 0,
+    });
+    let main_hdr = image.proc_header_addr(ProcRef {
+        module: 2,
+        ev_index: 0,
+    });
     let mut at = main_hdr.0 as usize + 6;
     for _ in 0..3 {
         while image.code[at] != fpc_isa::opcode::DFC {

@@ -29,7 +29,7 @@
 pub mod programs;
 pub mod traces;
 
-use fpc_compiler::{compile, Compiled, CompileError, Options};
+use fpc_compiler::{compile, CompileError, Compiled, Options};
 use fpc_vm::{Machine, MachineConfig, VmError};
 
 /// Broad behaviour class, used by experiments to slice results.
@@ -94,8 +94,7 @@ pub fn run_workload(
     mut options: Options,
 ) -> Result<Machine, VmError> {
     options.bank_args = config.renaming();
-    let compiled =
-        compile_workload(w, options).map_err(|e| VmError::BadImage(e.to_string()))?;
+    let compiled = compile_workload(w, options).map_err(|e| VmError::BadImage(e.to_string()))?;
     let mut m = Machine::load(&compiled.image, config)?;
     m.run(w.fuel)?;
     Ok(m)
@@ -157,7 +156,10 @@ mod tests {
                 // in fpc-compiler's tests.
                 continue;
             }
-            let options = Options { linkage: Linkage::Direct, ..Default::default() };
+            let options = Options {
+                linkage: Linkage::Direct,
+                ..Default::default()
+            };
             let m = run_workload(&w, MachineConfig::i3(), options)
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert_eq!(m.output(), w.expected.as_slice(), "workload {}", w.name);

@@ -761,8 +761,7 @@ mod tests {
 
     #[test]
     fn kinds_cover_the_space() {
-        let kinds: std::collections::HashSet<_> =
-            all().into_iter().map(|w| w.kind).collect();
+        let kinds: std::collections::HashSet<_> = all().into_iter().map(|w| w.kind).collect();
         assert!(kinds.contains(&Kind::CallHeavy));
         assert!(kinds.contains(&Kind::Iterative));
         assert!(kinds.contains(&Kind::Coroutine));

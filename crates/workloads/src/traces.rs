@@ -8,8 +8,7 @@
 //! long ones with controlled depth behaviour, so experiments E5 and E6
 //! can sweep stack depth and bank count precisely.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fpc_rng::Rng;
 
 use fpc_core::layout;
 use fpc_mem::{ByteAddr, Memory, WordAddr};
@@ -67,21 +66,21 @@ impl Default for TraceParams {
 /// Samples a frame's locals size in words, matching the paper's
 /// distribution: "95% of all frames allocated are smaller than 80
 /// bytes" (40 words), with a tail of larger frames.
-pub fn sample_frame_words(rng: &mut StdRng) -> u32 {
+pub fn sample_frame_words(rng: &mut Rng) -> u32 {
     if rng.gen_bool(0.95) {
         // Small frames: 2..=36 locals words, biased low.
-        let r: f64 = rng.gen();
+        let r = rng.next_f64();
         2 + (r * r * 34.0) as u32
     } else {
         // Large frames: 40..=500 words.
-        rng.gen_range(40..=500)
+        rng.gen_range_u32(40, 500)
     }
 }
 
 /// Generates a seeded trace. Depth starts at 1 (the root frame) and
 /// never returns past it.
 pub fn generate(params: TraceParams) -> Vec<TraceEvent> {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let mut out = Vec::with_capacity(params.len);
     let mut depth = 1u32;
     for _ in 0..params.len {
@@ -97,7 +96,9 @@ pub fn generate(params: TraceParams) -> Vec<TraceEvent> {
             rng.gen_bool(params.call_bias)
         };
         if call {
-            out.push(TraceEvent::Call { frame_words: sample_frame_words(&mut rng) });
+            out.push(TraceEvent::Call {
+                frame_words: sample_frame_words(&mut rng),
+            });
             depth += 1;
         } else {
             out.push(TraceEvent::Return);
@@ -125,7 +126,10 @@ pub fn tree_trace(height: u32, frame_words: u32) -> Vec<TraceEvent> {
         }
         out.push(TraceEvent::Return);
     }
-    assert!(height <= 20, "tree trace of height {height} would be enormous");
+    assert!(
+        height <= 20,
+        "tree trace of height {height} would be enormous"
+    );
     rec(height, frame_words, &mut out);
     out
 }
@@ -139,7 +143,7 @@ pub fn tree_trace(height: u32, frame_words: u32) -> Vec<TraceEvent> {
 /// 4 banks" holds; uniform deep recursion ([`tree_trace`]) is harder
 /// on the banks (≈ 2·2^−(w−1) slow events for w banks).
 pub fn leafy_trace(params: TraceParams, leaf_fraction: f64) -> Vec<TraceEvent> {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = Rng::seed_from_u64(params.seed);
     let mut out = Vec::with_capacity(params.len);
     let mut depth = 1u32;
     while out.len() < params.len {
@@ -157,7 +161,9 @@ pub fn leafy_trace(params: TraceParams, leaf_fraction: f64) -> Vec<TraceEvent> {
             rng.gen_bool(params.call_bias)
         };
         if call {
-            out.push(TraceEvent::Call { frame_words: sample_frame_words(&mut rng) });
+            out.push(TraceEvent::Call {
+                frame_words: sample_frame_words(&mut rng),
+            });
             depth += 1;
         } else {
             out.push(TraceEvent::Return);
@@ -226,7 +232,10 @@ pub fn drive_banks(trace: &[TraceEvent], banks: usize, bank_words: u32) -> BankD
             }
         }
     }
-    BankDrive { xfers, stats: bm.stats() }
+    BankDrive {
+        xfers,
+        stats: bm.stats(),
+    }
 }
 
 /// Replays a trace against a [`ReturnStack`] (experiment E5).
@@ -264,7 +273,10 @@ mod tests {
 
     #[test]
     fn traces_are_reproducible() {
-        let p = TraceParams { len: 1000, ..Default::default() };
+        let p = TraceParams {
+            len: 1000,
+            ..Default::default()
+        };
         assert_eq!(generate(p), generate(p));
         let other = TraceParams { seed: 99, ..p };
         assert_ne!(generate(p), generate(other));
@@ -272,7 +284,11 @@ mod tests {
 
     #[test]
     fn depth_never_underflows() {
-        let p = TraceParams { len: 10_000, call_bias: 0.2, ..Default::default() };
+        let p = TraceParams {
+            len: 10_000,
+            call_bias: 0.2,
+            ..Default::default()
+        };
         let mut depth = 1i64;
         for ev in generate(p) {
             match ev {
@@ -286,7 +302,7 @@ mod tests {
 
     #[test]
     fn frame_sizes_match_the_claimed_distribution() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut small = 0u32;
         let n = 100_000;
         for _ in 0..n {
@@ -305,7 +321,10 @@ mod tests {
         // A symmetric random walk wanders in depth far more than real
         // programs, so its slow rate with 4 banks exceeds the paper's
         // <5% — that is the point of keeping both models.
-        let trace = generate(TraceParams { len: 50_000, ..Default::default() });
+        let trace = generate(TraceParams {
+            len: 50_000,
+            ..Default::default()
+        });
         let drive = drive_banks(&trace, 4, 16);
         assert!(drive.xfers > 40_000);
         assert!(
@@ -332,7 +351,10 @@ mod tests {
         // The flat, leaf-dominated profile of typical system code:
         // the paper's "<5% of XFERs with 4 banks".
         let trace = leafy_trace(
-            TraceParams { len: 50_000, ..Default::default() },
+            TraceParams {
+                len: 50_000,
+                ..Default::default()
+            },
             0.8,
         );
         let r4 = drive_banks(&trace, 4, 16).slow_rate();
@@ -343,7 +365,10 @@ mod tests {
 
     #[test]
     fn more_banks_lower_the_rate() {
-        let trace = generate(TraceParams { len: 50_000, ..Default::default() });
+        let trace = generate(TraceParams {
+            len: 50_000,
+            ..Default::default()
+        });
         let r2 = drive_banks(&trace, 2, 16).slow_rate();
         let r8 = drive_banks(&trace, 8, 16).slow_rate();
         assert!(r8 < r2, "8 banks {r8} should beat 2 banks {r2}");
@@ -351,11 +376,18 @@ mod tests {
 
     #[test]
     fn return_stack_hit_rate_grows_with_depth() {
-        let trace = generate(TraceParams { len: 50_000, ..Default::default() });
+        let trace = generate(TraceParams {
+            len: 50_000,
+            ..Default::default()
+        });
         let s2 = drive_return_stack(&trace, 2);
         let s16 = drive_return_stack(&trace, 16);
         assert!(s16.hit_rate() >= s2.hit_rate());
-        assert!(s16.hit_rate() > 0.8, "deep stack hit rate {}", s16.hit_rate());
+        assert!(
+            s16.hit_rate() > 0.8,
+            "deep stack hit rate {}",
+            s16.hit_rate()
+        );
     }
 
     #[test]

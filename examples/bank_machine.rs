@@ -33,11 +33,26 @@ fn main() {
     let mut mem = Memory::new(0x4000);
     let mut bm = BankMachine::new(4, 16);
 
-    let x = Frame { name: "X", addr: WordAddr(0x100) };
-    let a = Frame { name: "A", addr: WordAddr(0x140) };
-    let b = Frame { name: "B", addr: WordAddr(0x180) };
-    let c = Frame { name: "C", addr: WordAddr(0x1C0) };
-    let d = Frame { name: "D", addr: WordAddr(0x200) };
+    let x = Frame {
+        name: "X",
+        addr: WordAddr(0x100),
+    };
+    let a = Frame {
+        name: "A",
+        addr: WordAddr(0x140),
+    };
+    let b = Frame {
+        name: "B",
+        addr: WordAddr(0x180),
+    };
+    let c = Frame {
+        name: "C",
+        addr: WordAddr(0x1C0),
+    };
+    let d = Frame {
+        name: "D",
+        addr: WordAddr(0x200),
+    };
     let all = [x, a, b, c, d];
 
     // Begin in X.

@@ -35,8 +35,9 @@ const SAMPLE: &str = "
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let source = match args.first() {
-        Some(path) => fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => SAMPLE.to_string(),
     };
     let config = match args.get(1).map(|s| s.as_str()) {
@@ -45,8 +46,15 @@ fn main() {
         Some("i4") => MachineConfig::i4(),
         _ => MachineConfig::i3(),
     };
-    let linkage = if config.return_stack > 0 { Linkage::Direct } else { Linkage::Mesa };
-    let options = Options { linkage, bank_args: config.renaming() };
+    let linkage = if config.return_stack > 0 {
+        Linkage::Direct
+    } else {
+        Linkage::Mesa
+    };
+    let options = Options {
+        linkage,
+        bank_args: config.renaming(),
+    };
 
     let compiled = compile(&[&source], options).unwrap_or_else(|e| panic!("{e}"));
     let stats = &compiled.stats;
@@ -62,7 +70,10 @@ fn main() {
     }
 
     // Full annotated disassembly.
-    println!("\n{}", listing(&compiled.image).expect("linker output decodes"));
+    println!(
+        "\n{}",
+        listing(&compiled.image).expect("linker output decodes")
+    );
 
     let mut m = Machine::load(&compiled.image, config).expect("loads");
     m.run(100_000_000).expect("runs");

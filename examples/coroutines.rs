@@ -46,17 +46,11 @@ const SRC: &str = "
 
 fn main() {
     let compiled = compile(&[SRC], Options::default()).expect("compiles");
-    for (name, config) in [
-        ("I2", MachineConfig::i2()),
-        ("I3", MachineConfig::i3()),
-    ] {
+    for (name, config) in [("I2", MachineConfig::i2()), ("I3", MachineConfig::i3())] {
         let mut m = Machine::load(&compiled.image, config).expect("loads");
         m.run(100_000).expect("runs");
         let t = &m.stats().transfers;
-        println!(
-            "{name}: triangular numbers = {:?}",
-            m.output()
-        );
+        println!("{name}: triangular numbers = {:?}", m.output());
         println!(
             "  {} coroutine transfers at {:.1} cycles each (calls would be {:.1})",
             t.coroutines.count,

@@ -47,8 +47,14 @@ fn main() {
     let compiled = compile(&[SRC], Options::default()).expect("compiles");
     let mut m = Machine::load(&compiled.image, MachineConfig::i3()).expect("loads");
     // on_trap is entry 0 of module 0.
-    m.set_trap_handler(&compiled.image, ProcRef { module: 0, ev_index: 0 })
-        .expect("handler installs");
+    m.set_trap_handler(
+        &compiled.image,
+        ProcRef {
+            module: 0,
+            ev_index: 0,
+        },
+    )
+    .expect("handler installs");
     m.run(100_000).expect("runs");
     let out: Vec<i16> = m.output().iter().map(|&w| w as i16).collect();
     println!("output: {out:?}");

@@ -31,14 +31,21 @@ fn model_level() {
         vec![
             Op::TakeArgs(0),
             Op::PushConst(21),
-            Op::Call { proc: double, nargs: 1 },
+            Op::Call {
+                proc: double,
+                nargs: 1,
+            },
             Op::TakeResults(1),
             Op::Emit,
             Op::Halt,
         ],
     ));
     let out = m.run(main, &[], 1000).expect("model runs");
-    println!("double(21) via XFER = {:?} ({} transfers)\n", out, m.xfers());
+    println!(
+        "double(21) via XFER = {:?} ({} transfers)\n",
+        out,
+        m.xfers()
+    );
 }
 
 fn machine_level() {
@@ -55,11 +62,18 @@ fn machine_level() {
 
     for (name, config, linkage) in [
         ("I2 (Mesa encoding)", MachineConfig::i2(), Linkage::Mesa),
-        ("I4 (fully accelerated)", MachineConfig::i4(), Linkage::Direct),
+        (
+            "I4 (fully accelerated)",
+            MachineConfig::i4(),
+            Linkage::Direct,
+        ),
     ] {
         let compiled = compile(
             &[src],
-            Options { linkage, bank_args: config.renaming() },
+            Options {
+                linkage,
+                bank_args: config.renaming(),
+            },
         )
         .expect("compiles");
         let mut m = Machine::load(&compiled.image, config).expect("loads");

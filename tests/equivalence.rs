@@ -28,8 +28,15 @@ fn outputs_identical_across_implementations_and_linkages() {
                     // instance semantics (asserted in fpc-compiler).
                     continue;
                 }
-                let m = run_workload(&w, config, Options { linkage, bank_args: false })
-                    .unwrap_or_else(|e| panic!("{} on {cname}/{linkage:?}: {e}", w.name));
+                let m = run_workload(
+                    &w,
+                    config,
+                    Options {
+                        linkage,
+                        bank_args: false,
+                    },
+                )
+                .unwrap_or_else(|e| panic!("{} on {cname}/{linkage:?}: {e}", w.name));
                 assert_eq!(
                     m.output(),
                     w.expected.as_slice(),

@@ -6,8 +6,8 @@ use fpc_compiler::{compile, Options};
 use fpc_vm::{Machine, MachineConfig, TrapCode, VmError};
 
 fn run_src(src: &str, config: MachineConfig) -> Result<Machine, VmError> {
-    let compiled = compile(&[src], Options::default())
-        .map_err(|e| VmError::BadImage(e.to_string()))?;
+    let compiled =
+        compile(&[src], Options::default()).map_err(|e| VmError::BadImage(e.to_string()))?;
     let mut m = Machine::load(&compiled.image, config)?;
     m.run(10_000_000)?;
     Ok(m)
@@ -48,7 +48,11 @@ fn unbounded_recursion_exhausts_the_frame_heap() {
 #[test]
 fn division_by_zero_traps_on_every_machine() {
     let src = "module M; proc main() var z: int; begin out 7 / z; end; end.";
-    for config in [MachineConfig::i1(), MachineConfig::i2(), MachineConfig::i3()] {
+    for config in [
+        MachineConfig::i1(),
+        MachineConfig::i2(),
+        MachineConfig::i3(),
+    ] {
         assert_eq!(
             run_src(src, config).unwrap_err(),
             VmError::UnhandledTrap(TrapCode::DivideByZero)
@@ -68,9 +72,7 @@ fn compiler_rejects_expressions_beyond_the_register_stack() {
     for _ in 0..16 {
         deep = format!("(2 * {deep})");
     }
-    let src = format!(
-        "module M; proc main() begin out {deep} + {expr}; end; end."
-    );
+    let src = format!("module M; proc main() begin out {deep} + {expr}; end; end.");
     let err = compile(&[&src], Options::default()).unwrap_err();
     assert!(err.to_string().contains("too deep"), "{err}");
 }

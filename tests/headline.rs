@@ -24,7 +24,10 @@ fn call_heavy_corpus_meets_95_percent_under_i4() {
         let m = run_workload(
             &w,
             MachineConfig::i4(),
-            Options { linkage: Linkage::Direct, bank_args: true },
+            Options {
+                linkage: Linkage::Direct,
+                bank_args: true,
+            },
         )
         .unwrap();
         let t = &m.stats().transfers;
@@ -42,11 +45,17 @@ fn call_heavy_corpus_meets_95_percent_under_i4() {
 /// call and return cost exactly `jump_cycles()`.
 #[test]
 fn fast_transfers_cost_exactly_jump_cycles() {
-    let w = corpus().into_iter().find(|w| w.name == "leafcalls").unwrap();
+    let w = corpus()
+        .into_iter()
+        .find(|w| w.name == "leafcalls")
+        .unwrap();
     let m = run_workload(
         &w,
         MachineConfig::i4(),
-        Options { linkage: Linkage::Direct, bank_args: true },
+        Options {
+            linkage: Linkage::Direct,
+            bank_args: true,
+        },
     )
     .unwrap();
     let t = &m.stats().transfers;
@@ -101,7 +110,10 @@ fn accelerated_machine_keeps_the_general_model() {
         let m = run_workload(
             &w,
             MachineConfig::i4(),
-            Options { linkage: Linkage::Direct, bank_args: true },
+            Options {
+                linkage: Linkage::Direct,
+                bank_args: true,
+            },
         )
         .unwrap();
         assert_eq!(m.output(), w.expected.as_slice(), "{name}");

@@ -23,12 +23,18 @@ fn model_fib(n: i64) -> Vec<i64> {
             Op::PushLocal(0),
             Op::PushConst(1),
             Op::Sub,
-            Op::Call { proc: fib_id(), nargs: 1 },
+            Op::Call {
+                proc: fib_id(),
+                nargs: 1,
+            },
             Op::TakeResults(1),
             Op::PushLocal(0),
             Op::PushConst(2),
             Op::Sub,
-            Op::Call { proc: fib_id(), nargs: 1 },
+            Op::Call {
+                proc: fib_id(),
+                nargs: 1,
+            },
             Op::TakeResults(1),
             Op::Add,
             Op::Return(1),
@@ -41,7 +47,10 @@ fn model_fib(n: i64) -> Vec<i64> {
         vec![
             Op::TakeArgs(0),
             Op::PushConst(n),
-            Op::Call { proc: fib, nargs: 1 },
+            Op::Call {
+                proc: fib,
+                nargs: 1,
+            },
             Op::TakeResults(1),
             Op::Emit,
             Op::Halt,

@@ -1,0 +1,215 @@
+//! Differential tests for the predecoded instruction stream.
+//!
+//! The predecode cache is a host-side optimisation only: a run
+//! dispatching from the decoded stream must be **bit-identical** in
+//! every simulated respect — outputs, instruction/cycle/jump counters,
+//! memory-reference counters, per-transfer-kind statistics, return
+//! stack, bank, frame-cache and heap statistics — to a run re-parsing
+//! the code bytes on every step. These tests enforce that over the
+//! whole corpus on all four machine configurations, and across mid-run
+//! code mutation (module relocation and procedure replacement), where
+//! a stale cache would be most tempting and most wrong.
+
+use fpc_isa::Instr;
+use fpc_vm::{Image, ImageBuilder, Machine, MachineConfig, ProcRef, ProcSpec, StepOutcome};
+use fpc_workloads::{corpus, run_workload};
+
+/// Every simulated-side observable, flattened through Debug. Any
+/// divergence — one cycle, one table read, one histogram bucket —
+/// shows up as a string diff.
+fn fingerprint(m: &Machine) -> String {
+    format!(
+        "output={:?} stack={:?} stats={:?} mem={:?} rs={:?} banks={:?} cache={:?} heap={:?}",
+        m.output(),
+        m.stack(),
+        m.stats(),
+        m.mem_stats(),
+        m.return_stack_stats(),
+        m.bank_stats(),
+        m.cache_stats(),
+        m.heap_stats(),
+    )
+}
+
+fn all_configs() -> [(&'static str, MachineConfig); 4] {
+    [
+        ("i1", MachineConfig::i1()),
+        ("i2", MachineConfig::i2()),
+        ("i3", MachineConfig::i3()),
+        ("i4", MachineConfig::i4()),
+    ]
+}
+
+#[test]
+fn corpus_counters_identical_across_decode_paths() {
+    let corpus = corpus();
+    assert_eq!(corpus.len(), 17, "parity must cover the whole corpus");
+    for w in &corpus {
+        for (name, config) in all_configs() {
+            let pre = run_workload(w, config.with_predecode(true), Default::default())
+                .unwrap_or_else(|e| panic!("{} on {name} (predecode): {e}", w.name));
+            let byte = run_workload(w, config.with_predecode(false), Default::default())
+                .unwrap_or_else(|e| panic!("{} on {name} (byte): {e}", w.name));
+            assert_eq!(pre.output(), w.expected.as_slice(), "{} on {name}", w.name);
+            assert_eq!(
+                fingerprint(&pre),
+                fingerprint(&byte),
+                "{} on {name}: predecoded run diverged from byte-decoded run",
+                w.name
+            );
+            let ps = pre.predecode_stats().expect("cache is on");
+            assert!(
+                ps.hits > ps.lazy_decodes,
+                "{} on {name}: eager translation should serve the steady state \
+                 ({ps:?})",
+                w.name
+            );
+            assert!(byte.predecode_stats().is_none(), "cache is off");
+        }
+    }
+}
+
+/// tri(n) recursion whose main calls it five times — long enough to
+/// mutate code mid-run, deep enough that suspended frames span the
+/// mutation.
+fn tri_image() -> Image {
+    let mut b = ImageBuilder::new();
+    let m = b.module("m");
+    b.proc_with(m, ProcSpec::new("tri", 1, 1), |a| {
+        a.instr(Instr::StoreLocal(0));
+        let base = a.label();
+        a.instr(Instr::LoadLocal(0));
+        a.jump_zero(base);
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::LoadImm(1));
+        a.instr(Instr::Sub);
+        a.instr(Instr::LocalCall(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::Add);
+        a.instr(Instr::Ret);
+        a.bind(base);
+        a.instr(Instr::LoadImm(0));
+        a.instr(Instr::Ret);
+    });
+    b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+        for _ in 0..5 {
+            a.instr(Instr::LoadImm(40));
+            a.instr(Instr::LocalCall(0));
+            a.instr(Instr::Out);
+        }
+        a.instr(Instr::Halt);
+    });
+    b.build(ProcRef {
+        module: 0,
+        ev_index: 1,
+    })
+    .unwrap()
+}
+
+/// Steps to completion, relocating module 0 every 500 instructions.
+fn run_with_relocations(image: &Image, config: MachineConfig) -> Machine {
+    let mut machine = Machine::load(image, config).unwrap();
+    let mut steps = 0u64;
+    let mut moves = 0;
+    loop {
+        match machine.step().unwrap() {
+            StepOutcome::Halted => break,
+            StepOutcome::Ran => {
+                steps += 1;
+                if steps.is_multiple_of(500) && moves < 5 {
+                    machine.relocate_module(0).unwrap();
+                    moves += 1;
+                }
+            }
+        }
+        assert!(steps < 1_000_000, "runaway");
+    }
+    assert!(moves >= 3, "run long enough to move code: {moves}");
+    machine
+}
+
+#[test]
+fn relocation_mid_run_preserves_counters() {
+    let image = tri_image();
+    for config in [MachineConfig::i2(), MachineConfig::i3()] {
+        let pre = run_with_relocations(&image, config.with_predecode(true));
+        let byte = run_with_relocations(&image, config.with_predecode(false));
+        assert_eq!(pre.output(), &[820, 820, 820, 820, 820]);
+        assert_eq!(
+            fingerprint(&pre),
+            fingerprint(&byte),
+            "relocation under {config:?} diverged between decode paths"
+        );
+        let ps = pre.predecode_stats().unwrap();
+        assert!(
+            ps.rebuilds >= 3,
+            "each relocation re-keys the cache: {ps:?}"
+        );
+    }
+}
+
+/// f(x) image whose entry 0 is swapped from x+1 to x*3 after the
+/// second output.
+fn replace_image() -> Image {
+    let mut b = ImageBuilder::new();
+    let m = b.module("m");
+    b.proc_with(m, ProcSpec::new("f", 1, 1), |a| {
+        a.instr(Instr::StoreLocal(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::LoadImm(1));
+        a.instr(Instr::Add);
+        a.instr(Instr::Ret);
+    });
+    b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+        for _ in 0..4 {
+            a.instr(Instr::LoadImm(10));
+            a.instr(Instr::LocalCall(0));
+            a.instr(Instr::Out);
+        }
+        a.instr(Instr::Halt);
+    });
+    b.build(ProcRef {
+        module: 0,
+        ev_index: 1,
+    })
+    .unwrap()
+}
+
+fn run_with_replacement(image: &Image, config: MachineConfig) -> Machine {
+    let mut machine = Machine::load(image, config).unwrap();
+    while machine.output().len() < 2 {
+        assert_eq!(machine.step().unwrap(), StepOutcome::Ran);
+    }
+    machine
+        .replace_proc(0, 0, 1, 2, |a| {
+            a.instr(Instr::StoreLocal(0));
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::LoadImm(3));
+            a.instr(Instr::Mul);
+            a.instr(Instr::StoreLocal(1));
+            a.instr(Instr::LoadLocal(1));
+            a.instr(Instr::Ret);
+        })
+        .unwrap();
+    machine.run(10_000).unwrap();
+    machine
+}
+
+#[test]
+fn replacement_mid_run_preserves_counters() {
+    let image = replace_image();
+    for config in [MachineConfig::i2(), MachineConfig::i3()] {
+        let pre = run_with_replacement(&image, config.with_predecode(true));
+        let byte = run_with_replacement(&image, config.with_predecode(false));
+        assert_eq!(pre.output(), &[11, 11, 30, 30]);
+        assert_eq!(
+            fingerprint(&pre),
+            fingerprint(&byte),
+            "replacement under {config:?} diverged between decode paths"
+        );
+        // The replacement body must have been executed from the cache,
+        // not just decoded lazily as a straggler.
+        let ps = pre.predecode_stats().unwrap();
+        assert!(ps.rebuilds >= 1, "{ps:?}");
+    }
+}

@@ -1,4 +1,6 @@
-//! Property-based tests spanning the compiler and the machines.
+//! Randomized tests spanning the compiler and the machines, driven by
+//! the in-tree seeded generator (the container builds offline, so
+//! these are fuzz-style loops rather than proptest strategies).
 //!
 //! * Random expression programs compile and evaluate identically on
 //!   the space-optimal and fully accelerated machines, and match a
@@ -7,11 +9,10 @@
 //!   back exactly what a flat memory model holds, and a flush makes
 //!   storage agree word-for-word (the §7 "orderly fallback" invariant).
 
-use proptest::prelude::*;
-
 use fpc_compiler::{compile, Linkage, Options};
 use fpc_core::layout;
 use fpc_mem::{Memory, WordAddr};
+use fpc_rng::Rng;
 use fpc_vm::{BankMachine, Machine, MachineConfig};
 
 #[derive(Debug, Clone)]
@@ -25,20 +26,29 @@ enum E {
     CallDouble(Box<E>),
 }
 
-fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        (0i16..100).prop_map(E::Num),
-        Just(E::X),
-        Just(E::Y),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(a.into(), b.into())),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(a.into(), b.into())),
-            inner.prop_map(|a| E::CallDouble(a.into())),
-        ]
-    })
+fn random_expr(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return match rng.gen_index(3) {
+            0 => E::Num(rng.gen_range_i16(0, 99)),
+            1 => E::X,
+            _ => E::Y,
+        };
+    }
+    match rng.gen_index(4) {
+        0 => E::Add(
+            random_expr(rng, depth - 1).into(),
+            random_expr(rng, depth - 1).into(),
+        ),
+        1 => E::Sub(
+            random_expr(rng, depth - 1).into(),
+            random_expr(rng, depth - 1).into(),
+        ),
+        2 => E::Mul(
+            random_expr(rng, depth - 1).into(),
+            random_expr(rng, depth - 1).into(),
+        ),
+        _ => E::CallDouble(random_expr(rng, depth - 1).into()),
+    }
 }
 
 fn to_source(e: &E) -> String {
@@ -68,15 +78,13 @@ fn host_eval(e: &E, x: i16, y: i16) -> i16 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_expressions_agree_everywhere(
-        e in expr_strategy(),
-        x in -50i16..50,
-        y in -50i16..50,
-    ) {
+#[test]
+fn random_expressions_agree_everywhere() {
+    let mut rng = Rng::seed_from_u64(0xE4BE55);
+    for _ in 0..48 {
+        let e = random_expr(&mut rng, 4);
+        let x = rng.gen_range_i16(-50, 49);
+        let y = rng.gen_range_i16(-50, 49);
         let src = format!(
             "module P;
              proc double(v: int): int begin return v + v; end;
@@ -86,19 +94,19 @@ proptest! {
             to_source(&e)
         );
         let expected = host_eval(&e, x, y) as u16;
-        for (config, bank_args) in [
-            (MachineConfig::i2(), false),
-            (MachineConfig::i4(), true),
-        ] {
+        for (config, bank_args) in [(MachineConfig::i2(), false), (MachineConfig::i4(), true)] {
             let compiled = match compile(
                 &[&src],
-                Options { linkage: Linkage::Mesa, bank_args },
+                Options {
+                    linkage: Linkage::Mesa,
+                    bank_args,
+                },
             ) {
                 Ok(c) => c,
                 // Very deep expressions can exceed the register stack;
                 // the compiler must say so rather than miscompile.
                 Err(e) => {
-                    prop_assert!(
+                    assert!(
                         e.to_string().contains("too deep"),
                         "unexpected compile error: {e}"
                     );
@@ -107,33 +115,36 @@ proptest! {
             };
             let mut m = Machine::load(&compiled.image, config).unwrap();
             m.run(1_000_000).unwrap();
-            prop_assert_eq!(m.output(), &[expected], "config {:?}", config);
+            assert_eq!(m.output(), &[expected], "config {config:?}");
         }
     }
+}
 
-    #[test]
-    fn banks_agree_with_flat_memory(
-        ops in prop::collection::vec((0u32..12, 0u16..1000, any::<bool>()), 1..120),
-    ) {
+#[test]
+fn banks_agree_with_flat_memory() {
+    let mut rng = Rng::seed_from_u64(0xBA2C5);
+    for _ in 0..64 {
         let frame = WordAddr(0x100);
         let mut mem = Memory::new(0x1000);
         let mut banks = BankMachine::new(2, 16);
         banks.assign(&mut mem, frame, 12, None, None);
         // A mirror of what the locals should hold.
         let mut mirror = [0u16; 12];
-        for (idx, val, is_write) in ops {
-            if is_write {
-                prop_assert!(banks.write_local(frame, idx, val));
+        for _ in 0..rng.gen_range_u32(1, 119) {
+            let idx = rng.gen_range_u32(0, 11);
+            let val = rng.gen_range_u32(0, 999) as u16;
+            if rng.gen_bool(0.5) {
+                assert!(banks.write_local(frame, idx, val));
                 mirror[idx as usize] = val;
             } else {
                 let got = banks.read_local(frame, idx).expect("shadowed");
-                prop_assert_eq!(got, mirror[idx as usize]);
+                assert_eq!(got, mirror[idx as usize]);
             }
         }
         // The orderly fallback: after a flush, storage agrees exactly.
         banks.flush_all(&mut mem);
         for i in 0..12u32 {
-            prop_assert_eq!(mem.peek(layout::local_slot(frame, i)), mirror[i as usize]);
+            assert_eq!(mem.peek(layout::local_slot(frame, i)), mirror[i as usize]);
         }
     }
 }

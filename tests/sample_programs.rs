@@ -5,9 +5,11 @@ use fpc_compiler::{compile, Linkage, Options};
 use fpc_vm::{Machine, MachineConfig};
 
 fn run_file(path: &str, config: MachineConfig, linkage: Linkage) -> Vec<u16> {
-    let src = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    let options = Options { linkage, bank_args: config.renaming() };
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let options = Options {
+        linkage,
+        bank_args: config.renaming(),
+    };
     let compiled = compile(&[&src], options).unwrap_or_else(|e| panic!("{path}: {e}"));
     let mut m = Machine::load(&compiled.image, config).unwrap();
     m.run(50_000_000).unwrap();
