@@ -1,17 +1,18 @@
-//! Regenerates experiment H1 (see DESIGN.md §4): host-side simulator
-//! throughput, byte-decode vs predecoded dispatch.
+//! Regenerates experiment H2 (see DESIGN.md §6a): host-side transfer
+//! acceleration — the byte / predecode / predecode+IC /
+//! predecode+IC+fusion dispatch ladder on call-dense workloads.
 //!
-//! Usage: `exp_h1_host_speed [--smoke] [--out PATH]`
+//! Usage: `exp_h2_transfer_speed [--smoke] [--out PATH]`
 //!
 //! `--smoke` runs one cheap sample per cell (CI mode — proves the
 //! harness and the JSON shape, not the ratios); `--out` redirects the
-//! JSON from the default `BENCH_host.json`.
+//! JSON from the default `BENCH_host_xfer.json`.
 
-use fpc_bench::experiments::h1;
+use fpc_bench::experiments::{h1, h2};
 
 fn main() {
     let mut smoke = false;
-    let mut out = String::from("BENCH_host.json");
+    let mut out = String::from("BENCH_host_xfer.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -24,7 +25,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown argument {other}; usage: exp_h1_host_speed [--smoke] [--out PATH]"
+                    "unknown argument {other}; usage: exp_h2_transfer_speed [--smoke] [--out PATH]"
                 );
                 std::process::exit(2);
             }
@@ -35,7 +36,7 @@ fn main() {
     } else {
         h1::Params::full()
     };
-    let (report, json) = h1::report_and_json(params);
+    let (report, json) = h2::report_and_json(params);
     print!("{report}");
     std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     eprintln!("wrote {out}");

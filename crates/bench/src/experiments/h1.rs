@@ -31,14 +31,32 @@ pub const WORKLOADS: [&str; 7] = [
     "matrix",
 ];
 
-/// Timed samples per cell; the minimum is reported.
-const RUNS: usize = 5;
+/// Sampling effort: how many timed samples per cell and how many
+/// machine runs are averaged inside each sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Timed samples per cell; the minimum is reported.
+    pub runs: usize,
+    /// Machine runs averaged inside one timed sample. The corpus
+    /// programs finish in well under a millisecond, so a single run is
+    /// at the mercy of scheduler noise; averaging several keeps each
+    /// sample in the milliseconds.
+    pub reps: usize,
+}
 
-/// Machine runs averaged inside one timed sample. The corpus programs
-/// finish in well under a millisecond, so a single run is at the mercy
-/// of scheduler noise; averaging several keeps each sample in the
-/// milliseconds.
-const REPS: usize = 16;
+impl Params {
+    /// Full effort, for the committed `BENCH_host.json`.
+    pub fn full() -> Self {
+        Params { runs: 5, reps: 16 }
+    }
+
+    /// One cheap pass per cell — CI smoke mode. The ratios it produces
+    /// are noisy; the point is to prove the harness runs end to end
+    /// and emits well-formed JSON.
+    pub fn smoke() -> Self {
+        Params { runs: 1, reps: 1 }
+    }
+}
 
 /// One (workload, config) measurement.
 #[derive(Debug, Clone)]
@@ -71,18 +89,23 @@ fn configs() -> [(&'static str, MachineConfig, Linkage); 4] {
     ]
 }
 
-/// One timed sample: average seconds over [`REPS`] fresh runs.
-fn sample(image: &fpc_vm::Image, config: MachineConfig, fuel: u64) -> (u64, f64) {
+/// One timed sample: average seconds over `reps` fresh runs.
+pub(crate) fn sample(
+    image: &fpc_vm::Image,
+    config: MachineConfig,
+    fuel: u64,
+    reps: usize,
+) -> (u64, f64) {
     let mut instructions = 0;
     let mut elapsed = 0.0;
-    for _ in 0..REPS {
+    for _ in 0..reps {
         let mut m = Machine::load(image, config).expect("loads");
         let t0 = Instant::now();
         m.run(fuel).expect("runs");
         elapsed += t0.elapsed().as_secs_f64();
         instructions = m.stats().instructions;
     }
-    (instructions, elapsed / REPS as f64)
+    (instructions, elapsed / reps as f64)
 }
 
 /// Measures one cell on both decode paths, returning
@@ -94,7 +117,7 @@ fn sample(image: &fpc_vm::Image, config: MachineConfig, fuel: u64) -> (u64, f64)
 /// back-to-back measurement and skew the ratio, whereas alternating
 /// samples expose both paths to the same conditions and the best-of
 /// picks an undisturbed window for each.
-fn measure(w: &Workload, config: MachineConfig, linkage: Linkage) -> (u64, f64, f64) {
+fn measure(w: &Workload, config: MachineConfig, linkage: Linkage, p: Params) -> (u64, f64, f64) {
     let compiled = compile_workload(
         w,
         Options {
@@ -103,8 +126,17 @@ fn measure(w: &Workload, config: MachineConfig, linkage: Linkage) -> (u64, f64, 
         },
     )
     .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", w.name));
-    let byte_cfg = config.with_predecode(false);
-    let pre_cfg = config.with_predecode(true);
+    // H1 isolates the predecoder, so the other host accelerators are
+    // pinned off on *both* paths; the transfer cache and fusion get
+    // their own ladder in H2.
+    let byte_cfg = config
+        .with_predecode(false)
+        .with_inline_xfer(false)
+        .with_fusion(false);
+    let pre_cfg = config
+        .with_predecode(true)
+        .with_inline_xfer(false)
+        .with_fusion(false);
     // Untimed warmup: fault in code paths and allocator pools.
     Machine::load(&compiled.image, byte_cfg)
         .expect("loads")
@@ -116,9 +148,9 @@ fn measure(w: &Workload, config: MachineConfig, linkage: Linkage) -> (u64, f64, 
         .expect("runs");
     let (mut best_byte, mut best_pre) = (f64::INFINITY, f64::INFINITY);
     let mut instructions = 0;
-    for _ in 0..RUNS {
-        let (byte_i, byte_s) = sample(&compiled.image, byte_cfg, w.fuel);
-        let (pre_i, pre_s) = sample(&compiled.image, pre_cfg, w.fuel);
+    for _ in 0..p.runs {
+        let (byte_i, byte_s) = sample(&compiled.image, byte_cfg, w.fuel, p.reps);
+        let (pre_i, pre_s) = sample(&compiled.image, pre_cfg, w.fuel, p.reps);
         assert_eq!(
             byte_i, pre_i,
             "{}: decode paths must simulate identically",
@@ -132,7 +164,7 @@ fn measure(w: &Workload, config: MachineConfig, linkage: Linkage) -> (u64, f64, 
 }
 
 /// Runs the full measurement matrix.
-pub fn measure_all() -> Vec<Row> {
+pub fn measure_all(p: Params) -> Vec<Row> {
     let corpus = corpus();
     let mut rows = Vec::new();
     for name in WORKLOADS {
@@ -141,7 +173,7 @@ pub fn measure_all() -> Vec<Row> {
             .find(|w| w.name == name)
             .unwrap_or_else(|| panic!("no corpus entry {name}"));
         for (cname, config, linkage) in configs() {
-            let (instructions, byte_s, pre_s) = measure(w, config, linkage);
+            let (instructions, byte_s, pre_s) = measure(w, config, linkage, p);
             rows.push(Row {
                 workload: name,
                 config: cname,
@@ -159,8 +191,8 @@ fn fmt_mips(ips: f64) -> String {
 }
 
 /// The report and the `BENCH_host.json` contents.
-pub fn report_and_json() -> (String, String) {
-    let rows = measure_all();
+pub fn report_and_json(p: Params) -> (String, String) {
+    let rows = measure_all(p);
     let mut out = String::new();
     out.push_str("H1: host throughput (simulated Minstr/s), byte decode vs predecoded\n");
     out.push_str(&format!(
@@ -229,7 +261,8 @@ mod tests {
         // config end to end (the full matrix runs in the binary).
         let corpus = corpus();
         let w = corpus.iter().find(|w| w.name == "leafcalls").unwrap();
-        let (instrs, byte_s, pre_s) = measure(w, MachineConfig::i2(), Linkage::Mesa);
+        let (instrs, byte_s, pre_s) =
+            measure(w, MachineConfig::i2(), Linkage::Mesa, Params::smoke());
         assert!(instrs > 0 && byte_s > 0.0 && pre_s > 0.0);
     }
 }

@@ -15,3 +15,4 @@ pub mod e7;
 pub mod e8;
 pub mod e9;
 pub mod h1;
+pub mod h2;

@@ -39,10 +39,12 @@
 //! ```
 
 mod context;
+pub mod generation;
 mod gft;
 pub mod layout;
 pub mod model;
 pub mod tables;
 
 pub use context::{Context, ContextWord, EvIndex, FrameHandle, GftIndex, PackError, ProcDesc};
+pub use generation::TableKey;
 pub use gft::GftEntry;

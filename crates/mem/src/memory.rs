@@ -52,6 +52,9 @@ impl MemStats {
 pub struct Memory {
     words: Vec<Word>,
     stats: MemStats,
+    /// One flag per word: stores to flagged words bump [`Memory::table_gen`].
+    watched: Vec<bool>,
+    table_gen: u64,
 }
 
 impl Memory {
@@ -65,7 +68,54 @@ impl Memory {
         Memory {
             words: vec![0; size as usize],
             stats: MemStats::default(),
+            watched: vec![false; size as usize],
+            table_gen: 0,
         }
+    }
+
+    /// Marks `addr` as a transfer-table word: any store to it (counted
+    /// or host-side) bumps the generation returned by
+    /// [`Memory::table_gen`]. Host-side caches derived from table words
+    /// — e.g. the VM's inline transfer caches over the GFT and the
+    /// global frames' code-base words — key themselves on that
+    /// generation, so a simulated program overwriting a table entry
+    /// invalidates them without any per-cache hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn watch(&mut self, addr: WordAddr) {
+        self.watched[addr.0 as usize] = true;
+    }
+
+    /// Watches `len` consecutive words starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range runs past the end of memory.
+    pub fn watch_range(&mut self, start: WordAddr, len: u32) {
+        for i in 0..len {
+            self.watch(start.offset(i));
+        }
+    }
+
+    /// Generation of the watched (transfer-table) words: bumped by
+    /// every store to a watched word. Monotonic; never reset.
+    #[inline]
+    pub fn table_gen(&self) -> u64 {
+        self.table_gen
+    }
+
+    /// Counts `n` architectural reads without performing them.
+    ///
+    /// This exists for host-side memoisation that must preserve the
+    /// paper's reference arithmetic: a cache that remembers the result
+    /// of an N-read table walk still owes the simulated machine those N
+    /// references, it merely skips the host work of the walk. Charging
+    /// keeps [`MemStats`] bit-identical to the uncached run.
+    #[inline]
+    pub fn charge_reads(&mut self, n: u64) {
+        self.stats.data_reads += n;
     }
 
     /// Number of words.
@@ -94,6 +144,9 @@ impl Memory {
     #[inline]
     pub fn write(&mut self, addr: WordAddr, value: Word) {
         self.stats.data_writes += 1;
+        if self.watched[addr.0 as usize] {
+            self.table_gen += 1;
+        }
         self.words[addr.0 as usize] = value;
     }
 
@@ -114,6 +167,9 @@ impl Memory {
     /// Panics if `addr` is out of range.
     #[inline]
     pub fn poke(&mut self, addr: WordAddr, value: Word) {
+        if self.watched[addr.0 as usize] {
+            self.table_gen += 1;
+        }
         self.words[addr.0 as usize] = value;
     }
 
@@ -175,6 +231,37 @@ mod tests {
         m.write(WordAddr(1), 1);
         m.reset_stats();
         assert_eq!(m.stats().total(), 0);
+    }
+
+    #[test]
+    fn watched_words_bump_the_generation() {
+        let mut m = Memory::new(16);
+        m.watch(WordAddr(3));
+        m.watch_range(WordAddr(8), 2);
+        assert_eq!(m.table_gen(), 0);
+        m.write(WordAddr(1), 5); // unwatched: no bump
+        assert_eq!(m.table_gen(), 0);
+        m.write(WordAddr(3), 5);
+        assert_eq!(m.table_gen(), 1);
+        m.poke(WordAddr(9), 7); // host-side stores count too
+        assert_eq!(m.table_gen(), 2);
+        m.reset_stats(); // counters reset; the generation must not
+        assert_eq!(m.table_gen(), 2);
+    }
+
+    #[test]
+    fn charged_reads_count_without_touching_words() {
+        let mut m = Memory::new(16);
+        m.poke(WordAddr(1), 42);
+        m.charge_reads(3);
+        assert_eq!(
+            m.stats(),
+            MemStats {
+                data_reads: 3,
+                data_writes: 0
+            }
+        );
+        assert_eq!(m.peek(WordAddr(1)), 42, "words untouched");
     }
 
     #[test]

@@ -104,6 +104,17 @@ pub struct MachineConfig {
     /// on and exists mainly so experiments can measure the byte-decode
     /// baseline.
     pub predecode: bool,
+    /// Memoise resolved call targets in per-site inline caches,
+    /// charging (rather than performing) the table-walk references on
+    /// a hit. Host-side only: simulated counters are bit-identical
+    /// either way. Defaults to on; experiments switch it off to
+    /// measure the plain walk.
+    pub inline_xfer: bool,
+    /// Fuse hot 2-op pairs into superinstructions in the predecode
+    /// layer and execute them in dedicated step arms. Host-side only;
+    /// requires `predecode` (silently inert without it). Defaults to
+    /// on; parity tests run fused vs. unfused.
+    pub fuse: bool,
 }
 
 impl MachineConfig {
@@ -117,6 +128,8 @@ impl MachineConfig {
             strict_stack: true,
             stack_depth: 16,
             predecode: true,
+            inline_xfer: true,
+            fuse: true,
         }
     }
 
@@ -175,6 +188,20 @@ impl MachineConfig {
         self
     }
 
+    /// Enables or disables the inline transfer caches (host-side
+    /// only; simulated costs are charged identically on hits).
+    pub fn with_inline_xfer(mut self, on: bool) -> Self {
+        self.inline_xfer = on;
+        self
+    }
+
+    /// Enables or disables superinstruction fusion (host-side only;
+    /// inert unless predecoding is on).
+    pub fn with_fusion(mut self, on: bool) -> Self {
+        self.fuse = on;
+        self
+    }
+
     /// Whether bank renaming is active.
     pub fn renaming(&self) -> bool {
         self.banks.map(|b| b.renaming).unwrap_or(false)
@@ -212,6 +239,9 @@ mod tests {
         assert_eq!(c.alloc, AllocStrategy::General);
         assert!(c.predecode, "predecode defaults to on");
         assert!(!c.with_predecode(false).predecode);
+        assert!(c.inline_xfer && c.fuse, "host accelerators default on");
+        assert!(!c.with_inline_xfer(false).inline_xfer);
+        assert!(!c.with_fusion(false).fuse);
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod image;
 mod listing;
 mod machine;
 mod predecode;
+mod xfer;
 
 pub use banks::{BankMachine, BankStats};
 pub use cache::{CacheStats, FrameCache};
@@ -64,5 +65,6 @@ pub use image::{
     ProcSpec, AV_BASE, DEFAULT_MEMORY_WORDS, GFT_BASE, GFT_ENTRIES, LINK_BASE,
 };
 pub use listing::listing;
-pub use machine::{Machine, MachineStats, StepOutcome};
-pub use predecode::{DecodedOp, PredecodeCache, PredecodeStats};
+pub use machine::{FusionStats, Machine, MachineStats, StepOutcome};
+pub use predecode::{DecodedOp, Fetched, FusedOp, PredecodeCache, PredecodeStats};
+pub use xfer::{CachedTarget, XferCache, XferCacheStats};

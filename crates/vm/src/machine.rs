@@ -29,8 +29,9 @@ use crate::config::{AllocStrategy, MachineConfig, PtrLocalPolicy};
 use crate::cost::{TransferKind, TransferStats, CYCLE_BASE, CYCLE_MEMREF, CYCLE_REFILL};
 use crate::error::{TrapCode, VmError};
 use crate::ifu::{ReturnEntry, ReturnStack, ReturnStackStats};
-use crate::image::{self, Image, ProcRef, AV_BASE, GFT_BASE};
-use crate::predecode::{PredecodeCache, PredecodeStats};
+use crate::image::{self, Image, ProcRef, AV_BASE, GFT_BASE, GFT_ENTRIES};
+use crate::predecode::{Fetched, FusedOp, PredecodeCache, PredecodeStats};
+use crate::xfer::{CachedTarget, XferCache, XferCacheStats};
 
 /// Whole-run statistics.
 #[derive(Debug, Default, Clone)]
@@ -130,6 +131,22 @@ struct LoadedModule {
     nprocs: u16,
 }
 
+/// Host-side superinstruction counters, surfaced via
+/// [`Machine::fusion_stats`]. Deliberately *not* part of
+/// [`MachineStats`]: the parity fingerprint covers every simulated
+/// observable, and these counters differ between fused and unfused
+/// runs by construction.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Fused pairs present in the predecode overlay.
+    pub fused_sites: usize,
+    /// Steps that executed a fused pair (two instructions each).
+    pub fused_execs: u64,
+    /// Pairs demoted to a single step because a stack-depth guard
+    /// failed (the slow path that keeps error behaviour identical).
+    pub demotions: u64,
+}
+
 /// Outcome of [`Machine::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -150,6 +167,9 @@ pub struct Machine {
     defer_headers: bool,
     classes: fpc_frames::SizeClasses,
     predecode: Option<PredecodeCache>,
+    xfer_ic: Option<XferCache>,
+    fused_execs: u64,
+    fuse_demotions: u64,
 
     // Registers.
     lf: WordAddr,
@@ -207,6 +227,15 @@ impl Machine {
         }
         let (mem, code, placement) = image::load(image, image::DEFAULT_MEMORY_WORDS)?;
         let mut mem = mem;
+        // Watch the transfer-table words — the GFT region and each
+        // global frame's code-base word — so any store to them bumps
+        // the table generation the inline transfer caches are keyed
+        // on. Watching is unconditional (it is not a counter) so the
+        // generation is meaningful whether or not the caches are on.
+        mem.watch_range(GFT_BASE, GFT_ENTRIES);
+        for &gf in &placement.gf_addrs {
+            mem.watch(gf.offset(layout::GF_CODE_BASE));
+        }
         let region = placement.frame_region.clone();
         let allocator = match config.alloc {
             AllocStrategy::General => {
@@ -258,7 +287,12 @@ impl Machine {
             banks,
             defer_headers,
             classes: image.classes.clone(),
-            predecode: config.predecode.then(PredecodeCache::new),
+            predecode: config
+                .predecode
+                .then(|| PredecodeCache::with_fusion(config.fuse)),
+            xfer_ic: config.inline_xfer.then(XferCache::new),
+            fused_execs: 0,
+            fuse_demotions: 0,
             lf: WordAddr::NIL,
             gf: WordAddr::NIL,
             code_base: ByteAddr(0),
@@ -328,11 +362,34 @@ impl Machine {
     pub fn predecode_stats(&self) -> Option<PredecodeStats> {
         self.predecode.as_ref().map(|p| {
             let mut s = p.stats();
-            // One lookup per executed instruction; the cache leaves the
-            // hit counter to us so its hot path stays counter-free.
-            s.hits = self.stats.instructions.saturating_sub(s.lazy_decodes);
+            // One lookup per executed instruction — except that a fused
+            // pair serves two instructions from one lookup; the cache
+            // leaves the hit counter to us so its hot path stays
+            // counter-free.
+            s.hits = self
+                .stats
+                .instructions
+                .saturating_sub(s.lazy_decodes + self.fused_execs);
             s
         })
+    }
+
+    /// Inline-transfer-cache statistics, when the caches are enabled.
+    pub fn xfer_cache_stats(&self) -> Option<XferCacheStats> {
+        self.xfer_ic.as_ref().map(|c| c.stats())
+    }
+
+    /// Superinstruction-fusion statistics, when fusion is active
+    /// (requires predecoding).
+    pub fn fusion_stats(&self) -> Option<FusionStats> {
+        match &self.predecode {
+            Some(p) if self.config.fuse => Some(FusionStats {
+                fused_sites: p.fused_pairs(),
+                fused_execs: self.fused_execs,
+                demotions: self.fuse_demotions,
+            }),
+            _ => None,
+        }
     }
 
     /// Performs the initial transfer to the entry procedure.
@@ -466,6 +523,7 @@ impl Machine {
         self.mem.peek(addr)
     }
 
+    #[inline]
     fn refs_total(&self) -> u64 {
         let general = match &self.allocator {
             Allocator::General(g) => g.charged_refs(),
@@ -616,13 +674,32 @@ impl Machine {
         if self.halted {
             return Ok(StepOutcome::Halted);
         }
+        let instr_start = self.pc;
+        let fetched = match self.predecode.as_mut() {
+            Some(cache) => cache.lookup_fused(&self.code, instr_start.0)?,
+            None => {
+                let (instr, len) = decode(self.code.bytes(), instr_start.0 as usize)?;
+                Fetched::One(instr, len as u8)
+            }
+        };
+        match fetched {
+            Fetched::One(instr, len) => self.step_one(instr, len, instr_start),
+            Fetched::Pair(a, f) => self.step_pair(a, f, instr_start),
+        }
+    }
+
+    /// Executes one instruction and commits its cost — the classic
+    /// step body (decoding is uncounted, so snapshotting the counters
+    /// after fetch is identical to before).
+    #[inline]
+    fn step_one(
+        &mut self,
+        instr: Instr,
+        len: u8,
+        instr_start: ByteAddr,
+    ) -> Result<StepOutcome, VmError> {
         let refs0 = self.refs_total();
         let divert0 = self.stats.divert_cycles;
-        let instr_start = self.pc;
-        let (instr, len) = match self.predecode.as_mut() {
-            Some(cache) => cache.lookup(&self.code, instr_start.0)?,
-            None => decode(self.code.bytes(), instr_start.0 as usize)?,
-        };
         self.pc = instr_start.offset(len as u32);
         let flow = self.execute(instr, instr_start)?;
         let refs = self.refs_total() - refs0;
@@ -648,6 +725,407 @@ impl Machine {
         Ok(StepOutcome::Ran)
     }
 
+    /// Executes a fused pair as one host step while accounting exactly
+    /// two simulated instructions.
+    ///
+    /// The cost model is linear — `cycles = BASE + refs·MEMREF +
+    /// divert (+ REFILL when taken)` per instruction — so for a
+    /// straight-line pair the two steps' costs sum to `2·BASE` plus
+    /// the *total* refs/divert deltas, and one batched commit is
+    /// bit-identical to two separate ones. Pairs ending in a transfer
+    /// take [`Machine::step_pair_xfer`] instead, which snapshots the
+    /// counters between the halves because `TransferStats::record`
+    /// needs the second half's exact refs and cycles.
+    ///
+    /// Stack-depth guards demote underflow/overflow conditions to an
+    /// ordinary single step so every error path goes through the
+    /// normal interpreter.
+    fn step_pair(
+        &mut self,
+        a: Instr,
+        f: FusedOp,
+        instr_start: ByteAddr,
+    ) -> Result<StepOutcome, VmError> {
+        use Instr as I;
+        let depth = self.stack.len();
+        if depth < f.need as usize || depth + f.grow as usize > self.config.stack_depth {
+            self.fuse_demotions += 1;
+            return self.step_one(a, f.len_a, instr_start);
+        }
+        let b_start = instr_start.offset(f.len_a as u32);
+        let end = b_start.offset(f.len_b as u32);
+        if f.xfer {
+            return self.step_pair_xfer(a, f, instr_start, b_start, end);
+        }
+        if f.pure {
+            // Neither half can make a counted or diverted reference,
+            // so the counter reads are skipped entirely. The hottest
+            // shapes manipulate the stack top in place (the fused
+            // "eval-stack top caching") instead of popping and
+            // re-pushing; the guards above make that safe.
+            self.pc = end;
+            let taken = match (a, f.b) {
+                (I::LoadImm(v), I::Add) => self.top_apply(|t| t.wrapping_add(v as i16)),
+                (I::LoadImm(v), I::Sub) => self.top_apply(|t| t.wrapping_sub(v as i16)),
+                (I::LoadImm(v), I::Mul) => self.top_apply(|t| t.wrapping_mul(v as i16)),
+                (I::LoadImm(v), I::And) => self.top_apply(|t| t & v as i16),
+                (I::LoadImm(v), I::Or) => self.top_apply(|t| t | v as i16),
+                (I::LoadImm(v), I::Xor) => self.top_apply(|t| t ^ v as i16),
+                (I::LoadImm(v), I::CmpEq) => self.top_apply(|t| (t == v as i16) as i16),
+                (I::LoadImm(v), I::CmpNe) => self.top_apply(|t| (t != v as i16) as i16),
+                (I::LoadImm(v), I::CmpLt) => self.top_apply(|t| (t < v as i16) as i16),
+                (I::LoadImm(v), I::CmpLe) => self.top_apply(|t| (t <= v as i16) as i16),
+                (I::LoadImm(v), I::CmpGt) => self.top_apply(|t| (t > v as i16) as i16),
+                (I::LoadImm(v), I::CmpGe) => self.top_apply(|t| (t >= v as i16) as i16),
+                (I::CmpEq, I::JumpZero(d)) => self.cmp_branch(|x, y| x == y, false, b_start, d),
+                (I::CmpNe, I::JumpZero(d)) => self.cmp_branch(|x, y| x != y, false, b_start, d),
+                (I::CmpLt, I::JumpZero(d)) => self.cmp_branch(|x, y| x < y, false, b_start, d),
+                (I::CmpLe, I::JumpZero(d)) => self.cmp_branch(|x, y| x <= y, false, b_start, d),
+                (I::CmpGt, I::JumpZero(d)) => self.cmp_branch(|x, y| x > y, false, b_start, d),
+                (I::CmpGe, I::JumpZero(d)) => self.cmp_branch(|x, y| x >= y, false, b_start, d),
+                (I::CmpEq, I::JumpNotZero(d)) => self.cmp_branch(|x, y| x == y, true, b_start, d),
+                (I::CmpNe, I::JumpNotZero(d)) => self.cmp_branch(|x, y| x != y, true, b_start, d),
+                (I::CmpLt, I::JumpNotZero(d)) => self.cmp_branch(|x, y| x < y, true, b_start, d),
+                (I::CmpLe, I::JumpNotZero(d)) => self.cmp_branch(|x, y| x <= y, true, b_start, d),
+                (I::CmpGt, I::JumpNotZero(d)) => self.cmp_branch(|x, y| x > y, true, b_start, d),
+                (I::CmpGe, I::JumpNotZero(d)) => self.cmp_branch(|x, y| x >= y, true, b_start, d),
+                _ => {
+                    self.pc = b_start;
+                    let flow_a = self.execute(a, instr_start)?;
+                    debug_assert!(matches!(flow_a, Flow::Next), "first ops are straight-line");
+                    self.pc = end;
+                    match self.execute(f.b, b_start)? {
+                        Flow::Next => false,
+                        Flow::Taken(k) => {
+                            debug_assert!(k.is_none(), "pure pairs end in jumps at most");
+                            true
+                        }
+                        Flow::Halt => {
+                            debug_assert!(false, "Halt is not a fusible second op");
+                            self.halted = true;
+                            false
+                        }
+                    }
+                }
+            };
+            let mut cycles = 2 * CYCLE_BASE;
+            if taken {
+                cycles += CYCLE_REFILL;
+                self.stats.jumps_taken += 1;
+            }
+            self.stats.cycles += cycles;
+            self.stats.instructions += 2;
+            self.fused_execs += 1;
+            return Ok(StepOutcome::Ran);
+        }
+        // Straight-line pair with possible counted references: one
+        // batched counter read for both halves. The hottest
+        // local-variable shapes are dispatched in place (no second
+        // trip through the big execute match); everything else runs
+        // both halves through the ordinary interpreter. Either way
+        // the accounting below is identical.
+        let refs0 = self.refs_total();
+        let divert0 = self.stats.divert_cycles;
+        self.pc = end;
+        let flow_b = match (a, f.b) {
+            (I::LoadLocal(m), I::LoadLocal(n)) => {
+                let v = self.read_local(m as u32);
+                self.stack.push(v);
+                let v = self.read_local(n as u32);
+                self.stack.push(v);
+                Flow::Next
+            }
+            (I::LoadLocal(m), I::LoadImm(v)) => {
+                let x = self.read_local(m as u32);
+                self.stack.push(x);
+                self.stack.push(v);
+                Flow::Next
+            }
+            (I::LoadLocal(m), I::Add) => {
+                let v = self.read_local(m as u32) as i16;
+                self.top_apply(|t| t.wrapping_add(v));
+                Flow::Next
+            }
+            (I::LoadLocal(m), I::Sub) => {
+                let v = self.read_local(m as u32) as i16;
+                self.top_apply(|t| t.wrapping_sub(v));
+                Flow::Next
+            }
+            (I::LoadLocal(m), I::Mul) => {
+                let v = self.read_local(m as u32) as i16;
+                self.top_apply(|t| t.wrapping_mul(v));
+                Flow::Next
+            }
+            (I::LoadLocal(m), I::CmpEq) => {
+                let v = self.read_local(m as u32) as i16;
+                self.top_apply(|t| (t == v) as i16);
+                Flow::Next
+            }
+            (I::LoadLocal(m), I::CmpNe) => {
+                let v = self.read_local(m as u32) as i16;
+                self.top_apply(|t| (t != v) as i16);
+                Flow::Next
+            }
+            (I::LoadLocal(m), I::CmpLt) => {
+                let v = self.read_local(m as u32) as i16;
+                self.top_apply(|t| (t < v) as i16);
+                Flow::Next
+            }
+            (I::LoadLocal(m), I::CmpLe) => {
+                let v = self.read_local(m as u32) as i16;
+                self.top_apply(|t| (t <= v) as i16);
+                Flow::Next
+            }
+            (I::LoadLocal(m), I::CmpGt) => {
+                let v = self.read_local(m as u32) as i16;
+                self.top_apply(|t| (t > v) as i16);
+                Flow::Next
+            }
+            (I::LoadLocal(m), I::CmpGe) => {
+                let v = self.read_local(m as u32) as i16;
+                self.top_apply(|t| (t >= v) as i16);
+                Flow::Next
+            }
+            (I::LoadLocal(m), I::Exch) => {
+                let v = self.read_local(m as u32);
+                let x = self.stack.pop().expect("guarded by fusion depth check");
+                self.stack.push(v);
+                self.stack.push(x);
+                Flow::Next
+            }
+            (I::LoadLocal(m), I::StoreLocal(n)) => {
+                let v = self.read_local(m as u32);
+                self.write_local(n as u32, v);
+                Flow::Next
+            }
+            (I::StoreLocal(m), I::StoreLocal(n)) => {
+                let v = self.stack.pop().expect("guarded by fusion depth check");
+                self.write_local(m as u32, v);
+                let v = self.stack.pop().expect("guarded by fusion depth check");
+                self.write_local(n as u32, v);
+                Flow::Next
+            }
+            (I::StoreLocal(m), I::LoadLocal(n)) => {
+                let v = self.stack.pop().expect("guarded by fusion depth check");
+                self.write_local(m as u32, v);
+                let v = self.read_local(n as u32);
+                self.stack.push(v);
+                Flow::Next
+            }
+            (I::StoreLocal(m), I::LoadImm(v)) => {
+                let x = self.stack.pop().expect("guarded by fusion depth check");
+                self.write_local(m as u32, x);
+                self.stack.push(v);
+                Flow::Next
+            }
+            (I::LoadImm(v), I::StoreLocal(m)) => {
+                self.write_local(m as u32, v);
+                Flow::Next
+            }
+            (I::Add, I::StoreLocal(m)) => {
+                let y = self.stack.pop().expect("guarded by fusion depth check") as i16;
+                let x = self.stack.pop().expect("guarded by fusion depth check") as i16;
+                self.write_local(m as u32, x.wrapping_add(y) as u16);
+                Flow::Next
+            }
+            (I::Sub, I::StoreLocal(m)) => {
+                let y = self.stack.pop().expect("guarded by fusion depth check") as i16;
+                let x = self.stack.pop().expect("guarded by fusion depth check") as i16;
+                self.write_local(m as u32, x.wrapping_sub(y) as u16);
+                Flow::Next
+            }
+            (I::Add, I::LoadLocal(n)) => {
+                let y = self.stack.pop().expect("guarded by fusion depth check") as i16;
+                self.top_apply(|t| t.wrapping_add(y));
+                let v = self.read_local(n as u32);
+                self.stack.push(v);
+                Flow::Next
+            }
+            (I::Sub, I::LoadLocal(n)) => {
+                let y = self.stack.pop().expect("guarded by fusion depth check") as i16;
+                self.top_apply(|t| t.wrapping_sub(y));
+                let v = self.read_local(n as u32);
+                self.stack.push(v);
+                Flow::Next
+            }
+            (I::Mul, I::LoadLocal(n)) => {
+                let y = self.stack.pop().expect("guarded by fusion depth check") as i16;
+                self.top_apply(|t| t.wrapping_mul(y));
+                let v = self.read_local(n as u32);
+                self.stack.push(v);
+                Flow::Next
+            }
+            (I::LoadGlobal(g), I::LoadImm(v)) => {
+                let x = self.mem.read(self.global_addr(g as u32));
+                self.stack.push(x);
+                self.stack.push(v);
+                Flow::Next
+            }
+            (I::Add, I::StoreGlobal(g)) => {
+                let y = self.stack.pop().expect("guarded by fusion depth check") as i16;
+                let x = self.stack.pop().expect("guarded by fusion depth check") as i16;
+                self.mem
+                    .write(self.global_addr(g as u32), x.wrapping_add(y) as u16);
+                Flow::Next
+            }
+            (I::Sub, I::StoreGlobal(g)) => {
+                let y = self.stack.pop().expect("guarded by fusion depth check") as i16;
+                let x = self.stack.pop().expect("guarded by fusion depth check") as i16;
+                self.mem
+                    .write(self.global_addr(g as u32), x.wrapping_sub(y) as u16);
+                Flow::Next
+            }
+            _ => {
+                self.pc = b_start;
+                let flow_a = self.execute(a, instr_start)?;
+                debug_assert!(matches!(flow_a, Flow::Next), "first ops are straight-line");
+                self.pc = end;
+                self.execute(f.b, b_start)?
+            }
+        };
+        let refs = self.refs_total() - refs0;
+        let divert = self.stats.divert_cycles - divert0;
+        let mut cycles = 2 * CYCLE_BASE + refs * CYCLE_MEMREF + divert;
+        match flow_b {
+            Flow::Next => {}
+            Flow::Taken(k) => {
+                debug_assert!(k.is_none(), "transfer seconds take step_pair_xfer");
+                cycles += CYCLE_REFILL;
+                self.stats.jumps_taken += 1;
+            }
+            Flow::Halt => self.halted = true,
+        }
+        self.stats.cycles += cycles;
+        self.stats.instructions += 2;
+        self.fused_execs += 1;
+        Ok(StepOutcome::Ran)
+    }
+
+    /// A fused pair whose second half is a call or return: executes
+    /// both halves with a counter snapshot in between, so the
+    /// transfer's per-event cycle/reference record is exactly what an
+    /// unfused run would have recorded.
+    fn step_pair_xfer(
+        &mut self,
+        a: Instr,
+        f: FusedOp,
+        instr_start: ByteAddr,
+        b_start: ByteAddr,
+        end: ByteAddr,
+    ) -> Result<StepOutcome, VmError> {
+        self.pc = b_start;
+        let (cycles_a, refs_mid, divert_mid) = if f.pure_a {
+            // A pure first half makes no counted or diverted reference:
+            // its cost is exactly one base cycle and the leading
+            // counter snapshot can be skipped (the mid-pair one doubles
+            // as the transfer's baseline). Dispatch the common
+            // argument-push shape in place.
+            match a {
+                Instr::LoadImm(v) => self.stack.push(v),
+                _ => {
+                    // An error here commits nothing — same as an
+                    // unfused step A (pure ops cannot actually error
+                    // under the depth guards, but stay conservative).
+                    let flow_a = self.execute(a, instr_start)?;
+                    debug_assert!(matches!(flow_a, Flow::Next), "first ops are straight-line");
+                }
+            }
+            (CYCLE_BASE, self.refs_total(), self.stats.divert_cycles)
+        } else {
+            let refs0 = self.refs_total();
+            let divert0 = self.stats.divert_cycles;
+            // An error here commits nothing — same as an unfused step A.
+            match a {
+                Instr::LoadLocal(n) => {
+                    let v = self.read_local(n as u32);
+                    self.stack.push(v);
+                }
+                _ => {
+                    let flow_a = self.execute(a, instr_start)?;
+                    debug_assert!(matches!(flow_a, Flow::Next), "first ops are straight-line");
+                }
+            }
+            let refs_mid = self.refs_total();
+            let divert_mid = self.stats.divert_cycles;
+            (
+                CYCLE_BASE + (refs_mid - refs0) * CYCLE_MEMREF + (divert_mid - divert0),
+                refs_mid,
+                divert_mid,
+            )
+        };
+        self.pc = end;
+        match self.execute(f.b, b_start) {
+            Ok(flow_b) => {
+                let refs_b = self.refs_total() - refs_mid;
+                let divert_b = self.stats.divert_cycles - divert_mid;
+                let mut cycles_b = CYCLE_BASE + refs_b * CYCLE_MEMREF + divert_b;
+                let mut kind = None;
+                match flow_b {
+                    Flow::Next => {}
+                    Flow::Taken(k) => {
+                        cycles_b += CYCLE_REFILL;
+                        kind = k;
+                        if k.is_none() {
+                            self.stats.jumps_taken += 1;
+                        }
+                    }
+                    Flow::Halt => self.halted = true,
+                }
+                self.stats.cycles += cycles_a + cycles_b;
+                self.stats.instructions += 2;
+                if let Some(k) = kind {
+                    self.stats.transfers.record(k, cycles_b, refs_b);
+                }
+                self.fused_execs += 1;
+                Ok(StepOutcome::Ran)
+            }
+            Err(e) => {
+                // The first half ran to completion: commit it as a
+                // finished step, exactly as the unfused machine would
+                // have before failing on B.
+                self.stats.cycles += cycles_a;
+                self.stats.instructions += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Applies `f` to the evaluation-stack top in place (fused
+    /// arithmetic's "top caching"). Returns `false` so the fused match
+    /// arms read as `taken` expressions.
+    #[inline]
+    fn top_apply(&mut self, f: impl FnOnce(i16) -> i16) -> bool {
+        let t = self
+            .stack
+            .last_mut()
+            .expect("guarded by fusion depth check");
+        *t = f(*t as i16) as u16;
+        false
+    }
+
+    /// Fused compare+branch: pops both operands, branches on the
+    /// comparison without materialising the boolean. `on_true` selects
+    /// `JumpNotZero` semantics (branch when the compare holds) versus
+    /// `JumpZero` (branch when it fails). Returns whether it branched.
+    #[inline]
+    fn cmp_branch(
+        &mut self,
+        f: impl FnOnce(i16, i16) -> bool,
+        on_true: bool,
+        b_start: ByteAddr,
+        d: i32,
+    ) -> bool {
+        let y = self.stack.pop().expect("guarded by fusion depth check") as i16;
+        let x = self.stack.pop().expect("guarded by fusion depth check") as i16;
+        if f(x, y) == on_true {
+            self.pc = b_start.displace(d);
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
     fn push(&mut self, v: u16) -> Result<(), VmError> {
         if self.stack.len() >= self.config.stack_depth {
             // Overflow of the register stack is fatal rather than a
@@ -659,10 +1137,12 @@ impl Machine {
         Ok(())
     }
 
+    #[inline]
     fn pop(&mut self) -> Result<u16, VmError> {
         self.stack.pop().ok_or(VmError::StackUnderflow)
     }
 
+    #[inline]
     fn read_local(&mut self, idx: u32) -> u16 {
         if let Some(b) = self.banks.as_mut() {
             if let Some(v) = b.read_local(self.lf, idx) {
@@ -672,6 +1152,7 @@ impl Machine {
         self.mem.read(layout::local_slot(self.lf, idx))
     }
 
+    #[inline]
     fn write_local(&mut self, idx: u32, v: u16) {
         if let Some(b) = self.banks.as_mut() {
             if b.write_local(self.lf, idx, v) {
@@ -681,6 +1162,7 @@ impl Machine {
         self.mem.write(layout::local_slot(self.lf, idx), v);
     }
 
+    #[inline]
     fn read_indirect(&mut self, addr: WordAddr) -> u16 {
         if let Some(b) = self.banks.as_mut() {
             if let Some((frame, idx)) = b.shadow_hit(addr) {
@@ -691,6 +1173,7 @@ impl Machine {
         self.mem.read(addr)
     }
 
+    #[inline]
     fn write_indirect(&mut self, addr: WordAddr, v: u16) {
         if let Some(b) = self.banks.as_mut() {
             if let Some((frame, idx)) = b.shadow_hit(addr) {
@@ -702,6 +1185,7 @@ impl Machine {
         self.mem.write(addr, v);
     }
 
+    #[inline]
     fn global_addr(&self, idx: u32) -> WordAddr {
         self.gf.offset(layout::GF_GLOBALS + idx)
     }
@@ -747,6 +1231,100 @@ impl Machine {
         let eff = entry.effective_ev_index(p.code().get());
         let rel = self.code.read_table(layout::ev_slot(base, eff));
         Ok((base.offset(rel as u32), gf, base))
+    }
+
+    /// Brings the inline transfer cache up to the current generations
+    /// and returns it. Callers have already checked `xfer_ic.is_some()`.
+    #[inline]
+    fn ic_synced(&mut self) -> &mut XferCache {
+        let code_version = self.code.version();
+        let table_gen = self.mem.table_gen();
+        let code_len = self.code.len();
+        let ic = self.xfer_ic.as_mut().expect("checked by caller");
+        ic.sync(code_version, table_gen, code_len);
+        ic
+    }
+
+    /// `EFC` through the inline cache. The link-vector read is real and
+    /// counted either way (the guard rides its raw value); a hit then
+    /// *charges* the GFT walk's 2 data reads and 1 table read instead
+    /// of performing them.
+    fn external_call_cached(&mut self, k: u8, instr_start: ByteAddr) -> Result<Flow, VmError> {
+        let lv_raw = self.mem.read(layout::lv_slot(self.gf, k as u32));
+        if let Some(t) = self.ic_synced().lookup_link(instr_start.0, lv_raw) {
+            self.mem.charge_reads(2);
+            self.code.charge_table_reads(1);
+            return self.perform_call_resolved(t, TransferKind::Call, true);
+        }
+        let w = ContextWord::from_raw(lv_raw);
+        match Context::from(w) {
+            Context::Proc(p) => {
+                let (header, dest_gf, dest_cb) = self.resolve_proc_desc(p)?;
+                let (fsi, flags) = self.read_header(header);
+                let t = CachedTarget {
+                    header,
+                    gf: dest_gf,
+                    cb: dest_cb,
+                    fsi,
+                    flags,
+                };
+                if let Some(ic) = self.xfer_ic.as_mut() {
+                    ic.fill_link(instr_start.0, t, lv_raw);
+                }
+                self.perform_call_resolved(t, TransferKind::Call, true)
+            }
+            Context::Frame(_) => self.perform_xfer(w),
+            Context::Nil => Err(VmError::XferToNil),
+        }
+    }
+
+    /// `LFC` through the inline cache: a hit charges the entry-vector
+    /// table read instead of performing it.
+    fn local_call_cached(&mut self, k: u8, instr_start: ByteAddr) -> Result<Flow, VmError> {
+        let (caller_gf, caller_cb) = (self.gf, self.code_base);
+        if let Some(t) = self
+            .ic_synced()
+            .lookup_local(instr_start.0, caller_gf, caller_cb)
+        {
+            self.code.charge_table_reads(1);
+            return self.perform_call_resolved(t, TransferKind::Call, true);
+        }
+        let rel = self.code.read_table(layout::ev_slot(caller_cb, k as u16));
+        let header = caller_cb.offset(rel as u32);
+        let (fsi, flags) = self.read_header(header);
+        let t = CachedTarget {
+            header,
+            gf: caller_gf,
+            cb: caller_cb,
+            fsi,
+            flags,
+        };
+        if let Some(ic) = self.xfer_ic.as_mut() {
+            ic.fill_local(instr_start.0, t, caller_gf, caller_cb);
+        }
+        self.perform_call_resolved(t, TransferKind::Call, true)
+    }
+
+    /// `DFC`/`SDC` through the inline cache: the resolution is all
+    /// uncounted header peeks, so a hit charges nothing — it only
+    /// spares the host the peeks and flag unpacking.
+    fn direct_call_cached(&mut self, header: ByteAddr, site: u32) -> Result<Flow, VmError> {
+        if let Some(t) = self.ic_synced().lookup_burned(site) {
+            return self.perform_call_resolved(t, TransferKind::Call, true);
+        }
+        let (gf, cb) = self.read_header_gf_cb(header);
+        let (fsi, flags) = self.read_header(header);
+        let t = CachedTarget {
+            header,
+            gf,
+            cb,
+            fsi,
+            flags,
+        };
+        if let Some(ic) = self.xfer_ic.as_mut() {
+            ic.fill_burned(site, t);
+        }
+        self.perform_call_resolved(t, TransferKind::Call, true)
     }
 
     fn alloc_frame(&mut self, fsi: u8, addr_taken: bool) -> Result<WordAddr, VmError> {
@@ -863,6 +1441,35 @@ impl Machine {
         strict: bool,
     ) -> Result<Flow, VmError> {
         let (fsi, flags) = self.read_header(header);
+        self.perform_call_resolved(
+            CachedTarget {
+                header,
+                gf: dest_gf,
+                cb: dest_cb,
+                fsi,
+                flags,
+            },
+            kind,
+            strict,
+        )
+    }
+
+    /// [`Machine::perform_call`] with the header bytes already in hand
+    /// — the entry point for inline-cache hits, which memoise the
+    /// parsed header alongside the resolved addresses.
+    fn perform_call_resolved(
+        &mut self,
+        t: CachedTarget,
+        kind: TransferKind,
+        strict: bool,
+    ) -> Result<Flow, VmError> {
+        let CachedTarget {
+            header,
+            gf: dest_gf,
+            cb: dest_cb,
+            fsi,
+            flags,
+        } = t;
         let (nargs, addr_taken) = layout::unpack_flags(flags);
         if strict && self.config.strict_stack && self.stack.len() != nargs as usize {
             return Err(VmError::StrictStackViolation {
@@ -1219,6 +1826,9 @@ impl Machine {
                 }
             }
             Instr::ExternalCall(k) => {
+                if self.xfer_ic.is_some() {
+                    return self.external_call_cached(k, instr_start);
+                }
                 // One reference into the link vector…
                 let w = ContextWord::from_raw(self.mem.read(layout::lv_slot(self.gf, k as u32)));
                 match Context::from(w) {
@@ -1240,6 +1850,9 @@ impl Machine {
                 }
             }
             Instr::LocalCall(k) => {
+                if self.xfer_ic.is_some() {
+                    return self.local_call_cached(k, instr_start);
+                }
                 // Same module: same environment and code base, one
                 // level of indirection (the entry vector).
                 let rel = self
@@ -1256,11 +1869,17 @@ impl Machine {
             }
             Instr::DirectCall(addr) => {
                 let header = ByteAddr(addr);
+                if self.xfer_ic.is_some() {
+                    return self.direct_call_cached(header, instr_start.0);
+                }
                 let (gf, cb) = self.read_header_gf_cb(header);
                 return self.perform_call(header, gf, cb, TransferKind::Call, true);
             }
             Instr::ShortDirectCall(d) => {
                 let header = instr_start.displace(d);
+                if self.xfer_ic.is_some() {
+                    return self.direct_call_cached(header, instr_start.0);
+                }
                 let (gf, cb) = self.read_header_gf_cb(header);
                 return self.perform_call(header, gf, cb, TransferKind::Call, true);
             }

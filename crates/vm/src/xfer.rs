@@ -1,0 +1,316 @@
+//! Inline transfer caches: host-level early binding for XFER.
+//!
+//! The paper's I3 argument (§6) is that most call sites transfer to
+//! the same place every time, so binding the target early
+//! (`DIRECTCALL`) turns the LV → GFT → global-frame → EV walk into a
+//! jump. The simulated machine already enjoys that; this module
+//! applies the same observation one level down, to the *host*
+//! interpreter, whose `resolve_proc_desc` still walks the tables on
+//! every simulated call. Each call-site byte offset memoises its
+//! resolved target — header address, destination global frame, code
+//! base, and the header's fsi/flags bytes — so the steady state skips
+//! the dependent loads and header parsing entirely.
+//!
+//! **Invariant: the simulated machine cannot tell.** The walk the
+//! cache skips made counted references (the paper's currency), so a
+//! hit *charges* the same counts through
+//! [`fpc_mem::Memory::charge_reads`] /
+//! [`fpc_mem::CodeStore::charge_table_reads`] without performing the
+//! loads: 2 data reads + 1 table read for an external call's
+//! GFT/global-frame/EV walk, 1 table read for a local call's EV
+//! lookup, nothing for direct calls (header peeks are IFU-prefetched
+//! and uncounted). `tests/predecode_parity.rs` holds the counters
+//! bit-identical across cached and uncached runs.
+//!
+//! Coherence is by generation keys, not hooks ([`TableKey`]): the
+//! cache is valid while the code store's version and the memory's
+//! watched-word generation both stand still. `relocate_module` and
+//! `replace_proc` mutate the code store; simulated stores to GFT or
+//! global-frame code-base words bump the watched generation; and a
+//! link-vector word rebound at run time is caught site-locally — the
+//! external-call guard compares the raw LV word (which the machine
+//! reads, counted, on every call anyway) against the value it was
+//! filled under.
+
+use fpc_core::TableKey;
+use fpc_mem::{ByteAddr, WordAddr};
+
+/// Hit/miss/invalidation counters, surfaced via
+/// `Machine::xfer_cache_stats`. Host-side only: they exist outside the
+/// simulated observables so cached and uncached runs stay bit-identical
+/// in everything the parity fingerprint covers.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct XferCacheStats {
+    /// Call executions served from a memoised target.
+    pub hits: u64,
+    /// Call executions that resolved through the tables (and filled).
+    pub misses: u64,
+    /// Times a populated cache was discarded because a generation
+    /// counter moved (code mutation or a store to a watched table word).
+    pub invalidations: u64,
+}
+
+/// A resolved transfer target: everything `perform_call` needs beyond
+/// the transfer kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedTarget {
+    /// Procedure header address.
+    pub header: ByteAddr,
+    /// Destination global frame.
+    pub gf: WordAddr,
+    /// Destination code base.
+    pub cb: ByteAddr,
+    /// Header frame-size index byte.
+    pub fsi: u8,
+    /// Header flags byte (packed nargs / addr-taken).
+    pub flags: u8,
+}
+
+/// What must still hold at the site, beyond the generation key, for
+/// the memoised target to apply.
+#[derive(Debug, Clone, Copy)]
+enum Guard {
+    /// `LocalCall`: the EV lookup was relative to the caller's code
+    /// base and the destination environment is the caller's global
+    /// frame, so the hit is valid only under the same pair. (Two
+    /// instances of one module share code offsets but not global
+    /// frames — guarding the frame keeps them distinct.)
+    SameModule(WordAddr, ByteAddr),
+    /// `ExternalCall`: valid while the link-vector word the site reads
+    /// equals this raw value — rebinding the LV entry is a data write
+    /// no generation counter watches, so the guard rides the counted
+    /// read the call performs anyway.
+    LinkWord(u16),
+    /// Direct calls: the target is burned into the instruction; the
+    /// generation key alone guards it.
+    Burned,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Site {
+    target: CachedTarget,
+    guard: Guard,
+}
+
+/// A version-keyed map from call-site byte offsets to resolved targets.
+///
+/// Flat like the predecode map: `map[offset]` holds the site directly,
+/// so the hot lookup is one indexed load plus a guard compare.
+#[derive(Debug)]
+pub struct XferCache {
+    key: TableKey,
+    map: Vec<Option<Site>>,
+    filled: usize,
+    stats: XferCacheStats,
+}
+
+impl XferCache {
+    /// An empty cache; coherent with the zero generations.
+    pub fn new() -> Self {
+        XferCache {
+            key: TableKey::default(),
+            map: Vec::new(),
+            filled: 0,
+            stats: XferCacheStats::default(),
+        }
+    }
+
+    /// Usage counters.
+    pub fn stats(&self) -> XferCacheStats {
+        self.stats
+    }
+
+    /// Number of call sites currently memoised.
+    pub fn filled_sites(&self) -> usize {
+        self.filled
+    }
+
+    /// Re-keys the cache to the current generations, discarding every
+    /// memoised site if either counter moved. One comparison when
+    /// coherent — performed before every lookup.
+    #[inline]
+    pub fn sync(&mut self, code_version: u64, table_gen: u64, code_len: u32) {
+        if self.key.matches(code_version, table_gen) && self.map.len() == code_len as usize {
+            return;
+        }
+        self.key = TableKey::new(code_version, table_gen);
+        if self.filled > 0 {
+            self.stats.invalidations += 1;
+        }
+        self.map.clear();
+        self.map.resize(code_len as usize, None);
+        self.filled = 0;
+    }
+
+    /// Looks up a `LocalCall` site: hit iff filled under the same
+    /// caller global frame and code base.
+    #[inline]
+    pub fn lookup_local(
+        &mut self,
+        site: u32,
+        caller_gf: WordAddr,
+        caller_cb: ByteAddr,
+    ) -> Option<CachedTarget> {
+        if let Some(Some(s)) = self.map.get(site as usize) {
+            if let Guard::SameModule(gf, cb) = s.guard {
+                if gf == caller_gf && cb == caller_cb {
+                    self.stats.hits += 1;
+                    return Some(s.target);
+                }
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Looks up an `ExternalCall` site: hit iff the link-vector word
+    /// read at the site equals the one the entry was filled under.
+    #[inline]
+    pub fn lookup_link(&mut self, site: u32, lv_raw: u16) -> Option<CachedTarget> {
+        if let Some(Some(s)) = self.map.get(site as usize) {
+            if let Guard::LinkWord(w) = s.guard {
+                if w == lv_raw {
+                    self.stats.hits += 1;
+                    return Some(s.target);
+                }
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Looks up a direct-call site.
+    #[inline]
+    pub fn lookup_burned(&mut self, site: u32) -> Option<CachedTarget> {
+        if let Some(Some(s)) = self.map.get(site as usize) {
+            if matches!(s.guard, Guard::Burned) {
+                self.stats.hits += 1;
+                return Some(s.target);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Memoises a `LocalCall` site's resolution.
+    pub fn fill_local(
+        &mut self,
+        site: u32,
+        target: CachedTarget,
+        caller_gf: WordAddr,
+        caller_cb: ByteAddr,
+    ) {
+        self.fill(site, target, Guard::SameModule(caller_gf, caller_cb));
+    }
+
+    /// Memoises an `ExternalCall` site's resolution.
+    pub fn fill_link(&mut self, site: u32, target: CachedTarget, lv_raw: u16) {
+        self.fill(site, target, Guard::LinkWord(lv_raw));
+    }
+
+    /// Memoises a direct-call site's resolution.
+    pub fn fill_burned(&mut self, site: u32, target: CachedTarget) {
+        self.fill(site, target, Guard::Burned);
+    }
+
+    fn fill(&mut self, site: u32, target: CachedTarget, guard: Guard) {
+        if let Some(slot) = self.map.get_mut(site as usize) {
+            if slot.is_none() {
+                self.filled += 1;
+            }
+            *slot = Some(Site { target, guard });
+        }
+    }
+}
+
+impl Default for XferCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(h: u32) -> CachedTarget {
+        CachedTarget {
+            header: ByteAddr(h),
+            gf: WordAddr(64),
+            cb: ByteAddr(0),
+            fsi: 1,
+            flags: 2,
+        }
+    }
+
+    #[test]
+    fn local_sites_hit_under_the_same_module_instance() {
+        let mut c = XferCache::new();
+        c.sync(1, 0, 100);
+        assert!(c.lookup_local(10, WordAddr(64), ByteAddr(0)).is_none());
+        c.fill_local(10, target(40), WordAddr(64), ByteAddr(0));
+        assert_eq!(
+            c.lookup_local(10, WordAddr(64), ByteAddr(0)),
+            Some(target(40))
+        );
+        assert!(
+            c.lookup_local(10, WordAddr(64), ByteAddr(8)).is_none(),
+            "different caller base must miss"
+        );
+        assert!(
+            c.lookup_local(10, WordAddr(80), ByteAddr(0)).is_none(),
+            "another instance of the module (same code, other gf) must miss"
+        );
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 3);
+    }
+
+    #[test]
+    fn link_guard_rides_the_lv_word() {
+        let mut c = XferCache::new();
+        c.sync(1, 0, 100);
+        c.fill_link(6, target(40), 0x8123);
+        assert_eq!(c.lookup_link(6, 0x8123), Some(target(40)));
+        assert!(
+            c.lookup_link(6, 0x8124).is_none(),
+            "a rebound link word must miss"
+        );
+    }
+
+    #[test]
+    fn generation_movement_invalidates_everything() {
+        let mut c = XferCache::new();
+        c.sync(1, 0, 100);
+        c.fill_burned(3, target(40));
+        assert!(c.lookup_burned(3).is_some());
+        c.sync(1, 0, 100); // coherent: no flush
+        assert!(c.lookup_burned(3).is_some());
+        assert_eq!(c.stats().invalidations, 0);
+        c.sync(2, 0, 100); // code moved
+        assert!(c.lookup_burned(3).is_none());
+        c.fill_burned(3, target(44));
+        c.sync(2, 1, 100); // table word stored
+        assert!(c.lookup_burned(3).is_none());
+        assert_eq!(c.stats().invalidations, 2);
+        assert_eq!(c.filled_sites(), 0);
+    }
+
+    #[test]
+    fn empty_flushes_are_not_invalidations() {
+        let mut c = XferCache::new();
+        c.sync(5, 5, 10);
+        c.sync(6, 5, 10);
+        assert_eq!(c.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn guards_do_not_cross_kinds() {
+        let mut c = XferCache::new();
+        c.sync(1, 0, 100);
+        c.fill_local(9, target(40), WordAddr(64), ByteAddr(0));
+        assert!(
+            c.lookup_link(9, 0).is_none() && c.lookup_burned(9).is_none(),
+            "a site filled as one linkage must not serve another"
+        );
+    }
+}

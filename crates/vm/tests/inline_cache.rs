@@ -1,0 +1,141 @@
+//! The inline transfer cache under dynamic rebinding.
+//!
+//! §6's early-binding bargain: memoise the resolved target at the call
+//! site, and pay for it with exact invalidation when the binding
+//! machinery moves. These tests pin the bargain down: a site whose
+//! target is swapped via `replace_proc` must miss *exactly once* and
+//! re-resolve to the new body, with the stats recording the discard —
+//! and the program must observe only the simulated rebinding, never
+//! the cache.
+
+use fpc_isa::Instr;
+use fpc_vm::{Image, ImageBuilder, Machine, MachineConfig, ProcRef, ProcSpec, StepOutcome};
+
+/// worker(x) = x + 1 at entry 0; main loops `OUT worker(5)` forever.
+fn rebinding_image() -> Image {
+    let mut b = ImageBuilder::new();
+    let m = b.module("m");
+    b.proc_with(m, ProcSpec::new("worker", 1, 1), |a| {
+        a.instr(Instr::StoreLocal(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::LoadImm(1));
+        a.instr(Instr::Add);
+        a.instr(Instr::Ret);
+    });
+    b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+        let top = a.label();
+        a.bind(top);
+        a.instr(Instr::LoadImm(5));
+        a.instr(Instr::LocalCall(0));
+        a.instr(Instr::Out);
+        a.jump(top);
+    });
+    b.build(ProcRef {
+        module: 0,
+        ev_index: 1,
+    })
+    .unwrap()
+}
+
+fn run_until_outputs(m: &mut Machine, n: usize) {
+    while m.output().len() < n {
+        assert_eq!(m.step().unwrap(), StepOutcome::Ran);
+    }
+}
+
+#[test]
+fn replaced_target_misses_exactly_once_and_reresolves() {
+    let image = rebinding_image();
+    let mut m = Machine::load(&image, MachineConfig::i2()).unwrap();
+
+    run_until_outputs(&mut m, 3);
+    let before = m.xfer_cache_stats().expect("IC on under i2");
+    assert_eq!(
+        before.misses, 1,
+        "one cold resolution for the single call site"
+    );
+    assert!(before.hits >= 2, "repeat calls must be served memoised");
+    assert_eq!(before.invalidations, 0);
+
+    // Swap in worker v2 = x + 10. This appends a body and repoints the
+    // entry vector — the code version moves, so the memoised target is
+    // stale and must be discarded.
+    m.replace_proc(0, 0, 1, 1, |a| {
+        a.instr(Instr::StoreLocal(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::LoadImm(10));
+        a.instr(Instr::Add);
+        a.instr(Instr::Ret);
+    })
+    .unwrap();
+
+    run_until_outputs(&mut m, 6);
+    let after = m.xfer_cache_stats().unwrap();
+    assert_eq!(
+        m.output(),
+        &[6, 6, 6, 15, 15, 15],
+        "the program sees the rebinding, nothing else"
+    );
+    assert_eq!(
+        after.misses,
+        before.misses + 1,
+        "the replaced site must re-resolve exactly once"
+    );
+    assert!(
+        after.invalidations >= 1,
+        "the discard must be recorded: {after:?}"
+    );
+    assert!(
+        after.hits > before.hits,
+        "hits must resume once the new target is memoised"
+    );
+}
+
+#[test]
+fn replacement_before_any_call_counts_no_invalidation() {
+    // An empty cache has nothing to discard: invalidations count
+    // discarded *state*, not version bumps.
+    let image = rebinding_image();
+    let mut m = Machine::load(&image, MachineConfig::i2()).unwrap();
+    m.replace_proc(0, 0, 1, 1, |a| {
+        a.instr(Instr::StoreLocal(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::LoadImm(2));
+        a.instr(Instr::Mul);
+        a.instr(Instr::Ret);
+    })
+    .unwrap();
+    run_until_outputs(&mut m, 2);
+    let s = m.xfer_cache_stats().unwrap();
+    assert_eq!(m.output(), &[10, 10]);
+    assert_eq!(s.misses, 1);
+    assert_eq!(
+        s.invalidations, 0,
+        "nothing was cached, so nothing was invalidated"
+    );
+}
+
+#[test]
+fn repeated_replacement_invalidates_each_time() {
+    let image = rebinding_image();
+    let mut m = Machine::load(&image, MachineConfig::i2()).unwrap();
+    let mut expected = vec![6u16, 6];
+    run_until_outputs(&mut m, 2);
+    for round in 1..=3u16 {
+        let add = 1 + 10 * round;
+        m.replace_proc(0, 0, 1, 1, move |a| {
+            a.instr(Instr::StoreLocal(0));
+            a.instr(Instr::LoadLocal(0));
+            a.instr(Instr::LoadImm(add));
+            a.instr(Instr::Add);
+            a.instr(Instr::Ret);
+        })
+        .unwrap();
+        expected.extend([5 + add, 5 + add]);
+        run_until_outputs(&mut m, expected.len());
+    }
+    let s = m.xfer_cache_stats().unwrap();
+    assert_eq!(m.output(), &expected[..]);
+    assert_eq!(s.misses, 4, "cold + one re-resolution per replacement");
+    assert!(s.invalidations >= 3, "each swap discards the filled entry");
+}

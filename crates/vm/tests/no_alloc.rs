@@ -1,0 +1,170 @@
+//! The hot interpretation paths must not allocate.
+//!
+//! The predecode lookup, the fused dispatch and the inline transfer
+//! cache are all hit once per simulated instruction; a host allocation
+//! anywhere on those paths would dwarf the work they save. These tests
+//! wrap the global allocator in a counter and assert that a *warm*
+//! machine — caches filled, capacities established — runs steady-state
+//! with zero host allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use fpc_isa::Instr;
+use fpc_mem::CodeStore;
+use fpc_vm::{
+    Image, ImageBuilder, Machine, MachineConfig, PredecodeCache, ProcRef, ProcSpec, VmError,
+};
+
+/// Pass-through allocator that counts every allocating entry point
+/// (alloc, alloc_zeroed, realloc — dealloc cannot allocate).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, n)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// Serialises the tests in this binary: the counter is process-global,
+/// so a concurrently-running test would bleed its allocations into
+/// another test's measurement window.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_predecode_lookup_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // A representative little run: locals, immediates, a compare, a
+    // branch — enough shapes to populate both the flat map and the
+    // fusion overlay.
+    let instrs = [
+        Instr::LoadLocal(0),
+        Instr::LoadImm(2),
+        Instr::CmpLt,
+        Instr::JumpZero(4),
+        Instr::LoadLocal(1),
+        Instr::StoreLocal(0),
+        Instr::Ret,
+    ];
+    let mut bytes = Vec::new();
+    let mut offsets = Vec::new();
+    for i in &instrs {
+        offsets.push(bytes.len() as u32);
+        i.encode(&mut bytes);
+    }
+    let mut code = CodeStore::new();
+    code.append(&bytes);
+
+    let mut cache = PredecodeCache::with_fusion(true);
+    cache.translate_range(&code, 0, code.len());
+    // Warm every offset once (the fused overlay and the flat map are
+    // both populated eagerly, but be paranoid about lazy stragglers).
+    for &off in &offsets {
+        cache.lookup_fused(&code, off).unwrap();
+        cache.lookup(&code, off).unwrap();
+    }
+
+    let before = allocs();
+    for _ in 0..10_000 {
+        for &off in &offsets {
+            cache.lookup_fused(&code, off).unwrap();
+        }
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "warm fused lookups must be allocation-free"
+    );
+
+    let before = allocs();
+    for _ in 0..10_000 {
+        for &off in &offsets {
+            cache.lookup(&code, off).unwrap();
+        }
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "warm singleton lookups must be allocation-free"
+    );
+}
+
+/// A call-dense image: main calls a tiny leaf forever. Exercises the
+/// full transfer path — fused dispatch, the inline XFER cache, frame
+/// allocation and return — in steady state.
+fn call_loop_image() -> Image {
+    let mut b = ImageBuilder::new();
+    let m = b.module("m");
+    b.proc_with(m, ProcSpec::new("leaf", 0, 1), |a| {
+        a.instr(Instr::LoadImm(3));
+        a.instr(Instr::StoreLocal(0));
+        a.instr(Instr::Ret);
+    });
+    b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+        let top = a.label();
+        a.bind(top);
+        a.instr(Instr::LocalCall(0));
+        a.jump(top);
+    });
+    b.build(ProcRef {
+        module: 0,
+        ev_index: 1,
+    })
+    .unwrap()
+}
+
+#[test]
+fn warm_machine_steps_do_not_allocate() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let image = call_loop_image();
+    let mut m = Machine::load(&image, MachineConfig::i2()).unwrap();
+    // Warm-up: fills the predecode map, the fusion overlay, the inline
+    // transfer cache and the frame table, and settles every Vec at its
+    // steady-state capacity.
+    assert!(
+        matches!(m.run(20_000), Err(VmError::OutOfFuel)),
+        "the loop must still be running"
+    );
+
+    let ic0 = m.xfer_cache_stats().expect("IC on under i2");
+    let fused0 = m.fusion_stats().expect("fusion on under i2").fused_execs;
+    let instr0 = m.stats().instructions;
+    let before = allocs();
+    assert!(matches!(m.run(100_000), Err(VmError::OutOfFuel)));
+    assert_eq!(
+        allocs() - before,
+        0,
+        "a warm call/return loop must be allocation-free"
+    );
+
+    // Prove the window actually exercised the accelerated paths.
+    let ic = m.xfer_cache_stats().unwrap();
+    assert!(m.stats().instructions > instr0);
+    assert!(ic.hits > ic0.hits, "the transfer cache must be hitting");
+    assert!(
+        m.fusion_stats().unwrap().fused_execs > fused0,
+        "fused pairs must be executing"
+    );
+}

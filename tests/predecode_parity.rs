@@ -1,14 +1,15 @@
-//! Differential tests for the predecoded instruction stream.
+//! Differential tests for the host-side acceleration layers.
 //!
-//! The predecode cache is a host-side optimisation only: a run
-//! dispatching from the decoded stream must be **bit-identical** in
-//! every simulated respect — outputs, instruction/cycle/jump counters,
-//! memory-reference counters, per-transfer-kind statistics, return
-//! stack, bank, frame-cache and heap statistics — to a run re-parsing
-//! the code bytes on every step. These tests enforce that over the
-//! whole corpus on all four machine configurations, and across mid-run
-//! code mutation (module relocation and procedure replacement), where
-//! a stale cache would be most tempting and most wrong.
+//! The predecode cache, the inline transfer caches and superinstruction
+//! fusion are host-side optimisations only: a run using any combination
+//! of them must be **bit-identical** in every simulated respect —
+//! outputs, instruction/cycle/jump counters, memory-reference counters,
+//! per-transfer-kind statistics, return stack, bank, frame-cache and
+//! heap statistics — to a run re-parsing the code bytes on every step
+//! with every accelerator off. These tests enforce that over the whole
+//! corpus on all four machine configurations, and across mid-run code
+//! mutation (module relocation and procedure replacement), where a
+//! stale cache would be most tempting and most wrong.
 
 use fpc_isa::Instr;
 use fpc_vm::{Image, ImageBuilder, Machine, MachineConfig, ProcRef, ProcSpec, StepOutcome};
@@ -40,33 +41,82 @@ fn all_configs() -> [(&'static str, MachineConfig); 4] {
     ]
 }
 
+/// The acceleration ladder, weakest first. Element 0 (everything off)
+/// is the reference every other rung must match bit-for-bit.
+fn ladder(c: MachineConfig) -> [(&'static str, MachineConfig); 4] {
+    let off = c.with_inline_xfer(false).with_fusion(false);
+    [
+        ("byte", off.with_predecode(false)),
+        ("predecode", off.with_predecode(true)),
+        (
+            "predecode+ic",
+            c.with_predecode(true)
+                .with_inline_xfer(true)
+                .with_fusion(false),
+        ),
+        (
+            "predecode+ic+fuse",
+            c.with_predecode(true)
+                .with_inline_xfer(true)
+                .with_fusion(true),
+        ),
+    ]
+}
+
 #[test]
 fn corpus_counters_identical_across_decode_paths() {
     let corpus = corpus();
     assert_eq!(corpus.len(), 17, "parity must cover the whole corpus");
+    let mut ic_hits = 0u64;
+    let mut fused = 0u64;
     for w in &corpus {
         for (name, config) in all_configs() {
-            let pre = run_workload(w, config.with_predecode(true), Default::default())
-                .unwrap_or_else(|e| panic!("{} on {name} (predecode): {e}", w.name));
-            let byte = run_workload(w, config.with_predecode(false), Default::default())
-                .unwrap_or_else(|e| panic!("{} on {name} (byte): {e}", w.name));
-            assert_eq!(pre.output(), w.expected.as_slice(), "{} on {name}", w.name);
+            let runs: Vec<(&str, Machine)> = ladder(config)
+                .into_iter()
+                .map(|(rung, cfg)| {
+                    let m = run_workload(w, cfg, Default::default())
+                        .unwrap_or_else(|e| panic!("{} on {name} ({rung}): {e}", w.name));
+                    (rung, m)
+                })
+                .collect();
+            let reference = fingerprint(&runs[0].1);
             assert_eq!(
-                fingerprint(&pre),
-                fingerprint(&byte),
-                "{} on {name}: predecoded run diverged from byte-decoded run",
+                runs[0].1.output(),
+                w.expected.as_slice(),
+                "{} on {name}",
                 w.name
             );
-            let ps = pre.predecode_stats().expect("cache is on");
+            for (rung, m) in &runs[1..] {
+                assert_eq!(
+                    fingerprint(m),
+                    reference,
+                    "{} on {name}: {rung} diverged from the byte-decoded run",
+                    w.name
+                );
+            }
+            let ps = runs[1].1.predecode_stats().expect("cache is on");
             assert!(
                 ps.hits > ps.lazy_decodes,
                 "{} on {name}: eager translation should serve the steady state \
                  ({ps:?})",
                 w.name
             );
-            assert!(byte.predecode_stats().is_none(), "cache is off");
+            assert!(runs[0].1.predecode_stats().is_none(), "cache is off");
+            assert!(runs[1].1.xfer_cache_stats().is_none(), "ic is off");
+            assert!(runs[1].1.fusion_stats().is_none(), "fusion is off");
+            let top = &runs[3].1;
+            ic_hits += top.xfer_cache_stats().expect("ic is on").hits;
+            fused += top.fusion_stats().expect("fusion is on").fused_execs;
         }
     }
+    assert!(
+        ic_hits > 0,
+        "the corpus must actually exercise inline-cache hits"
+    );
+    assert!(
+        fused > 0,
+        "the corpus must actually execute fused superinstructions"
+    );
 }
 
 /// tri(n) recursion whose main calls it five times — long enough to
@@ -106,23 +156,27 @@ fn tri_image() -> Image {
     .unwrap()
 }
 
-/// Steps to completion, relocating module 0 every 500 instructions.
+/// Steps to completion, relocating module 0 every ~500 *instructions*.
+/// Pacing by the instruction counter (a fused step retires two) keeps
+/// the mutation points aligned in simulated time across every rung of
+/// the acceleration ladder.
 fn run_with_relocations(image: &Image, config: MachineConfig) -> Machine {
     let mut machine = Machine::load(image, config).unwrap();
-    let mut steps = 0u64;
+    let mut last_move = 0u64;
     let mut moves = 0;
     loop {
         match machine.step().unwrap() {
             StepOutcome::Halted => break,
             StepOutcome::Ran => {
-                steps += 1;
-                if steps.is_multiple_of(500) && moves < 5 {
+                let done = machine.stats().instructions;
+                if done - last_move >= 500 && moves < 5 {
                     machine.relocate_module(0).unwrap();
                     moves += 1;
+                    last_move = done;
                 }
             }
         }
-        assert!(steps < 1_000_000, "runaway");
+        assert!(machine.stats().instructions < 1_000_000, "runaway");
     }
     assert!(moves >= 3, "run long enough to move code: {moves}");
     machine
@@ -132,19 +186,30 @@ fn run_with_relocations(image: &Image, config: MachineConfig) -> Machine {
 fn relocation_mid_run_preserves_counters() {
     let image = tri_image();
     for config in [MachineConfig::i2(), MachineConfig::i3()] {
-        let pre = run_with_relocations(&image, config.with_predecode(true));
-        let byte = run_with_relocations(&image, config.with_predecode(false));
-        assert_eq!(pre.output(), &[820, 820, 820, 820, 820]);
-        assert_eq!(
-            fingerprint(&pre),
-            fingerprint(&byte),
-            "relocation under {config:?} diverged between decode paths"
-        );
-        let ps = pre.predecode_stats().unwrap();
+        let runs: Vec<(&str, Machine)> = ladder(config)
+            .into_iter()
+            .map(|(rung, cfg)| (rung, run_with_relocations(&image, cfg)))
+            .collect();
+        let reference = fingerprint(&runs[0].1);
+        assert_eq!(runs[0].1.output(), &[820, 820, 820, 820, 820]);
+        for (rung, m) in &runs[1..] {
+            assert_eq!(
+                fingerprint(m),
+                reference,
+                "relocation under {config:?} diverged on {rung}"
+            );
+        }
+        let ps = runs[1].1.predecode_stats().unwrap();
         assert!(
             ps.rebuilds >= 3,
             "each relocation re-keys the cache: {ps:?}"
         );
+        let ic = runs[3].1.xfer_cache_stats().unwrap();
+        assert!(
+            ic.invalidations >= 3,
+            "each relocation flushes the populated transfer cache: {ic:?}"
+        );
+        assert!(ic.hits > 0, "steady-state calls still hit: {ic:?}");
     }
 }
 
@@ -199,17 +264,27 @@ fn run_with_replacement(image: &Image, config: MachineConfig) -> Machine {
 fn replacement_mid_run_preserves_counters() {
     let image = replace_image();
     for config in [MachineConfig::i2(), MachineConfig::i3()] {
-        let pre = run_with_replacement(&image, config.with_predecode(true));
-        let byte = run_with_replacement(&image, config.with_predecode(false));
-        assert_eq!(pre.output(), &[11, 11, 30, 30]);
-        assert_eq!(
-            fingerprint(&pre),
-            fingerprint(&byte),
-            "replacement under {config:?} diverged between decode paths"
-        );
+        let runs: Vec<(&str, Machine)> = ladder(config)
+            .into_iter()
+            .map(|(rung, cfg)| (rung, run_with_replacement(&image, cfg)))
+            .collect();
+        let reference = fingerprint(&runs[0].1);
+        assert_eq!(runs[0].1.output(), &[11, 11, 30, 30]);
+        for (rung, m) in &runs[1..] {
+            assert_eq!(
+                fingerprint(m),
+                reference,
+                "replacement under {config:?} diverged on {rung}"
+            );
+        }
         // The replacement body must have been executed from the cache,
         // not just decoded lazily as a straggler.
-        let ps = pre.predecode_stats().unwrap();
+        let ps = runs[1].1.predecode_stats().unwrap();
         assert!(ps.rebuilds >= 1, "{ps:?}");
+        let ic = runs[3].1.xfer_cache_stats().unwrap();
+        assert!(
+            ic.invalidations >= 1,
+            "replacing a procedure flushes the transfer cache: {ic:?}"
+        );
     }
 }
