@@ -1,0 +1,45 @@
+//! Regenerates experiment H3 (see DESIGN.md §7): the cost of a
+//! recovered frame fault — seize-everything pressure survived by the
+//! guest `DONATE` replenisher, priced in simulated counters and host
+//! wall-clock per fault.
+//!
+//! Usage: `exp_h3_fault_cost [--smoke] [--out PATH]`
+//!
+//! `--smoke` runs one cheap sample per cell (CI mode — proves the
+//! harness and the JSON shape, not the timings; the simulated per-fault
+//! numbers are deterministic either way); `--out` redirects the JSON
+//! from the default `BENCH_host_faults.json`.
+
+use fpc_bench::experiments::{h1, h3};
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_host_faults.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: exp_h3_fault_cost [--smoke] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let params = if smoke {
+        h1::Params::smoke()
+    } else {
+        h1::Params::full()
+    };
+    let (report, json) = h3::report_and_json(params);
+    print!("{report}");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

@@ -16,3 +16,4 @@ pub mod e8;
 pub mod e9;
 pub mod h1;
 pub mod h2;
+pub mod h3;

@@ -19,6 +19,12 @@ use crate::heap::FrameError;
 pub struct GeneralHeap {
     /// Free blocks as (addr, words), address-ordered, coalesced.
     free: Vec<(u32, u32)>,
+    /// Withheld tail block as (addr, words): not visible to first fit
+    /// until donated (or emergency mode borrows from it).
+    reserve: (u32, u32),
+    /// While set, a failed first fit may carve from the reserve — the
+    /// fault-dispatch guarantee, mirroring `FrameHeap::set_emergency`.
+    emergency: bool,
     charged_refs: u64,
     allocs: u64,
     frees: u64,
@@ -35,14 +41,70 @@ impl GeneralHeap {
     ///
     /// Panics if the region is empty.
     pub fn new(start: u32, words: u32) -> Self {
-        assert!(words > 2, "empty region");
+        Self::with_reserve(start, words, 0)
+    }
+
+    /// Like [`GeneralHeap::new`] but withholds the last `reserve` words
+    /// from the free list; only [`GeneralHeap::donate`] or emergency
+    /// mode can reach them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region minus the reserve is empty.
+    pub fn with_reserve(start: u32, words: u32, reserve: u32) -> Self {
+        assert!(words > reserve + 2, "empty region");
         let start = start | 1;
+        // Even usable size keeps the reserve base odd, so emergency
+        // frames (base + 1) stay two-word aligned like first-fit ones.
+        let usable = if reserve == 0 {
+            words - 1
+        } else {
+            (words - 1 - reserve) & !1
+        };
         GeneralHeap {
-            free: vec![(start, words - 1)],
+            free: vec![(start, usable)],
+            // Exactly the requested reserve; the odd slack word lost to
+            // alignment rounding (if any) is simply never handed out.
+            reserve: (start + usable, reserve),
+            emergency: false,
             charged_refs: 0,
             allocs: 0,
             frees: 0,
         }
+    }
+
+    /// Words still held in reserve (donatable).
+    pub fn reserve_words(&self) -> u32 {
+        self.reserve.1
+    }
+
+    /// Releases up to `words` reserve words to the free list; returns
+    /// the count granted. Charged like a free-list insertion.
+    pub fn donate(&mut self, words: u32) -> u32 {
+        // Whole word pairs only, preserving frame alignment.
+        let granted = words.min(self.reserve.1) & !1;
+        if granted == 0 {
+            return 0;
+        }
+        let (addr, _) = self.reserve;
+        self.reserve = (addr + granted, self.reserve.1 - granted);
+        self.charged_refs += 3;
+        // The reserve is the tail: the released block either follows the
+        // last free block directly or forms a new one.
+        match self.free.last_mut() {
+            Some((a, s)) if *a + *s == addr => {
+                *s += granted;
+                self.charged_refs += 2;
+            }
+            _ => self.free.push((addr, granted)),
+        }
+        granted
+    }
+
+    /// Toggles emergency mode (carve handler frames from the reserve
+    /// when first fit fails).
+    pub fn set_emergency(&mut self, on: bool) {
+        self.emergency = on;
     }
 
     /// Total modelled memory references charged so far.
@@ -84,6 +146,13 @@ impl GeneralHeap {
                 self.allocs += 1;
                 return Ok(WordAddr(addr + 1));
             }
+        }
+        if self.emergency && self.reserve.1 >= need {
+            let (addr, left) = self.reserve;
+            self.reserve = (addr + need, left - need);
+            self.charged_refs += 3;
+            self.allocs += 1;
+            return Ok(WordAddr(addr + 1));
         }
         Err(FrameError::OutOfMemory)
     }
@@ -292,6 +361,42 @@ mod tests {
     fn general_heap_out_of_memory() {
         let mut h = GeneralHeap::new(0x100, 16);
         assert!(h.alloc(100).is_err());
+    }
+
+    #[test]
+    fn general_heap_reserve_withheld_until_donated() {
+        let mut h = GeneralHeap::with_reserve(0x100, 0x100, 0x80);
+        assert_eq!(h.reserve_words(), 0x80);
+        let mut live = Vec::new();
+        while let Ok(f) = h.alloc(14) {
+            live.push(f);
+        }
+        let held_back = live.len();
+        assert!(held_back > 0);
+        assert_eq!(h.donate(0x80), 0x80);
+        assert_eq!(h.reserve_words(), 0);
+        while let Ok(f) = h.alloc(14) {
+            live.push(f);
+        }
+        assert!(live.len() > held_back, "donation freed more capacity");
+        // All frames stay two-word aligned across the boundary.
+        for f in &live {
+            assert_eq!(f.0 % 2, 0, "misaligned frame {f:?}");
+        }
+    }
+
+    #[test]
+    fn general_heap_emergency_borrows_from_reserve() {
+        let mut h = GeneralHeap::with_reserve(0x100, 0x100, 0x40);
+        while h.alloc(14).is_ok() {}
+        assert!(h.alloc(14).is_err());
+        h.set_emergency(true);
+        let f = h.alloc(14).unwrap();
+        assert_eq!(f.0 % 2, 0);
+        h.set_emergency(false);
+        assert!(h.alloc(14).is_err());
+        // Emergency consumption shrinks what remains donatable.
+        assert!(h.reserve_words() < 0x40);
     }
 
     #[test]

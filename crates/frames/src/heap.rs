@@ -26,6 +26,10 @@ pub enum FrameError {
     /// "unsuitable for coroutines, retained frames, and multiple
     /// processes" (§1).
     NonLifoFree(WordAddr),
+    /// Heap metadata read back from simulated memory (a free-list link
+    /// or a hidden size word) was not a valid value: the guest wrote
+    /// over it. Reported as a typed error rather than a host panic.
+    CorruptHeap(WordAddr),
 }
 
 impl fmt::Display for FrameError {
@@ -38,6 +42,9 @@ impl fmt::Display for FrameError {
             FrameError::InvalidFrame(a) => write!(f, "free of non-live frame at {a}"),
             FrameError::NonLifoFree(a) => {
                 write!(f, "LIFO allocator cannot free non-top frame at {a}")
+            }
+            FrameError::CorruptHeap(a) => {
+                write!(f, "corrupt frame-heap metadata at {a}")
             }
         }
     }
@@ -69,6 +76,8 @@ pub struct HeapStats {
     pub fast_refs: u64,
     /// Memory references spent inside software-allocator traps.
     pub slow_refs: u64,
+    /// Reserve words released to the carve region by [`FrameHeap::donate`].
+    pub donated_words: u64,
     /// Distribution of requested sizes in words.
     pub request_sizes: Histogram,
 }
@@ -117,7 +126,14 @@ pub struct FrameHeap {
     av_base: WordAddr,
     classes: SizeClasses,
     carve: u32,
+    /// Normal carve limit. At most `region_end`; the gap between the
+    /// two is the reserve a frame-fault handler can [`FrameHeap::donate`].
+    soft_end: u32,
     region_end: u32,
+    /// While set, `replenish` may carve past `soft_end` up to
+    /// `region_end` — used by the machine to guarantee the fault
+    /// handler's own frame can be allocated.
+    emergency: bool,
     /// Liveness per frame address, indexed directly (frames live in
     /// the bounded simulated memory, and alloc/free sit on the call
     /// path, so this is a flat vector rather than a hash set).
@@ -144,6 +160,30 @@ impl FrameHeap {
         classes: SizeClasses,
         region: Range<u32>,
     ) -> Result<Self, FrameError> {
+        Self::with_reserve(mem, av_base, classes, region, 0)
+    }
+
+    /// Like [`FrameHeap::new`] but holds back the last `reserve` words
+    /// of the region: normal replenishing stops short of them, and only
+    /// [`FrameHeap::donate`] (the fault handler's privilege) or
+    /// emergency mode can reach them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::OutOfMemory`] if the region minus the
+    /// reserve cannot hold even one smallest frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AV overlaps the region or either is out of memory
+    /// bounds — those are configuration bugs, not runtime conditions.
+    pub fn with_reserve(
+        mem: &mut Memory,
+        av_base: WordAddr,
+        classes: SizeClasses,
+        region: Range<u32>,
+        reserve: u32,
+    ) -> Result<Self, FrameError> {
         let av_end = av_base.0 + classes.len() as u32;
         assert!(av_end <= mem.size(), "AV outside memory");
         assert!(region.end <= mem.size(), "frame region outside memory");
@@ -158,17 +198,42 @@ impl FrameHeap {
         // (block + 1) is two-word aligned; blocks are even-sized, so
         // parity is preserved thereafter.
         let carve = region.start | 1;
-        if carve + 1 + classes.size_of(0) > region.end {
+        let soft_end = region.end.saturating_sub(reserve).max(region.start);
+        if carve + 1 + classes.size_of(0) > soft_end {
             return Err(FrameError::OutOfMemory);
         }
         Ok(FrameHeap {
             av_base,
             classes,
             carve,
+            soft_end,
             region_end: region.end,
+            emergency: false,
             live_set: Vec::new(),
             stats: HeapStats::default(),
         })
+    }
+
+    /// Words still held in reserve (donatable).
+    pub fn reserve_words(&self) -> u32 {
+        self.region_end - self.soft_end
+    }
+
+    /// Releases up to `words` reserve words to the normal carve region
+    /// (the §5.3 replenisher's donation); returns the count granted.
+    pub fn donate(&mut self, words: u32) -> u32 {
+        let granted = words.min(self.reserve_words());
+        self.soft_end += granted;
+        self.stats.donated_words += granted as u64;
+        granted
+    }
+
+    /// Toggles emergency mode: while on, replenishing may carve past
+    /// the soft end into the reserve. The machine sets this only while
+    /// dispatching a fault handler, so handler frames cannot themselves
+    /// frame-fault until the true region end.
+    pub fn set_emergency(&mut self, on: bool) {
+        self.emergency = on;
     }
 
     /// The size-class ladder in use.
@@ -217,12 +282,17 @@ impl FrameHeap {
     ///
     /// # Errors
     ///
-    /// [`FrameError::OutOfMemory`] if the region cannot be replenished.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `fsi` is out of range for the ladder.
+    /// [`FrameError::OutOfMemory`] if the region cannot be replenished,
+    /// [`FrameError::OversizeRequest`] for an fsi beyond the ladder,
+    /// [`FrameError::CorruptHeap`] if a free-list head read back from
+    /// simulated memory points outside memory or at a live frame (the
+    /// guest scribbled over the AV or a link word).
     pub fn alloc_fsi(&mut self, mem: &mut Memory, fsi: u8) -> Result<WordAddr, FrameError> {
+        if fsi as usize >= self.classes.len() {
+            return Err(FrameError::OversizeRequest {
+                words: self.classes.max_words() + 1,
+            });
+        }
         let head_slot = self.av_base.offset(fsi as u32);
         let mut head = mem.read(head_slot); // ref 1
         self.stats.fast_refs += 1;
@@ -232,6 +302,9 @@ impl FrameHeap {
             self.stats.slow_refs += 1;
         }
         let frame = WordAddr(head as u32);
+        if frame.0 >= mem.size() || self.is_live(frame) {
+            return Err(FrameError::CorruptHeap(head_slot));
+        }
         let next = mem.read(frame); // ref 2
         mem.write(head_slot, next); // ref 3
         self.stats.fast_refs += 2;
@@ -244,7 +317,6 @@ impl FrameHeap {
         if i >= self.live_set.len() {
             self.live_set.resize(i + 1, false);
         }
-        debug_assert!(!self.live_set[i], "allocator handed out a live frame");
         self.live_set[i] = true;
         Ok(frame)
     }
@@ -256,14 +328,17 @@ impl FrameHeap {
     /// # Errors
     ///
     /// [`FrameError::InvalidFrame`] if `frame` is not a live frame of
-    /// this heap.
+    /// this heap, [`FrameError::CorruptHeap`] if its hidden size word
+    /// was overwritten with a value outside the ladder.
     pub fn free(&mut self, mem: &mut Memory, frame: WordAddr) -> Result<(), FrameError> {
         if !self.is_live(frame) {
             return Err(FrameError::InvalidFrame(frame));
         }
-        self.live_set[frame.0 as usize] = false;
         let fsi = mem.read(WordAddr(frame.0 - 1)); // ref 1
-        debug_assert!((fsi as usize) < self.classes.len(), "corrupt fsi word");
+        if fsi as usize >= self.classes.len() {
+            return Err(FrameError::CorruptHeap(WordAddr(frame.0 - 1)));
+        }
+        self.live_set[frame.0 as usize] = false;
         let head_slot = self.av_base.offset(fsi as u32);
         let head = mem.read(head_slot); // ref 2
         mem.write(frame, head); // ref 3
@@ -290,9 +365,14 @@ impl FrameHeap {
         let size = self.classes.size_of(fsi);
         let block = 1 + size; // hidden fsi word + frame
         let before = mem.stats();
+        let end = if self.emergency {
+            self.region_end
+        } else {
+            self.soft_end
+        };
         let mut carved = 0;
         for _ in 0..REPLENISH_COUNT {
-            if self.carve + block > self.region_end {
+            if self.carve + block > end {
                 break;
             }
             let frame = WordAddr(self.carve + 1);
@@ -466,6 +546,99 @@ mod tests {
         let f2 = heap.alloc(&mut mem, 9).unwrap();
         assert_eq!(f, f2);
         assert_eq!(mem.peek(WordAddr(f2.0 - 1)), fsi);
+    }
+
+    #[test]
+    fn reserve_is_withheld_until_donated() {
+        let mut mem = Memory::new(0x400);
+        let mut heap = FrameHeap::with_reserve(
+            &mut mem,
+            WordAddr(0x10),
+            SizeClasses::mesa(),
+            0x100..0x200,
+            0x80,
+        )
+        .unwrap();
+        assert_eq!(heap.reserve_words(), 0x80);
+        let mut live = Vec::new();
+        let err = loop {
+            match heap.alloc(&mut mem, 9) {
+                Ok(f) => live.push(f),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, FrameError::OutOfMemory);
+        let held_back = live.len();
+        // Donating the reserve lets allocation continue.
+        assert_eq!(heap.donate(0x80), 0x80);
+        assert_eq!(heap.reserve_words(), 0);
+        assert!(heap.alloc(&mut mem, 9).is_ok());
+        // A second donation grants nothing.
+        assert_eq!(heap.donate(16), 0);
+        // And the reserve roughly doubles capacity here.
+        while let Ok(f) = heap.alloc(&mut mem, 9) {
+            live.push(f);
+        }
+        assert!(live.len() > held_back);
+        assert_eq!(heap.stats().donated_words, 0x80);
+    }
+
+    #[test]
+    fn emergency_mode_carves_past_the_soft_end() {
+        let mut mem = Memory::new(0x400);
+        let mut heap = FrameHeap::with_reserve(
+            &mut mem,
+            WordAddr(0x10),
+            SizeClasses::mesa(),
+            0x100..0x200,
+            0x80,
+        )
+        .unwrap();
+        while heap.alloc(&mut mem, 9).is_ok() {}
+        assert_eq!(heap.alloc(&mut mem, 9), Err(FrameError::OutOfMemory));
+        heap.set_emergency(true);
+        assert!(heap.alloc(&mut mem, 9).is_ok());
+        heap.set_emergency(false);
+        // The soft end is unchanged: emergency carving borrows from the
+        // reserve without re-drawing the donation boundary.
+        assert_eq!(heap.reserve_words(), 0x80);
+    }
+
+    #[test]
+    fn scribbled_fsi_word_is_a_typed_error() {
+        let (mut mem, mut heap) = setup();
+        let f = heap.alloc(&mut mem, 10).unwrap();
+        mem.poke(WordAddr(f.0 - 1), 0xBEEF); // corrupt the hidden fsi
+        assert_eq!(
+            heap.free(&mut mem, f),
+            Err(FrameError::CorruptHeap(WordAddr(f.0 - 1)))
+        );
+        // The frame stays live: the error is reported, not masked.
+        assert!(heap.is_live(f));
+    }
+
+    #[test]
+    fn scribbled_free_list_head_is_a_typed_error() {
+        let (mut mem, mut heap) = setup();
+        let f = heap.alloc(&mut mem, 10).unwrap();
+        heap.free(&mut mem, f).unwrap();
+        // Point the AV head at a live frame of another class.
+        let live = heap.alloc(&mut mem, 200).unwrap();
+        let fsi = heap.fsi_for(10).unwrap();
+        mem.poke(WordAddr(0x10 + fsi as u32), live.0 as u16);
+        assert!(matches!(
+            heap.alloc(&mut mem, 10),
+            Err(FrameError::CorruptHeap(_))
+        ));
+    }
+
+    #[test]
+    fn oversize_fsi_is_a_typed_error() {
+        let (mut mem, mut heap) = setup();
+        assert!(matches!(
+            heap.alloc_fsi(&mut mem, 0xFF),
+            Err(FrameError::OversizeRequest { .. })
+        ));
     }
 
     #[test]

@@ -112,6 +112,13 @@ pub enum Instr {
     AllocRecord(u8),
     /// Pop a record address and free it.
     FreeRecord,
+    /// Pop a word count; donate that many reserve words to the frame
+    /// heap (the §5.3 software replenisher's donation primitive); push
+    /// the count actually granted.
+    Donate,
+    /// Pop a module index; re-bind its code segment if it was unbound
+    /// (swapped out); push 1 if a rebind happened, 0 otherwise.
+    BindModule,
     /// Raise trap `n`.
     Trap(u8),
     /// Yield to the next ready process.
@@ -239,6 +246,8 @@ impl Instr {
             Instr::ReturnContext => out.push(op::RETCTX),
             Instr::AllocRecord(n) => out.extend([op::ALLOCREC, n]),
             Instr::FreeRecord => out.push(op::FREEREC),
+            Instr::Donate => out.push(op::DONATE),
+            Instr::BindModule => out.push(op::BINDMOD),
             Instr::Trap(n) => out.extend([op::TRAP, n]),
             Instr::ProcessSwitch => out.push(op::PSWITCH),
             Instr::Spawn => out.push(op::SPAWN),
@@ -406,6 +415,8 @@ pub fn decode(bytes: &[u8], offset: usize) -> Result<(Instr, usize), DecodeError
         op::RETCTX => Instr::ReturnContext,
         op::ALLOCREC => Instr::AllocRecord(u8_operand(&mut len)?),
         op::FREEREC => Instr::FreeRecord,
+        op::DONATE => Instr::Donate,
+        op::BINDMOD => Instr::BindModule,
         op::TRAP => Instr::Trap(u8_operand(&mut len)?),
         op::PSWITCH => Instr::ProcessSwitch,
         op::SPAWN => Instr::Spawn,
@@ -466,6 +477,8 @@ impl fmt::Display for Instr {
             Instr::ReturnContext => write!(f, "RETCTX"),
             Instr::AllocRecord(n) => write!(f, "ALLOCREC {n}"),
             Instr::FreeRecord => write!(f, "FREEREC"),
+            Instr::Donate => write!(f, "DONATE"),
+            Instr::BindModule => write!(f, "BINDMOD"),
             Instr::Trap(n) => write!(f, "TRAP {n}"),
             Instr::ProcessSwitch => write!(f, "PSWITCH"),
             Instr::Spawn => write!(f, "SPAWN"),
@@ -523,6 +536,8 @@ mod tests {
             Instr::FreeContext,
             Instr::ReturnContext,
             Instr::FreeRecord,
+            Instr::Donate,
+            Instr::BindModule,
             Instr::ProcessSwitch,
             Instr::Spawn,
             Instr::Out,

@@ -154,6 +154,13 @@ pub const ALLOCREC: u8 = 0x70;
 /// `FREEREC`: pop a record address and free it ("the receiver can
 /// therefore free it as soon as he is done with it", §4).
 pub const FREEREC: u8 = 0x71;
+/// `DONATE`: pop a word count and donate that many reserve words to the
+/// frame heap (a frame-fault handler acting as the §5.3 software
+/// replenisher); pushes the number of words actually granted.
+pub const DONATE: u8 = 0x72;
+/// `BINDMOD`: pop a module index and re-bind its code segment (undoing
+/// a swap-out); pushes 1 if the module was unbound, 0 otherwise.
+pub const BINDMOD: u8 = 0x73;
 
 #[cfg(test)]
 mod tests {
@@ -184,7 +191,8 @@ mod tests {
             LLB, SLB, LGB, SGB, LI0, LI1, LIB, LIW, LLA, RD, WR, LIN1, ADD, SUB, MUL, DIV, MOD,
             NEG, AND, OR, XOR, SHL, SHR, EQ, NE, LT, LE, GT, GE, ADDB, DUP, DROP, EXCH, LDIDX,
             STIDX, JB, JW, JZB, JNZB, JZW, JNZW, EFCB, LFCB, DFC, SDFC, RET, XF, NEWCTX, TRAP,
-            PSWITCH, SPAWN, OUT, HALT, NOOP, FREECTX, RETCTX, LGA, ALLOCREC, FREEREC,
+            PSWITCH, SPAWN, OUT, HALT, NOOP, FREECTX, RETCTX, LGA, ALLOCREC, FREEREC, DONATE,
+            BINDMOD,
         ] {
             assert!(!used[single as usize], "opcode {single:#x} assigned twice");
             used[single as usize] = true;

@@ -132,6 +132,15 @@ impl CodeStore {
         self.version
     }
 
+    /// Bumps the mutation counter without touching the bytes — models a
+    /// code segment being swapped out or back in: the bytes a loader
+    /// would reinstate are identical, but every host-side cache must
+    /// re-validate across the unbind/bind transition.
+    #[inline]
+    pub fn bump_version(&mut self) {
+        self.version += 1;
+    }
+
     /// Uncounted 16-bit little-endian read.
     ///
     /// # Panics
@@ -216,6 +225,17 @@ mod tests {
         c.charge_table_reads(2);
         assert_eq!(c.stats().table_reads, 2);
         assert_eq!(c.version(), v, "charging is not a mutation");
+    }
+
+    #[test]
+    fn bump_version_invalidates_without_mutation() {
+        let mut c = CodeStore::new();
+        c.append(&[1, 2]);
+        let v = c.version();
+        let bytes = c.bytes().to_vec();
+        c.bump_version();
+        assert_ne!(c.version(), v);
+        assert_eq!(c.bytes(), &bytes[..], "bytes untouched");
     }
 
     #[test]

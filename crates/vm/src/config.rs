@@ -115,6 +115,21 @@ pub struct MachineConfig {
     /// requires `predecode` (silently inert without it). Defaults to
     /// on; parity tests run fused vs. unfused.
     pub fuse: bool,
+    /// Frame-region words withheld from normal allocation as the fault
+    /// reserve: a frame-fault handler can `DONATE` them back (the §5.3
+    /// replenisher's donation pool), and fault dispatch may borrow from
+    /// them to allocate the handler's own frame. 0 disables the
+    /// reserve.
+    pub fault_reserve_words: u32,
+    /// Extra evaluation-stack slots unlocked while a stack-overflow
+    /// fault handler runs, so the handler has headroom above the depth
+    /// that just overflowed.
+    pub stack_reserve: usize,
+    /// Maximum nesting of fault handlers before
+    /// [`VmError::FaultDepthExceeded`] stops the machine.
+    ///
+    /// [`VmError::FaultDepthExceeded`]: crate::VmError::FaultDepthExceeded
+    pub max_fault_depth: u32,
 }
 
 impl MachineConfig {
@@ -130,6 +145,9 @@ impl MachineConfig {
             predecode: true,
             inline_xfer: true,
             fuse: true,
+            fault_reserve_words: 0,
+            stack_reserve: 8,
+            max_fault_depth: 8,
         }
     }
 
@@ -202,6 +220,24 @@ impl MachineConfig {
         self
     }
 
+    /// Sets the fault-reserve size in frame-region words.
+    pub fn with_fault_reserve(mut self, words: u32) -> Self {
+        self.fault_reserve_words = words;
+        self
+    }
+
+    /// Sets the emergency evaluation-stack headroom for fault handlers.
+    pub fn with_stack_reserve(mut self, slots: usize) -> Self {
+        self.stack_reserve = slots;
+        self
+    }
+
+    /// Sets the fault-handler nesting bound.
+    pub fn with_max_fault_depth(mut self, depth: u32) -> Self {
+        self.max_fault_depth = depth;
+        self
+    }
+
     /// Whether bank renaming is active.
     pub fn renaming(&self) -> bool {
         self.banks.map(|b| b.renaming).unwrap_or(false)
@@ -242,6 +278,10 @@ mod tests {
         assert!(c.inline_xfer && c.fuse, "host accelerators default on");
         assert!(!c.with_inline_xfer(false).inline_xfer);
         assert!(!c.with_fusion(false).fuse);
+        assert_eq!(c.fault_reserve_words, 0, "no reserve unless asked");
+        assert_eq!(c.with_fault_reserve(128).fault_reserve_words, 128);
+        assert_eq!(c.with_stack_reserve(4).stack_reserve, 4);
+        assert_eq!(c.with_max_fault_depth(2).max_fault_depth, 2);
     }
 
     #[test]

@@ -43,6 +43,63 @@ impl fmt::Display for TrapCode {
     }
 }
 
+/// Recoverable architectural faults.
+///
+/// Unlike a [`TrapCode`] trap — which resumes *after* the trapping
+/// instruction — a fault **restarts** the faulting instruction once its
+/// handler returns, so the handler must remove the cause (donate frame
+/// words, re-bind code) rather than emulate the instruction. This is
+/// the paper's §5.3 software-replenisher shape generalised: the machine
+/// commits no architectural state before any fault point, so the retry
+/// is indistinguishable from a first execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Frame allocation failed: the AV free list was empty and the
+    /// carve region is exhausted (or the general heap has no block).
+    /// The handler is the software replenisher.
+    FrameFault,
+    /// A transfer targeted (or resumed into) a module whose code
+    /// segment is unbound (swapped out). The handler re-binds it.
+    UnboundProcedure,
+    /// Evaluation-stack overflow, dispatched as a fault when a handler
+    /// is installed (the handler runs on the emergency stack reserve).
+    StackOverflow,
+}
+
+impl FaultKind {
+    /// The number of distinct fault kinds (handler-table size).
+    pub const COUNT: usize = 3;
+
+    /// Dense index for handler tables.
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::FrameFault => 0,
+            FaultKind::UnboundProcedure => 1,
+            FaultKind::StackOverflow => 2,
+        }
+    }
+
+    /// The word pushed as the handler's argument, disjoint from every
+    /// [`TrapCode::code`] value.
+    pub fn code(self) -> u16 {
+        match self {
+            FaultKind::FrameFault => 0xFE00,
+            FaultKind::UnboundProcedure => 0xFE01,
+            FaultKind::StackOverflow => 0xFE02,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::FrameFault => write!(f, "frame fault"),
+            FaultKind::UnboundProcedure => write!(f, "unbound procedure"),
+            FaultKind::StackOverflow => write!(f, "stack overflow fault"),
+        }
+    }
+}
+
 /// Errors that stop the machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VmError {
@@ -74,10 +131,36 @@ pub enum VmError {
         /// Arguments expected.
         nargs: usize,
     },
-    /// The instruction budget ran out before `HALT`.
+    /// The instruction budget ran out before `HALT`. The machine is
+    /// left intact and resumable: calling `run` again continues.
     OutOfFuel,
     /// The image is malformed or incompatible with the configuration.
     BadImage(String),
+    /// A fault was raised with no handler installed for its kind (and
+    /// no legacy terminal mapping applies).
+    UnhandledFault(FaultKind),
+    /// A second fault was raised while the machine was still
+    /// dispatching the first — before the handler's first instruction
+    /// completed. Restart is impossible; the machine stops.
+    DoubleFault {
+        /// The fault being dispatched when the second one hit.
+        first: FaultKind,
+        /// The fault raised during dispatch.
+        second: FaultKind,
+    },
+    /// Nested fault handlers exceeded the configured depth bound.
+    FaultDepthExceeded {
+        /// The fault that would have exceeded the bound.
+        kind: FaultKind,
+        /// The configured bound.
+        limit: u32,
+    },
+    /// A transfer targeted module `module` whose code is unbound and no
+    /// `UnboundProcedure` handler is installed.
+    UnboundCode {
+        /// The unbound module's index.
+        module: usize,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -99,6 +182,16 @@ impl fmt::Display for VmError {
             ),
             VmError::OutOfFuel => write!(f, "instruction budget exhausted"),
             VmError::BadImage(m) => write!(f, "bad image: {m}"),
+            VmError::UnhandledFault(k) => write!(f, "unhandled fault: {k}"),
+            VmError::DoubleFault { first, second } => {
+                write!(f, "double fault: {second} while dispatching {first}")
+            }
+            VmError::FaultDepthExceeded { kind, limit } => {
+                write!(f, "{kind} exceeded fault depth limit {limit}")
+            }
+            VmError::UnboundCode { module } => {
+                write!(f, "transfer into unbound code of module {module}")
+            }
         }
     }
 }
@@ -153,5 +246,44 @@ mod tests {
     fn conversions() {
         let e: VmError = FrameError::OutOfMemory.into();
         assert!(matches!(e, VmError::Frame(FrameError::OutOfMemory)));
+    }
+
+    #[test]
+    fn fault_codes_disjoint_from_trap_codes() {
+        let faults = [
+            FaultKind::FrameFault,
+            FaultKind::UnboundProcedure,
+            FaultKind::StackOverflow,
+        ];
+        for (i, a) in faults.iter().enumerate() {
+            assert_eq!(a.index(), i);
+            for b in &faults[i + 1..] {
+                assert_ne!(a.code(), b.code());
+            }
+            for t in [TrapCode::DivideByZero, TrapCode::StackOverflow] {
+                assert_ne!(a.code(), t.code());
+            }
+        }
+        assert_eq!(faults.len(), FaultKind::COUNT);
+    }
+
+    #[test]
+    fn fault_error_displays() {
+        assert!(VmError::DoubleFault {
+            first: FaultKind::FrameFault,
+            second: FaultKind::StackOverflow,
+        }
+        .to_string()
+        .contains("double fault"));
+        assert!(VmError::FaultDepthExceeded {
+            kind: FaultKind::FrameFault,
+            limit: 8,
+        }
+        .to_string()
+        .contains("depth limit 8"));
+        assert!(VmError::UnboundCode { module: 2 }.to_string().contains("2"));
+        assert!(VmError::UnhandledFault(FaultKind::UnboundProcedure)
+            .to_string()
+            .contains("unbound"));
     }
 }

@@ -1,0 +1,212 @@
+//! Deterministic fault injection.
+//!
+//! The fault subsystem's claim is differential: a run that weathers
+//! injected adversity — heap pressure, code unbinds, transfer-table
+//! generation storms — must end in the same architectural state as the
+//! undisturbed run, with every extra reference and cycle attributed to
+//! the handlers in [`FaultStats`]. This module provides the adversity:
+//! a [`FaultPlan`] is a seeded, sorted schedule of [`FaultEvent`]s
+//! keyed on the machine's committed instruction count, and
+//! [`run_with_plan`] interleaves it with stepping. Same seed, same
+//! plan, same interleaving — failures replay exactly.
+//!
+//! [`FaultStats`]: crate::FaultStats
+
+use fpc_rng::Rng;
+
+use crate::error::VmError;
+use crate::machine::{Machine, StepOutcome};
+
+/// One scheduled adversity, applied just before the machine executes
+/// the instruction whose index is `at` (instruction counts are the
+/// committed totals in [`Machine::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Seize every free frame the allocator holds, so the next frame
+    /// allocation raises a frame fault (empty AV lists / exhausted
+    /// carve region / full general heap).
+    FramePressure {
+        /// Instruction count to trigger at.
+        at: u64,
+    },
+    /// Return every frame seized by earlier pressure events.
+    ReleasePressure {
+        /// Instruction count to trigger at.
+        at: u64,
+    },
+    /// Unbind a module's code segment, as if the pager swapped it out:
+    /// the next transfer into it raises an unbound-procedure fault.
+    UnbindModule {
+        /// Instruction count to trigger at.
+        at: u64,
+        /// Module index to unbind.
+        module: usize,
+    },
+    /// Rewrite watched transfer-table words `writes` times without
+    /// changing them, storming the generation counter that guards the
+    /// inline transfer caches into wholesale revalidation.
+    GenStorm {
+        /// Instruction count to trigger at.
+        at: u64,
+        /// Number of same-value rewrites.
+        writes: u32,
+    },
+}
+
+impl FaultEvent {
+    /// The instruction count this event triggers at.
+    pub fn at(&self) -> u64 {
+        match *self {
+            FaultEvent::FramePressure { at }
+            | FaultEvent::ReleasePressure { at }
+            | FaultEvent::UnbindModule { at, .. }
+            | FaultEvent::GenStorm { at, .. } => at,
+        }
+    }
+}
+
+/// A schedule of [`FaultEvent`]s sorted by trigger point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Builds a plan from explicit events (sorted here; a stable sort,
+    /// so same-instant events keep their given order).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at());
+        FaultPlan { events }
+    }
+
+    /// Generates a pseudo-random plan over the first `horizon`
+    /// instructions of a run against an image with `modules` modules:
+    /// a few seize/release pressure windows, up to two unbinds, and up
+    /// to three generation storms. Deterministic in `seed`.
+    pub fn generate(seed: u64, horizon: u64, modules: usize) -> Self {
+        let h = horizon.max(1);
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for _ in 0..1 + rng.gen_index(3) {
+            let at = rng.next_u64() % h;
+            let hold = 1 + rng.next_u64() % (h / 4).max(1);
+            events.push(FaultEvent::FramePressure { at });
+            events.push(FaultEvent::ReleasePressure {
+                at: at.saturating_add(hold),
+            });
+        }
+        if modules > 0 {
+            for _ in 0..rng.gen_index(3) {
+                events.push(FaultEvent::UnbindModule {
+                    at: rng.next_u64() % h,
+                    module: rng.gen_index(modules),
+                });
+            }
+        }
+        for _ in 0..rng.gen_index(4) {
+            events.push(FaultEvent::GenStorm {
+                at: rng.next_u64() % h,
+                writes: rng.gen_range_u32(1, 16),
+            });
+        }
+        Self::from_events(events)
+    }
+
+    /// The scheduled events, in trigger order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+/// What a [`run_with_plan`] actually did to the machine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionReport {
+    /// Events whose trigger point was reached.
+    pub applied: usize,
+    /// Frames seized across all pressure events.
+    pub frames_seized: usize,
+    /// Modules unbound (releases and guest `BINDMOD`s not deducted).
+    pub unbinds: usize,
+    /// Same-value table rewrites performed by storms.
+    pub storm_writes: u64,
+}
+
+/// Steps `m` for at most `fuel` instructions, applying `plan`'s events
+/// as their trigger points are reached. Events scheduled at or before
+/// the current committed instruction count fire before the next step,
+/// in plan order.
+///
+/// # Errors
+///
+/// Whatever the machine raises, plus [`VmError::OutOfFuel`] if the
+/// budget runs out first — the machine is left intact and resumable
+/// either way, and events already applied stay applied.
+pub fn run_with_plan(
+    m: &mut Machine,
+    plan: &FaultPlan,
+    fuel: u64,
+) -> Result<InjectionReport, VmError> {
+    let mut report = InjectionReport::default();
+    let mut next = 0;
+    for _ in 0..fuel {
+        while let Some(&ev) = plan.events.get(next) {
+            if ev.at() > m.stats().instructions {
+                break;
+            }
+            apply(m, ev, &mut report);
+            next += 1;
+        }
+        if let StepOutcome::Halted = m.step()? {
+            return Ok(report);
+        }
+    }
+    Err(VmError::OutOfFuel)
+}
+
+fn apply(m: &mut Machine, ev: FaultEvent, report: &mut InjectionReport) {
+    report.applied += 1;
+    match ev {
+        FaultEvent::FramePressure { .. } => {
+            report.frames_seized += m.seize_free_frames();
+        }
+        FaultEvent::ReleasePressure { .. } => m.release_seized_frames(),
+        FaultEvent::UnbindModule { module, .. } => {
+            // Unbinding an already-unbound or out-of-range module is a
+            // no-op for the report.
+            if m.module_bound(module) && m.unbind_module(module).is_ok() {
+                report.unbinds += 1;
+            }
+        }
+        FaultEvent::GenStorm { writes, .. } => {
+            m.shake_tables(writes);
+            report.storm_writes += writes as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_sorted() {
+        let a = FaultPlan::generate(7, 10_000, 2);
+        let b = FaultPlan::generate(7, 10_000, 2);
+        assert_eq!(a, b);
+        assert!(a.events().windows(2).all(|w| w[0].at() <= w[1].at()));
+        let c = FaultPlan::generate(8, 10_000, 2);
+        assert_ne!(a, c, "different seeds give different plans");
+    }
+
+    #[test]
+    fn from_events_sorts_stably() {
+        let p = FaultPlan::from_events(vec![
+            FaultEvent::GenStorm { at: 9, writes: 1 },
+            FaultEvent::FramePressure { at: 3 },
+            FaultEvent::ReleasePressure { at: 3 },
+        ]);
+        assert_eq!(p.events()[0], FaultEvent::FramePressure { at: 3 });
+        assert_eq!(p.events()[1], FaultEvent::ReleasePressure { at: 3 });
+        assert_eq!(p.events()[2].at(), 9);
+    }
+}

@@ -49,6 +49,7 @@ pub mod cost;
 mod error;
 mod ifu;
 mod image;
+pub mod inject;
 mod listing;
 mod machine;
 mod predecode;
@@ -58,13 +59,14 @@ pub use banks::{BankMachine, BankStats};
 pub use cache::{CacheStats, FrameCache};
 pub use config::{AllocStrategy, BankConfig, MachineConfig, PtrLocalPolicy};
 pub use cost::{TransferKind, TransferStats};
-pub use error::{TrapCode, VmError};
+pub use error::{FaultKind, TrapCode, VmError};
 pub use ifu::{ReturnEntry, ReturnStack, ReturnStackStats};
 pub use image::{
     gft_entries_for, load, Image, ImageBuilder, ModuleHandle, ModuleImage, Placement, ProcRef,
     ProcSpec, AV_BASE, DEFAULT_MEMORY_WORDS, GFT_BASE, GFT_ENTRIES, LINK_BASE,
 };
+pub use inject::{run_with_plan, FaultEvent, FaultPlan, InjectionReport};
 pub use listing::listing;
-pub use machine::{FusionStats, Machine, MachineStats, StepOutcome};
+pub use machine::{FaultStats, FusionStats, Machine, MachineStats, StepOutcome};
 pub use predecode::{DecodedOp, Fetched, FusedOp, PredecodeCache, PredecodeStats};
 pub use xfer::{CachedTarget, XferCache, XferCacheStats};

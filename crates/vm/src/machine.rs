@@ -27,7 +27,7 @@ use crate::banks::{BankMachine, BankStats};
 use crate::cache::{CacheStats, FrameCache};
 use crate::config::{AllocStrategy, MachineConfig, PtrLocalPolicy};
 use crate::cost::{TransferKind, TransferStats, CYCLE_BASE, CYCLE_MEMREF, CYCLE_REFILL};
-use crate::error::{TrapCode, VmError};
+use crate::error::{FaultKind, TrapCode, VmError};
 use crate::ifu::{ReturnEntry, ReturnStack, ReturnStackStats};
 use crate::image::{self, Image, ProcRef, AV_BASE, GFT_BASE, GFT_ENTRIES};
 use crate::predecode::{Fetched, FusedOp, PredecodeCache, PredecodeStats};
@@ -147,6 +147,42 @@ pub struct FusionStats {
     pub demotions: u64,
 }
 
+/// Counters for the recoverable-fault subsystem.
+///
+/// The `handler_*` fields account **every** simulated cost incurred on
+/// behalf of fault handling: the aborted attempt of a faulting
+/// instruction, the dispatch transfer, and every instruction executed
+/// while a handler is on the stack. Subtracting them from
+/// [`MachineStats`] recovers the counters of a fault-free run of the
+/// same program — the differential invariant the injection tests
+/// check. `injected_refs` separately accounts references made by
+/// host-side injection hooks ([`Machine::seize_free_frames`] and
+/// friends), which a fault-free run also never pays.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faults dispatched to a handler, indexed by [`FaultKind::index`].
+    pub raised: [u64; FaultKind::COUNT],
+    /// Handler activations that completed (handler frame freed).
+    pub recovered: u64,
+    /// Instructions executed on behalf of fault handling.
+    pub handler_instructions: u64,
+    /// Cycles spent on behalf of fault handling.
+    pub handler_cycles: u64,
+    /// Counted references made on behalf of fault handling.
+    pub handler_refs: u64,
+    /// Taken jumps executed inside handlers.
+    pub handler_jumps: u64,
+    /// Counted references made by host-side injection hooks.
+    pub injected_refs: u64,
+}
+
+impl FaultStats {
+    /// Total faults dispatched across all kinds.
+    pub fn total_raised(&self) -> u64 {
+        self.raised.iter().sum()
+    }
+}
+
 /// Outcome of [`Machine::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -184,6 +220,28 @@ pub struct Machine {
     processes: Vec<Process>,
     current_proc: usize,
     trap_handler: Option<ContextWord>,
+
+    // Recoverable-fault machinery.
+    fault_handlers: [Option<ContextWord>; FaultKind::COUNT],
+    /// Nesting depth of live fault handlers (frames in
+    /// `handler_frames`).
+    fault_depth: u32,
+    /// Set while a fault is being dispatched (between the fault point
+    /// and the handler's entry); a second fault in that window is a
+    /// double fault.
+    dispatching_fault: Option<FaultKind>,
+    /// Sticky: once a stack-overflow fault is dispatched, the
+    /// evaluation-stack reserve stays unlocked (the "grown stack").
+    stack_relaxed: bool,
+    /// Frames belonging to live fault handlers, newest last.
+    handler_frames: Vec<WordAddr>,
+    /// Per-module swapped-out flag; transfers into an unbound module
+    /// fault with [`FaultKind::UnboundProcedure`].
+    unbound: Vec<bool>,
+    /// Frames grabbed by [`Machine::seize_free_frames`].
+    seized: Vec<(WordAddr, u32)>,
+    fstats: FaultStats,
+
     output: Vec<u16>,
     stats: MachineStats,
     halted: bool,
@@ -237,18 +295,33 @@ impl Machine {
             mem.watch(gf.offset(layout::GF_CODE_BASE));
         }
         let region = placement.frame_region.clone();
+        let reserve = config.fault_reserve_words;
+        if reserve > 0 && reserve + 2 >= region.end - region.start {
+            return Err(VmError::BadImage(format!(
+                "fault reserve of {reserve} words leaves no frame region"
+            )));
+        }
         let allocator = match config.alloc {
-            AllocStrategy::General => {
-                Allocator::General(GeneralHeap::new(region.start, region.end - region.start))
-            }
-            AllocStrategy::Av => Allocator::Av(FrameHeap::new(
+            AllocStrategy::General => Allocator::General(GeneralHeap::with_reserve(
+                region.start,
+                region.end - region.start,
+                reserve,
+            )),
+            AllocStrategy::Av => Allocator::Av(FrameHeap::with_reserve(
                 &mut mem,
                 AV_BASE,
                 image.classes.clone(),
                 region,
+                reserve,
             )?),
             AllocStrategy::AvCached { cache_frames, .. } => {
-                let heap = FrameHeap::new(&mut mem, AV_BASE, image.classes.clone(), region)?;
+                let heap = FrameHeap::with_reserve(
+                    &mut mem,
+                    AV_BASE,
+                    image.classes.clone(),
+                    region,
+                    reserve,
+                )?;
                 let cache = FrameCache::new(&heap, cache_frames);
                 Allocator::Cached { heap, cache }
             }
@@ -308,6 +381,14 @@ impl Machine {
             }],
             current_proc: 0,
             trap_handler: None,
+            fault_handlers: [None; FaultKind::COUNT],
+            fault_depth: 0,
+            dispatching_fault: None,
+            stack_relaxed: false,
+            handler_frames: Vec::new(),
+            unbound: vec![false; image.modules.len()],
+            seized: Vec::new(),
+            fstats: FaultStats::default(),
             output: Vec::new(),
             stats: MachineStats::default(),
             halted: false,
@@ -441,6 +522,133 @@ impl Machine {
         Ok(())
     }
 
+    /// Installs a fault handler for one [`FaultKind`]. Unlike a trap
+    /// handler — which resumes after the trapping instruction — a fault
+    /// handler's return **restarts** the faulting instruction, so the
+    /// handler must remove the cause: donate reserve words
+    /// (`DONATE`, the §5.3 software replenisher), re-bind swapped-out
+    /// code (`BINDMOD`), or accept the stack extension.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadImage`] if the reference is invalid.
+    pub fn install_fault_handler(
+        &mut self,
+        kind: FaultKind,
+        image: &Image,
+        handler: ProcRef,
+    ) -> Result<(), VmError> {
+        self.fault_handlers[kind.index()] = Some(image.proc_desc(handler)?);
+        Ok(())
+    }
+
+    /// Fault-subsystem counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fstats
+    }
+
+    /// Marks a module's code segment swapped out. The bytes stay in the
+    /// host store (a real swap would reinstate identical bytes), but
+    /// every transfer into the module — call, return, coroutine `XFER`,
+    /// context creation — faults with [`FaultKind::UnboundProcedure`]
+    /// until [`Machine::bind_module`] (or the guest's `BINDMOD`)
+    /// reinstates it. Code currently executing keeps running (its pages
+    /// are resident until it leaves), exactly like a segment whose swap
+    /// is deferred while in use.
+    ///
+    /// The accelerators are flushed first so no return stack entry,
+    /// bank, or inline cache can carry control into the unbound segment
+    /// behind the check's back.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadImage`] if the module index is out of range.
+    pub fn unbind_module(&mut self, module: usize) -> Result<(), VmError> {
+        if module >= self.modules.len() {
+            return Err(VmError::BadImage(format!("no module {module}")));
+        }
+        self.fallback_flush();
+        self.unbound[module] = true;
+        // Caches over the code must revalidate across the transition.
+        self.code.bump_version();
+        Ok(())
+    }
+
+    /// Reinstates a module unbound by [`Machine::unbind_module`].
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadImage`] if the module index is out of range.
+    pub fn bind_module(&mut self, module: usize) -> Result<(), VmError> {
+        if module >= self.modules.len() {
+            return Err(VmError::BadImage(format!("no module {module}")));
+        }
+        self.unbound[module] = false;
+        self.code.bump_version();
+        self.refresh_predecode();
+        Ok(())
+    }
+
+    /// Whether a module's code segment is currently bound.
+    pub fn module_bound(&self, module: usize) -> bool {
+        !self.unbound.get(module).copied().unwrap_or(false)
+    }
+
+    /// Injection hook: grabs every frame the allocator will currently
+    /// hand out, so the next guest allocation raises
+    /// [`FaultKind::FrameFault`]. Returns the number of frames seized.
+    /// The references this spends are recorded in
+    /// [`FaultStats::injected_refs`], not charged to the guest's run —
+    /// a fault-free run never pays them.
+    pub fn seize_free_frames(&mut self) -> usize {
+        let refs0 = self.refs_total();
+        let n0 = self.seized.len();
+        for fsi in (0..self.classes.len() as u8).rev() {
+            let words = self.classes.size_of(fsi);
+            loop {
+                let got = match &mut self.allocator {
+                    Allocator::General(g) => g.alloc(words),
+                    Allocator::Av(h) | Allocator::Cached { heap: h, .. } => {
+                        h.alloc_fsi(&mut self.mem, fsi)
+                    }
+                };
+                match got {
+                    Ok(frame) => self.seized.push((frame, words)),
+                    Err(_) => break,
+                }
+            }
+        }
+        self.fstats.injected_refs += self.refs_total() - refs0;
+        self.seized.len() - n0
+    }
+
+    /// Releases every frame taken by [`Machine::seize_free_frames`].
+    /// References are recorded as injection overhead, as in seizure.
+    pub fn release_seized_frames(&mut self) {
+        let refs0 = self.refs_total();
+        while let Some((frame, words)) = self.seized.pop() {
+            let r = match &mut self.allocator {
+                Allocator::General(g) => g.free(frame, words),
+                Allocator::Av(h) | Allocator::Cached { heap: h, .. } => {
+                    h.free(&mut self.mem, frame)
+                }
+            };
+            debug_assert!(r.is_ok(), "seized frames free cleanly");
+        }
+        self.fstats.injected_refs += self.refs_total() - refs0;
+    }
+
+    /// Injection hook: re-writes a watched transfer-table word with its
+    /// own value `n` times (host-side, uncounted). Architecturally a
+    /// no-op, but each poke bumps the table generation, forcing every
+    /// inline transfer cache to revalidate — a generation storm.
+    pub fn shake_tables(&mut self, n: u32) {
+        for _ in 0..n {
+            let v = self.mem.peek(GFT_BASE);
+            self.mem.poke(GFT_BASE, v);
+        }
+    }
+
     /// Runs until `HALT`, all processes exit, or an error.
     ///
     /// # Errors
@@ -509,6 +717,16 @@ impl Machine {
     /// Memory-reference counters.
     pub fn mem_stats(&self) -> fpc_mem::MemStats {
         self.mem.stats()
+    }
+
+    /// Total counted references across every source — data memory,
+    /// code-table reads, and the general heap's charged walk costs.
+    /// This is the unit the [`FaultStats`] `handler_refs` and
+    /// `injected_refs` fields are denominated in, so
+    /// `total_refs() - handler_refs - injected_refs` is the reference
+    /// count of the equivalent fault-free run.
+    pub fn total_refs(&self) -> u64 {
+        self.refs_total()
     }
 
     /// Host-side read of a word (uncounted), seeing through banks.
@@ -700,12 +918,21 @@ impl Machine {
     ) -> Result<StepOutcome, VmError> {
         let refs0 = self.refs_total();
         let divert0 = self.stats.divert_cycles;
+        let in_handler = self.fault_depth > 0;
         self.pc = instr_start.offset(len as u32);
-        let flow = self.execute(instr, instr_start)?;
+        let (flow, faulted) = match self.execute(instr, instr_start) {
+            Ok(f) => (f, false),
+            // A recoverable fault: the restartability invariant means
+            // no architectural state was committed, so dispatching the
+            // handler with the PC rewound to `instr_start` makes the
+            // eventual retry indistinguishable from a first execution.
+            Err(e) => (self.dispatch_fault(e, instr_start)?, true),
+        };
         let refs = self.refs_total() - refs0;
         let divert = self.stats.divert_cycles - divert0;
         let mut cycles = CYCLE_BASE + refs * CYCLE_MEMREF + divert;
         let mut kind = None;
+        let mut jumped = false;
         match flow {
             Flow::Next => {}
             Flow::Taken(k) => {
@@ -713,6 +940,7 @@ impl Machine {
                 kind = k;
                 if k.is_none() {
                     self.stats.jumps_taken += 1;
+                    jumped = true;
                 }
             }
             Flow::Halt => self.halted = true,
@@ -722,7 +950,104 @@ impl Machine {
         if let Some(k) = kind {
             self.stats.transfers.record(k, cycles, refs);
         }
+        if in_handler || faulted {
+            self.fstats.handler_cycles += cycles;
+            self.fstats.handler_refs += refs;
+            self.fstats.handler_instructions += 1;
+            self.fstats.handler_jumps += jumped as u64;
+        }
         Ok(StepOutcome::Ran)
+    }
+
+    /// Maps a recoverable error to its [`FaultKind`] when a handler
+    /// could run for it; `None` means the error is terminal.
+    fn fault_kind_of(&self, e: &VmError) -> Option<FaultKind> {
+        match e {
+            VmError::Frame(FrameError::OutOfMemory) => Some(FaultKind::FrameFault),
+            VmError::UnboundCode { .. } => Some(FaultKind::UnboundProcedure),
+            // Overflow past an already-unlocked reserve cannot be
+            // cured by dispatching again: stay terminal.
+            VmError::UnhandledTrap(TrapCode::StackOverflow) if !self.stack_relaxed => {
+                Some(FaultKind::StackOverflow)
+            }
+            _ => None,
+        }
+    }
+
+    /// Attempts to recover from `e` by transferring to the installed
+    /// fault handler, with the PC rewound to `restart` so the faulting
+    /// instruction re-executes when the handler returns. Returns the
+    /// dispatch transfer's flow, or the (possibly escalated) error when
+    /// recovery is impossible: no handler, a second fault inside the
+    /// dispatch window ([`VmError::DoubleFault`]), or handlers nested
+    /// past the configured bound ([`VmError::FaultDepthExceeded`]).
+    fn dispatch_fault(&mut self, e: VmError, restart: ByteAddr) -> Result<Flow, VmError> {
+        let Some(kind) = self.fault_kind_of(&e) else {
+            return Err(e);
+        };
+        let Some(handler) = self.fault_handlers[kind.index()] else {
+            return Err(e);
+        };
+        if let Some(first) = self.dispatching_fault {
+            return Err(VmError::DoubleFault {
+                first,
+                second: kind,
+            });
+        }
+        if self.fault_depth >= self.config.max_fault_depth {
+            return Err(VmError::FaultDepthExceeded {
+                kind,
+                limit: self.config.max_fault_depth,
+            });
+        }
+        let Context::Proc(p) = Context::from(handler) else {
+            return Err(VmError::InvalidContext(handler.raw()));
+        };
+        self.fstats.raised[kind.index()] += 1;
+        self.pc = restart;
+        self.dispatching_fault = Some(kind);
+        self.fault_depth += 1;
+        if kind == FaultKind::StackOverflow {
+            self.stack_relaxed = true;
+        }
+        // The handler's own frame may borrow from the reserve — only
+        // during dispatch, so the handler cannot recursively
+        // frame-fault on its own activation record.
+        self.set_emergency(true);
+        // The fault code is the handler's argument; the raw push rides
+        // the emergency stack headroom unlocked by `fault_depth`.
+        self.stack.push(kind.code());
+        let dispatched = match self.resolve_proc_desc(p) {
+            Ok((header, gf, cb)) => self.perform_call(header, gf, cb, TransferKind::Trap, false),
+            Err(e2) => Err(e2),
+        };
+        self.set_emergency(false);
+        self.dispatching_fault = None;
+        match dispatched {
+            Ok(flow) => {
+                self.handler_frames.push(self.lf);
+                Ok(flow)
+            }
+            Err(e2) => {
+                self.fault_depth -= 1;
+                self.stack.pop();
+                match self.fault_kind_of(&e2) {
+                    Some(second) => Err(VmError::DoubleFault {
+                        first: kind,
+                        second,
+                    }),
+                    None => Err(e2),
+                }
+            }
+        }
+    }
+
+    /// Switches the allocator's emergency mode (reserve borrowing).
+    fn set_emergency(&mut self, on: bool) {
+        match &mut self.allocator {
+            Allocator::General(g) => g.set_emergency(on),
+            Allocator::Av(h) | Allocator::Cached { heap: h, .. } => h.set_emergency(on),
+        }
     }
 
     /// Executes a fused pair as one host step while accounting exactly
@@ -747,6 +1072,7 @@ impl Machine {
         instr_start: ByteAddr,
     ) -> Result<StepOutcome, VmError> {
         use Instr as I;
+        let in_handler = self.fault_depth > 0;
         let depth = self.stack.len();
         if depth < f.need as usize || depth + f.grow as usize > self.config.stack_depth {
             self.fuse_demotions += 1;
@@ -816,6 +1142,11 @@ impl Machine {
             self.stats.cycles += cycles;
             self.stats.instructions += 2;
             self.fused_execs += 1;
+            if in_handler {
+                self.fstats.handler_cycles += cycles;
+                self.fstats.handler_instructions += 2;
+                self.fstats.handler_jumps += taken as u64;
+            }
             return Ok(StepOutcome::Ran);
         }
         // Straight-line pair with possible counted references: one
@@ -986,18 +1317,26 @@ impl Machine {
         let refs = self.refs_total() - refs0;
         let divert = self.stats.divert_cycles - divert0;
         let mut cycles = 2 * CYCLE_BASE + refs * CYCLE_MEMREF + divert;
+        let mut jumped = false;
         match flow_b {
             Flow::Next => {}
             Flow::Taken(k) => {
                 debug_assert!(k.is_none(), "transfer seconds take step_pair_xfer");
                 cycles += CYCLE_REFILL;
                 self.stats.jumps_taken += 1;
+                jumped = true;
             }
             Flow::Halt => self.halted = true,
         }
         self.stats.cycles += cycles;
         self.stats.instructions += 2;
         self.fused_execs += 1;
+        if in_handler {
+            self.fstats.handler_cycles += cycles;
+            self.fstats.handler_refs += refs;
+            self.fstats.handler_instructions += 2;
+            self.fstats.handler_jumps += jumped as u64;
+        }
         Ok(StepOutcome::Ran)
     }
 
@@ -1013,8 +1352,9 @@ impl Machine {
         b_start: ByteAddr,
         end: ByteAddr,
     ) -> Result<StepOutcome, VmError> {
+        let in_handler = self.fault_depth > 0;
         self.pc = b_start;
-        let (cycles_a, refs_mid, divert_mid) = if f.pure_a {
+        let (cycles_a, refs_a, refs_mid, divert_mid) = if f.pure_a {
             // A pure first half makes no counted or diverted reference:
             // its cost is exactly one base cycle and the leading
             // counter snapshot can be skipped (the mid-pair one doubles
@@ -1030,7 +1370,7 @@ impl Machine {
                     debug_assert!(matches!(flow_a, Flow::Next), "first ops are straight-line");
                 }
             }
-            (CYCLE_BASE, self.refs_total(), self.stats.divert_cycles)
+            (CYCLE_BASE, 0, self.refs_total(), self.stats.divert_cycles)
         } else {
             let refs0 = self.refs_total();
             let divert0 = self.stats.divert_cycles;
@@ -1049,6 +1389,7 @@ impl Machine {
             let divert_mid = self.stats.divert_cycles;
             (
                 CYCLE_BASE + (refs_mid - refs0) * CYCLE_MEMREF + (divert_mid - divert0),
+                refs_mid - refs0,
                 refs_mid,
                 divert_mid,
             )
@@ -1060,6 +1401,7 @@ impl Machine {
                 let divert_b = self.stats.divert_cycles - divert_mid;
                 let mut cycles_b = CYCLE_BASE + refs_b * CYCLE_MEMREF + divert_b;
                 let mut kind = None;
+                let mut jumped = false;
                 match flow_b {
                     Flow::Next => {}
                     Flow::Taken(k) => {
@@ -1067,6 +1409,7 @@ impl Machine {
                         kind = k;
                         if k.is_none() {
                             self.stats.jumps_taken += 1;
+                            jumped = true;
                         }
                     }
                     Flow::Halt => self.halted = true,
@@ -1077,6 +1420,12 @@ impl Machine {
                     self.stats.transfers.record(k, cycles_b, refs_b);
                 }
                 self.fused_execs += 1;
+                if in_handler {
+                    self.fstats.handler_cycles += cycles_a + cycles_b;
+                    self.fstats.handler_refs += refs_a + refs_b;
+                    self.fstats.handler_instructions += 2;
+                    self.fstats.handler_jumps += jumped as u64;
+                }
                 Ok(StepOutcome::Ran)
             }
             Err(e) => {
@@ -1085,7 +1434,37 @@ impl Machine {
                 // have before failing on B.
                 self.stats.cycles += cycles_a;
                 self.stats.instructions += 1;
-                Err(e)
+                if in_handler {
+                    self.fstats.handler_cycles += cycles_a;
+                    self.fstats.handler_refs += refs_a;
+                    self.fstats.handler_instructions += 1;
+                }
+                // Half B faulted with nothing committed: recover with
+                // the restart point at B itself, exactly as the unfused
+                // machine would for a standalone step of `f.b`.
+                let flow_b = self.dispatch_fault(e, b_start)?;
+                let refs_b = self.refs_total() - refs_mid;
+                let divert_b = self.stats.divert_cycles - divert_mid;
+                let mut cycles_b = CYCLE_BASE + refs_b * CYCLE_MEMREF + divert_b;
+                let mut kind = None;
+                match flow_b {
+                    Flow::Next => {}
+                    Flow::Taken(k) => {
+                        cycles_b += CYCLE_REFILL;
+                        kind = k;
+                        debug_assert!(k.is_some(), "fault dispatch is a transfer");
+                    }
+                    Flow::Halt => self.halted = true,
+                }
+                self.stats.cycles += cycles_b;
+                self.stats.instructions += 1;
+                if let Some(k) = kind {
+                    self.stats.transfers.record(k, cycles_b, refs_b);
+                }
+                self.fstats.handler_cycles += cycles_b;
+                self.fstats.handler_refs += refs_b;
+                self.fstats.handler_instructions += 1;
+                Ok(StepOutcome::Ran)
             }
         }
     }
@@ -1125,12 +1504,28 @@ impl Machine {
         }
     }
 
+    /// The evaluation-stack depth limit in force. The configured
+    /// reserve unlocks while a fault handler runs (headroom above the
+    /// depth that just overflowed) and stays unlocked once a
+    /// stack-overflow fault has been dispatched — the "grown" stack
+    /// the handler's return restarts into.
+    #[inline]
+    fn stack_limit(&self) -> usize {
+        if self.stack_relaxed || self.fault_depth > 0 {
+            self.config.stack_depth + self.config.stack_reserve
+        } else {
+            self.config.stack_depth
+        }
+    }
+
     #[inline]
     fn push(&mut self, v: u16) -> Result<(), VmError> {
-        if self.stack.len() >= self.config.stack_depth {
-            // Overflow of the register stack is fatal rather than a
-            // catchable trap: the compiler bounds expression depth
-            // statically, so hitting this means miscompiled code.
+        if self.stack.len() >= self.stack_limit() {
+            // Without a StackOverflow fault handler this is fatal
+            // rather than a catchable trap: the compiler bounds
+            // expression depth statically, so hitting it means
+            // miscompiled code. With a handler installed the step loop
+            // converts it into a restartable fault.
             return Err(VmError::UnhandledTrap(TrapCode::StackOverflow));
         }
         self.stack.push(v);
@@ -1149,7 +1544,7 @@ impl Machine {
                 return v;
             }
         }
-        self.mem.read(layout::local_slot(self.lf, idx))
+        self.mem.read(self.wrap(layout::local_slot(self.lf, idx)))
     }
 
     #[inline]
@@ -1159,7 +1554,8 @@ impl Machine {
                 return;
             }
         }
-        self.mem.write(layout::local_slot(self.lf, idx), v);
+        self.mem
+            .write(self.wrap(layout::local_slot(self.lf, idx)), v);
     }
 
     #[inline]
@@ -1187,7 +1583,7 @@ impl Machine {
 
     #[inline]
     fn global_addr(&self, idx: u32) -> WordAddr {
-        self.gf.offset(layout::GF_GLOBALS + idx)
+        self.wrap(self.gf.offset(layout::GF_GLOBALS + idx))
     }
 
     fn lf_ctx(&self) -> ContextWord {
@@ -1223,14 +1619,20 @@ impl Machine {
         &mut self,
         p: ProcDesc,
     ) -> Result<(ByteAddr, WordAddr, ByteAddr), VmError> {
-        let raw = self.mem.read(GFT_BASE.offset(p.env().get() as u32));
+        let raw = self
+            .mem
+            .read(self.wrap(GFT_BASE.offset(p.env().get() as u32)));
         let entry = GftEntry::from_raw(raw);
         let gf = entry.global_frame();
-        let cb_word = self.mem.read(gf.offset(layout::GF_CODE_BASE));
+        let cb_word = self.mem.read(self.wrap(gf.offset(layout::GF_CODE_BASE)));
         let base = layout::code_base_bytes(cb_word);
         let eff = entry.effective_ev_index(p.code().get());
-        let rel = self.code.read_table(layout::ev_slot(base, eff));
-        Ok((base.offset(rel as u32), gf, base))
+        let slot = layout::ev_slot(base, eff);
+        self.check_ev_slot(slot)?;
+        let rel = self.code.read_table(slot);
+        let header = base.offset(rel as u32);
+        self.check_header(header)?;
+        Ok((header, gf, base))
     }
 
     /// Brings the inline transfer cache up to the current generations
@@ -1250,7 +1652,7 @@ impl Machine {
     /// *charges* the GFT walk's 2 data reads and 1 table read instead
     /// of performing them.
     fn external_call_cached(&mut self, k: u8, instr_start: ByteAddr) -> Result<Flow, VmError> {
-        let lv_raw = self.mem.read(layout::lv_slot(self.gf, k as u32));
+        let lv_raw = self.mem.read(self.wrap(layout::lv_slot(self.gf, k as u32)));
         if let Some(t) = self.ic_synced().lookup_link(instr_start.0, lv_raw) {
             self.mem.charge_reads(2);
             self.code.charge_table_reads(1);
@@ -1289,8 +1691,11 @@ impl Machine {
             self.code.charge_table_reads(1);
             return self.perform_call_resolved(t, TransferKind::Call, true);
         }
-        let rel = self.code.read_table(layout::ev_slot(caller_cb, k as u16));
+        let slot = layout::ev_slot(caller_cb, k as u16);
+        self.check_ev_slot(slot)?;
+        let rel = self.code.read_table(slot);
         let header = caller_cb.offset(rel as u32);
+        self.check_header(header)?;
         let (fsi, flags) = self.read_header(header);
         let t = CachedTarget {
             header,
@@ -1312,6 +1717,7 @@ impl Machine {
         if let Some(t) = self.ic_synced().lookup_burned(site) {
             return self.perform_call_resolved(t, TransferKind::Call, true);
         }
+        self.check_header(header)?;
         let (gf, cb) = self.read_header_gf_cb(header);
         let (fsi, flags) = self.read_header(header);
         let t = CachedTarget {
@@ -1328,9 +1734,6 @@ impl Machine {
     }
 
     fn alloc_frame(&mut self, fsi: u8, addr_taken: bool) -> Result<WordAddr, VmError> {
-        self.stats
-            .frame_bytes
-            .record(self.classes.size_of(fsi) as u64 * 2);
         let (frame, actual_fsi) = match &mut self.allocator {
             Allocator::General(g) => {
                 let words = self.classes.size_of(fsi);
@@ -1339,6 +1742,12 @@ impl Machine {
             Allocator::Av(h) => (h.alloc_fsi(&mut self.mem, fsi)?, fsi),
             Allocator::Cached { heap, cache } => cache.alloc(heap, &mut self.mem, fsi)?,
         };
+        // Recorded only on success: a frame-faulted attempt must leave
+        // every observable — histograms included — untouched, so the
+        // handler-driven retry is indistinguishable from a first try.
+        self.stats
+            .frame_bytes
+            .record(self.classes.size_of(fsi) as u64 * 2);
         // Bank shadowing is sized by the class the procedure asked
         // for, not the (possibly larger) standard frame the cache
         // handed out: the extra words are never referenced, so loading
@@ -1372,7 +1781,78 @@ impl Machine {
                 cache.free(heap, &mut self.mem, frame, info.actual_fsi)?;
             }
         }
+        // A fault handler's frame going away is its completion: the
+        // nesting depth drops and the recovery is counted.
+        if let Some(pos) = self.handler_frames.iter().rposition(|&f| f == frame) {
+            self.handler_frames.remove(pos);
+            self.fault_depth = self.fault_depth.saturating_sub(1);
+            self.fstats.recovered += 1;
+        }
+        // Re-arm stack-overflow faulting once the handlers have wound
+        // down and the stack is back inside its normal bound.
+        // Strictly below: at the handler's return the stack still holds
+        // exactly the full depth that overflowed, and the retried push
+        // needs the reserve to land.
+        if self.stack_relaxed && self.fault_depth == 0 && self.stack.len() < self.config.stack_depth
+        {
+            self.stack_relaxed = false;
+        }
         Ok(())
+    }
+
+    /// Whether `base` is the code base of an unbound module.
+    fn check_bound(&self, base: ByteAddr) -> Result<(), VmError> {
+        if let Some(i) = self.modules.iter().position(|m| m.code_base == base) {
+            if self.unbound[i] {
+                return Err(VmError::UnboundCode { module: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks — with uncounted peeks, before anything is committed —
+    /// that a suspended frame's module is bound, so transfers into it
+    /// can fault while they are still restartable. Garbage frame words
+    /// are masked into the address space; they then fail later on the
+    /// ordinary typed-error paths.
+    fn check_frame_bound(&self, frame: WordAddr) -> Result<(), VmError> {
+        let gf = self.mem.peek(self.wrap(frame.offset(layout::FRAME_GLOBAL))) as u32;
+        let cb_word = self
+            .mem
+            .peek(self.wrap(WordAddr(gf).offset(layout::GF_CODE_BASE)));
+        self.check_bound(layout::code_base_bytes(cb_word))
+    }
+
+    /// Masks a guest-derived word address into the address space:
+    /// scribbled frame words and table entries yield wrong-but-typed
+    /// behaviour (and eventually a typed error) instead of a host
+    /// panic. Identity for every address a well-formed image produces.
+    #[inline]
+    fn wrap(&self, a: WordAddr) -> WordAddr {
+        WordAddr(a.0 % self.mem.size())
+    }
+
+    /// Bounds-checks a procedure header derived from guest-reachable
+    /// table words before its bytes are peeked.
+    fn check_header(&self, header: ByteAddr) -> Result<(), VmError> {
+        match header.0.checked_add(layout::PROC_HEADER_BYTES) {
+            Some(end) if end <= self.code.len() => Ok(()),
+            _ => Err(VmError::BadImage(format!(
+                "procedure header at {:#x} outside code",
+                header.0
+            ))),
+        }
+    }
+
+    /// Bounds-checks an entry-vector slot before it is read.
+    fn check_ev_slot(&self, slot: ByteAddr) -> Result<(), VmError> {
+        match slot.0.checked_add(2) {
+            Some(end) if end <= self.code.len() => Ok(()),
+            _ => Err(VmError::BadImage(format!(
+                "entry-vector slot at {:#x} outside code",
+                slot.0
+            ))),
+        }
     }
 
     /// The orderly fallback: flush banks and the return stack so every
@@ -1411,9 +1891,12 @@ impl Machine {
     /// Enters an existing suspended frame: the general scheme's three
     /// reads (PC, GF, code base), plus a bank activation.
     fn enter_frame(&mut self, frame: WordAddr) -> Result<(), VmError> {
-        let pc_rel = self.mem.read(frame.offset(layout::FRAME_PC));
-        let gf = WordAddr(self.mem.read(frame.offset(layout::FRAME_GLOBAL)) as u32);
-        let cb_word = self.mem.read(gf.offset(layout::GF_CODE_BASE));
+        // Backstop: callers precheck boundness before committing state,
+        // so this only fires on paths that have committed nothing yet.
+        self.check_frame_bound(frame)?;
+        let pc_rel = self.mem.read(self.wrap(frame.offset(layout::FRAME_PC)));
+        let gf = WordAddr(self.mem.read(self.wrap(frame.offset(layout::FRAME_GLOBAL))) as u32);
+        let cb_word = self.mem.read(self.wrap(gf.offset(layout::GF_CODE_BASE)));
         let base = layout::code_base_bytes(cb_word);
         self.lf = frame;
         self.gf = gf;
@@ -1440,6 +1923,7 @@ impl Machine {
         kind: TransferKind,
         strict: bool,
     ) -> Result<Flow, VmError> {
+        self.check_header(header)?;
         let (fsi, flags) = self.read_header(header);
         self.perform_call_resolved(
             CachedTarget {
@@ -1471,12 +1955,17 @@ impl Machine {
             flags,
         } = t;
         let (nargs, addr_taken) = layout::unpack_flags(flags);
+        // Faultable work first, commits second: an unbound destination
+        // or an empty AV list must surface while the caller's state is
+        // still exactly as the restarted instruction will find it.
+        self.check_bound(dest_cb)?;
         if strict && self.config.strict_stack && self.stack.len() != nargs as usize {
             return Err(VmError::StrictStackViolation {
                 depth: self.stack.len(),
                 nargs: nargs as usize,
             });
         }
+        let frame = self.alloc_frame(fsi, addr_taken)?;
         // §7.4 flush-on-exit: leaving a flagged context writes its bank
         // back so storage references from elsewhere see current data.
         if let (Some(b), Some(info)) = (self.banks.as_mut(), self.frame_info.get(self.lf.0)) {
@@ -1489,7 +1978,6 @@ impl Machine {
                 b.flush_frame(&mut self.mem, self.lf);
             }
         }
-        let frame = self.alloc_frame(fsi, addr_taken)?;
 
         let caller_ctx = self.lf_ctx();
         if self.rs.enabled() {
@@ -1584,9 +2072,18 @@ impl Machine {
             }
             return Ok(Flow::Taken(Some(TransferKind::Return)));
         }
-        // General scheme.
-        let link =
-            ContextWord::from_raw(self.mem.read(returning.offset(layout::FRAME_RETURN_LINK)));
+        // General scheme. The destination's boundness is checked before
+        // the returning frame is freed: a fault after the free could not
+        // restart (the frame — and the link in it — would be gone).
+        let link = ContextWord::from_raw(
+            self.mem
+                .read(self.wrap(returning.offset(layout::FRAME_RETURN_LINK))),
+        );
+        match Context::from(link) {
+            Context::Nil => self.precheck_next_process()?,
+            Context::Frame(h) => self.check_frame_bound(h.addr())?,
+            Context::Proc(_) => return Err(VmError::InvalidContext(link.raw())),
+        }
         self.free_frame(returning)?;
         self.return_ctx = ContextWord::NIL;
         match Context::from(link) {
@@ -1597,6 +2094,24 @@ impl Machine {
             }
             Context::Proc(_) => Err(VmError::InvalidContext(link.raw())),
         }
+    }
+
+    /// Restartability precheck for a process exit: the process that
+    /// [`Machine::process_exit`] will resume must be bound *before* the
+    /// exiting frame is freed. Mirrors `process_exit`'s scan with the
+    /// current process treated as already dead.
+    fn precheck_next_process(&self) -> Result<(), VmError> {
+        let n = self.processes.len();
+        for off in 1..n {
+            let i = (self.current_proc + off) % n;
+            if self.processes[i].alive {
+                if let Context::Frame(h) = Context::from(self.processes[i].ctx) {
+                    self.check_frame_bound(h.addr())?;
+                }
+                return Ok(());
+            }
+        }
+        Ok(())
     }
 
     /// The current process's root returned: mark it dead and resume the
@@ -1620,8 +2135,33 @@ impl Machine {
         Ok(Flow::Halt)
     }
 
+    /// Uncounted boundness precheck for a transfer through a procedure
+    /// descriptor: walks GFT → GF → code base with host peeks so the
+    /// unbound fault can be raised before any state is committed. The
+    /// counted walk happens later, on the committed path.
+    fn precheck_proc_bound(&self, p: ProcDesc) -> Result<(), VmError> {
+        let size = self.mem.size();
+        let raw = self.mem.peek(WordAddr(
+            GFT_BASE.0.wrapping_add(p.env().get() as u32) % size,
+        ));
+        let entry = GftEntry::from_raw(raw);
+        let gf = entry.global_frame();
+        let cb_word = self
+            .mem
+            .peek(WordAddr(gf.0.wrapping_add(layout::GF_CODE_BASE) % size));
+        self.check_bound(layout::code_base_bytes(cb_word))
+    }
+
     /// General `XFER` through a context word popped from the stack.
     fn perform_xfer(&mut self, w: ContextWord) -> Result<Flow, VmError> {
+        // Boundness surfaces before the flush: once the banks and the
+        // return stack have been spilled the instruction is no longer
+        // bit-restartable (re-execution would skip the spill work).
+        match Context::from(w) {
+            Context::Frame(h) => self.check_frame_bound(h.addr())?,
+            Context::Proc(p) => self.precheck_proc_bound(p)?,
+            Context::Nil => return Err(VmError::XferToNil),
+        }
         // Unusual transfer: orderly fallback first.
         self.fallback_flush();
         let rel = self.rel_pc(self.pc);
@@ -1653,6 +2193,7 @@ impl Machine {
             return Err(VmError::InvalidContext(w.raw()));
         };
         let (header, dest_gf, dest_cb) = self.resolve_proc_desc(p)?;
+        self.check_bound(dest_cb)?;
         let (fsi, flags) = self.read_header(header);
         let (_, addr_taken) = layout::unpack_flags(flags);
         let frame = self.alloc_frame(fsi, addr_taken)?;
@@ -1677,8 +2218,33 @@ impl Machine {
             return Err(VmError::InvalidContext(handler.raw()));
         };
         self.stack.push(code.code());
-        let (header, dest_gf, dest_cb) = self.resolve_proc_desc(p)?;
-        self.perform_call(header, dest_gf, dest_cb, TransferKind::Trap, false)
+        let dispatched = self
+            .resolve_proc_desc(p)
+            .and_then(|(header, dest_gf, dest_cb)| {
+                self.perform_call(header, dest_gf, dest_cb, TransferKind::Trap, false)
+            });
+        if dispatched.is_err() {
+            // Un-push the trap code so a faulted trap dispatch (e.g. a
+            // frame fault allocating the handler's frame) restarts from
+            // the stack the instruction originally saw.
+            self.stack.pop();
+        }
+        dispatched
+    }
+
+    /// [`Machine::do_trap`] for instructions that consumed operands
+    /// before discovering the trap: if dispatch itself fails — a frame
+    /// fault allocating the trap handler's frame, say — the consumed
+    /// operands are restored so the whole instruction can restart.
+    fn restartable_trap(&mut self, code: TrapCode, consumed: &[u16]) -> Result<Flow, VmError> {
+        let r = self.do_trap(code);
+        if r.is_err() {
+            // Re-push in original stack order; slots were just vacated.
+            for &v in consumed {
+                self.stack.push(v);
+            }
+        }
+        r
     }
 
     fn binary_op(&mut self, f: impl FnOnce(i16, i16) -> i16) -> Result<(), VmError> {
@@ -1757,7 +2323,7 @@ impl Machine {
                 let b = self.pop()? as i16;
                 let a = self.pop()? as i16;
                 if b == 0 {
-                    return self.do_trap(TrapCode::DivideByZero);
+                    return self.restartable_trap(TrapCode::DivideByZero, &[a as u16, b as u16]);
                 }
                 self.push(a.wrapping_div(b) as u16)?;
             }
@@ -1765,7 +2331,7 @@ impl Machine {
                 let b = self.pop()? as i16;
                 let a = self.pop()? as i16;
                 if b == 0 {
-                    return self.do_trap(TrapCode::DivideByZero);
+                    return self.restartable_trap(TrapCode::DivideByZero, &[a as u16, b as u16]);
                 }
                 self.push(a.wrapping_rem(b) as u16)?;
             }
@@ -1830,7 +2396,9 @@ impl Machine {
                     return self.external_call_cached(k, instr_start);
                 }
                 // One reference into the link vector…
-                let w = ContextWord::from_raw(self.mem.read(layout::lv_slot(self.gf, k as u32)));
+                let w = ContextWord::from_raw(
+                    self.mem.read(self.wrap(layout::lv_slot(self.gf, k as u32))),
+                );
                 match Context::from(w) {
                     Context::Proc(p) => {
                         // …then GFT, global frame, entry vector.
@@ -1855,9 +2423,9 @@ impl Machine {
                 }
                 // Same module: same environment and code base, one
                 // level of indirection (the entry vector).
-                let rel = self
-                    .code
-                    .read_table(layout::ev_slot(self.code_base, k as u16));
+                let slot = layout::ev_slot(self.code_base, k as u16);
+                self.check_ev_slot(slot)?;
+                let rel = self.code.read_table(slot);
                 let header = self.code_base.offset(rel as u32);
                 return self.perform_call(
                     header,
@@ -1872,6 +2440,7 @@ impl Machine {
                 if self.xfer_ic.is_some() {
                     return self.direct_call_cached(header, instr_start.0);
                 }
+                self.check_header(header)?;
                 let (gf, cb) = self.read_header_gf_cb(header);
                 return self.perform_call(header, gf, cb, TransferKind::Call, true);
             }
@@ -1880,18 +2449,30 @@ impl Machine {
                 if self.xfer_ic.is_some() {
                     return self.direct_call_cached(header, instr_start.0);
                 }
+                self.check_header(header)?;
                 let (gf, cb) = self.read_header_gf_cb(header);
                 return self.perform_call(header, gf, cb, TransferKind::Call, true);
             }
             Instr::Ret => return self.perform_return(),
             Instr::Xfer => {
                 let w = ContextWord::from_raw(self.pop()?);
-                return self.perform_xfer(w);
+                let r = self.perform_xfer(w);
+                if r.is_err() {
+                    // Restore the popped context word: a faulted XFER
+                    // restarts by popping it again.
+                    self.stack.push(w.raw());
+                }
+                return r;
             }
             Instr::NewContext => {
                 let w = ContextWord::from_raw(self.pop()?);
-                let ctx = self.create_context(w)?;
-                self.push(ctx.raw())?;
+                match self.create_context(w) {
+                    Ok(ctx) => self.push(ctx.raw())?,
+                    Err(e) => {
+                        self.stack.push(w.raw());
+                        return Err(e);
+                    }
+                }
             }
             Instr::FreeContext => {
                 let w = ContextWord::from_raw(self.pop()?);
@@ -1916,6 +2497,11 @@ impl Machine {
                         words: words as u32,
                     },
                 ))?;
+                // Preflight the push: overflowing *after* the alloc
+                // would leak the record across the fault and restart.
+                if self.stack.len() >= self.stack_limit() {
+                    return Err(VmError::UnhandledTrap(TrapCode::StackOverflow));
+                }
                 let rec = self.alloc_frame(fsi, false)?;
                 self.push(rec.0 as u16)?;
             }
@@ -1932,6 +2518,11 @@ impl Machine {
                 let Some(next) = next else {
                     return Ok(Flow::Next); // nothing to switch to
                 };
+                // Precheck the destination before the flush and the
+                // stack swap commit anything.
+                if let Context::Frame(h) = Context::from(self.processes[next].ctx) {
+                    self.check_frame_bound(h.addr())?;
+                }
                 self.fallback_flush();
                 let rel = self.rel_pc(self.pc);
                 self.mem.write(self.lf.offset(layout::FRAME_PC), rel);
@@ -1948,7 +2539,13 @@ impl Machine {
             }
             Instr::Spawn => {
                 let w = ContextWord::from_raw(self.pop()?);
-                let ctx = self.create_context(w)?;
+                let ctx = match self.create_context(w) {
+                    Ok(ctx) => ctx,
+                    Err(e) => {
+                        self.stack.push(w.raw());
+                        return Err(e);
+                    }
+                };
                 self.processes.push(Process {
                     ctx,
                     saved_stack: Vec::new(),
@@ -1956,6 +2553,30 @@ impl Machine {
                 });
                 let idx = (self.processes.len() - 1) as u16;
                 self.push(idx)?;
+            }
+            Instr::Donate => {
+                // The §5.3 replenisher's donation: move words from the
+                // fault reserve into the allocatable pool, pushing the
+                // number actually granted (0 when the reserve is dry).
+                let req = self.pop()? as u32;
+                let granted = match &mut self.allocator {
+                    Allocator::General(g) => g.donate(req),
+                    Allocator::Av(h) => h.donate(req),
+                    Allocator::Cached { heap, .. } => heap.donate(req),
+                };
+                self.push(granted as u16)?;
+            }
+            Instr::BindModule => {
+                // Ask the host loader to bind a module back in; pushes
+                // 1 on a state change, 0 when already bound or out of
+                // range. The replenisher analogue for code faults.
+                let m = self.pop()? as usize;
+                let rebound = m < self.unbound.len() && self.unbound[m];
+                if rebound {
+                    self.unbound[m] = false;
+                    self.code.bump_version();
+                }
+                self.push(rebound as u16)?;
             }
             Instr::Out => {
                 let v = self.pop()?;
