@@ -17,3 +17,4 @@ pub mod e9;
 pub mod h1;
 pub mod h2;
 pub mod h3;
+pub mod h4;

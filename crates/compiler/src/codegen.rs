@@ -640,6 +640,10 @@ impl Gen<'_> {
                             BinOp::Le => Instr::CmpLe,
                             BinOp::Gt => Instr::CmpGt,
                             BinOp::Ge => Instr::CmpGe,
+                            // Audited: not guest-reachable. And/Or are
+                            // consumed by the logical-normalisation arm
+                            // above; this arm only sees the arithmetic
+                            // and comparison operators.
                             BinOp::And | BinOp::Or => unreachable!(),
                         });
                     }

@@ -267,5 +267,18 @@ pub fn link(
     }
     stats.code_bytes = image.code.len() as u32;
 
+    // Every image this linker emits must pass the static verifier —
+    // the fpc-verify certificate is part of the output contract, and a
+    // compiler bug that breaks stack discipline or transfer targets
+    // should fail loudly here, not as a downstream dynamic trap.
+    #[cfg(debug_assertions)]
+    {
+        let report = fpc_verify::verify_image(&image, &fpc_verify::VerifyOptions::default());
+        debug_assert!(
+            report.is_ok(),
+            "linker output failed verification:\n{report}"
+        );
+    }
+
     Ok(Compiled { image, stats })
 }

@@ -143,6 +143,9 @@ fn keyword_or_symbol(t: &Tok) -> &'static str {
         Tok::Gt => ">",
         Tok::Ge => ">=",
         Tok::Amp => "&",
+        // Audited: not guest-reachable. The only caller is the Display
+        // impl above, whose outer match renders Ident/Num/Eof itself and
+        // never forwards them here.
         Tok::Ident(_) | Tok::Num(_) | Tok::Eof => unreachable!(),
     }
 }

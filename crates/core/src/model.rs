@@ -426,6 +426,9 @@ impl Machine {
                     Op::Sub => a.wrapping_sub(b),
                     Op::Mul => a.wrapping_mul(b),
                     Op::Lt => (a < b) as i64,
+                    // Audited: not guest-reachable. The enclosing arm
+                    // matches only Add | Sub | Mul | Lt, so `op` cannot
+                    // be any other variant here.
                     _ => unreachable!(),
                 };
                 let state = self.contexts[current.0].as_mut().unwrap();

@@ -81,13 +81,17 @@ impl ByteAddr {
 
     /// Signed displacement, for PC-relative jumps and short direct calls.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if the result would be negative.
+    /// Displacements are guest data (branch bytes in the code image),
+    /// so a result below zero must not be a host panic: it saturates
+    /// to `u32::MAX`, an address no code store maps, so the following
+    /// fetch or header check fails with a typed error instead of
+    /// silently aliasing address 0.
     #[inline]
     pub fn displace(self, disp: i32) -> ByteAddr {
         let v = self.0 as i64 + disp as i64;
-        debug_assert!(v >= 0, "code address displaced below zero");
+        if v < 0 {
+            return ByteAddr(u32::MAX);
+        }
         ByteAddr(v as u32)
     }
 }

@@ -130,6 +130,18 @@ pub struct MachineConfig {
     ///
     /// [`VmError::FaultDepthExceeded`]: crate::VmError::FaultDepthExceeded
     pub max_fault_depth: u32,
+    /// Trust that loaded images carry an `fpc-verify` certificate
+    /// (every procedure's stack discipline and transfer targets were
+    /// statically proven) and skip the per-step dynamic stack checks:
+    /// push overflow, pop underflow, the fused-pair demotion guard and
+    /// the strict-stack call compare. Host-side only — a verified
+    /// image's simulated counters are bit-identical with the checks on
+    /// or off. The machine re-arms the checks itself whenever the
+    /// certificate's premises lapse: installing a trap or fault
+    /// handler (handler code runs at depths outside the certificate)
+    /// or mutating code post-load (`replace_proc`, `relocate_module`,
+    /// `unbind_module`).
+    pub verified_images: bool,
 }
 
 impl MachineConfig {
@@ -148,6 +160,7 @@ impl MachineConfig {
             fault_reserve_words: 0,
             stack_reserve: 8,
             max_fault_depth: 8,
+            verified_images: false,
         }
     }
 
@@ -238,6 +251,14 @@ impl MachineConfig {
         self
     }
 
+    /// Declares loaded images certificate-carrying (see
+    /// [`MachineConfig::verified_images`]): dynamic stack checks are
+    /// elided until a handler install or code mutation re-arms them.
+    pub fn with_verified_images(mut self, on: bool) -> Self {
+        self.verified_images = on;
+        self
+    }
+
     /// Whether bank renaming is active.
     pub fn renaming(&self) -> bool {
         self.banks.map(|b| b.renaming).unwrap_or(false)
@@ -282,6 +303,8 @@ mod tests {
         assert_eq!(c.with_fault_reserve(128).fault_reserve_words, 128);
         assert_eq!(c.with_stack_reserve(4).stack_reserve, 4);
         assert_eq!(c.with_max_fault_depth(2).max_fault_depth, 2);
+        assert!(!c.verified_images, "checks stay on unless certified");
+        assert!(c.with_verified_images(true).verified_images);
     }
 
     #[test]

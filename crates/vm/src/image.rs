@@ -238,6 +238,14 @@ pub fn load(image: &Image, memory_words: u32) -> Result<(Memory, CodeStore, Plac
                 ev_index: p,
             });
             let at = hdr.0 as usize;
+            // Guest-controlled: a corrupt entry vector can point the
+            // header anywhere, including past the code store.
+            if at + layout::PROC_HEADER_BYTES as usize > raw_code.len() {
+                return Err(VmError::BadImage(format!(
+                    "module {} entry {p}: header at {at:#x} runs past the code store",
+                    m.name
+                )));
+            }
             raw_code[at + layout::HDR_GF as usize] = gf.0 as u8;
             raw_code[at + layout::HDR_GF as usize + 1] = (gf.0 >> 8) as u8;
             raw_code[at + layout::HDR_CODE_BASE as usize] = cb as u8;

@@ -68,5 +68,5 @@ pub use image::{
 pub use inject::{run_with_plan, FaultEvent, FaultPlan, InjectionReport};
 pub use listing::listing;
 pub use machine::{FaultStats, FusionStats, Machine, MachineStats, StepOutcome};
-pub use predecode::{DecodedOp, Fetched, FusedOp, PredecodeCache, PredecodeStats};
+pub use predecode::{fuse_pair, DecodedOp, Fetched, FusedOp, PredecodeCache, PredecodeStats};
 pub use xfer::{CachedTarget, XferCache, XferCacheStats};

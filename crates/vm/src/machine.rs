@@ -206,6 +206,13 @@ pub struct Machine {
     xfer_ic: Option<XferCache>,
     fused_execs: u64,
     fuse_demotions: u64,
+    /// Dynamic stack checks elided under a trusted `fpc-verify`
+    /// certificate ([`MachineConfig::verified_images`]). Cleared — and
+    /// never re-set — the moment a certificate premise lapses: a trap
+    /// or fault handler is installed (handler code runs at stack
+    /// depths the static analysis did not model) or loaded code is
+    /// mutated (`replace_proc` / `relocate_module` / `unbind_module`).
+    elide_checks: bool,
 
     // Registers.
     lf: WordAddr,
@@ -366,6 +373,7 @@ impl Machine {
             xfer_ic: config.inline_xfer.then(XferCache::new),
             fused_execs: 0,
             fuse_demotions: 0,
+            elide_checks: config.verified_images,
             lf: WordAddr::NIL,
             gf: WordAddr::NIL,
             code_base: ByteAddr(0),
@@ -477,6 +485,9 @@ impl Machine {
     fn start(&mut self, image: &Image) -> Result<(), VmError> {
         let desc = image.proc_desc(image.entry)?;
         let Context::Proc(p) = Context::from(desc) else {
+            // Audited: not guest-reachable. `proc_desc` does not read
+            // the word from the image — it packs Context::Proc itself,
+            // so unpacking here can only yield the same variant.
             unreachable!("validated")
         };
         let (header, dest_gf, dest_cb) = self.resolve_proc_desc(p)?;
@@ -484,7 +495,14 @@ impl Machine {
         // zeroed) and nothing is pushed on the return stack.
         let (fsi, flags) = self.read_header(header);
         let (nargs, addr_taken) = layout::unpack_flags(flags);
-        debug_assert_eq!(nargs, 0, "entry procedure takes no arguments");
+        // Guest-controlled (the flags byte lives in the code image): a
+        // corrupt header can claim arguments the initial transfer does
+        // not pass.
+        if nargs != 0 {
+            return Err(VmError::BadImage(format!(
+                "entry procedure declares {nargs} argument(s); the initial transfer passes none"
+            )));
+        }
         let frame = self.alloc_frame(fsi, addr_taken)?;
         if !self.defer_headers {
             self.mem
@@ -519,6 +537,9 @@ impl Machine {
     /// [`VmError::BadImage`] if the reference is invalid.
     pub fn set_trap_handler(&mut self, image: &Image, handler: ProcRef) -> Result<(), VmError> {
         self.trap_handler = Some(image.proc_desc(handler)?);
+        // Handler code runs stacked on top of the trapping context at
+        // depths the verify certificate did not model: re-arm checks.
+        self.elide_checks = false;
         Ok(())
     }
 
@@ -539,12 +560,23 @@ impl Machine {
         handler: ProcRef,
     ) -> Result<(), VmError> {
         self.fault_handlers[kind.index()] = Some(image.proc_desc(handler)?);
+        // As with trap handlers: fault dispatch runs guest code at
+        // unmodelled depths, so the verify certificate lapses.
+        self.elide_checks = false;
         Ok(())
     }
 
     /// Fault-subsystem counters.
     pub fn fault_stats(&self) -> FaultStats {
         self.fstats
+    }
+
+    /// Whether dynamic stack checks are currently elided under a
+    /// trusted verify certificate: the machine was configured with
+    /// [`MachineConfig::with_verified_images`] and no certificate
+    /// premise (no handlers, unmutated code) has lapsed since load.
+    pub fn checks_elided(&self) -> bool {
+        self.elide_checks
     }
 
     /// Marks a module's code segment swapped out. The bytes stay in the
@@ -571,6 +603,9 @@ impl Machine {
         self.unbound[module] = true;
         // Caches over the code must revalidate across the transition.
         self.code.bump_version();
+        // The certificate covered the loaded image; unbinding changes
+        // which transfers can complete, so dynamic checks come back.
+        self.elide_checks = false;
         Ok(())
     }
 
@@ -810,6 +845,8 @@ impl Machine {
         // the predecode cache is already invalid; walk the relocated
         // segment now rather than on first execution.
         self.refresh_predecode();
+        // The relocated segment was never seen by the verifier.
+        self.elide_checks = false;
         Ok(new_base)
     }
 
@@ -879,6 +916,8 @@ impl Machine {
         // Version bumped; retranslate so the new body (found through
         // the redirected entry-vector slot) is predecoded up front.
         self.refresh_predecode();
+        // The replacement body carries no certificate: checks return.
+        self.elide_checks = false;
         Ok(hdr)
     }
 
@@ -1074,7 +1113,9 @@ impl Machine {
         use Instr as I;
         let in_handler = self.fault_depth > 0;
         let depth = self.stack.len();
-        if depth < f.need as usize || depth + f.grow as usize > self.config.stack_depth {
+        if !self.elide_checks
+            && (depth < f.need as usize || depth + f.grow as usize > self.config.stack_depth)
+        {
             self.fuse_demotions += 1;
             return self.step_one(a, f.len_a, instr_start);
         }
@@ -1474,11 +1515,15 @@ impl Machine {
     /// arms read as `taken` expressions.
     #[inline]
     fn top_apply(&mut self, f: impl FnOnce(i16) -> i16) -> bool {
-        let t = self
-            .stack
-            .last_mut()
-            .expect("guarded by fusion depth check");
-        *t = f(*t as i16) as u16;
+        // Non-empty by the fusion depth guard, or by the verify
+        // certificate when that guard is elided; total either way so a
+        // bad certificate can corrupt guest state but never panic the
+        // host.
+        if let Some(t) = self.stack.last_mut() {
+            *t = f(*t as i16) as u16;
+        } else {
+            self.stack.push(f(0) as u16);
+        }
         false
     }
 
@@ -1494,8 +1539,10 @@ impl Machine {
         b_start: ByteAddr,
         d: i32,
     ) -> bool {
-        let y = self.stack.pop().expect("guarded by fusion depth check") as i16;
-        let x = self.stack.pop().expect("guarded by fusion depth check") as i16;
+        // Depth ≥ 2 by the fusion guard or the verify certificate;
+        // total regardless (see `top_apply`).
+        let y = self.stack.pop().unwrap_or(0) as i16;
+        let x = self.stack.pop().unwrap_or(0) as i16;
         if f(x, y) == on_true {
             self.pc = b_start.displace(d);
             true
@@ -1520,12 +1567,14 @@ impl Machine {
 
     #[inline]
     fn push(&mut self, v: u16) -> Result<(), VmError> {
-        if self.stack.len() >= self.stack_limit() {
+        if !self.elide_checks && self.stack.len() >= self.stack_limit() {
             // Without a StackOverflow fault handler this is fatal
             // rather than a catchable trap: the compiler bounds
             // expression depth statically, so hitting it means
             // miscompiled code. With a handler installed the step loop
-            // converts it into a restartable fault.
+            // converts it into a restartable fault. Under a trusted
+            // verify certificate the bound is a theorem and the check
+            // is skipped (a handler install re-arms it).
             return Err(VmError::UnhandledTrap(TrapCode::StackOverflow));
         }
         self.stack.push(v);
@@ -1534,6 +1583,12 @@ impl Machine {
 
     #[inline]
     fn pop(&mut self) -> Result<u16, VmError> {
+        if self.elide_checks {
+            // The certificate proves no reachable pop underflows; stay
+            // total anyway so an unsound certificate degrades to wrong
+            // guest arithmetic, never a host panic.
+            return Ok(self.stack.pop().unwrap_or(0));
+        }
         self.stack.pop().ok_or(VmError::StackUnderflow)
     }
 
@@ -1959,7 +2014,11 @@ impl Machine {
         // or an empty AV list must surface while the caller's state is
         // still exactly as the restarted instruction will find it.
         self.check_bound(dest_cb)?;
-        if strict && self.config.strict_stack && self.stack.len() != nargs as usize {
+        if strict
+            && self.config.strict_stack
+            && !self.elide_checks
+            && self.stack.len() != nargs as usize
+        {
             return Err(VmError::StrictStackViolation {
                 depth: self.stack.len(),
                 nargs: nargs as usize,
@@ -2499,7 +2558,7 @@ impl Machine {
                 ))?;
                 // Preflight the push: overflowing *after* the alloc
                 // would leak the record across the fault and restart.
-                if self.stack.len() >= self.stack_limit() {
+                if !self.elide_checks && self.stack.len() >= self.stack_limit() {
                     return Err(VmError::UnhandledTrap(TrapCode::StackOverflow));
                 }
                 let rec = self.alloc_frame(fsi, false)?;

@@ -167,8 +167,9 @@ fn fuse_model(i: Instr, second: bool) -> Option<(i8, i8, bool)> {
 }
 
 /// Builds the fusion record for an adjacent pair, or `None` if the
-/// pair is not fusible.
-fn fuse_pair(a: Instr, b: Instr, len_a: u8, len_b: u8) -> Option<FusedOp> {
+/// pair is not fusible. Public so `fpc-verify` can mirror the greedy
+/// pairing exactly when it checks jump targets against fused spans.
+pub fn fuse_pair(a: Instr, b: Instr, len_a: u8, len_b: u8) -> Option<FusedOp> {
     let (pa, qa, _) = fuse_model(a, false)?;
     let (pb, qb, xfer) = fuse_model(b, true)?;
     let (pa, qa, pb, qb) = (pa as i32, qa as i32, pb as i32, qb as i32);

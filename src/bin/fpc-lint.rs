@@ -1,0 +1,132 @@
+//! `fpc-lint` — run the static verifier over Mesa-lite sources or the
+//! shipped corpus.
+//!
+//! ```text
+//! fpc-lint prog.mesa [more.mesa ...]   # verify each source file
+//! fpc-lint --corpus                    # verify the whole fpc-workloads
+//!                                      # corpus under every linkage and
+//!                                      # argument convention, plus the
+//!                                      # example programs
+//! ```
+//!
+//! Exit status: 0 when everything verifies, 1 when any diagnostic is
+//! produced, 2 on usage or compile errors.
+
+use std::process::ExitCode;
+
+use fpc_compiler::{compile, Linkage, Options};
+use fpc_verify::{verify_image, VerifyOptions};
+use fpc_workloads::{compile_workload, corpus};
+
+fn all_options() -> Vec<Options> {
+    let mut out = Vec::new();
+    for linkage in [
+        Linkage::Mesa,
+        Linkage::Direct,
+        Linkage::ShortDirect,
+        Linkage::Mixed,
+    ] {
+        for bank_args in [false, true] {
+            out.push(Options { linkage, bank_args });
+        }
+    }
+    out
+}
+
+fn lint_corpus() -> ExitCode {
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for w in corpus() {
+        for options in all_options() {
+            let compiled = match compile_workload(&w, options) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("fpc-lint: {} ({options:?}): compile error: {e}", w.name);
+                    return ExitCode::from(2);
+                }
+            };
+            let report = verify_image(&compiled.image, &VerifyOptions::default());
+            checked += 1;
+            if !report.is_ok() {
+                failures += 1;
+                eprintln!("{} under {options:?}:\n{report}", w.name);
+            }
+        }
+    }
+    for path in [
+        "examples/programs/queens.mesa",
+        "examples/programs/streams.mesa",
+    ] {
+        match std::fs::read_to_string(path) {
+            Ok(src) => match compile(&[&src], Options::default()) {
+                Ok(c) => {
+                    let report = verify_image(&c.image, &VerifyOptions::default());
+                    checked += 1;
+                    if !report.is_ok() {
+                        failures += 1;
+                        eprintln!("{path}:\n{report}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("fpc-lint: {path}: compile error: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("fpc-lint: {path}: {e} (run from the repository root)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failures == 0 {
+        println!("fpc-lint: {checked} image(s) verified clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fpc-lint: {failures} of {checked} image(s) failed verification");
+        ExitCode::from(1)
+    }
+}
+
+fn lint_files(paths: &[String]) -> ExitCode {
+    let mut failed = false;
+    for path in paths {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fpc-lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let compiled = match compile(&[&src], Options::default()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("fpc-lint: {path}: compile error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = verify_image(&compiled.image, &VerifyOptions::default());
+        if report.is_ok() {
+            println!("{path}: {report}");
+        } else {
+            failed = true;
+            eprintln!("{path}: {report}");
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => {
+            eprintln!("usage: fpc-lint <file.mesa ...> | fpc-lint --corpus");
+            ExitCode::from(2)
+        }
+        [flag] if flag == "--corpus" => lint_corpus(),
+        files => lint_files(files),
+    }
+}

@@ -10,6 +10,7 @@
 //! * [`isa`] — the Mesa-like byte code, assembler and disassembler;
 //! * [`frames`] — the AV frame heap and baseline allocators;
 //! * [`vm`] — the I1–I4 machines;
+//! * [`verify`] — the static bytecode verifier and `fpc-lint`;
 //! * [`compiler`] — the Mesa-lite compiler and linker;
 //! * [`workloads`] — the benchmark corpus and trace generators;
 //! * [`stats`] — counters, histograms, tables.
@@ -23,5 +24,6 @@ pub use fpc_frames as frames;
 pub use fpc_isa as isa;
 pub use fpc_mem as mem;
 pub use fpc_stats as stats;
+pub use fpc_verify as verify;
 pub use fpc_vm as vm;
 pub use fpc_workloads as workloads;

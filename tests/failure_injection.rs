@@ -856,3 +856,155 @@ fn table_scribbling_guests_fail_with_typed_errors() {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Mutation robustness: the verifier and the VM between them must leave
+// no gap a flipped code byte can fall through.
+// ---------------------------------------------------------------------
+
+/// Seeded single-byte mutations of every verified corpus image: each
+/// mutant must either fail verification, or — if it still certifies —
+/// load and run (with check elision licensed by that certificate!) to
+/// completion or a typed [`VmError`]. Rejected mutants are also run on
+/// the unverified machine to confirm the dynamic checks degrade to
+/// typed errors too. A host panic anywhere fails this test.
+#[test]
+fn single_byte_mutants_are_rejected_or_fail_typed() {
+    use fpc_verify::{verify_image, VerifyOptions};
+    const MUTANTS_PER_IMAGE: usize = 32;
+    const MUTANT_FUEL: u64 = 100_000;
+    for (wi, w) in corpus().into_iter().enumerate() {
+        let compiled = compile_workload(&w, Options::default()).unwrap();
+        let opts = VerifyOptions::default();
+        assert!(
+            verify_image(&compiled.image, &opts).is_ok(),
+            "{}: pristine image must verify",
+            w.name
+        );
+        let mut rng = Rng::seed_from_u64(0xF1ED ^ (wi as u64));
+        for _ in 0..MUTANTS_PER_IMAGE {
+            let mut img = compiled.image.clone();
+            let at = (rng.next_u64() % img.code.len() as u64) as usize;
+            // XOR with a nonzero mask so the byte always changes.
+            img.code[at] ^= (rng.next_u64() as u8) | 1;
+            let verdict = verify_image(&img, &opts);
+            let config = if verdict.is_ok() {
+                // Still certified: the certificate must be safe to act
+                // on — run with the dynamic checks elided.
+                MachineConfig::i3().with_verified_images(true)
+            } else {
+                MachineConfig::i3()
+            };
+            match Machine::load(&img, config) {
+                Ok(mut m) => {
+                    if let Err(e) = m.run(MUTANT_FUEL) {
+                        let _ = e.to_string(); // typed, displayable
+                    }
+                }
+                Err(e) => {
+                    let _ = e.to_string();
+                }
+            }
+        }
+    }
+}
+
+/// Builds a minimal one-procedure image for the targeted-corruption
+/// tests below.
+fn tiny_image() -> Image {
+    let mut b = ImageBuilder::new();
+    let m = b.module("m");
+    b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+        a.instr(Instr::LoadImm(7));
+        a.instr(Instr::Out);
+        a.instr(Instr::Halt);
+    });
+    b.build(ProcRef {
+        module: 0,
+        ev_index: 0,
+    })
+    .unwrap()
+}
+
+/// Regression for a host panic found by mutation testing: an entry
+/// vector slot that points a procedure header past the end of the code
+/// store used to index `raw_code` out of bounds during placement. It
+/// must be a typed load error.
+#[test]
+fn header_past_code_store_is_a_typed_load_error() {
+    use fpc_core::layout;
+    let mut img = tiny_image();
+    let slot = layout::ev_slot(img.modules[0].code_base, 0).0 as usize;
+    // Point proc 0's header 0xFFFF bytes past the module's code base —
+    // far outside the code store.
+    img.code[slot] = 0xFF;
+    img.code[slot + 1] = 0xFF;
+    match Machine::load(&img, MachineConfig::i1()) {
+        Err(VmError::BadImage(msg)) => {
+            assert!(
+                msg.contains("runs past the code store"),
+                "unexpected message: {msg}"
+            );
+        }
+        Err(e) => panic!("expected BadImage, got {e}"),
+        Ok(_) => panic!("corrupt entry vector must not load"),
+    }
+}
+
+/// Regression for a host panic found by mutation testing: an entry
+/// procedure whose header flags byte claims arguments used to trip a
+/// debug assertion in `start`. The initial transfer passes no argument
+/// record, so this must be a typed load error.
+#[test]
+fn entry_proc_claiming_args_is_a_typed_load_error() {
+    use fpc_core::layout;
+    let img = tiny_image();
+    let hdr = img
+        .proc_header_addr(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .0 as usize;
+    let mut img = img;
+    img.code[hdr + layout::HDR_FLAGS as usize] = layout::pack_flags(3, false);
+    match Machine::load(&img, MachineConfig::i1()) {
+        Err(VmError::BadImage(msg)) => {
+            assert!(msg.contains("argument"), "unexpected message: {msg}");
+        }
+        Err(e) => panic!("expected BadImage, got {e}"),
+        Ok(_) => panic!("entry procedure with arguments must not load"),
+    }
+}
+
+/// Regression for a host panic found by mutation testing: a branch
+/// displacement that takes the pc below byte address zero used to trip
+/// a debug assertion in `ByteAddr::displace`. Displacements are guest
+/// data; the run must end in a typed error (or halt), never a panic.
+#[test]
+fn jump_below_code_start_fails_typed() {
+    use fpc_isa::opcode;
+    let mut b = ImageBuilder::new();
+    let m = b.module("m");
+    b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+        // i8 -128: jumps far below the start of the code store.
+        a.raw(&[opcode::JB, 0x80]);
+        a.instr(Instr::Halt);
+    });
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .unwrap();
+    // I4 wants a bank-args image; the builder emits the stack
+    // convention, so exercise the three stack-convention presets.
+    for i in [
+        MachineConfig::i1(),
+        MachineConfig::i2(),
+        MachineConfig::i3(),
+    ] {
+        let mut machine = Machine::load(&image, i).unwrap();
+        let err = machine.run(FUEL).expect_err("wild backward jump must fail");
+        let _ = err.to_string(); // typed, displayable
+    }
+}

@@ -1,0 +1,98 @@
+//! Assembler/disassembler round-trip over the whole corpus: decoding
+//! every procedure body and re-encoding each instruction must
+//! reproduce the original bytes exactly. This pins the two halves of
+//! `fpc-isa` against each other — a new opcode or operand width that
+//! only one side learns about fails here before anything else.
+
+use fpc_compiler::{Linkage, Options};
+use fpc_core::layout;
+use fpc_isa::walk;
+use fpc_vm::{Image, ProcRef};
+use fpc_workloads::{compile_workload, corpus};
+
+/// Procedure body spans, mirroring how the VM enumerates bodies: a
+/// body starts after its 6-byte header and runs to the next header,
+/// module code base, or the end of the code store.
+fn body_spans(image: &Image) -> Vec<(usize, usize)> {
+    let mut stops: Vec<usize> = vec![image.code.len()];
+    let mut starts = Vec::new();
+    for (mi, m) in image.modules.iter().enumerate() {
+        stops.push(m.code_base.0 as usize);
+        if m.code_of.is_some() {
+            continue; // instances share the owner's code
+        }
+        for p in 0..m.nprocs {
+            let hdr = image
+                .proc_header_addr(ProcRef {
+                    module: mi,
+                    ev_index: p,
+                })
+                .0 as usize;
+            stops.push(hdr);
+            starts.push(hdr + layout::PROC_HEADER_BYTES as usize);
+        }
+    }
+    stops.sort_unstable();
+    starts
+        .into_iter()
+        .map(|s| {
+            let end = stops
+                .iter()
+                .copied()
+                .find(|&t| t >= s)
+                .unwrap_or(image.code.len());
+            (s, end)
+        })
+        .collect()
+}
+
+#[test]
+fn decode_then_encode_is_identity_over_corpus() {
+    let mut bodies = 0usize;
+    let mut instrs = 0usize;
+    for w in corpus() {
+        for linkage in [
+            Linkage::Mesa,
+            Linkage::Direct,
+            Linkage::ShortDirect,
+            Linkage::Mixed,
+        ] {
+            for bank_args in [false, true] {
+                let options = Options { linkage, bank_args };
+                let image = compile_workload(&w, options).unwrap().image;
+                for (start, end) in body_spans(&image) {
+                    bodies += 1;
+                    for step in walk(&image.code, start, end) {
+                        let (at, instr, len) = step
+                            .unwrap_or_else(|e| panic!("{}: undecodable body byte: {e}", w.name));
+                        let mut re = Vec::with_capacity(len);
+                        let wrote = instr.encode(&mut re);
+                        assert_eq!(
+                            wrote, len,
+                            "{}: {instr:?} at {at:#x} re-encodes to a different length",
+                            w.name
+                        );
+                        assert_eq!(
+                            re,
+                            &image.code[at..at + len],
+                            "{}: {instr:?} at {at:#x} does not round-trip",
+                            w.name
+                        );
+                        assert_eq!(
+                            instr.encoded_len(),
+                            len,
+                            "{}: {instr:?} reports a wrong encoded_len",
+                            w.name
+                        );
+                        instrs += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(bodies > 100, "corpus walk looks too small: {bodies} bodies");
+    assert!(
+        instrs > 1_000,
+        "corpus walk looks too small: {instrs} instructions"
+    );
+}
