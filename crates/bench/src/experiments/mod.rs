@@ -18,3 +18,4 @@ pub mod h1;
 pub mod h2;
 pub mod h3;
 pub mod h4;
+pub mod h5;

@@ -347,6 +347,17 @@ impl VerifyReport {
     }
 }
 
+impl Certificate {
+    /// Mints the license that arms the VM's tier-5 native compiler
+    /// ([`fpc_vm::Machine::arm_native`]). Only clean verifications
+    /// produce a [`Certificate`], so holding one *is* the eligibility
+    /// proof; the license carries the proven stack bound for the VM's
+    /// final fit check against its configured stack depth.
+    pub fn native_license(&self) -> fpc_vm::NativeLicense {
+        fpc_vm::NativeLicense::new(self.max_stack_depth, self.procs)
+    }
+}
+
 impl fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_ok() {

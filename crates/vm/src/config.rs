@@ -142,6 +142,21 @@ pub struct MachineConfig {
     /// or mutating code post-load (`replace_proc`, `relocate_module`,
     /// `unbind_module`).
     pub verified_images: bool,
+    /// Enable the tier-5 native execution engine: hot procedure bodies
+    /// are compiled to direct-threaded arrays of pre-monomorphized host
+    /// handlers and executed without the fetch/dispatch loop. Host-side
+    /// only — every simulated counter stays bit-identical to byte
+    /// dispatch. Inert until [`Machine::arm_native`] is called with a
+    /// [`NativeLicense`] derived from a clean `fpc-verify` certificate,
+    /// and permanently demoted by the same certificate-lapsing events
+    /// that re-arm the dynamic checks.
+    ///
+    /// [`Machine::arm_native`]: crate::Machine::arm_native
+    /// [`NativeLicense`]: crate::NativeLicense
+    pub native: bool,
+    /// Invocation count at which a procedure becomes hot enough to
+    /// compile to the native tier.
+    pub native_threshold: u32,
 }
 
 impl MachineConfig {
@@ -161,6 +176,8 @@ impl MachineConfig {
             stack_reserve: 8,
             max_fault_depth: 8,
             verified_images: false,
+            native: false,
+            native_threshold: 32,
         }
     }
 
@@ -259,6 +276,22 @@ impl MachineConfig {
         self
     }
 
+    /// Enables or disables the tier-5 native execution engine (see
+    /// [`MachineConfig::native`]). Host-side only; still needs a
+    /// certificate-derived license at run time before it executes
+    /// anything.
+    pub fn with_native_tier(mut self, on: bool) -> Self {
+        self.native = on;
+        self
+    }
+
+    /// Sets the invocation count that promotes a procedure to the
+    /// native tier.
+    pub fn with_native_threshold(mut self, calls: u32) -> Self {
+        self.native_threshold = calls;
+        self
+    }
+
     /// Whether bank renaming is active.
     pub fn renaming(&self) -> bool {
         self.banks.map(|b| b.renaming).unwrap_or(false)
@@ -305,6 +338,9 @@ mod tests {
         assert_eq!(c.with_max_fault_depth(2).max_fault_depth, 2);
         assert!(!c.verified_images, "checks stay on unless certified");
         assert!(c.with_verified_images(true).verified_images);
+        assert!(!c.native, "native tier is opt-in");
+        assert!(c.with_native_tier(true).native);
+        assert_eq!(c.with_native_threshold(7).native_threshold, 7);
     }
 
     #[test]

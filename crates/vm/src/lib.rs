@@ -52,6 +52,7 @@ mod image;
 pub mod inject;
 mod listing;
 mod machine;
+mod native;
 mod predecode;
 mod xfer;
 
@@ -68,5 +69,6 @@ pub use image::{
 pub use inject::{run_with_plan, FaultEvent, FaultPlan, InjectionReport};
 pub use listing::listing;
 pub use machine::{FaultStats, FusionStats, Machine, MachineStats, StepOutcome};
+pub use native::{NativeLicense, NativeStats};
 pub use predecode::{fuse_pair, DecodedOp, Fetched, FusedOp, PredecodeCache, PredecodeStats};
 pub use xfer::{CachedTarget, XferCache, XferCacheStats};

@@ -18,6 +18,8 @@
 //! references to allocate", "four levels of indirection" and "as fast
 //! as an unconditional jump" are measurements here, not claims.
 
+use std::sync::Arc;
+
 use fpc_core::{layout, Context, ContextWord, FrameHandle, GftEntry, ProcDesc};
 use fpc_frames::{FrameError, FrameHeap, GeneralHeap, HeapStats};
 use fpc_isa::{decode, Instr};
@@ -30,6 +32,7 @@ use crate::cost::{TransferKind, TransferStats, CYCLE_BASE, CYCLE_MEMREF, CYCLE_R
 use crate::error::{FaultKind, TrapCode, VmError};
 use crate::ifu::{ReturnEntry, ReturnStack, ReturnStackStats};
 use crate::image::{self, Image, ProcRef, AV_BASE, GFT_BASE, GFT_ENTRIES};
+use crate::native::{NOp, NativeLicense, NativeProc, NativeTier};
 use crate::predecode::{Fetched, FusedOp, PredecodeCache, PredecodeStats};
 use crate::xfer::{CachedTarget, XferCache, XferCacheStats};
 
@@ -213,6 +216,12 @@ pub struct Machine {
     /// depths the static analysis did not model) or loaded code is
     /// mutated (`replace_proc` / `relocate_module` / `unbind_module`).
     elide_checks: bool,
+    /// Tier-5 native execution ([`MachineConfig::native`]): hotness
+    /// counters plus direct-threaded compiled bodies. Present whenever
+    /// the config enables the tier; dormant until [`Machine::arm_native`]
+    /// accepts a [`NativeLicense`], and permanently disarmed at the
+    /// same events that clear `elide_checks`.
+    native: Option<NativeTier>,
 
     // Registers.
     lf: WordAddr,
@@ -270,6 +279,17 @@ enum Flow {
     Next,
     Taken(Option<TransferKind>),
     Halt,
+}
+
+/// How a native burst ended.
+enum NativeExit {
+    /// The machine halted inside the burst.
+    Halted,
+    /// Fuel ran out; `pc` is materialized at the next instruction.
+    Budget,
+    /// Control left compiled code (transfer, deopt, fall-off); `pc`
+    /// is materialized and the interpreter resumes.
+    Left,
 }
 
 impl Machine {
@@ -374,6 +394,9 @@ impl Machine {
             fused_execs: 0,
             fuse_demotions: 0,
             elide_checks: config.verified_images,
+            native: config
+                .native
+                .then(|| NativeTier::new(config.native_threshold)),
             lf: WordAddr::NIL,
             gf: WordAddr::NIL,
             code_base: ByteAddr(0),
@@ -540,6 +563,7 @@ impl Machine {
         // Handler code runs stacked on top of the trapping context at
         // depths the verify certificate did not model: re-arm checks.
         self.elide_checks = false;
+        self.native_deopt();
         Ok(())
     }
 
@@ -563,6 +587,7 @@ impl Machine {
         // As with trap handlers: fault dispatch runs guest code at
         // unmodelled depths, so the verify certificate lapses.
         self.elide_checks = false;
+        self.native_deopt();
         Ok(())
     }
 
@@ -606,6 +631,7 @@ impl Machine {
         // The certificate covered the loaded image; unbinding changes
         // which transfers can complete, so dynamic checks come back.
         self.elide_checks = false;
+        self.native_deopt();
         Ok(())
     }
 
@@ -691,6 +717,9 @@ impl Machine {
     /// [`VmError::OutOfFuel`] if `fuel` instructions were not enough,
     /// or any execution error.
     pub fn run(&mut self, fuel: u64) -> Result<(), VmError> {
+        if self.native.is_some() {
+            return self.run_tiered(fuel);
+        }
         for _ in 0..fuel {
             if let StepOutcome::Halted = self.step()? {
                 return Ok(());
@@ -701,6 +730,745 @@ impl Machine {
         } else {
             Err(VmError::OutOfFuel)
         }
+    }
+
+    /// The native-tier run loop: enter a compiled body whenever `pc`
+    /// lands on one, otherwise single-step the interpreter. Native
+    /// instructions consume one fuel unit each (the byte-dispatch
+    /// pace), so a fuel budget sufficient for byte dispatch is always
+    /// sufficient here.
+    fn run_tiered(&mut self, fuel: u64) -> Result<(), VmError> {
+        let mut left = fuel;
+        while left > 0 {
+            if self.halted {
+                return Ok(());
+            }
+            if let Some((proc, idx, ip)) = self.native_begin() {
+                let before = left;
+                match self.native_run(proc, idx, ip, &mut left)? {
+                    NativeExit::Halted => return Ok(()),
+                    // Budget exhausted or the burst left compiled
+                    // code; `pc` is materialized either way. A burst
+                    // that retired nothing (a fused run needs more
+                    // fuel than remains, or the entry op is the body's
+                    // exit pad) falls through to retire one
+                    // instruction interpretively — otherwise a 1-fuel
+                    // run would re-enter the same burst forever.
+                    NativeExit::Budget | NativeExit::Left if left < before => continue,
+                    NativeExit::Budget | NativeExit::Left => {}
+                }
+            }
+            left -= 1;
+            if let StepOutcome::Halted = self.step()? {
+                return Ok(());
+            }
+        }
+        if self.halted {
+            Ok(())
+        } else {
+            Err(VmError::OutOfFuel)
+        }
+    }
+
+    /// Arms the tier-5 native compiler under a verifier license.
+    ///
+    /// Returns `false` — leaving the tier provably dormant — when the
+    /// config never enabled it, when any certificate premise has
+    /// already lapsed (a trap or fault handler was installed, or
+    /// loaded code was mutated), or when the license's proven stack
+    /// bound does not fit this machine's configured stack depth.
+    pub fn arm_native(&mut self, license: NativeLicense) -> bool {
+        let stack_depth = self.config.stack_depth;
+        let Some(nt) = self.native.as_mut() else {
+            return false;
+        };
+        if !nt.cert_ok() || license.max_stack_depth() as usize > stack_depth {
+            return false;
+        }
+        nt.arm();
+        true
+    }
+
+    /// Whether the native tier is armed right now.
+    pub fn native_armed(&self) -> bool {
+        self.native.as_ref().is_some_and(|nt| nt.armed())
+    }
+
+    /// Host-side native-tier counters, when the config enables the tier.
+    pub fn native_stats(&self) -> Option<crate::NativeStats> {
+        self.native.as_ref().map(|nt| nt.stats())
+    }
+
+    /// Per-procedure invocation counts as an `fpc-stats` histogram
+    /// (value = header byte address, weight = calls), ready for
+    /// `Histogram::top_k` hotness ranking.
+    pub fn native_hotness(&self) -> Option<fpc_stats::Histogram> {
+        let nt = self.native.as_ref()?;
+        let mut headers = Vec::new();
+        for m in &self.modules {
+            for p in 0..m.nprocs {
+                let rel = self.code.peek_u16(layout::ev_slot(m.code_base, p));
+                headers.push(m.code_base.0 + rel as u32);
+            }
+        }
+        Some(nt.hotness(headers))
+    }
+
+    /// Permanent native deopt: a certificate premise lapsed. Invoked
+    /// at exactly the events that clear `elide_checks`.
+    fn native_deopt(&mut self) {
+        if let Some(nt) = self.native.as_mut() {
+            nt.disarm();
+        }
+    }
+
+    /// Burst-entry gate: coherence-sync the tier, drain pending
+    /// compilations, and look up `pc` in the compiled-body map.
+    fn native_begin(&mut self) -> Option<(Arc<NativeProc>, usize, u32)> {
+        let code_version = self.code.version();
+        let table_gen = self.mem.table_gen();
+        let code_len = self.code.len();
+        let nt = self.native.as_mut()?;
+        if !nt.armed() {
+            return None;
+        }
+        nt.sync(code_version, table_gen, code_len);
+        if nt.has_pending() {
+            self.native_compile_pending();
+        }
+        let nt = self.native.as_ref()?;
+        let (idx, ip) = nt.locate(self.pc.0)?;
+        Some((nt.proc(idx), idx, ip))
+    }
+
+    /// Compiles every body queued by the hotness counters. Probes that
+    /// fall outside any procedure body, or whose body refuses to lower,
+    /// are marked refused so they never re-queue.
+    fn native_compile_pending(&mut self) {
+        let Some(nt) = self.native.as_mut() else {
+            return;
+        };
+        let pending = nt.take_pending();
+        if pending.is_empty() {
+            return;
+        }
+        // Body map, exactly as `refresh_predecode` builds it.
+        let mut headers: Vec<u32> = Vec::new();
+        for m in &self.modules {
+            for p in 0..m.nprocs {
+                let rel = self.code.peek_u16(layout::ev_slot(m.code_base, p));
+                headers.push(m.code_base.0 + rel as u32);
+            }
+        }
+        let mut stops: Vec<u32> = self.modules.iter().map(|m| m.code_base.0).collect();
+        stops.extend_from_slice(&headers);
+        stops.push(self.code.len());
+        stops.sort_unstable();
+        stops.dedup();
+        headers.sort_unstable();
+        headers.dedup();
+        let fast_mem = self.banks.is_none();
+        let code_len = self.code.len();
+        let nt = self.native.as_mut().expect("checked above");
+        for probe in pending {
+            if !nt.candidate(probe) {
+                continue;
+            }
+            // Enclosing body: the greatest header whose body starts at
+            // or before the probe, provided the probe is inside it.
+            let i = headers.partition_point(|&h| h + layout::PROC_HEADER_BYTES <= probe);
+            let compiled = i > 0 && {
+                let body = headers[i - 1] + layout::PROC_HEADER_BYTES;
+                let end = stops
+                    .iter()
+                    .copied()
+                    .find(|&s| s >= body)
+                    .unwrap_or(code_len);
+                probe < end && nt.compile(self.code.bytes(), body, end, fast_mem)
+            };
+            if !compiled {
+                nt.refuse(probe);
+            }
+        }
+    }
+
+    /// Executes a native burst starting at `proc[ip]`, consuming one
+    /// fuel unit per retired instruction. Fast handlers accumulate
+    /// cycle/jump charges locally and flush once on exit; anything
+    /// with richer accounting retires through [`Machine::step_one`].
+    fn native_run(
+        &mut self,
+        mut proc: Arc<NativeProc>,
+        mut cur: usize,
+        mut ip: u32,
+        budget: &mut u64,
+    ) -> Result<NativeExit, VmError> {
+        // Arming requires intact certificate premises, so no trap or
+        // fault handler can be installed while the tier runs: burst
+        // instructions are never handler-attributed.
+        debug_assert_eq!(self.fault_depth, 0);
+        let gen0 = self.mem.table_gen();
+        let ver0 = self.code.version();
+        // `wrap` is a modulo by the memory size; for the (universal)
+        // power-of-two case a mask computes the identical address
+        // without a host divide on every local/global access.
+        let msize = self.mem.size();
+        let wmask = if msize.is_power_of_two() {
+            msize - 1
+        } else {
+            0
+        };
+        let fast_wrap =
+            move |a: u32| -> WordAddr { WordAddr(if wmask != 0 { a & wmask } else { a % msize }) };
+        let budget0 = *budget;
+        let mut cycles = 0u64;
+        let mut jumps = 0u64;
+        let mut interp_ops = 0u64;
+        // A fused arm retiring `1 + extra` instructions takes the extra
+        // fuel up front; on shortfall it refunds the loop-top unit —
+        // nothing has executed, so `pc` still names the run start.
+        macro_rules! need {
+            ($extra:expr) => {
+                if *budget < $extra {
+                    *budget += 1;
+                    self.pc = ByteAddr(proc.offs[(ip - 1) as usize]);
+                    break Ok(NativeExit::Budget);
+                }
+                *budget -= $extra;
+            };
+        }
+        // A transfer retires through `native_transfer`, then chases the
+        // new pc back into compiled code (recursive transfers stay in
+        // the current body without touching the shared handle). Exits
+        // the burst on halt, on a version/generation move, or when the
+        // target is not compiled.
+        macro_rules! xfer {
+            ($start:expr, $instr:expr, $len:expr) => {
+                let start: u32 = $start;
+                if let Err(e) = self.native_transfer($instr, $len, ByteAddr(start)) {
+                    break Err(e);
+                }
+                if self.halted {
+                    break Ok(NativeExit::Halted);
+                }
+                if self.code.version() != ver0 || self.mem.table_gen() != gen0 {
+                    break Ok(NativeExit::Left);
+                }
+                if self.pc.0 != start + $len as u32 {
+                    let nt = self.native.as_ref().expect("armed burst");
+                    match nt.locate(self.pc.0) {
+                        Some((p, i)) if p == cur => ip = i,
+                        Some((p, i)) => {
+                            proc = nt.proc(p);
+                            cur = p;
+                            ip = i;
+                        }
+                        None => break Ok(NativeExit::Left),
+                    }
+                }
+            };
+        }
+        let result = loop {
+            if *budget == 0 {
+                self.pc = ByteAddr(proc.offs[ip as usize]);
+                break Ok(NativeExit::Budget);
+            }
+            *budget -= 1;
+            let op = proc.ops[ip as usize];
+            ip += 1;
+            match op {
+                NOp::Imm(v) => {
+                    self.stack.push(v);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::LocalRd(n) => {
+                    let v = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, n as u32).0));
+                    self.stack.push(v);
+                    cycles += CYCLE_BASE + CYCLE_MEMREF;
+                }
+                NOp::LocalWr(n) => {
+                    let v = self.stack.pop().unwrap_or(0);
+                    self.mem
+                        .write(fast_wrap(layout::local_slot(self.lf, n as u32).0), v);
+                    cycles += CYCLE_BASE + CYCLE_MEMREF;
+                }
+                NOp::LocalAddr(n) => {
+                    let addr = layout::local_slot(self.lf, n as u32);
+                    self.stack.push(addr.0 as u16);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::GlobalRd(n) => {
+                    let v = self
+                        .mem
+                        .read(fast_wrap(self.gf.0 + layout::GF_GLOBALS + n as u32));
+                    self.stack.push(v);
+                    cycles += CYCLE_BASE + CYCLE_MEMREF;
+                }
+                NOp::GlobalWr(n) => {
+                    let v = self.stack.pop().unwrap_or(0);
+                    self.mem
+                        .write(fast_wrap(self.gf.0 + layout::GF_GLOBALS + n as u32), v);
+                    cycles += CYCLE_BASE + CYCLE_MEMREF;
+                    if self.mem.table_gen() != gen0 {
+                        self.pc = ByteAddr(proc.offs[ip as usize]);
+                        break Ok(NativeExit::Left);
+                    }
+                }
+                NOp::GlobalAddr(n) => {
+                    let addr = fast_wrap(self.gf.0 + layout::GF_GLOBALS + n as u32);
+                    self.stack.push(addr.0 as u16);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Read => {
+                    let addr = WordAddr(self.stack.pop().unwrap_or(0) as u32);
+                    let v = self.mem.read(addr);
+                    self.stack.push(v);
+                    cycles += CYCLE_BASE + CYCLE_MEMREF;
+                }
+                NOp::Write => {
+                    let addr = WordAddr(self.stack.pop().unwrap_or(0) as u32);
+                    let v = self.stack.pop().unwrap_or(0);
+                    self.mem.write(addr, v);
+                    cycles += CYCLE_BASE + CYCLE_MEMREF;
+                    if self.mem.table_gen() != gen0 {
+                        self.pc = ByteAddr(proc.offs[ip as usize]);
+                        break Ok(NativeExit::Left);
+                    }
+                }
+                NOp::LoadIndex => {
+                    let idx = self.stack.pop().unwrap_or(0);
+                    let base = self.stack.pop().unwrap_or(0);
+                    let v = self.mem.read(WordAddr(base.wrapping_add(idx) as u32));
+                    self.stack.push(v);
+                    cycles += CYCLE_BASE + CYCLE_MEMREF;
+                }
+                NOp::StoreIndex => {
+                    let idx = self.stack.pop().unwrap_or(0);
+                    let base = self.stack.pop().unwrap_or(0);
+                    let v = self.stack.pop().unwrap_or(0);
+                    self.mem.write(WordAddr(base.wrapping_add(idx) as u32), v);
+                    cycles += CYCLE_BASE + CYCLE_MEMREF;
+                    if self.mem.table_gen() != gen0 {
+                        self.pc = ByteAddr(proc.offs[ip as usize]);
+                        break Ok(NativeExit::Left);
+                    }
+                }
+                NOp::Add => {
+                    self.native_binary(|a, b| a.wrapping_add(b));
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Sub => {
+                    self.native_binary(|a, b| a.wrapping_sub(b));
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Mul => {
+                    self.native_binary(|a, b| a.wrapping_mul(b));
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Neg => {
+                    let a = self.stack.pop().unwrap_or(0) as i16;
+                    self.stack.push(a.wrapping_neg() as u16);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::And => {
+                    self.native_binary(|a, b| a & b);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Or => {
+                    self.native_binary(|a, b| a | b);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Xor => {
+                    self.native_binary(|a, b| a ^ b);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Shl => {
+                    let n = self.stack.pop().unwrap_or(0) & 0x0F;
+                    let v = self.stack.pop().unwrap_or(0);
+                    self.stack.push(v << n);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Shr => {
+                    let n = self.stack.pop().unwrap_or(0) & 0x0F;
+                    let v = self.stack.pop().unwrap_or(0);
+                    self.stack.push(v >> n);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::CmpEq => {
+                    self.native_compare(|a, b| a == b);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::CmpNe => {
+                    self.native_compare(|a, b| a != b);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::CmpLt => {
+                    self.native_compare(|a, b| a < b);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::CmpLe => {
+                    self.native_compare(|a, b| a <= b);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::CmpGt => {
+                    self.native_compare(|a, b| a > b);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::CmpGe => {
+                    self.native_compare(|a, b| a >= b);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::AddImm(n) => {
+                    let v = self.stack.pop().unwrap_or(0);
+                    self.stack.push(v.wrapping_add(n as u16));
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Dup => {
+                    let v = self.stack.last().copied().unwrap_or(0);
+                    self.stack.push(v);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Drop => {
+                    self.stack.pop();
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Exch => {
+                    let b = self.stack.pop().unwrap_or(0);
+                    let a = self.stack.pop().unwrap_or(0);
+                    self.stack.push(b);
+                    self.stack.push(a);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Out => {
+                    let v = self.stack.pop().unwrap_or(0);
+                    self.output.push(v);
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Noop => {
+                    cycles += CYCLE_BASE;
+                }
+                NOp::Jmp(t) => {
+                    ip = t;
+                    cycles += CYCLE_BASE + CYCLE_REFILL;
+                    jumps += 1;
+                }
+                NOp::Jz(t) => {
+                    if self.stack.pop().unwrap_or(0) == 0 {
+                        ip = t;
+                        cycles += CYCLE_BASE + CYCLE_REFILL;
+                        jumps += 1;
+                    } else {
+                        cycles += CYCLE_BASE;
+                    }
+                }
+                NOp::Jnz(t) => {
+                    if self.stack.pop().unwrap_or(0) != 0 {
+                        ip = t;
+                        cycles += CYCLE_BASE + CYCLE_REFILL;
+                        jumps += 1;
+                    } else {
+                        cycles += CYCLE_BASE;
+                    }
+                }
+                NOp::Call(instr, len) => {
+                    interp_ops += 1;
+                    xfer!(proc.offs[(ip - 1) as usize], instr, len);
+                }
+                NOp::Interp(instr, len) => {
+                    interp_ops += 1;
+                    let start = proc.offs[(ip - 1) as usize];
+                    if let Err(e) = self.step_one(instr, len, ByteAddr(start)) {
+                        break Err(e);
+                    }
+                    if self.halted {
+                        break Ok(NativeExit::Halted);
+                    }
+                    if self.code.version() != ver0 || self.mem.table_gen() != gen0 {
+                        // Code or a watched table changed under the
+                        // burst; `pc` is already architectural.
+                        break Ok(NativeExit::Left);
+                    }
+                    if self.pc.0 != start + len as u32 {
+                        // A transfer: chase it natively if the target
+                        // is compiled, else hand back to the
+                        // interpreter loop. Recursive transfers stay
+                        // in the current body without touching the
+                        // shared handle.
+                        let nt = self.native.as_ref().expect("armed burst");
+                        match nt.locate(self.pc.0) {
+                            Some((p, i)) if p == cur => ip = i,
+                            Some((p, i)) => {
+                                proc = nt.proc(p);
+                                cur = p;
+                                ip = i;
+                            }
+                            None => break Ok(NativeExit::Left),
+                        }
+                    }
+                }
+                NOp::Exit => {
+                    // Fell off the compiled body: no instruction
+                    // retired, so refund the fuel unit.
+                    *budget += 1;
+                    self.pc = ByteAddr(proc.offs[(ip - 1) as usize]);
+                    break Ok(NativeExit::Left);
+                }
+                // Fused runs retire several instructions per dispatch:
+                // `need!` takes the extra fuel, the body charges every
+                // constituent op's cycles in one commit.
+                NOp::Ld2(n, v) => {
+                    need!(1);
+                    let a = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, n as u32).0));
+                    self.stack.push(a);
+                    self.stack.push(v);
+                    cycles += 2 * CYCLE_BASE + CYCLE_MEMREF;
+                }
+                NOp::LdLd(n, m) => {
+                    need!(1);
+                    let a = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, n as u32).0));
+                    self.stack.push(a);
+                    let b = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, m as u32).0));
+                    self.stack.push(b);
+                    cycles += 2 * (CYCLE_BASE + CYCLE_MEMREF);
+                }
+                NOp::AddIW(v) => {
+                    need!(1);
+                    let a = self.stack.pop().unwrap_or(0);
+                    self.stack.push(a.wrapping_add(v));
+                    cycles += 2 * CYCLE_BASE;
+                }
+                NOp::SubIW(v) => {
+                    need!(1);
+                    let a = self.stack.pop().unwrap_or(0);
+                    self.stack.push(a.wrapping_sub(v));
+                    cycles += 2 * CYCLE_BASE;
+                }
+                NOp::CmpJz(c, t) => {
+                    need!(1);
+                    let b = self.stack.pop().unwrap_or(0) as i16;
+                    let a = self.stack.pop().unwrap_or(0) as i16;
+                    if c.eval(a, b) {
+                        cycles += 2 * CYCLE_BASE;
+                    } else {
+                        ip = t;
+                        cycles += 2 * CYCLE_BASE + CYCLE_REFILL;
+                        jumps += 1;
+                    }
+                }
+                NOp::LdSubI(n, v) => {
+                    need!(2);
+                    let a = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, n as u32).0));
+                    self.stack.push(a.wrapping_sub(v));
+                    cycles += 3 * CYCLE_BASE + CYCLE_MEMREF;
+                }
+                NOp::LdAddI(n, v) => {
+                    need!(2);
+                    let a = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, n as u32).0));
+                    self.stack.push(a.wrapping_add(v));
+                    cycles += 3 * CYCLE_BASE + CYCLE_MEMREF;
+                }
+                NOp::LdXAdd(n) => {
+                    need!(2);
+                    let t = self.stack.pop().unwrap_or(0);
+                    let a = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, n as u32).0));
+                    self.stack.push(a.wrapping_add(t));
+                    cycles += 3 * CYCLE_BASE + CYCLE_MEMREF;
+                }
+                NOp::LdICmpJz(n, v, c, t) => {
+                    need!(3);
+                    let a = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, n as u32).0));
+                    if c.eval(a as i16, v as i16) {
+                        cycles += 4 * CYCLE_BASE + CYCLE_MEMREF;
+                    } else {
+                        ip = t;
+                        cycles += 4 * CYCLE_BASE + CYCLE_MEMREF + CYCLE_REFILL;
+                        jumps += 1;
+                    }
+                }
+                NOp::LdLdCmpJz(n, m, c, t) => {
+                    need!(3);
+                    let a = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, n as u32).0));
+                    let b = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, m as u32).0));
+                    if c.eval(a as i16, b as i16) {
+                        cycles += 4 * CYCLE_BASE + 2 * CYCLE_MEMREF;
+                    } else {
+                        ip = t;
+                        cycles += 4 * CYCLE_BASE + 2 * CYCLE_MEMREF + CYCLE_REFILL;
+                        jumps += 1;
+                    }
+                }
+                // Fused argument setup + transfer: the prefix charges
+                // like its standalone fused form, then the call retires
+                // through `native_transfer` with its architectural
+                // instruction start reconstructed from the recorded
+                // prefix length.
+                NOp::LdCall(n, d, instr, len) => {
+                    need!(1);
+                    interp_ops += 1;
+                    let a = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, n as u32).0));
+                    self.stack.push(a);
+                    cycles += CYCLE_BASE + CYCLE_MEMREF;
+                    xfer!(proc.offs[(ip - 1) as usize] + d as u32, instr, len);
+                }
+                NOp::LdSubICall(n, v, d, instr, len) => {
+                    need!(3);
+                    interp_ops += 1;
+                    let a = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, n as u32).0));
+                    self.stack.push(a.wrapping_sub(v));
+                    cycles += 3 * CYCLE_BASE + CYCLE_MEMREF;
+                    xfer!(proc.offs[(ip - 1) as usize] + d as u32, instr, len);
+                }
+                NOp::LdAddICall(n, v, d, instr, len) => {
+                    need!(3);
+                    interp_ops += 1;
+                    let a = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, n as u32).0));
+                    self.stack.push(a.wrapping_add(v));
+                    cycles += 3 * CYCLE_BASE + CYCLE_MEMREF;
+                    xfer!(proc.offs[(ip - 1) as usize] + d as u32, instr, len);
+                }
+                NOp::LdXAddCall(n, d, instr, len) => {
+                    need!(3);
+                    interp_ops += 1;
+                    let t = self.stack.pop().unwrap_or(0);
+                    let a = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, n as u32).0));
+                    self.stack.push(a.wrapping_add(t));
+                    cycles += 3 * CYCLE_BASE + CYCLE_MEMREF;
+                    xfer!(proc.offs[(ip - 1) as usize] + d as u32, instr, len);
+                }
+                NOp::WrJmp(n, t) => {
+                    need!(1);
+                    let v = self.stack.pop().unwrap_or(0);
+                    self.mem
+                        .write(fast_wrap(layout::local_slot(self.lf, n as u32).0), v);
+                    ip = t;
+                    cycles += 2 * CYCLE_BASE + CYCLE_MEMREF + CYCLE_REFILL;
+                    jumps += 1;
+                }
+                NOp::LdLdCall(n, m, d, instr, len) => {
+                    need!(2);
+                    interp_ops += 1;
+                    let a = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, n as u32).0));
+                    self.stack.push(a);
+                    let b = self
+                        .mem
+                        .read(fast_wrap(layout::local_slot(self.lf, m as u32).0));
+                    self.stack.push(b);
+                    cycles += 2 * (CYCLE_BASE + CYCLE_MEMREF);
+                    xfer!(proc.offs[(ip - 1) as usize] + d as u32, instr, len);
+                }
+            }
+        };
+        let retired = budget0 - *budget;
+        let fast = retired - interp_ops;
+        self.stats.instructions += fast;
+        self.stats.cycles += cycles;
+        self.stats.jumps_taken += jumps;
+        if let Some(nt) = self.native.as_mut() {
+            nt.entries += 1;
+            nt.native_instrs += fast;
+            nt.interp_ops += interp_ops;
+        }
+        result
+    }
+
+    /// `step_one` specialized for calls and returns inside an armed
+    /// native burst. Arming requires that no trap or fault handler is
+    /// installed, so the handler-attribution block and the
+    /// `dispatch_fault` recovery path are provably dead: a fault here
+    /// is terminal exactly as `dispatch_fault` would conclude with no
+    /// handler present (it returns the error before touching any
+    /// state). Everything the interpreter counts is counted the same.
+    #[inline]
+    fn native_transfer(
+        &mut self,
+        instr: Instr,
+        len: u8,
+        instr_start: ByteAddr,
+    ) -> Result<(), VmError> {
+        let refs0 = self.refs_total();
+        let divert0 = self.stats.divert_cycles;
+        self.pc = instr_start.offset(len as u32);
+        let flow = match instr {
+            Instr::LocalCall(k) if self.xfer_ic.is_some() => {
+                self.local_call_cached(k, instr_start)?
+            }
+            Instr::ExternalCall(k) if self.xfer_ic.is_some() => {
+                self.external_call_cached(k, instr_start)?
+            }
+            Instr::DirectCall(a) if self.xfer_ic.is_some() => {
+                self.direct_call_cached(ByteAddr(a), instr_start.0)?
+            }
+            Instr::ShortDirectCall(d) if self.xfer_ic.is_some() => {
+                self.direct_call_cached(instr_start.displace(d), instr_start.0)?
+            }
+            Instr::Ret => self.perform_return()?,
+            _ => self.execute(instr, instr_start)?,
+        };
+        let refs = self.refs_total() - refs0;
+        let divert = self.stats.divert_cycles - divert0;
+        let mut cycles = CYCLE_BASE + refs * CYCLE_MEMREF + divert;
+        let mut kind = None;
+        match flow {
+            Flow::Next => {}
+            Flow::Taken(k) => {
+                cycles += CYCLE_REFILL;
+                kind = k;
+                if k.is_none() {
+                    self.stats.jumps_taken += 1;
+                }
+            }
+            Flow::Halt => self.halted = true,
+        }
+        self.stats.cycles += cycles;
+        self.stats.instructions += 1;
+        if let Some(k) = kind {
+            self.stats.transfers.record(k, cycles, refs);
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn native_binary(&mut self, f: impl FnOnce(i16, i16) -> i16) {
+        let b = self.stack.pop().unwrap_or(0) as i16;
+        let a = self.stack.pop().unwrap_or(0) as i16;
+        self.stack.push(f(a, b) as u16);
+    }
+
+    #[inline]
+    fn native_compare(&mut self, f: impl FnOnce(i16, i16) -> bool) {
+        let b = self.stack.pop().unwrap_or(0) as i16;
+        let a = self.stack.pop().unwrap_or(0) as i16;
+        self.stack.push(f(a, b) as u16);
     }
 
     /// Values emitted by `OUT`.
@@ -847,6 +1615,7 @@ impl Machine {
         self.refresh_predecode();
         // The relocated segment was never seen by the verifier.
         self.elide_checks = false;
+        self.native_deopt();
         Ok(new_base)
     }
 
@@ -918,6 +1687,7 @@ impl Machine {
         self.refresh_predecode();
         // The replacement body carries no certificate: checks return.
         self.elide_checks = false;
+        self.native_deopt();
         Ok(hdr)
     }
 
@@ -2010,6 +2780,11 @@ impl Machine {
             flags,
         } = t;
         let (nargs, addr_taken) = layout::unpack_flags(flags);
+        if let Some(nt) = self.native.as_mut() {
+            // Hotness: count the callee, and the caller body via the
+            // return pc (already advanced past the call instruction).
+            nt.note_call(header.0, self.pc.0);
+        }
         // Faultable work first, commits second: an unbound destination
         // or an empty AV list must surface while the caller's state is
         // still exactly as the restarted instruction will find it.

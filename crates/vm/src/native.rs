@@ -1,0 +1,910 @@
+//! Tier-5 native execution: certificate-licensed direct-threaded
+//! compilation of hot procedure bodies.
+//!
+//! The dispatch ladder so far (byte → predecode → +inline XFER cache →
+//! +fusion) still pays an interpretive dispatch per step. This module
+//! adds a fifth rung: hot procedure bodies are compiled once into a
+//! chain of pre-monomorphized host handlers ([`NOp`]) with operands
+//! inlined and jump targets resolved to op indices — direct-threaded
+//! code in safe Rust, no runtime codegen.
+//!
+//! # Licensing
+//!
+//! The tier only runs under a [`NativeLicense`], normally minted from a
+//! clean `fpc_verify::Certificate`. The license carries the verifier's
+//! whole-image stack-depth bound; arming fails unless that bound fits
+//! the machine's configured stack limit. Every event that would lapse a
+//! check-elision certificate (trap/fault-handler install, `unbind`,
+//! `relocate`, `replace_proc`) also permanently disarms the native tier
+//! and marks the certificate premises broken, so re-arming without
+//! re-verification is impossible.
+//!
+//! # Charge-not-perform
+//!
+//! Native handlers keep every simulated counter bit-identical to byte
+//! dispatch: fast handlers charge exactly the cycles, memory references
+//! and jump-refills the interpreter would, and perform the same counted
+//! [`fpc_mem::Memory`] traffic. Anything with non-trivial accounting
+//! (calls, returns, XFER, traps, heap ops, diverted bank references)
+//! falls back to the interpreter's own `step_one`, instruction by
+//! instruction, inside the native burst.
+//!
+//! # Deoptimization
+//!
+//! Compiled code is keyed by [`TableKey`] (code version × watched-table
+//! generation). A mismatch at burst entry flushes every compiled body
+//! (invocation counts survive, so hot bodies recompile); a store that
+//! bumps the generation *inside* a burst exits the burst at the next
+//! instruction boundary, which is also a restartable-fault boundary.
+
+use std::sync::Arc;
+
+use fpc_core::TableKey;
+use fpc_isa::Instr;
+use fpc_stats::Histogram;
+
+/// License to run the native tier, normally obtained from
+/// `fpc_verify::Certificate::native_license()`.
+///
+/// Carries the verifier's proven whole-image operand-stack bound and
+/// the number of procedures the proof covers. `Machine::arm_native`
+/// refuses a license whose bound exceeds the configured stack depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NativeLicense {
+    max_stack_depth: u32,
+    procs: usize,
+}
+
+impl NativeLicense {
+    /// Packages a verifier-proven stack bound covering `procs`
+    /// procedures. Prefer minting licenses through
+    /// `fpc_verify::Certificate::native_license()`, which only exists
+    /// for diagnostic-free reports.
+    pub fn new(max_stack_depth: u32, procs: usize) -> Self {
+        NativeLicense {
+            max_stack_depth,
+            procs,
+        }
+    }
+
+    /// The proven whole-image operand-stack bound.
+    pub fn max_stack_depth(&self) -> u32 {
+        self.max_stack_depth
+    }
+
+    /// Number of procedures covered by the proof.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+}
+
+/// Host-side observability counters for the native tier.
+///
+/// Like `FusionStats`, these describe the *host* acceleration and are
+/// deliberately excluded from simulated-counter fingerprints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NativeStats {
+    /// Whether the tier is currently armed.
+    pub armed: bool,
+    /// Compiled bodies currently resident.
+    pub compiled_procs: usize,
+    /// Total successful body compilations (including recompiles).
+    pub compiles: u64,
+    /// Native burst entries from the run loop.
+    pub entries: u64,
+    /// Instructions retired by fast native handlers.
+    pub native_instrs: u64,
+    /// Instructions retired via the interpreter fallback inside bursts.
+    pub interp_ops: u64,
+    /// Transient deopts: whole-tier flushes on a [`TableKey`] mismatch.
+    pub flushes: u64,
+    /// Permanent deopts: certificate-lapse disarms.
+    pub disarms: u64,
+}
+
+/// One direct-threaded host handler with operands inlined.
+///
+/// Fast variants replicate the interpreter's execute arm *and* its
+/// accounting exactly; everything else lowers to [`NOp::Interp`].
+/// Memory-touching fast ops only exist when register banks are off
+/// (`fast_mem`), since bank shadow hits divert accounting.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum NOp {
+    /// `LoadImm`: push a literal.
+    Imm(u16),
+    /// `LoadLocal` (banks off): one counted read of the local slot.
+    LocalRd(u8),
+    /// `StoreLocal` (banks off): one counted write of the local slot.
+    LocalWr(u8),
+    /// `LoadLocalAddr` (banks off): pure address push.
+    LocalAddr(u8),
+    /// `LoadGlobal`: one counted read of the global slot.
+    GlobalRd(u8),
+    /// `StoreGlobal`: one counted write; may bump the table generation.
+    GlobalWr(u8),
+    /// `LoadGlobalAddr`: pure address push.
+    GlobalAddr(u8),
+    /// `Read` (banks off): counted read at a popped address.
+    Read,
+    /// `Write` (banks off): counted write; may bump the generation.
+    Write,
+    /// `LoadIndex` (banks off): counted read at base + index.
+    LoadIndex,
+    /// `StoreIndex` (banks off): counted write; may bump the generation.
+    StoreIndex,
+    Add,
+    Sub,
+    Mul,
+    Neg,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    CmpEq,
+    CmpNe,
+    CmpLt,
+    CmpLe,
+    CmpGt,
+    CmpGe,
+    AddImm(u8),
+    Dup,
+    Drop,
+    Exch,
+    Out,
+    Noop,
+    /// Unconditional jump to a resolved op index.
+    Jmp(u32),
+    /// Pop; jump to the resolved op index if zero.
+    Jz(u32),
+    /// Pop; jump to the resolved op index if non-zero.
+    Jnz(u32),
+    /// Interpreter fallback: run this instruction through `step_one`.
+    Interp(Instr, u8),
+    /// Call/return fast path: full interpreter semantics and
+    /// accounting, minus the handler-attribution bookkeeping that is
+    /// provably dead while the tier is armed (arming requires no
+    /// installed trap or fault handlers).
+    Call(Instr, u8),
+    /// Fell off the end of the compiled body; resume interpretation.
+    Exit,
+    /// Fused `LoadLocal n; LoadImm v` — two instructions, one dispatch.
+    Ld2(u8, u16),
+    /// Fused `LoadLocal n; LoadLocal m`.
+    LdLd(u8, u8),
+    /// Fused `LoadImm v; Add`.
+    AddIW(u16),
+    /// Fused `LoadImm v; Sub`.
+    SubIW(u16),
+    /// Fused compare + `JumpZero`: pops both operands and jumps when
+    /// the comparison is false (the interpreter would push 0 and `Jz`
+    /// would take it).
+    CmpJz(Cmp, u32),
+    /// Fused `LoadLocal n; LoadImm v; Sub` — push `local − v`.
+    LdSubI(u8, u16),
+    /// Fused `LoadLocal n; LoadImm v; Add` — push `local + v`.
+    LdAddI(u8, u16),
+    /// Fused guard `LoadLocal n; LoadImm v; cmp; JumpZero`: four
+    /// instructions, one dispatch, zero net stack traffic.
+    LdICmpJz(u8, u16, Cmp, u32),
+    /// Fused guard `LoadLocal n; LoadLocal m; cmp; JumpZero`.
+    LdLdCmpJz(u8, u8, Cmp, u32),
+    /// Fused `LoadLocal n; Exch; Add` — pop `t`, push `local + t` (the
+    /// accumulate-result idiom in recursive epilogues).
+    LdXAdd(u8),
+    /// Fused argument push + transfer: `LoadLocal n; <call>`. The bare
+    /// `u8` is the byte offset of the call within the run (the encoded
+    /// length of the swallowed prefix), needed to reconstruct the
+    /// call's architectural instruction start.
+    LdCall(u8, u8, Instr, u8),
+    /// Fused `LoadLocal n; LoadImm v; Sub; <call>` — the dominant
+    /// argument-setup shape of recursive call sites.
+    LdSubICall(u8, u16, u8, Instr, u8),
+    /// Fused `LoadLocal n; LoadImm v; Add; <call>`.
+    LdAddICall(u8, u16, u8, Instr, u8),
+    /// Fused `LoadLocal n; LoadLocal m; <call>` — two-argument setup.
+    LdLdCall(u8, u8, u8, Instr, u8),
+    /// Fused `LoadLocal n; Exch; Add; <call>` — accumulate then return.
+    LdXAddCall(u8, u8, Instr, u8),
+    /// Fused `StoreLocal n; Jump` — the store-result-and-loop tail.
+    WrJmp(u8, u32),
+}
+
+/// Comparison selector for the fused [`NOp::CmpJz`] handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Cmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cmp {
+    #[inline]
+    pub fn eval(self, a: i16, b: i16) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+        }
+    }
+}
+
+/// A compiled procedure body. Immutable once built; shared with the
+/// run loop via [`Arc`] so a burst can hold it across `&mut Machine`
+/// calls without re-indexing the tier each op.
+#[derive(Debug, Default)]
+pub(crate) struct NativeProc {
+    /// First body byte (absolute code address).
+    pub start: u32,
+    /// Op index for each body-relative byte offset; `u32::MAX` marks
+    /// mid-instruction bytes and undecodable suffixes.
+    pub off_to_ip: Vec<u32>,
+    /// The direct-threaded handler chain; last op is always [`NOp::Exit`].
+    pub ops: Vec<NOp>,
+    /// Absolute byte address of each op (the [`NOp::Exit`] entry holds
+    /// the fall-off address), used to materialize `pc` on burst exit.
+    pub offs: Vec<u32>,
+}
+
+/// `pc_map` sentinel: byte has been offered for compilation and refused.
+const REFUSED: u16 = u16::MAX;
+
+/// The per-machine native tier: hotness counters, the compiled-body
+/// table, and the coherence key that deoptimizes it.
+#[derive(Debug)]
+pub(crate) struct NativeTier {
+    threshold: u32,
+    armed: bool,
+    /// Certificate premises still hold (no handler installs, unbinds,
+    /// relocations or patches since load). Once false, arming is
+    /// permanently refused.
+    cert_ok: bool,
+    /// Coherence snapshot guarding every compiled body.
+    key: TableKey,
+    procs: Vec<Arc<NativeProc>>,
+    /// Code byte → compiled proc index + 1; 0 = uncovered, [`REFUSED`]
+    /// = offered and declined (stops the pending queue from cycling).
+    pc_map: Vec<u16>,
+    /// Invocation counts per header byte address, and call-site counts
+    /// per return-pc byte address (so loop-resident caller bodies get
+    /// hot even when invoked once). Disjoint index spaces, one vector.
+    counts: Vec<u32>,
+    /// Byte addresses whose enclosing body wants compilation.
+    pending: Vec<u32>,
+    pub compiles: u64,
+    pub entries: u64,
+    pub native_instrs: u64,
+    pub interp_ops: u64,
+    pub flushes: u64,
+    pub disarms: u64,
+}
+
+impl NativeTier {
+    pub fn new(threshold: u32) -> Self {
+        NativeTier {
+            // A zero threshold would trigger on count 0; clamp to 1.
+            threshold: threshold.max(1),
+            armed: false,
+            cert_ok: true,
+            // Sentinel key: the first sync always flushes, sizing the
+            // maps to the live code store.
+            key: TableKey::new(u64::MAX, u64::MAX),
+            procs: Vec::new(),
+            pc_map: Vec::new(),
+            counts: Vec::new(),
+            pending: Vec::new(),
+            compiles: 0,
+            entries: 0,
+            native_instrs: 0,
+            interp_ops: 0,
+            flushes: 0,
+            disarms: 0,
+        }
+    }
+
+    pub fn cert_ok(&self) -> bool {
+        self.cert_ok
+    }
+
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    pub fn arm(&mut self) {
+        self.armed = true;
+    }
+
+    /// Permanent deopt: the certificate premises lapsed.
+    pub fn disarm(&mut self) {
+        if self.armed {
+            self.disarms += 1;
+        }
+        self.armed = false;
+        self.cert_ok = false;
+        self.procs.clear();
+        self.pc_map.clear();
+        self.pending.clear();
+    }
+
+    /// Transient deopt check at burst entry: on a key mismatch, flush
+    /// every compiled body (counts survive so hot bodies recompile).
+    pub fn sync(&mut self, code_version: u64, table_gen: u64, code_len: u32) {
+        if self.key.matches(code_version, table_gen) {
+            return;
+        }
+        if !self.procs.is_empty() || !self.pc_map.is_empty() {
+            self.flushes += 1;
+        }
+        self.key = TableKey::new(code_version, table_gen);
+        self.procs.clear();
+        self.pc_map.clear();
+        self.pc_map.resize(code_len as usize, 0);
+        self.pending.clear();
+        if self.counts.len() < code_len as usize {
+            self.counts.resize(code_len as usize, 0);
+        }
+        // Counts survive the flush, but `bump` queues a probe only at
+        // the exact threshold crossing — re-queue every already-hot
+        // site so its body recompiles. Each count may be a header or a
+        // return pc; probe both interpretations (`candidate` and
+        // `compile` discard the one that is not a body).
+        if self.armed {
+            for (idx, &c) in self.counts.iter().enumerate() {
+                if c >= self.threshold {
+                    let idx = idx as u32;
+                    self.pending.push(idx);
+                    self.pending.push(idx + fpc_core::layout::PROC_HEADER_BYTES);
+                }
+            }
+        }
+    }
+
+    /// Hotness hook, called on every resolved procedure call. `header`
+    /// is the callee's header address; `ret_pc` is the return address,
+    /// which lies inside the *caller's* body and stands in for the call
+    /// site.
+    #[inline]
+    pub fn note_call(&mut self, header: u32, ret_pc: u32) {
+        if !self.armed {
+            return;
+        }
+        let body = header + fpc_core::layout::PROC_HEADER_BYTES;
+        self.bump(header, body);
+        self.bump(ret_pc, ret_pc);
+    }
+
+    #[inline]
+    fn bump(&mut self, idx: u32, probe: u32) {
+        let Some(c) = self.counts.get_mut(idx as usize) else {
+            return;
+        };
+        *c += 1;
+        // Exact-crossing trigger: one probe per site per flush epoch,
+        // so warm calls pay the count increment and nothing else
+        // (`sync` re-queues hot sites after a flush). `candidate`
+        // filters stale probes at compile time.
+        if *c == self.threshold {
+            self.pending.push(probe);
+        }
+    }
+
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    pub fn take_pending(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// True when `probe` is still a compilation candidate (not covered
+    /// by a compiled body, not previously refused).
+    pub fn candidate(&self, probe: u32) -> bool {
+        self.pc_map.get(probe as usize).is_some_and(|&p| p == 0)
+    }
+
+    /// Marks `probe` refused so it is never re-queued (until the next
+    /// flush re-zeroes the map).
+    pub fn refuse(&mut self, probe: u32) {
+        if let Some(p) = self.pc_map.get_mut(probe as usize) {
+            if *p == 0 {
+                *p = REFUSED;
+            }
+        }
+    }
+
+    /// Compiles `[body, end)` and maps its bytes. Returns false when
+    /// the body is unusable (nothing decodes) or the table is full.
+    pub fn compile(&mut self, code: &[u8], body: u32, end: u32, fast_mem: bool) -> bool {
+        if end <= body || self.procs.len() >= (REFUSED - 1) as usize {
+            return false;
+        }
+        let proc = compile_body(code, body, end, fast_mem);
+        if proc.ops.len() <= 1 {
+            return false;
+        }
+        if std::env::var_os("FPC_NATIVE_DUMP").is_some() {
+            eprintln!("native compile [{body:#06x}..{end:#06x}):");
+            for (i, op) in proc.ops.iter().enumerate() {
+                eprintln!("  {i:4} @{:#06x}  {op:?}", proc.offs[i]);
+            }
+        }
+        let idx = self.procs.len() as u16 + 1;
+        for a in body..end {
+            if let Some(p) = self.pc_map.get_mut(a as usize) {
+                *p = idx;
+            }
+        }
+        self.procs.push(Arc::new(proc));
+        self.compiles += 1;
+        true
+    }
+
+    /// Resolves a code address to a compiled (proc, op index) entry
+    /// point. `None` off-coverage or mid-instruction.
+    #[inline]
+    pub fn locate(&self, pc: u32) -> Option<(usize, u32)> {
+        let p = *self.pc_map.get(pc as usize)?;
+        if p == 0 || p == REFUSED {
+            return None;
+        }
+        let proc = &self.procs[(p - 1) as usize];
+        let ip = *proc.off_to_ip.get(pc.wrapping_sub(proc.start) as usize)?;
+        if ip == u32::MAX {
+            return None;
+        }
+        Some(((p - 1) as usize, ip))
+    }
+
+    /// Clones the shared handle for a located proc.
+    #[inline]
+    pub fn proc(&self, idx: usize) -> Arc<NativeProc> {
+        Arc::clone(&self.procs[idx])
+    }
+
+    /// Invocation count for a header address.
+    pub fn count_of(&self, addr: u32) -> u32 {
+        self.counts.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    pub fn stats(&self) -> NativeStats {
+        NativeStats {
+            armed: self.armed,
+            compiled_procs: self.procs.len(),
+            compiles: self.compiles,
+            entries: self.entries,
+            native_instrs: self.native_instrs,
+            interp_ops: self.interp_ops,
+            flushes: self.flushes,
+            disarms: self.disarms,
+        }
+    }
+
+    /// Materializes the invocation counts for the given header
+    /// addresses as an `fpc-stats` histogram (value = header address,
+    /// weight = calls), ready for `top_k` hotness ranking.
+    pub fn hotness(&self, headers: impl IntoIterator<Item = u32>) -> Histogram {
+        let mut h = Histogram::new();
+        for header in headers {
+            let c = self.count_of(header);
+            if c > 0 {
+                h.record_n(header as u64, c as u64);
+            }
+        }
+        h
+    }
+}
+
+/// Lowers one decoded body into a direct-threaded chain. Stops at the
+/// first undecodable byte (that suffix stays interpreter-only).
+fn compile_body(code: &[u8], body: u32, end: u32, fast_mem: bool) -> NativeProc {
+    let mut decoded: Vec<(u32, Instr, u8)> = Vec::new();
+    for step in fpc_isa::walk(code, body as usize, end as usize) {
+        match step {
+            Ok((at, instr, len)) => decoded.push((at as u32, instr, len as u8)),
+            Err(_) => break,
+        }
+    }
+    let mut off_to_ip = vec![u32::MAX; (end - body) as usize];
+    for (ip, &(at, _, _)) in decoded.iter().enumerate() {
+        off_to_ip[(at - body) as usize] = ip as u32;
+    }
+    let mut ops = Vec::with_capacity(decoded.len() + 1);
+    let mut offs = Vec::with_capacity(decoded.len() + 1);
+    for &(at, instr, len) in &decoded {
+        offs.push(at);
+        ops.push(lower(instr, len, at, body, end, &off_to_ip, fast_mem));
+    }
+    offs.push(decoded.last().map_or(body, |&(at, _, len)| at + len as u32));
+    ops.push(NOp::Exit);
+    fuse(NativeProc {
+        start: body,
+        off_to_ip,
+        ops,
+        offs,
+    })
+}
+
+/// Superinstruction pass: greedily fuses the longest known run of
+/// adjacent fast ops at each position into a single dispatch (the
+/// native analogue of the rung-4 pair fusion, extended to the 3- and
+/// 4-instruction idioms that dominate call-dense code: `local − const`
+/// argument setup and `local cmp operand; branch` guards). A run only
+/// forms when none of its non-first ops is a jump target or an
+/// interpreter re-entry point (the op after an [`NOp::Interp`] or
+/// [`NOp::Call`]), so every architecturally reachable boundary stays
+/// mapped; swallowed ops' byte offsets are unmapped, which at worst
+/// costs one interpreted step before the next mapped boundary
+/// re-enters.
+fn fuse(p: NativeProc) -> NativeProc {
+    let n = p.ops.len();
+    let mut blocked = vec![false; n];
+    for (i, op) in p.ops.iter().enumerate() {
+        match *op {
+            NOp::Jmp(t) | NOp::Jz(t) | NOp::Jnz(t) => blocked[t as usize] = true,
+            // Returns land on the op after a call, and the interpreter
+            // resumes after a fallback op: both must stay mapped.
+            NOp::Interp(..) | NOp::Call(..) if i + 1 < n => blocked[i + 1] = true,
+            _ => {}
+        }
+    }
+    // Pattern length chosen at each start index (0 = swallowed).
+    let mut span = vec![0u8; n];
+    let mut i = 0;
+    while i < n {
+        let len = match_len(&p.ops, &blocked, i);
+        span[i] = len;
+        i += len as usize;
+    }
+    // Old op index → new op index; swallowed ops disappear.
+    let mut remap = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut i = 0;
+    while i < n {
+        remap[i] = next;
+        next += 1;
+        i += span[i] as usize;
+    }
+    let mut off_to_ip = p.off_to_ip;
+    for x in off_to_ip.iter_mut() {
+        if *x != u32::MAX {
+            *x = remap[*x as usize];
+        }
+    }
+    let mut ops = Vec::with_capacity(next as usize);
+    let mut offs = Vec::with_capacity(next as usize);
+    let mut i = 0;
+    while i < n {
+        offs.push(p.offs[i]);
+        let run = i..i + span[i] as usize;
+        ops.push(combine(&p.ops[run.clone()], &p.offs[run], &remap));
+        i += span[i] as usize;
+    }
+    NativeProc {
+        start: p.start,
+        off_to_ip,
+        ops,
+        offs,
+    }
+}
+
+fn cmp_of(op: NOp) -> Option<Cmp> {
+    match op {
+        NOp::CmpEq => Some(Cmp::Eq),
+        NOp::CmpNe => Some(Cmp::Ne),
+        NOp::CmpLt => Some(Cmp::Lt),
+        NOp::CmpLe => Some(Cmp::Le),
+        NOp::CmpGt => Some(Cmp::Gt),
+        NOp::CmpGe => Some(Cmp::Ge),
+        _ => None,
+    }
+}
+
+/// Longest fusible run starting at `i`; 1 means no fusion.
+fn match_len(ops: &[NOp], blocked: &[bool], i: usize) -> u8 {
+    let w = &ops[i..];
+    let clear = |upto: usize| (1..=upto).all(|k| !blocked.get(i + k).copied().unwrap_or(true));
+    if w.len() >= 4 && clear(3) {
+        if let [NOp::LocalRd(_), NOp::Imm(_) | NOp::LocalRd(_), c, NOp::Jz(_), ..] = *w {
+            if cmp_of(c).is_some() {
+                return 4;
+            }
+        }
+        if matches!(
+            *w,
+            [
+                NOp::LocalRd(_),
+                NOp::Imm(_),
+                NOp::Sub | NOp::Add,
+                NOp::Call(..),
+                ..
+            ] | [NOp::LocalRd(_), NOp::Exch, NOp::Add, NOp::Call(..), ..]
+        ) {
+            return 4;
+        }
+    }
+    if w.len() >= 3
+        && clear(2)
+        && matches!(
+            *w,
+            [NOp::LocalRd(_), NOp::Imm(_), NOp::Sub | NOp::Add, ..]
+                | [NOp::LocalRd(_), NOp::LocalRd(_), NOp::Call(..), ..]
+                | [NOp::LocalRd(_), NOp::Exch, NOp::Add, ..]
+        )
+    {
+        return 3;
+    }
+    if w.len() >= 2 && clear(1) && pairable(w[0], w[1]) {
+        return 2;
+    }
+    1
+}
+
+fn pairable(a: NOp, b: NOp) -> bool {
+    matches!(
+        (a, b),
+        (NOp::LocalRd(_), NOp::Imm(_))
+            | (NOp::LocalRd(_), NOp::LocalRd(_))
+            | (NOp::LocalRd(_), NOp::Call(..))
+            | (NOp::LocalWr(_), NOp::Jmp(_))
+            | (NOp::Imm(_), NOp::Add)
+            | (NOp::Imm(_), NOp::Sub)
+            | (
+                NOp::CmpEq | NOp::CmpNe | NOp::CmpLt | NOp::CmpLe | NOp::CmpGt | NOp::CmpGe,
+                NOp::Jz(_)
+            )
+    )
+}
+
+/// `offs` is the byte-offset slice matching `run`; call-terminated
+/// fusions record the call's distance from the run start so the burst
+/// can reconstruct the call's architectural instruction address.
+fn combine(run: &[NOp], offs: &[u32], remap: &[u32]) -> NOp {
+    let delta = || (offs[run.len() - 1] - offs[0]) as u8;
+    match *run {
+        [op] => retarget(op, remap),
+        [NOp::LocalRd(n), NOp::Imm(v), c, NOp::Jz(t)] => {
+            NOp::LdICmpJz(n, v, cmp_of(c).expect("matched"), remap[t as usize])
+        }
+        [NOp::LocalRd(n), NOp::LocalRd(m), c, NOp::Jz(t)] => {
+            NOp::LdLdCmpJz(n, m, cmp_of(c).expect("matched"), remap[t as usize])
+        }
+        [NOp::LocalRd(n), NOp::Imm(v), NOp::Sub, NOp::Call(instr, len)] => {
+            NOp::LdSubICall(n, v, delta(), instr, len)
+        }
+        [NOp::LocalRd(n), NOp::Imm(v), NOp::Add, NOp::Call(instr, len)] => {
+            NOp::LdAddICall(n, v, delta(), instr, len)
+        }
+        [NOp::LocalRd(n), NOp::Exch, NOp::Add, NOp::Call(instr, len)] => {
+            NOp::LdXAddCall(n, delta(), instr, len)
+        }
+        [NOp::LocalRd(n), NOp::Imm(v), NOp::Sub] => NOp::LdSubI(n, v),
+        [NOp::LocalRd(n), NOp::Imm(v), NOp::Add] => NOp::LdAddI(n, v),
+        [NOp::LocalRd(n), NOp::LocalRd(m), NOp::Call(instr, len)] => {
+            NOp::LdLdCall(n, m, delta(), instr, len)
+        }
+        [NOp::LocalRd(n), NOp::Exch, NOp::Add] => NOp::LdXAdd(n),
+        [NOp::LocalRd(n), NOp::Imm(v)] => NOp::Ld2(n, v),
+        [NOp::LocalRd(n), NOp::LocalRd(m)] => NOp::LdLd(n, m),
+        [NOp::LocalRd(n), NOp::Call(instr, len)] => NOp::LdCall(n, delta(), instr, len),
+        [NOp::LocalWr(n), NOp::Jmp(t)] => NOp::WrJmp(n, remap[t as usize]),
+        [NOp::Imm(v), NOp::Add] => NOp::AddIW(v),
+        [NOp::Imm(v), NOp::Sub] => NOp::SubIW(v),
+        [c, NOp::Jz(t)] => NOp::CmpJz(cmp_of(c).expect("pairable matched"), remap[t as usize]),
+        _ => unreachable!("match_len() admitted an uncombinable run"),
+    }
+}
+
+fn retarget(op: NOp, remap: &[u32]) -> NOp {
+    match op {
+        NOp::Jmp(t) => NOp::Jmp(remap[t as usize]),
+        NOp::Jz(t) => NOp::Jz(remap[t as usize]),
+        NOp::Jnz(t) => NOp::Jnz(remap[t as usize]),
+        other => other,
+    }
+}
+
+fn lower(
+    instr: Instr,
+    len: u8,
+    at: u32,
+    body: u32,
+    end: u32,
+    off_to_ip: &[u32],
+    fast_mem: bool,
+) -> NOp {
+    // Displacements are from instruction start; a target outside the
+    // body (or mid-instruction) goes through the interpreter, which
+    // re-enters native code if the landing pad is compiled.
+    let target = |d: i32| -> Option<u32> {
+        let t = at as i64 + d as i64;
+        if t < body as i64 || t >= end as i64 {
+            return None;
+        }
+        let ip = off_to_ip[(t as u32 - body) as usize];
+        (ip != u32::MAX).then_some(ip)
+    };
+    match instr {
+        Instr::LoadImm(v) => NOp::Imm(v),
+        Instr::LoadLocal(n) if fast_mem => NOp::LocalRd(n),
+        Instr::StoreLocal(n) if fast_mem => NOp::LocalWr(n),
+        Instr::LoadLocalAddr(n) if fast_mem => NOp::LocalAddr(n),
+        Instr::LoadGlobal(n) => NOp::GlobalRd(n),
+        Instr::StoreGlobal(n) => NOp::GlobalWr(n),
+        Instr::LoadGlobalAddr(n) => NOp::GlobalAddr(n),
+        Instr::Read if fast_mem => NOp::Read,
+        Instr::Write if fast_mem => NOp::Write,
+        Instr::LoadIndex if fast_mem => NOp::LoadIndex,
+        Instr::StoreIndex if fast_mem => NOp::StoreIndex,
+        Instr::Add => NOp::Add,
+        Instr::Sub => NOp::Sub,
+        Instr::Mul => NOp::Mul,
+        Instr::Neg => NOp::Neg,
+        Instr::And => NOp::And,
+        Instr::Or => NOp::Or,
+        Instr::Xor => NOp::Xor,
+        Instr::Shl => NOp::Shl,
+        Instr::Shr => NOp::Shr,
+        Instr::CmpEq => NOp::CmpEq,
+        Instr::CmpNe => NOp::CmpNe,
+        Instr::CmpLt => NOp::CmpLt,
+        Instr::CmpLe => NOp::CmpLe,
+        Instr::CmpGt => NOp::CmpGt,
+        Instr::CmpGe => NOp::CmpGe,
+        Instr::AddImm(n) => NOp::AddImm(n),
+        Instr::Dup => NOp::Dup,
+        Instr::Drop => NOp::Drop,
+        Instr::Exch => NOp::Exch,
+        Instr::Out => NOp::Out,
+        Instr::Noop => NOp::Noop,
+        Instr::Jump(d) => target(d).map_or(NOp::Interp(instr, len), NOp::Jmp),
+        Instr::JumpZero(d) => target(d).map_or(NOp::Interp(instr, len), NOp::Jz),
+        Instr::JumpNotZero(d) => target(d).map_or(NOp::Interp(instr, len), NOp::Jnz),
+        // Calls and returns dominate the interpreter-fallback share on
+        // call-dense code; they get the streamlined transfer handler.
+        Instr::LocalCall(_)
+        | Instr::ExternalCall(_)
+        | Instr::DirectCall(_)
+        | Instr::ShortDirectCall(_)
+        | Instr::Ret => NOp::Call(instr, len),
+        // Division traps, XFER, contexts, processes, heap and module
+        // ops all carry their own accounting; interpret them.
+        _ => NOp::Interp(instr, len),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body_bytes(instrs: &[Instr]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in instrs {
+            i.encode(&mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn compile_body_lowers_and_maps_offsets() {
+        let bytes = body_bytes(&[Instr::LoadImm(7), Instr::AddImm(1), Instr::Out, Instr::Ret]);
+        let end = bytes.len() as u32;
+        let p = compile_body(&bytes, 0, end, true);
+        assert!(matches!(p.ops[0], NOp::Imm(7)));
+        assert!(matches!(p.ops[1], NOp::AddImm(1)));
+        assert!(matches!(p.ops[2], NOp::Out));
+        assert!(matches!(p.ops[3], NOp::Call(Instr::Ret, 1)));
+        assert!(matches!(p.ops[4], NOp::Exit));
+        assert_eq!(p.off_to_ip[0], 0);
+        // LoadImm is 3 bytes; its interior bytes must be unmapped.
+        assert_eq!(p.off_to_ip[1], u32::MAX);
+        assert_eq!(*p.offs.last().unwrap(), end);
+    }
+
+    #[test]
+    fn in_body_jumps_resolve_mem_ops_gate_on_banks() {
+        // 0: LoadLocal 0 (1 byte, LL0) ; 1: JumpZero back to it.
+        let bytes = body_bytes(&[Instr::LoadLocal(0), Instr::JumpZero(-1)]);
+        let end = bytes.len() as u32;
+        let fast = compile_body(&bytes, 0, end, true);
+        assert!(matches!(fast.ops[0], NOp::LocalRd(0)));
+        assert!(matches!(fast.ops[1], NOp::Jz(0)));
+        let banked = compile_body(&bytes, 0, end, false);
+        assert!(matches!(banked.ops[0], NOp::Interp(Instr::LoadLocal(0), _)));
+        // Out-of-body jump falls back to the interpreter.
+        let bytes = body_bytes(&[Instr::Jump(100)]);
+        let p = compile_body(&bytes, 0, bytes.len() as u32, true);
+        assert!(matches!(p.ops[0], NOp::Interp(Instr::Jump(100), _)));
+    }
+
+    #[test]
+    fn tier_counts_compiles_and_locates() {
+        // LoadImm(0x1234) takes the 3-byte LIW form, giving the body
+        // interior (mid-instruction) bytes.
+        let bytes = body_bytes(&[Instr::LoadImm(0x1234), Instr::Out, Instr::Ret]);
+        let end = bytes.len() as u32;
+        let mut t = NativeTier::new(2);
+        t.arm();
+        t.sync(1, 0, end);
+        // Pretend a header at "end" would precede the body; count the
+        // body via its return-pc side.
+        t.note_call(0, 1); // header idx 0 counts, probe = PROC_HEADER_BYTES (off-map ok)
+        assert!(!t.has_pending());
+        t.note_call(0, 1);
+        // ret_pc probe 1 is mid-LoadImm but still queues its body.
+        assert!(t.has_pending());
+        let pending = t.take_pending();
+        for probe in pending {
+            if t.candidate(probe) && !t.compile(&bytes, 0, end, true) {
+                t.refuse(probe);
+            }
+        }
+        assert_eq!(t.stats().compiled_procs, 1);
+        assert!(t.locate(0).is_some());
+        assert!(t.locate(1).is_none(), "mid-instruction bytes don't enter");
+        // A key change flushes bodies but keeps counts.
+        t.sync(2, 0, end);
+        assert_eq!(t.stats().compiled_procs, 0);
+        assert_eq!(t.count_of(0), 2);
+        assert_eq!(t.stats().flushes, 1);
+        // Disarm is permanent.
+        t.disarm();
+        assert!(!t.armed() && !t.cert_ok());
+        assert_eq!(t.stats().disarms, 1);
+    }
+
+    #[test]
+    fn superinstructions_fuse_and_preserve_boundaries() {
+        // LoadLocal 0 ; LoadImm 2 ; CmpLt ; JumpZero over Out to Ret —
+        // the fib guard shape. Greedy pairing gives Ld2 + CmpJz.
+        let bytes = body_bytes(&[
+            Instr::LoadLocal(0),
+            Instr::LoadImm(2),
+            Instr::CmpLt,
+            Instr::JumpZero(2),
+            Instr::Out,
+            Instr::Ret,
+        ]);
+        let p = compile_body(&bytes, 0, bytes.len() as u32, true);
+        // The whole guard collapses into one dispatch.
+        assert!(matches!(p.ops[0], NOp::LdICmpJz(0, 2, Cmp::Lt, 2)));
+        assert!(matches!(p.ops[1], NOp::Out));
+        assert!(matches!(p.ops[2], NOp::Call(Instr::Ret, 1)));
+        // The run start stays mapped; swallowed ops do not.
+        assert_eq!(p.off_to_ip[0], 0);
+        assert_eq!(p.off_to_ip[1], u32::MAX, "swallowed op is unmapped");
+        assert_eq!(p.off_to_ip[3], u32::MAX, "swallowed CmpLt is unmapped");
+        // offs of a fused run is the first element's address.
+        assert_eq!(p.offs[0], 0);
+        assert_eq!(p.offs[1], 5, "Out follows the 5-byte guard");
+
+        // A jump landing on the would-be second blocks the pair.
+        let bytes = body_bytes(&[Instr::LoadLocal(0), Instr::LoadImm(7), Instr::Jump(-2)]);
+        let p = compile_body(&bytes, 0, bytes.len() as u32, true);
+        assert!(
+            matches!(p.ops[0], NOp::LocalRd(0)),
+            "jump-target second must not fuse"
+        );
+        assert!(matches!(p.ops[1], NOp::Imm(7)));
+        assert!(matches!(p.ops[2], NOp::Jmp(1)));
+    }
+
+    #[test]
+    fn refused_probes_do_not_requeue() {
+        let mut t = NativeTier::new(1);
+        t.arm();
+        t.sync(1, 0, 8);
+        t.note_call(100, 4); // header out of counts range is ignored; site 4 counts
+        assert!(t.has_pending());
+        for probe in t.take_pending() {
+            t.refuse(probe);
+        }
+        t.note_call(100, 4);
+        assert!(!t.has_pending(), "refused bytes never re-queue");
+    }
+}

@@ -1,0 +1,332 @@
+//! Deoptimization tests for the tier-5 native compiler.
+//!
+//! Every event that lapses a check-elision certificate — trap-handler
+//! install, fault-handler install, module unbind, module relocation,
+//! procedure replacement — must also demote an *armed, mid-run* native
+//! machine back to the interpretive ladder, permanently, without
+//! perturbing one simulated counter. Each test here runs a recursive
+//! workload hot enough to compile, fires one re-arm hook in the middle,
+//! and holds the final machine state bit-identical to an
+//! all-accelerators-off reference given the same hook at the same
+//! simulated point. The license gate is tested from both directions:
+//! no license → the tier never runs; lapsed premises → arming refuses.
+
+use fpc_isa::Instr;
+use fpc_vm::{
+    FaultKind, Image, ImageBuilder, Machine, MachineConfig, NativeLicense, ProcRef, ProcSpec,
+    VmError,
+};
+
+/// Every simulated-side observable, flattened through Debug (the same
+/// fingerprint the 5-rung parity suite uses).
+fn fingerprint(m: &Machine) -> String {
+    format!(
+        "output={:?} stack={:?} stats={:?} mem={:?} rs={:?} banks={:?} cache={:?} heap={:?}",
+        m.output(),
+        m.stack(),
+        m.stats(),
+        m.mem_stats(),
+        m.return_stack_stats(),
+        m.bank_stats(),
+        m.cache_stats(),
+        m.heap_stats(),
+    )
+}
+
+/// The native rung under test: full accelerator ladder plus the tier-5
+/// compiler with a low threshold so short runs go native quickly.
+fn native_config() -> MachineConfig {
+    MachineConfig::i2()
+        .with_predecode(true)
+        .with_inline_xfer(true)
+        .with_fusion(true)
+        .with_native_tier(true)
+        .with_native_threshold(4)
+}
+
+/// The reference rung: every host accelerator off.
+fn reference_config() -> MachineConfig {
+    MachineConfig::i2()
+        .with_predecode(false)
+        .with_inline_xfer(false)
+        .with_fusion(false)
+}
+
+/// A license generous enough for these tiny images. The verifier mints
+/// real ones; tests construct them directly to isolate the machinery.
+fn license() -> NativeLicense {
+    NativeLicense::new(8, 4)
+}
+
+/// tri(n) = n + tri(n-1), called repeatedly from main, plus a handler
+/// procedure (index 2) that tests can install for traps or faults.
+fn tri_image() -> Image {
+    let mut b = ImageBuilder::new();
+    let m = b.module("m");
+    b.proc_with(m, ProcSpec::new("tri", 1, 1), |a| {
+        a.instr(Instr::StoreLocal(0));
+        let base = a.label();
+        a.instr(Instr::LoadLocal(0));
+        a.jump_zero(base);
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::LoadImm(1));
+        a.instr(Instr::Sub);
+        a.instr(Instr::LocalCall(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::Add);
+        a.instr(Instr::Ret);
+        a.bind(base);
+        a.instr(Instr::LoadImm(0));
+        a.instr(Instr::Ret);
+    });
+    b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+        for _ in 0..6 {
+            a.instr(Instr::LoadImm(40));
+            a.instr(Instr::LocalCall(0));
+            a.instr(Instr::Out);
+        }
+        a.instr(Instr::Halt);
+    });
+    b.proc_with(m, ProcSpec::new("handler", 1, 1), |a| {
+        a.instr(Instr::Drop);
+        a.instr(Instr::LoadImm(0));
+        a.instr(Instr::Ret);
+    });
+    b.build(ProcRef {
+        module: 0,
+        ev_index: 1,
+    })
+    .unwrap()
+}
+
+const TRI_EXPECTED: &[u16] = &[820, 820, 820, 820, 820, 820];
+
+fn handler_ref() -> ProcRef {
+    ProcRef {
+        module: 0,
+        ev_index: 2,
+    }
+}
+
+/// One fuel unit of progress; spending it without halting is the
+/// expected case while pacing.
+fn pace(m: &mut Machine) {
+    match m.run(1) {
+        Ok(()) | Err(VmError::OutOfFuel) => {}
+        Err(e) => panic!("pacing step failed: {e:?}"),
+    }
+}
+
+/// Loads and arms a native machine, runs until `outputs` values are
+/// out, and asserts the burst engine actually retired instructions.
+fn warm_native(image: &Image, outputs: usize) -> Machine {
+    let mut m = Machine::load(image, native_config()).unwrap();
+    assert!(m.arm_native(license()), "fresh machine must arm");
+    assert!(m.native_armed());
+    while m.output().len() < outputs {
+        pace(&mut m);
+    }
+    let stats = m.native_stats().expect("tier is configured");
+    assert!(
+        stats.native_instrs > 0,
+        "the run must be hot enough to execute compiled code: {stats:?}"
+    );
+    m
+}
+
+/// Runs the all-off reference to the same point.
+fn warm_reference(image: &Image, outputs: usize) -> Machine {
+    let mut m = Machine::load(image, reference_config()).unwrap();
+    while m.output().len() < outputs {
+        pace(&mut m);
+    }
+    m
+}
+
+/// Drives both machines to halt and compares every simulated counter.
+fn finish_and_compare(mut native: Machine, mut reference: Machine, label: &str) {
+    native.run(200_000).unwrap();
+    reference.run(200_000).unwrap();
+    assert_eq!(native.output(), TRI_EXPECTED, "{label}: wrong output");
+    assert_eq!(
+        fingerprint(&native),
+        fingerprint(&reference),
+        "{label}: demoted run diverged from the all-off reference"
+    );
+}
+
+/// After any deopt the tier must refuse to re-arm: the certificate
+/// premises are gone until a fresh verification run mints a new one.
+fn assert_demoted(m: &mut Machine, label: &str) {
+    assert!(!m.native_armed(), "{label}: hook must disarm the tier");
+    let stats = m.native_stats().expect("tier is configured");
+    assert_eq!(stats.disarms, 1, "{label}: exactly one permanent deopt");
+    assert_eq!(
+        stats.compiled_procs, 0,
+        "{label}: compiled bodies must be discarded"
+    );
+    assert!(
+        !m.arm_native(license()),
+        "{label}: re-arming without re-verification must fail"
+    );
+    assert!(!m.native_armed(), "{label}: refused arm must not arm");
+}
+
+#[test]
+fn trap_handler_install_demotes_mid_run() {
+    let image = tri_image();
+    let mut native = warm_native(&image, 2);
+    let mut reference = warm_reference(&image, 2);
+    native.set_trap_handler(&image, handler_ref()).unwrap();
+    reference.set_trap_handler(&image, handler_ref()).unwrap();
+    assert_demoted(&mut native, "trap install");
+    finish_and_compare(native, reference, "trap install");
+}
+
+#[test]
+fn fault_handler_install_demotes_mid_run() {
+    let image = tri_image();
+    let mut native = warm_native(&image, 2);
+    let mut reference = warm_reference(&image, 2);
+    for m in [&mut native, &mut reference] {
+        m.install_fault_handler(FaultKind::FrameFault, &image, handler_ref())
+            .unwrap();
+    }
+    assert_demoted(&mut native, "fault install");
+    finish_and_compare(native, reference, "fault install");
+}
+
+#[test]
+fn unbind_demotes_mid_run_and_rebind_does_not_rearm() {
+    let image = tri_image();
+    let mut native = warm_native(&image, 2);
+    let mut reference = warm_reference(&image, 2);
+    for m in [&mut native, &mut reference] {
+        m.unbind_module(0).unwrap();
+        m.bind_module(0).unwrap();
+    }
+    assert_demoted(&mut native, "unbind");
+    finish_and_compare(native, reference, "unbind");
+}
+
+#[test]
+fn relocation_demotes_mid_run() {
+    let image = tri_image();
+    let mut native = warm_native(&image, 2);
+    let mut reference = warm_reference(&image, 2);
+    native.relocate_module(0).unwrap();
+    reference.relocate_module(0).unwrap();
+    assert_demoted(&mut native, "relocate");
+    finish_and_compare(native, reference, "relocate");
+}
+
+#[test]
+fn replacement_demotes_mid_run() {
+    let image = tri_image();
+    let mut native = warm_native(&image, 2);
+    let mut reference = warm_reference(&image, 2);
+    // Swap tri for a body computing n*2+x the same recursive way is
+    // overkill; replace the *handler* slot (never called) so the
+    // output stream is unchanged while the entry vector mutates.
+    for m in [&mut native, &mut reference] {
+        m.replace_proc(0, 2, 1, 1, |a| {
+            a.instr(Instr::Drop);
+            a.instr(Instr::LoadImm(7));
+            a.instr(Instr::Ret);
+        })
+        .unwrap();
+    }
+    assert_demoted(&mut native, "replace");
+    finish_and_compare(native, reference, "replace");
+}
+
+#[test]
+fn tier_is_dormant_without_a_license() {
+    let image = tri_image();
+    // Config enables the tier but nobody arms it: the machine must
+    // behave — and count — exactly like the reference, and the burst
+    // engine must never run.
+    let mut m = Machine::load(&image, native_config()).unwrap();
+    m.run(200_000).unwrap();
+    let stats = m.native_stats().expect("tier is configured");
+    assert!(!stats.armed);
+    assert_eq!(stats.native_instrs, 0, "no license, no native execution");
+    assert_eq!(stats.compiles, 0, "no license, no compilation");
+    assert_eq!(stats.entries, 0, "no license, no burst entries");
+    let mut reference = Machine::load(&image, reference_config()).unwrap();
+    reference.run(200_000).unwrap();
+    assert_eq!(m.output(), TRI_EXPECTED);
+    assert_eq!(fingerprint(&m), fingerprint(&reference));
+}
+
+#[test]
+fn arming_refuses_lapsed_premises_and_overdeep_licenses() {
+    let image = tri_image();
+    // Premise lapse before arming: handler already installed.
+    let mut m = Machine::load(&image, native_config()).unwrap();
+    m.set_trap_handler(&image, handler_ref()).unwrap();
+    assert!(!m.arm_native(license()), "lapsed premises must refuse");
+    assert!(!m.native_armed());
+    // A proven stack bound deeper than the configured stack must
+    // refuse: the whole point of the license is that bursts can skip
+    // depth checks.
+    let mut m = Machine::load(&image, native_config()).unwrap();
+    let depth = 1_000_000;
+    assert!(
+        !m.arm_native(NativeLicense::new(depth, 4)),
+        "a bound beyond the machine's stack must refuse"
+    );
+    // And the tier must stay armable after a refused license.
+    assert!(m.arm_native(license()), "valid license still arms");
+}
+
+#[test]
+fn terminal_faults_match_the_interpreter() {
+    // Unbounded recursion exhausts frames. While armed no fault
+    // handler can exist, so the fault is terminal — and must surface
+    // as the same error, at the same simulated instant, with the same
+    // counters, as the all-off reference.
+    let mut b = ImageBuilder::new();
+    let m = b.module("m");
+    b.proc_with(m, ProcSpec::new("spin", 1, 1), |a| {
+        a.instr(Instr::StoreLocal(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::LocalCall(0));
+        a.instr(Instr::Ret);
+    });
+    b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+        a.instr(Instr::LoadImm(1));
+        a.instr(Instr::LocalCall(0));
+        a.instr(Instr::Halt);
+    });
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 1,
+        })
+        .unwrap();
+    let mut native = Machine::load(&image, native_config()).unwrap();
+    assert!(native.arm_native(license()));
+    let native_err = native.run(5_000_000).unwrap_err();
+    assert!(
+        !matches!(native_err, VmError::OutOfFuel),
+        "recursion must die on resources, not fuel: {native_err:?}"
+    );
+    let stats = native.native_stats().unwrap();
+    assert!(
+        stats.native_instrs > 0,
+        "the spin must have run native before faulting: {stats:?}"
+    );
+    let mut reference = Machine::load(&image, reference_config()).unwrap();
+    let reference_err = reference.run(5_000_000).unwrap_err();
+    assert_eq!(
+        format!("{native_err:?}"),
+        format!("{reference_err:?}"),
+        "terminal faults must agree"
+    );
+    assert_eq!(
+        fingerprint(&native),
+        fingerprint(&reference),
+        "state at the terminal fault must agree"
+    );
+}

@@ -14,7 +14,8 @@ use std::sync::Mutex;
 use fpc_isa::Instr;
 use fpc_mem::CodeStore;
 use fpc_vm::{
-    Image, ImageBuilder, Machine, MachineConfig, PredecodeCache, ProcRef, ProcSpec, VmError,
+    Image, ImageBuilder, Machine, MachineConfig, NativeLicense, PredecodeCache, ProcRef, ProcSpec,
+    VmError,
 };
 
 /// Pass-through allocator that counts every allocating entry point
@@ -167,4 +168,49 @@ fn warm_machine_steps_do_not_allocate() {
         m.fusion_stats().unwrap().fused_execs > fused0,
         "fused pairs must be executing"
     );
+}
+
+#[test]
+fn warm_native_bursts_do_not_allocate() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let image = call_loop_image();
+    let cfg = MachineConfig::i2()
+        .with_native_tier(true)
+        .with_native_threshold(4);
+    let mut m = Machine::load(&image, cfg).unwrap();
+    assert!(
+        m.arm_native(NativeLicense::new(8, 2)),
+        "fresh machine must arm"
+    );
+    // Warm-up: both procedures cross the hotness threshold, compile,
+    // and every Vec (compiled bodies, pc map, counts, the machine's own
+    // steady-state buffers) settles at final capacity. The pending
+    // queue only fills on an exact threshold crossing or a coherence
+    // flush, neither of which recurs while warm.
+    assert!(
+        matches!(m.run(20_000), Err(VmError::OutOfFuel)),
+        "the loop must still be running"
+    );
+    let n0 = m.native_stats().expect("tier is configured");
+    assert!(
+        n0.native_instrs > 0,
+        "warm-up must reach the native tier: {n0:?}"
+    );
+
+    let before = allocs();
+    assert!(matches!(m.run(100_000), Err(VmError::OutOfFuel)));
+    assert_eq!(
+        allocs() - before,
+        0,
+        "warm native bursts must be allocation-free"
+    );
+
+    // Prove the window ran native, and that nothing recompiled.
+    let n = m.native_stats().unwrap();
+    assert!(
+        n.native_instrs > n0.native_instrs,
+        "the window must retire native instructions: {n:?}"
+    );
+    assert_eq!(n.compiles, n0.compiles, "steady state recompiles nothing");
+    assert_eq!(n.flushes, n0.flushes, "steady state never flushes");
 }

@@ -96,6 +96,18 @@ pub fn run_workload(
     options.bank_args = config.renaming();
     let compiled = compile_workload(w, options).map_err(|e| VmError::BadImage(e.to_string()))?;
     let mut m = Machine::load(&compiled.image, config)?;
+    if config.native {
+        // The native tier runs only under a verifier license; the
+        // whole corpus verifies clean, so this arms everywhere. A
+        // dirty image simply stays on the interpreted rungs.
+        let report = fpc_verify::verify_image(
+            &compiled.image,
+            &fpc_verify::VerifyOptions::for_config(&config),
+        );
+        if let Some(cert) = report.certificate() {
+            m.arm_native(cert.native_license());
+        }
+    }
     m.run(w.fuel)?;
     Ok(m)
 }

@@ -3,6 +3,11 @@
 //!
 //! ```text
 //! fpc-lint prog.mesa [more.mesa ...]   # verify each source file
+//! fpc-lint --cert prog.mesa [...]      # verify, then print the
+//!                                      # per-procedure certificate:
+//!                                      # stack and frame bounds,
+//!                                      # recursion-cycle membership,
+//!                                      # native-tier eligibility
 //! fpc-lint --corpus                    # verify the whole fpc-workloads
 //!                                      # corpus under every linkage and
 //!                                      # argument convention, plus the
@@ -15,7 +20,7 @@
 use std::process::ExitCode;
 
 use fpc_compiler::{compile, Linkage, Options};
-use fpc_verify::{verify_image, VerifyOptions};
+use fpc_verify::{verify_image, VerifyOptions, VerifyReport};
 use fpc_workloads::{compile_workload, corpus};
 
 fn all_options() -> Vec<Options> {
@@ -87,6 +92,95 @@ fn lint_corpus() -> ExitCode {
     }
 }
 
+/// Renders the full certificate for one clean report: the whole-image
+/// bounds the VM trusts, the native-tier license they mint, and one
+/// line per procedure showing what the analysis proved about it.
+fn print_certificate(path: &str, report: &VerifyReport) {
+    let cert = report
+        .certificate()
+        .expect("only clean reports reach certificate printing");
+    println!("{path}: certificate");
+    println!(
+        "  stack bound: {} word(s) against limit {} ({} xfer-residue word(s) withheld)",
+        cert.max_stack_depth, report.stack_limit, report.xfer_residue
+    );
+    match cert.frame_words_bound {
+        Some(w) => println!("  frame bound: {w} word(s) on the deepest acyclic call chain"),
+        None => println!(
+            "  frame bound: data-dependent ({} recursion cycle(s) reachable from the entry)",
+            report.cycles.len()
+        ),
+    }
+    let license = cert.native_license();
+    println!(
+        "  native tier: eligible — license covers {} procedure(s), proven depth {}",
+        license.procs(),
+        license.max_stack_depth()
+    );
+    for (id, p) in report.procs.iter().enumerate() {
+        let depth = match p.max_stack {
+            Some(d) => d.to_string(),
+            None => "dead".to_string(),
+        };
+        let ret = match p.ret_arity {
+            Some(r) => r.to_string(),
+            None => "never".to_string(),
+        };
+        let cycles: Vec<usize> = report
+            .cycles
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.contains(&id))
+            .map(|(i, _)| i)
+            .collect();
+        let recursion = if cycles.is_empty() {
+            "acyclic".to_string()
+        } else {
+            format!("cycle {cycles:?}")
+        };
+        println!(
+            "  proc {id}: m{}[{}] header c{:#06x} nargs={} fsi={} depth={depth} ret={ret} \
+             calls={:?} {recursion}",
+            p.module, p.ev_index, p.header, p.nargs, p.fsi, p.calls
+        );
+    }
+}
+
+/// `--cert`: verify each file and print its certificate in full. A
+/// file that fails verification has no certificate; its diagnostics
+/// print instead and the exit status reports the failure.
+fn lint_cert(paths: &[String]) -> ExitCode {
+    let mut failed = false;
+    for path in paths {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("fpc-lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let compiled = match compile(&[&src], Options::default()) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("fpc-lint: {path}: compile error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = verify_image(&compiled.image, &VerifyOptions::default());
+        if report.is_ok() {
+            print_certificate(path, &report);
+        } else {
+            failed = true;
+            eprintln!("{path}: no certificate\n{report}");
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn lint_files(paths: &[String]) -> ExitCode {
     let mut failed = false;
     for path in paths {
@@ -123,10 +217,20 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.as_slice() {
         [] => {
-            eprintln!("usage: fpc-lint <file.mesa ...> | fpc-lint --corpus");
+            eprintln!(
+                "usage: fpc-lint <file.mesa ...> | fpc-lint --cert <file.mesa ...> | fpc-lint --corpus"
+            );
             ExitCode::from(2)
         }
         [flag] if flag == "--corpus" => lint_corpus(),
+        [flag, files @ ..] if flag == "--cert" => {
+            if files.is_empty() {
+                eprintln!("usage: fpc-lint --cert <file.mesa ...>");
+                ExitCode::from(2)
+            } else {
+                lint_cert(files)
+            }
+        }
         files => lint_files(files),
     }
 }

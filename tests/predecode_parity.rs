@@ -42,9 +42,15 @@ fn all_configs() -> [(&'static str, MachineConfig); 4] {
 }
 
 /// The acceleration ladder, weakest first. Element 0 (everything off)
-/// is the reference every other rung must match bit-for-bit.
-fn ladder(c: MachineConfig) -> [(&'static str, MachineConfig); 4] {
+/// is the reference every other rung must match bit-for-bit. The top
+/// rung adds tier-5 native execution with a low compile threshold so
+/// even short corpus runs spend time in compiled bodies.
+fn ladder(c: MachineConfig) -> [(&'static str, MachineConfig); 5] {
     let off = c.with_inline_xfer(false).with_fusion(false);
+    let full = c
+        .with_predecode(true)
+        .with_inline_xfer(true)
+        .with_fusion(true);
     [
         ("byte", off.with_predecode(false)),
         ("predecode", off.with_predecode(true)),
@@ -54,11 +60,10 @@ fn ladder(c: MachineConfig) -> [(&'static str, MachineConfig); 4] {
                 .with_inline_xfer(true)
                 .with_fusion(false),
         ),
+        ("predecode+ic+fuse", full),
         (
-            "predecode+ic+fuse",
-            c.with_predecode(true)
-                .with_inline_xfer(true)
-                .with_fusion(true),
+            "predecode+ic+fuse+native",
+            full.with_native_tier(true).with_native_threshold(4),
         ),
     ]
 }
@@ -69,6 +74,7 @@ fn corpus_counters_identical_across_decode_paths() {
     assert_eq!(corpus.len(), 17, "parity must cover the whole corpus");
     let mut ic_hits = 0u64;
     let mut fused = 0u64;
+    let mut native_instrs = 0u64;
     for w in &corpus {
         for (name, config) in all_configs() {
             let runs: Vec<(&str, Machine)> = ladder(config)
@@ -107,6 +113,14 @@ fn corpus_counters_identical_across_decode_paths() {
             let top = &runs[3].1;
             ic_hits += top.xfer_cache_stats().expect("ic is on").hits;
             fused += top.fusion_stats().expect("fusion is on").fused_execs;
+            assert!(top.native_stats().is_none(), "native tier is off");
+            let nstats = runs[4].1.native_stats().expect("native tier is on");
+            assert!(
+                nstats.armed,
+                "{} on {name}: the corpus verifies clean, so the license arms",
+                w.name
+            );
+            native_instrs += nstats.native_instrs;
         }
     }
     assert!(
@@ -116,6 +130,10 @@ fn corpus_counters_identical_across_decode_paths() {
     assert!(
         fused > 0,
         "the corpus must actually execute fused superinstructions"
+    );
+    assert!(
+        native_instrs > 0,
+        "the corpus must actually retire native-compiled instructions"
     );
 }
 
