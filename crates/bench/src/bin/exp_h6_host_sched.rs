@@ -1,0 +1,44 @@
+//! Regenerates experiment H6 (see DESIGN.md on the host scheduler):
+//! the work-stealing scheduler driving 10³–10⁶ guest contexts across
+//! 1/2/4/8 workers, reporting aggregate simulated throughput, steal
+//! and preemption counts, and TTC quantiles.
+//!
+//! Usage: `exp_h6_host_sched [--smoke] [--out PATH]`
+//!
+//! `--smoke` runs one small population (CI mode — proves the harness
+//! and the JSON shape, not the scaling); `--out` redirects the JSON
+//! from the default `BENCH_host_sched.json`.
+
+use fpc_bench::experiments::h6;
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_host_sched.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!(
+                    "unknown argument {other}; usage: exp_h6_host_sched [--smoke] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let params = if smoke {
+        h6::Params::smoke()
+    } else {
+        h6::Params::full()
+    };
+    let (report, json) = h6::report_and_json(&params);
+    print!("{report}");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

@@ -4,13 +4,11 @@
 //! each corpus workload under each machine implementation (I1–I4) and
 //! read counters off the halted machine. The cells are completely
 //! independent — a [`fpc_vm::Machine`] owns all of its state — so the
-//! driver fans them out across host threads with [`std::thread::scope`]
-//! (no external thread-pool dependency) and merges the results back
-//! **in job order**, so a parallel run is byte-for-byte identical to a
-//! serial one. Determinism comes from indexing, not scheduling: workers
-//! pull job *indices* from a shared cursor and tag each result with its
-//! index; the merge sorts by index, so thread count and interleaving
-//! never show through. `tests/driver_determinism.rs` pins this down.
+//! driver fans them out with [`fpc_sched::parallel_map`] (the
+//! order-preserving fork-join in the scheduler crate, where this
+//! code originally lived) and a parallel run stays byte-for-byte
+//! identical to a serial one. `tests/driver_determinism.rs` pins this
+//! down.
 //!
 //! Wall-clock *measurements* (H1) are the one thing that must not run
 //! here: timing cells while sibling threads compete for the same cores
@@ -18,75 +16,12 @@
 //! experiments are immune — the counters are simulated, identical on
 //! any host — which is exactly why the whole E-series can fan out.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use fpc_compiler::Linkage;
 use fpc_stats::Table;
 use fpc_vm::{Machine, MachineConfig};
 use fpc_workloads::{corpus, run_workload, Workload};
 
-/// Applies `f` to every item, possibly in parallel, returning results
-/// in **item order** regardless of how the work was scheduled.
-///
-/// Worker threads pull indices from a shared cursor (so a slow cell
-/// never stalls the queue behind it), collect `(index, result)` pairs
-/// privately, and the merge reorders by index. With one worker (or one
-/// item) this degrades to a plain serial map — same code path, same
-/// results.
-///
-/// # Panics
-///
-/// A panic in `f` is resumed on the calling thread after the scope
-/// joins, exactly as a serial map would panic.
-pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let n = items.len();
-    let workers = workers.clamp(1, n.max(1));
-    if workers == 1 {
-        return items.iter().map(f).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(i) else { break };
-                        out.push((i, f(item)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| match h.join() {
-                Ok(results) => results,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    tagged.sort_unstable_by_key(|&(i, _)| i);
-    debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k == i));
-    tagged.into_iter().map(|(_, r)| r).collect()
-}
-
-/// Worker count for a job list: one per host core, but never more than
-/// there are jobs, and overridable (e.g. `FPC_THREADS=1` to compare
-/// against a serial run) without recompiling.
-pub fn default_workers(jobs: usize) -> usize {
-    let cores = std::env::var("FPC_THREADS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
-    cores.clamp(1, jobs.max(1))
-}
+pub use fpc_sched::{default_workers, parallel_map};
 
 /// One cell of the corpus × implementation matrix.
 #[derive(Debug, Clone)]
@@ -216,43 +151,6 @@ pub fn matrix_table(cells: &[CellResult]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parallel_map_preserves_item_order() {
-        let items: Vec<u64> = (0..100).collect();
-        // Uneven per-item work so completion order differs from item
-        // order under any real scheduler.
-        let f = |&x: &u64| {
-            let mut acc = x;
-            for _ in 0..(x % 7) * 1000 {
-                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
-            }
-            (x, acc)
-        };
-        let serial = parallel_map(&items, 1, f);
-        let parallel = parallel_map(&items, 8, f);
-        assert_eq!(serial, parallel);
-        assert_eq!(parallel[41].0, 41);
-    }
-
-    #[test]
-    fn parallel_map_handles_empty_and_tiny_inputs() {
-        let empty: Vec<u32> = Vec::new();
-        assert_eq!(parallel_map(&empty, 8, |&x| x).len(), 0);
-        assert_eq!(parallel_map(&[7u32], 8, |&x| x + 1), vec![8]);
-    }
-
-    #[test]
-    #[should_panic(expected = "boom")]
-    fn worker_panics_propagate() {
-        let items = [1u32, 2, 3];
-        let _ = parallel_map(&items, 2, |&x| {
-            if x == 2 {
-                panic!("boom");
-            }
-            x
-        });
-    }
 
     #[test]
     fn matrix_jobs_enumerate_corpus_times_ladder() {

@@ -1,0 +1,313 @@
+//! H6 — host scheduling at scale: millions of guest contexts per
+//! host.
+//!
+//! H1–H5 measure one machine's dispatch speed; H6 measures the layer
+//! above, `fpc-sched`: a work-stealing scheduler driving populations
+//! of 10³–10⁶ suspended machines with fuel-based preemption. Each
+//! context runs a seeded `fib(6..=12)` — the call-dense slice, with
+//! ~25× per-context work imbalance so stealing is real — under a
+//! fixed preemption quantum.
+//!
+//! **Metric.** Cells run the *deterministic virtual-time* engine: each
+//! worker carries a simulated clock advanced by the guest cycles its
+//! slices consume plus fixed scheduler charges (dispatch, steal,
+//! admit). The simulated makespan is the largest worker clock, and
+//! aggregate throughput is guest instructions over the makespan at a
+//! nominal 1 GHz guest clock. This measures what the *scheduler*
+//! contributes — shard balance, steal traffic, preemption overhead —
+//! independent of host core count, and it is exactly reproducible.
+//! Host wall time for each cell is reported alongside; on a one-core
+//! host wall time is flat across worker counts while the simulated
+//! makespan divides, which is the honest statement of what a
+//! virtual-time scheduler can and cannot claim. The real-thread
+//! throughput engine shares the slice loop and is exercised by
+//! `crates/sched/tests/determinism.rs`.
+
+use fpc_sched::{run, Context, FuelPolicy, Population, SchedConfig, SchedReport};
+use fpc_vm::{Image, Machine, MachineConfig};
+use fpc_workloads::{compile_workload, programs};
+
+use fpc_compiler::{Linkage, Options};
+use fpc_rng::Rng;
+use std::sync::Arc;
+
+/// Worker counts swept per population.
+pub const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// Preemption quantum (instructions per slice). Small enough that the
+/// bigger fib contexts preempt several times, large enough that
+/// dispatch charges stay a small fraction of a slice.
+pub const QUANTUM: u64 = 1024;
+
+/// Guest memory per context, in words. `LINK_BASE` (0x440) plus a
+/// frame region ample for fib's ≤12-deep recursion — 4 KB per guest
+/// instead of the default 128 KB is what lets 10⁶ contexts coexist.
+pub const MEMORY_WORDS: u32 = 2048;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Population sizes to sweep.
+    pub populations: Vec<u64>,
+    /// Seed for the per-context workload mix.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The full sweep: 1k → 1M contexts.
+    pub fn full() -> Self {
+        Params {
+            populations: vec![1_000, 10_000, 100_000, 1_000_000],
+            seed: 0x56ED,
+        }
+    }
+
+    /// CI mode: one small population, full worker sweep — proves the
+    /// harness and the JSON shape, not the scaling.
+    pub fn smoke() -> Self {
+        Params {
+            populations: vec![500],
+            seed: 0x56ED,
+        }
+    }
+}
+
+/// One (population, workers) cell.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Context count.
+    pub population: u64,
+    /// Worker count.
+    pub workers: usize,
+    /// Host wall seconds for the whole cell.
+    pub wall_s: f64,
+    /// Simulated makespan in cycles (max worker clock).
+    pub makespan_cycles: u64,
+    /// Guest instructions executed.
+    pub instructions: u64,
+    /// Aggregate Minstr/s over the simulated makespan at 1 GHz.
+    pub minstr_sim: f64,
+    /// Fuel-exhaustion preemptions.
+    pub preemptions: u64,
+    /// Contexts stolen off run deques.
+    pub steals: u64,
+    /// Admissions poached from other shards.
+    pub pending_steals: u64,
+    /// Steal probes, successful or not.
+    pub steal_attempts: u64,
+    /// Slices executed.
+    pub slices: u64,
+    /// Retired contexts (must equal the population).
+    pub retired: u64,
+    /// Guest faults (must be zero).
+    pub faults: u64,
+    /// Time-to-completion quantiles, in kilocycles of the retiring
+    /// worker's simulated clock.
+    pub ttc_p50: u64,
+    /// 95th percentile TTC.
+    pub ttc_p95: u64,
+    /// 99th percentile TTC.
+    pub ttc_p99: u64,
+}
+
+/// The benched population: context `id` runs `fib(6 + id mod 7)` on
+/// I3 with direct linkage, in a 2048-word guest memory, preempted
+/// every [`QUANTUM`] instructions.
+pub fn population(count: u64, seed: u64) -> Population {
+    let cfg = MachineConfig::i3().with_memory_words(MEMORY_WORDS);
+    let images: Arc<Vec<Image>> = Arc::new(
+        (6..=12)
+            .map(|n| {
+                compile_workload(
+                    &programs::fib(n),
+                    Options {
+                        linkage: Linkage::Direct,
+                        ..Default::default()
+                    },
+                )
+                .unwrap_or_else(|e| panic!("fib({n}) failed to compile: {e}"))
+                .image
+            })
+            .collect(),
+    );
+    Population::from_factory(count, move |id, buf| {
+        // Seed-scramble the workload choice so population size never
+        // changes which fib a given id runs.
+        let mut rng = Rng::seed_from_u64(seed ^ id);
+        let image = &images[rng.gen_index(images.len())];
+        let m = Machine::load_in(image, cfg, buf).expect("fib loads");
+        Context::new(id, m, FuelPolicy::Quantum(QUANTUM))
+    })
+}
+
+fn cell(count: u64, workers: usize, seed: u64) -> Row {
+    let config = SchedConfig::default()
+        .with_workers(workers)
+        .with_seed(seed)
+        .with_finals(false);
+    let report: SchedReport = run(population(count, seed), &config);
+    assert_eq!(report.retired(), count, "every context must retire");
+    assert_eq!(report.faults(), 0, "fib must not fault");
+    let q = report.ttc_quantiles(&[0.5, 0.95, 0.99]);
+    Row {
+        population: count,
+        workers,
+        wall_s: report.wall.as_secs_f64(),
+        makespan_cycles: report.makespan_cycles(),
+        instructions: report.instructions(),
+        minstr_sim: report.minstr_per_sim_second(),
+        preemptions: report.preemptions(),
+        steals: report.steals(),
+        pending_steals: report.pending_steals(),
+        steal_attempts: report.steal_attempts(),
+        slices: report.slices(),
+        retired: report.retired(),
+        faults: report.faults(),
+        ttc_p50: q[0].unwrap_or(0),
+        ttc_p95: q[1].unwrap_or(0),
+        ttc_p99: q[2].unwrap_or(0),
+    }
+}
+
+/// Runs the population × worker-count sweep. Cells run serially — the
+/// virtual-time engine is single-threaded and wall times stay honest.
+pub fn measure_all(p: &Params) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &count in &p.populations {
+        for workers in WORKERS {
+            rows.push(cell(count, workers, p.seed));
+        }
+    }
+    rows
+}
+
+/// Speedup of each row's throughput over the 1-worker row of the same
+/// population.
+fn speedup(rows: &[Row], row: &Row) -> f64 {
+    let base = rows
+        .iter()
+        .find(|r| r.population == row.population && r.workers == 1)
+        .expect("1-worker baseline exists");
+    row.minstr_sim / base.minstr_sim
+}
+
+/// The report and the `BENCH_host_sched.json` contents.
+pub fn report_and_json(p: &Params) -> (String, String) {
+    let rows = measure_all(p);
+    let mut out = String::new();
+    out.push_str(
+        "H6: work-stealing host scheduler (aggregate simulated Minstr/s, virtual-time engine)\n",
+    );
+    out.push_str(&format!(
+        "{:>10} {:>3} {:>9} {:>7} {:>10} {:>8} {:>8} {:>9} {:>9} {:>9} {:>8}\n",
+        "contexts",
+        "w",
+        "Minstr/s",
+        "speedup",
+        "preempts",
+        "steals",
+        "poaches",
+        "p50 kcy",
+        "p95 kcy",
+        "p99 kcy",
+        "wall s"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:>10} {:>3} {:>9.1} {:>6.2}x {:>10} {:>8} {:>8} {:>9} {:>9} {:>9} {:>8.2}\n",
+            r.population,
+            r.workers,
+            r.minstr_sim,
+            speedup(&rows, r),
+            r.preemptions,
+            r.steals,
+            r.pending_steals,
+            r.ttc_p50,
+            r.ttc_p95,
+            r.ttc_p99,
+            r.wall_s,
+        ));
+    }
+    let worst_at_8 = rows
+        .iter()
+        .filter(|r| r.workers == 8 && r.population >= 100_000)
+        .map(|r| speedup(&rows, r))
+        .fold(f64::INFINITY, f64::min);
+    if worst_at_8.is_finite() {
+        out.push_str(&format!(
+            "worst 8-worker speedup at ≥100k contexts: {worst_at_8:.2}x\n"
+        ));
+    }
+
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut json = String::from("{\n  \"experiment\": \"h6_host_sched\",\n");
+    json.push_str(
+        "  \"unit\": \"millions of guest instructions per simulated second, nominal 1 GHz\",\n",
+    );
+    json.push_str(
+        "  \"mode\": \"deterministic virtual-time engine; wall_s is host time per cell\",\n",
+    );
+    json.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    json.push_str(&format!(
+        "  \"quantum\": {QUANTUM},\n  \"memory_words\": {MEMORY_WORDS},\n  \"seed\": {},\n",
+        p.seed
+    ));
+    json.push_str(&format!(
+        "  \"workers\": [{}],\n  \"rows\": [\n",
+        WORKERS.map(|w| w.to_string()).join(", ")
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"population\": {}, \"workers\": {}, \"minstr_sim\": {:.2}, \"speedup\": {:.3}, \
+             \"makespan_cycles\": {}, \"instructions\": {}, \"wall_s\": {:.3}, \
+             \"preemptions\": {}, \"steals\": {}, \"pending_steals\": {}, \"steal_attempts\": {}, \
+             \"slices\": {}, \"retired\": {}, \"faults\": {}, \
+             \"ttc_kcycles\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}}}{}\n",
+            r.population,
+            r.workers,
+            r.minstr_sim,
+            speedup(&rows, r),
+            r.makespan_cycles,
+            r.instructions,
+            r.wall_s,
+            r.preemptions,
+            r.steals,
+            r.pending_steals,
+            r.steal_attempts,
+            r.slices,
+            r.retired,
+            r.faults,
+            r.ttc_p50,
+            r.ttc_p95,
+            r.ttc_p99,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    (out, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_cells_retire_everything_and_scale() {
+        let rows = measure_all(&Params {
+            populations: vec![120],
+            seed: 3,
+        });
+        assert_eq!(rows.len(), WORKERS.len());
+        for r in &rows {
+            assert_eq!(r.retired, 120);
+            assert_eq!(r.faults, 0);
+            assert!(r.preemptions > 0, "fib(12) must outlast one quantum");
+            assert!(r.minstr_sim > 0.0);
+            assert!(r.ttc_p50 <= r.ttc_p95 && r.ttc_p95 <= r.ttc_p99);
+        }
+        // Identical guest work on every worker count.
+        assert!(rows.iter().all(|r| r.instructions == rows[0].instructions));
+        // More workers, shorter simulated makespan.
+        assert!(rows[3].makespan_cycles < rows[0].makespan_cycles);
+    }
+}

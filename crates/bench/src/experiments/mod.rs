@@ -19,3 +19,4 @@ pub mod h2;
 pub mod h3;
 pub mod h4;
 pub mod h5;
+pub mod h6;

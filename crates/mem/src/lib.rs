@@ -31,7 +31,7 @@ mod code;
 mod memory;
 
 pub use code::CodeStore;
-pub use memory::{MemStats, Memory};
+pub use memory::{MemStats, Memory, MemoryBuffer};
 
 /// The machine word: 16 bits, as on the Alto/Dorado Mesa processors.
 pub type Word = u16;

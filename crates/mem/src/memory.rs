@@ -57,6 +57,27 @@ pub struct Memory {
     table_gen: u64,
 }
 
+/// The recyclable backing store of a retired [`Memory`]: the word and
+/// watch-flag vectors with their host allocations intact.
+///
+/// A host that churns through many short-lived machines (a scheduler
+/// retiring and respawning guest contexts) hands buffers back to
+/// [`Memory::with_buffer`] so steady-state context creation reuses the
+/// arena instead of going to the host allocator.
+#[derive(Debug, Default)]
+pub struct MemoryBuffer {
+    words: Vec<Word>,
+    watched: Vec<bool>,
+}
+
+impl MemoryBuffer {
+    /// Host-word capacity currently held (the larger of the two
+    /// vectors' capacities, in words).
+    pub fn capacity(&self) -> usize {
+        self.words.capacity().max(self.watched.capacity())
+    }
+}
+
 impl Memory {
     /// Creates a zeroed memory of `size` words.
     ///
@@ -70,6 +91,41 @@ impl Memory {
             stats: MemStats::default(),
             watched: vec![false; size as usize],
             table_gen: 0,
+        }
+    }
+
+    /// Creates a zeroed memory of `size` words inside a recycled
+    /// buffer: the vectors are cleared and re-zeroed but keep their
+    /// allocations, so no host allocation happens when the buffer's
+    /// capacity already covers `size`. Semantically identical to
+    /// [`Memory::new`] — stats and the table generation start at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn with_buffer(size: u32, buf: MemoryBuffer) -> Self {
+        assert!(size > 0, "memory must contain at least the nil word");
+        let MemoryBuffer {
+            mut words,
+            mut watched,
+        } = buf;
+        words.clear();
+        words.resize(size as usize, 0);
+        watched.clear();
+        watched.resize(size as usize, false);
+        Memory {
+            words,
+            stats: MemStats::default(),
+            watched,
+            table_gen: 0,
+        }
+    }
+
+    /// Dismantles the memory into its recyclable backing store.
+    pub fn into_buffer(self) -> MemoryBuffer {
+        MemoryBuffer {
+            words: self.words,
+            watched: self.watched,
         }
     }
 
@@ -193,6 +249,33 @@ mod tests {
         let mut m = Memory::new(16);
         m.write(WordAddr(3), 0x1234);
         assert_eq!(m.read(WordAddr(3)), 0x1234);
+    }
+
+    #[test]
+    fn recycled_buffer_is_indistinguishable_from_fresh() {
+        let mut dirty = Memory::new(64);
+        dirty.watch(WordAddr(5));
+        dirty.write(WordAddr(5), 9); // stats, watch flags, generation all dirty
+        let buf = dirty.into_buffer();
+        assert!(buf.capacity() >= 64);
+
+        let mut reused = Memory::with_buffer(32, buf);
+        assert_eq!(reused.size(), 32);
+        assert_eq!(reused.stats().total(), 0);
+        assert_eq!(reused.table_gen(), 0);
+        for i in 0..32 {
+            assert_eq!(reused.peek(WordAddr(i)), 0, "word {i} not zeroed");
+        }
+        // The old watch flag must not survive into the new lease.
+        reused.write(WordAddr(5), 1);
+        assert_eq!(reused.table_gen(), 0, "stale watch flag leaked");
+    }
+
+    #[test]
+    fn with_buffer_can_grow_past_the_recycled_capacity() {
+        let m = Memory::with_buffer(128, Memory::new(8).into_buffer());
+        assert_eq!(m.size(), 128);
+        assert_eq!(m.peek(WordAddr(127)), 0);
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! A guest context as the scheduler sees it.
+//!
+//! A [`Context`] is one suspended [`Machine`] plus the scheduling
+//! metadata the workers need: a fuel policy (how much fuel each slice
+//! gets), a wake state, the shard whose arena the machine's memory
+//! came from, and per-context slice/steal counters. The scheduler
+//! moves **whole contexts** between workers — a machine owns its
+//! memory, frame table and caches outright, so stealing one is moving
+//! a value, never sharing frames mid-run.
+
+use fpc_vm::{Machine, PlanCursor, VmError};
+
+/// Fuel granted per scheduling slice.
+///
+/// This is the preemption policy: a context with a small quantum
+/// interleaves finely (and pays dispatch overhead per slice), a
+/// context with [`FuelPolicy::RunToCompletion`] monopolizes its worker
+/// until it halts or faults. Quanta are a property of the *context*,
+/// not the worker, so a stolen context preempts exactly as it would
+/// have on its home worker — which is what makes final machine states
+/// schedule-invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuelPolicy {
+    /// At most this many instructions per slice, then back of the
+    /// local run queue.
+    Quantum(u64),
+    /// One slice, unbounded fuel (practically: `u64::MAX`).
+    RunToCompletion,
+}
+
+impl FuelPolicy {
+    /// Fuel for the next slice.
+    pub fn slice_fuel(self) -> u64 {
+        match self {
+            FuelPolicy::Quantum(q) => q,
+            FuelPolicy::RunToCompletion => u64::MAX,
+        }
+    }
+}
+
+/// Where a context is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// On some run queue (or in a worker's hands), more work to do.
+    Runnable,
+    /// Halted cleanly; statistics harvested, memory recycled.
+    Retired,
+    /// Died on a guest error other than `OutOfFuel`.
+    Faulted,
+}
+
+/// One schedulable guest: a machine plus scheduling state.
+#[derive(Debug)]
+pub struct Context {
+    /// Population-unique id (also the admission order key).
+    pub id: u64,
+    /// The guest machine, suspended between slices.
+    pub machine: Machine,
+    /// Optional fault-injection plan, resumable across preemptions.
+    pub plan: Option<PlanCursor>,
+    /// Per-slice fuel grant.
+    pub policy: FuelPolicy,
+    /// How awake this context is.
+    pub wake: Wake,
+    /// Shard whose arena owns this machine's memory buffer; set at
+    /// admission, used at retirement to return the buffer home.
+    pub home: usize,
+    /// Worker-clock timestamp at admission (simulated cycles).
+    pub admitted_at: u64,
+    /// Slices executed so far.
+    pub slices: u64,
+    /// Times this context was stolen off another worker's queue.
+    pub steals: u64,
+    /// Machine cycle counter at the last slice boundary, for charging
+    /// each slice's cycle delta to the worker that ran it.
+    pub cycle_mark: u64,
+    /// Machine instruction counter at the last slice boundary.
+    pub instr_mark: u64,
+}
+
+impl Context {
+    /// Wraps a loaded machine for scheduling.
+    pub fn new(id: u64, machine: Machine, policy: FuelPolicy) -> Self {
+        Context {
+            id,
+            machine,
+            plan: None,
+            policy,
+            wake: Wake::Runnable,
+            home: 0,
+            admitted_at: 0,
+            slices: 0,
+            steals: 0,
+            cycle_mark: 0,
+            instr_mark: 0,
+        }
+    }
+
+    /// Attaches a resumable fault-injection plan; each slice advances
+    /// the same cursor, so preempting mid-plan never re-fires events.
+    pub fn with_plan(mut self, plan: PlanCursor) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Runs one slice, updating the slice marks. `Ok(true)` means the
+    /// machine halted; `Err` other than `OutOfFuel` is a guest fault.
+    pub(crate) fn run_slice(&mut self) -> Result<bool, VmError> {
+        let fuel = self.policy.slice_fuel();
+        self.slices += 1;
+        let r = match self.plan.as_mut() {
+            Some(cursor) => cursor.run(&mut self.machine, fuel),
+            None => self.machine.run(fuel),
+        };
+        match r {
+            Ok(()) => Ok(true),
+            Err(VmError::OutOfFuel) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// The architecturally observable outcome of one retired context:
+/// enough to compare two schedules bit-for-bit without keeping a
+/// million machines alive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinalState {
+    /// Context id.
+    pub id: u64,
+    /// Simulated instructions executed.
+    pub instructions: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Simulated memory references.
+    pub refs: u64,
+    /// Taken jumps.
+    pub jumps: u64,
+    /// FNV-1a hash over the guest's `out` stream.
+    pub output_hash: u64,
+    /// Whether the context died on a guest error.
+    pub faulted: bool,
+    /// Slices it took.
+    pub slices: u64,
+    /// Times it was stolen.
+    pub steals: u64,
+}
+
+impl FinalState {
+    /// Snapshots a context at retirement.
+    pub fn of(ctx: &Context, faulted: bool) -> Self {
+        let s = ctx.machine.stats();
+        FinalState {
+            id: ctx.id,
+            instructions: s.instructions,
+            cycles: s.cycles,
+            refs: ctx.machine.total_refs(),
+            jumps: s.jumps_taken,
+            output_hash: fnv1a(ctx.machine.output()),
+            faulted,
+            slices: ctx.slices,
+            steals: ctx.steals,
+        }
+    }
+
+    /// The schedule-invariant part: everything except how many slices
+    /// and steals the schedule happened to deal this context.
+    pub fn architectural(&self) -> (u64, u64, u64, u64, u64, u64, bool) {
+        (
+            self.id,
+            self.instructions,
+            self.cycles,
+            self.refs,
+            self.jumps,
+            self.output_hash,
+            self.faulted,
+        )
+    }
+}
+
+/// FNV-1a over the output words, little-endian bytes.
+fn fnv1a(words: &[u16]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuel_policy_slice_fuel() {
+        assert_eq!(FuelPolicy::Quantum(97).slice_fuel(), 97);
+        assert_eq!(FuelPolicy::RunToCompletion.slice_fuel(), u64::MAX);
+    }
+
+    #[test]
+    fn fnv_distinguishes_order_and_content() {
+        assert_ne!(fnv1a(&[1, 2]), fnv1a(&[2, 1]));
+        assert_ne!(fnv1a(&[1]), fnv1a(&[1, 0]));
+        assert_eq!(fnv1a(&[]), fnv1a(&[]));
+    }
+}

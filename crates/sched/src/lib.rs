@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+//! Work-stealing multi-core host scheduler for guest [`Machine`]s.
+//!
+//! The paper's machine multiplexes many Mesa processes over one
+//! processor with `XFER`; this crate multiplexes many *machines* over
+//! many host workers. The enabling property is PR 4's resumable fuel:
+//! `Machine::run(fuel)` returning [`OutOfFuel`] is a pause, not a
+//! death, and a paused machine resumes bit-identically. That turns a
+//! machine into a schedulable context, and a million machines into a
+//! population a work-stealing scheduler can drive:
+//!
+//! * [`Context`] — one machine plus fuel policy ([`FuelPolicy`]) and
+//!   wake state; optionally a resumable fault-injection [`PlanCursor`].
+//! * [`Shard`] — a worker's run deque, pending-admission slice and
+//!   frame-heap arena of recycled [`MemoryBuffer`]s. Stealing moves
+//!   whole contexts between shards; a machine's frames never migrate
+//!   mid-run because the machine owns them.
+//! * [`Population`] — `count` contexts as a deterministic factory, so
+//!   admission is lazy and memory tracks live contexts, not the
+//!   population size.
+//! * [`run`] / [`DetScheduler`] — the slice loop under two drivers:
+//!   a deterministic virtual-time engine (recordable, [`replay`]able,
+//!   same trace for the same seed) and a real-thread throughput
+//!   engine. Final architectural states are invariant under worker
+//!   count and mode; `tests/sched_differential.rs` pins this.
+//! * [`pool`] — the order-preserving `parallel_map` the experiment
+//!   harness fans out on (moved here from `fpc-bench`).
+//!
+//! [`Machine`]: fpc_vm::Machine
+//! [`OutOfFuel`]: fpc_vm::VmError::OutOfFuel
+//! [`PlanCursor`]: fpc_vm::PlanCursor
+//! [`MemoryBuffer`]: fpc_mem::MemoryBuffer
+
+mod context;
+pub mod pool;
+mod population;
+mod sched;
+mod shard;
+
+pub use context::{Context, FinalState, FuelPolicy, Wake};
+pub use pool::{default_workers, parallel_map};
+pub use population::{Factory, Population};
+pub use sched::{
+    replay, run, DetScheduler, SchedConfig, SchedReport, SliceOutcome, TraceEvent, WorkerStats,
+    ADMIT_CYCLES, DISPATCH_CYCLES, IDLE_CYCLES, STEAL_CYCLES,
+};
+pub use shard::{Pending, Shard};

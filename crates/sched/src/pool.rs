@@ -1,0 +1,123 @@
+//! Order-preserving fork-join over independent jobs.
+//!
+//! This is the scheduler crate's simplest service, and the one the
+//! experiment harness runs on: apply a function to every item of a
+//! slice across host threads and get the results back **in item
+//! order**, so a parallel run is byte-for-byte identical to a serial
+//! one. Determinism comes from indexing, not scheduling: workers pull
+//! job *indices* from a shared cursor and tag each result with its
+//! index; the merge sorts by index, so thread count and interleaving
+//! never show through.
+//!
+//! Where [`crate::run`] schedules *preemptible* guests (fuel slices,
+//! stealing, re-enqueue), this module schedules *run-to-completion*
+//! host jobs. They share the design rule that makes both safe to fan
+//! out: a job owns its state outright and results merge in a
+//! deterministic order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item, possibly in parallel, returning results
+/// in **item order** regardless of how the work was scheduled.
+///
+/// Worker threads pull indices from a shared cursor (so a slow cell
+/// never stalls the queue behind it), collect `(index, result)` pairs
+/// privately, and the merge reorders by index. With one worker (or one
+/// item) this degrades to a plain serial map — same code path, same
+/// results.
+///
+/// # Panics
+///
+/// A panic in `f` is resumed on the calling thread after the scope
+/// joins, exactly as a serial map would panic.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(results) => results,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k == i));
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Worker count for a job list: one per host core, but never more than
+/// there are jobs, and overridable (e.g. `FPC_THREADS=1` to compare
+/// against a serial run) without recompiling.
+pub fn default_workers(jobs: usize) -> usize {
+    let cores = std::env::var("FPC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from));
+    cores.clamp(1, jobs.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        // Uneven per-item work so completion order differs from item
+        // order under any real scheduler.
+        let f = |&x: &u64| {
+            let mut acc = x;
+            for _ in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        };
+        let serial = parallel_map(&items, 1, f);
+        let parallel = parallel_map(&items, 8, f);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[41].0, 41);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(parallel_map(&empty, 8, |&x| x).len(), 0);
+        assert_eq!(parallel_map(&[7u32], 8, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let items = [1u32, 2, 3];
+        let _ = parallel_map(&items, 2, |&x| {
+            if x == 2 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

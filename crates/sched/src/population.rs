@@ -1,0 +1,87 @@
+//! Context populations: what the scheduler runs.
+//!
+//! A [`Population`] is `count` contexts described *intensionally* — a
+//! factory from id to [`Context`] — rather than as a materialized
+//! vector. That is what lets "millions of guest contexts per host"
+//! work: contexts are instantiated lazily as workers drain their
+//! shards' pending queues, and each admission is handed a recycled
+//! [`MemoryBuffer`] from the admitting shard's arena, so peak host
+//! memory tracks the number of contexts *live at once* (preempted +
+//! running), not the population size.
+//!
+//! The factory must be deterministic in `id`: the differential
+//! determinism guarantee (same population, same quanta ⇒ bit-identical
+//! final states on any worker count) quantifies over populations whose
+//! context `i` is the same machine in the same state however many
+//! times the population is instantiated.
+
+use std::sync::{Arc, Mutex};
+
+use fpc_mem::MemoryBuffer;
+
+use crate::context::Context;
+
+/// Builds context `id`, optionally reusing a recycled buffer for the
+/// machine's memory (see [`fpc_vm::Machine::load_in`]).
+pub type Factory = dyn Fn(u64, MemoryBuffer) -> Context + Send + Sync;
+
+/// `count` contexts, described by a deterministic factory.
+#[derive(Clone)]
+pub struct Population {
+    make: Arc<Factory>,
+    count: u64,
+}
+
+impl std::fmt::Debug for Population {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Population")
+            .field("count", &self.count)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Population {
+    /// A population built lazily by `make`; `make(id, buf)` is called
+    /// exactly once per id in `0..count`, from whichever worker admits
+    /// that id.
+    pub fn from_factory<F>(count: u64, make: F) -> Self
+    where
+        F: Fn(u64, MemoryBuffer) -> Context + Send + Sync + 'static,
+    {
+        Population {
+            make: Arc::new(make),
+            count,
+        }
+    }
+
+    /// A population of pre-built contexts (ids are rewritten to their
+    /// index). Convenient for tests and small runs; large runs should
+    /// prefer [`Population::from_factory`] so admission can recycle
+    /// buffers instead of holding every machine live up front.
+    pub fn from_contexts(contexts: Vec<Context>) -> Self {
+        let count = contexts.len() as u64;
+        let slots: Vec<Mutex<Option<Context>>> =
+            contexts.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        Population::from_factory(count, move |id, _buf| {
+            let mut ctx = slots[id as usize]
+                .lock()
+                .expect("population slot poisoned")
+                .take()
+                .expect("context admitted twice");
+            ctx.id = id;
+            ctx
+        })
+    }
+
+    /// Number of contexts.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Instantiates context `id`.
+    pub(crate) fn make(&self, id: u64, buf: MemoryBuffer) -> Context {
+        let ctx = (self.make)(id, buf);
+        assert_eq!(ctx.id, id, "factory must preserve the requested id");
+        ctx
+    }
+}

@@ -1,0 +1,617 @@
+//! The work-stealing scheduler itself.
+//!
+//! One slice loop, two drivers. The loop — acquire a context (own
+//! deque, own pending, then steal), run one fuel quantum, re-enqueue
+//! on [`OutOfFuel`] or retire on halt/fault — is identical in both
+//! modes:
+//!
+//! * **Deterministic** ([`DetScheduler`], `deterministic: true`): a
+//!   virtual-time engine on one host thread. Each worker carries a
+//!   simulated clock; every tick the worker with the smallest clock
+//!   acts, and its clock advances by the guest cycles its slice
+//!   consumed plus fixed scheduler charges ([`DISPATCH_CYCLES`],
+//!   [`STEAL_CYCLES`], [`ADMIT_CYCLES`]). The whole schedule is a
+//!   function of (population, config) — same seed, same trace — and
+//!   can be recorded and [`replay`]ed event by event.
+//! * **Throughput** (`deterministic: false`): one host thread per
+//!   worker, real stealing under real timing. The same simulated
+//!   clocks are kept as *accounting*; host wall time is reported
+//!   alongside.
+//!
+//! The differential guarantee both modes share: because a context's
+//! per-slice fuel is a property of the context (its [`FuelPolicy`]),
+//! and a paused machine resumes bit-identically (pinned by
+//! `tests/fuel_slicing.rs`), the final architectural state of every
+//! context is invariant under worker count, mode, and steal
+//! interleaving. Only scheduling statistics (steals, slices, TTC)
+//! depend on the schedule. `tests/sched_differential.rs` asserts this
+//! across 1/2/4/8 workers.
+//!
+//! [`OutOfFuel`]: fpc_vm::VmError::OutOfFuel
+//! [`FuelPolicy`]: crate::FuelPolicy
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use fpc_rng::Rng;
+use fpc_stats::{merged_quantiles, Histogram};
+
+use crate::context::{Context, FinalState, Wake};
+use crate::population::Population;
+use crate::shard::{Pending, Shard};
+
+/// Simulated cycles charged per slice for dispatch bookkeeping (queue
+/// pop, fuel grant, state save/restore). The charges are nominal but
+/// load-bearing: they are what makes a tiny quantum visibly worse than
+/// a large one in the simulated makespan, exactly as real context
+/// switch overhead would.
+pub const DISPATCH_CYCLES: u64 = 20;
+/// Simulated cycles charged for a successful steal (cross-worker cache
+/// traffic, deque contention).
+pub const STEAL_CYCLES: u64 = 200;
+/// Simulated cycles charged for admitting (instantiating) a context.
+pub const ADMIT_CYCLES: u64 = 400;
+/// Simulated cycles an idle worker burns per failed acquire round
+/// before retrying; keeps virtual time flowing when a worker finds
+/// nothing to steal.
+pub const IDLE_CYCLES: u64 = 200;
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Worker (and shard) count.
+    pub workers: usize,
+    /// Virtual-time deterministic engine vs real host threads.
+    pub deterministic: bool,
+    /// Seed for per-worker victim-selection RNGs.
+    pub seed: u64,
+    /// Record the schedule trace (deterministic mode only — a global
+    /// event order does not exist under real threads).
+    pub record_trace: bool,
+    /// Harvest a [`FinalState`] per retired context.
+    pub record_finals: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            workers: 1,
+            deterministic: true,
+            seed: 0,
+            record_trace: false,
+            record_finals: true,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Selects the engine.
+    pub fn with_deterministic(mut self, det: bool) -> Self {
+        self.deterministic = det;
+        self
+    }
+
+    /// Sets the victim-selection seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables schedule-trace recording.
+    pub fn with_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Enables per-context final-state harvesting.
+    pub fn with_finals(mut self, on: bool) -> Self {
+        self.record_finals = on;
+        self
+    }
+}
+
+/// How one slice ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceOutcome {
+    /// Fuel exhausted; context re-enqueued runnable.
+    Preempted,
+    /// Machine halted; context retired.
+    Done,
+    /// Guest error; context retired faulted.
+    Faulted,
+}
+
+/// One slice in the recorded schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Worker that ran the slice.
+    pub worker: u32,
+    /// Context id.
+    pub ctx: u64,
+    /// Fuel granted to the slice.
+    pub fuel: u64,
+    /// How it ended.
+    pub outcome: SliceOutcome,
+}
+
+/// Per-worker statistics, sharded during the run and merged only in
+/// the report — workers never contend on a shared counter.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Slices executed.
+    pub slices: u64,
+    /// Slices that ended in preemption.
+    pub preemptions: u64,
+    /// Contexts stolen off other workers' run deques.
+    pub steals: u64,
+    /// Admissions poached from other shards' pending queues.
+    pub pending_steals: u64,
+    /// Steal probes, successful or not.
+    pub steal_attempts: u64,
+    /// Contexts this worker instantiated.
+    pub admitted: u64,
+    /// Contexts this worker retired.
+    pub retired: u64,
+    /// Retirements that were guest faults.
+    pub faults: u64,
+    /// Failed acquire rounds (nothing local, nothing stealable).
+    pub idle_spins: u64,
+    /// Guest instructions executed on this worker.
+    pub instructions: u64,
+    /// Guest cycles executed on this worker.
+    pub guest_cycles: u64,
+    /// This worker's simulated clock: guest cycles plus scheduler
+    /// charges. The max across workers is the simulated makespan.
+    pub sim_cycles: u64,
+    /// Time-to-completion of contexts retired here, in kilocycles of
+    /// the retiring worker's simulated clock.
+    pub ttc_kcycles: Histogram,
+    /// Final states of contexts retired here (when enabled).
+    pub finals: Vec<FinalState>,
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct SchedReport {
+    /// Per-worker statistic shards, in worker order.
+    pub workers: Vec<WorkerStats>,
+    /// The recorded schedule (deterministic mode with tracing only).
+    pub trace: Vec<TraceEvent>,
+    /// Host wall time for the whole run.
+    pub wall: Duration,
+}
+
+impl SchedReport {
+    /// Simulated makespan: the largest worker clock.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.workers.iter().map(|w| w.sim_cycles).max().unwrap_or(0)
+    }
+
+    fn total(&self, f: impl Fn(&WorkerStats) -> u64) -> u64 {
+        self.workers.iter().map(f).sum()
+    }
+
+    /// Guest instructions executed, all workers.
+    pub fn instructions(&self) -> u64 {
+        self.total(|w| w.instructions)
+    }
+
+    /// Guest cycles executed, all workers.
+    pub fn guest_cycles(&self) -> u64 {
+        self.total(|w| w.guest_cycles)
+    }
+
+    /// Contexts retired, all workers.
+    pub fn retired(&self) -> u64 {
+        self.total(|w| w.retired)
+    }
+
+    /// Guest faults, all workers.
+    pub fn faults(&self) -> u64 {
+        self.total(|w| w.faults)
+    }
+
+    /// Preemptions, all workers.
+    pub fn preemptions(&self) -> u64 {
+        self.total(|w| w.preemptions)
+    }
+
+    /// Successful run-deque steals, all workers.
+    pub fn steals(&self) -> u64 {
+        self.total(|w| w.steals)
+    }
+
+    /// Pending-queue poaches, all workers.
+    pub fn pending_steals(&self) -> u64 {
+        self.total(|w| w.pending_steals)
+    }
+
+    /// Steal probes, all workers.
+    pub fn steal_attempts(&self) -> u64 {
+        self.total(|w| w.steal_attempts)
+    }
+
+    /// Slices executed, all workers.
+    pub fn slices(&self) -> u64 {
+        self.total(|w| w.slices)
+    }
+
+    /// Aggregate throughput in millions of guest instructions per
+    /// *simulated* second, at a nominal 1 GHz guest clock: with cycles
+    /// read as nanoseconds, `instr / (makespan_ns / 1e9) / 1e6`
+    /// reduces to `instr * 1000 / makespan_cycles`.
+    pub fn minstr_per_sim_second(&self) -> f64 {
+        self.instructions() as f64 * 1000.0 / self.makespan_cycles().max(1) as f64
+    }
+
+    /// Merged time-to-completion quantiles (kilocycles) across all
+    /// workers' shards — union quantiles, not quantiles of quantiles.
+    pub fn ttc_quantiles(&self, qs: &[f64]) -> Vec<Option<u64>> {
+        merged_quantiles(self.workers.iter().map(|w| &w.ttc_kcycles), qs)
+    }
+
+    /// All harvested final states, sorted by context id.
+    pub fn finals_sorted(&self) -> Vec<FinalState> {
+        let mut all: Vec<FinalState> = self
+            .workers
+            .iter()
+            .flat_map(|w| w.finals.iter().copied())
+            .collect();
+        all.sort_unstable_by_key(|f| f.id);
+        all
+    }
+}
+
+/// The state both engines share: shards, the admission factory, and
+/// the count of unretired contexts that terminates the run.
+struct Core {
+    shards: Vec<Shard>,
+    remaining: AtomicU64,
+    population: Population,
+    record_finals: bool,
+}
+
+struct Worker {
+    id: usize,
+    rng: Rng,
+    stats: WorkerStats,
+}
+
+impl Worker {
+    fn new(id: usize, seed: u64) -> Self {
+        Worker {
+            id,
+            rng: Rng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            stats: WorkerStats::default(),
+        }
+    }
+}
+
+impl Core {
+    fn new(population: Population, config: &SchedConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        let count = population.count();
+        let shards = (0..config.workers)
+            .map(|w| Shard::new(Pending::strided(w as u64, config.workers as u64, count)))
+            .collect();
+        Core {
+            shards,
+            remaining: AtomicU64::new(count),
+            population,
+            record_finals: config.record_finals,
+        }
+    }
+
+    fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// Instantiates pending id `id`, pinning it to `shard`'s arena.
+    fn admit(&self, w: &mut Worker, shard: usize, id: u64) -> Context {
+        let buf = self.shards[shard].take_buffer();
+        let mut ctx = self.population.make(id, buf);
+        ctx.home = shard;
+        w.stats.admitted += 1;
+        w.stats.sim_cycles += ADMIT_CYCLES;
+        ctx.admitted_at = w.stats.sim_cycles;
+        ctx
+    }
+
+    /// The acquire ladder: own run deque (warm), own pending, then a
+    /// bounded round of seeded steal probes — runnable contexts first,
+    /// then pending poaches. `None` means a genuinely idle round.
+    fn acquire(&self, w: &mut Worker) -> Option<Context> {
+        if let Some(ctx) = self.shards[w.id].pop_local() {
+            return Some(ctx);
+        }
+        if let Some(id) = self.shards[w.id].take_pending() {
+            return Some(self.admit(w, w.id, id));
+        }
+        let n = self.shards.len();
+        if n > 1 {
+            for _ in 0..2 * n {
+                let victim = w.rng.gen_index(n);
+                if victim == w.id {
+                    continue;
+                }
+                w.stats.steal_attempts += 1;
+                if let Some(mut ctx) = self.shards[victim].steal() {
+                    ctx.steals += 1;
+                    w.stats.steals += 1;
+                    w.stats.sim_cycles += STEAL_CYCLES;
+                    return Some(ctx);
+                }
+                if let Some(id) = self.shards[victim].take_pending() {
+                    w.stats.pending_steals += 1;
+                    w.stats.sim_cycles += STEAL_CYCLES;
+                    return Some(self.admit(w, w.id, id));
+                }
+            }
+        }
+        None
+    }
+
+    /// Runs one slice of `ctx` on `w` and routes the outcome:
+    /// re-enqueue, retire, or retire-faulted.
+    fn execute(&self, w: &mut Worker, mut ctx: Context, trace: Option<&mut Vec<TraceEvent>>) {
+        let fuel = ctx.policy.slice_fuel();
+        let r = ctx.run_slice();
+        let s = ctx.machine.stats();
+        let dcycles = s.cycles - ctx.cycle_mark;
+        let dinstr = s.instructions - ctx.instr_mark;
+        ctx.cycle_mark = s.cycles;
+        ctx.instr_mark = s.instructions;
+        w.stats.slices += 1;
+        w.stats.sim_cycles += dcycles + DISPATCH_CYCLES;
+        w.stats.guest_cycles += dcycles;
+        w.stats.instructions += dinstr;
+        let outcome = match r {
+            Ok(false) => SliceOutcome::Preempted,
+            Ok(true) => SliceOutcome::Done,
+            Err(_) => SliceOutcome::Faulted,
+        };
+        if let Some(t) = trace {
+            t.push(TraceEvent {
+                worker: w.id as u32,
+                ctx: ctx.id,
+                fuel,
+                outcome,
+            });
+        }
+        match outcome {
+            SliceOutcome::Preempted => {
+                w.stats.preemptions += 1;
+                ctx.wake = Wake::Runnable;
+                self.shards[w.id].push_local(ctx);
+            }
+            SliceOutcome::Done => self.retire(w, ctx, false),
+            SliceOutcome::Faulted => self.retire(w, ctx, true),
+        }
+    }
+
+    fn retire(&self, w: &mut Worker, mut ctx: Context, faulted: bool) {
+        ctx.wake = if faulted {
+            Wake::Faulted
+        } else {
+            Wake::Retired
+        };
+        w.stats.retired += 1;
+        if faulted {
+            w.stats.faults += 1;
+        }
+        w.stats
+            .ttc_kcycles
+            .record(w.stats.sim_cycles.saturating_sub(ctx.admitted_at) >> 10);
+        if self.record_finals {
+            w.stats.finals.push(FinalState::of(&ctx, faulted));
+        }
+        let home = ctx.home;
+        self.shards[home].put_buffer(ctx.machine.into_memory_buffer());
+        self.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The deterministic virtual-time engine, tick-able for tests (the
+/// no-allocation test drives single ticks; [`run`] just loops).
+pub struct DetScheduler {
+    core: Core,
+    workers: Vec<Worker>,
+    trace: Vec<TraceEvent>,
+    record_trace: bool,
+    started: Instant,
+}
+
+impl DetScheduler {
+    /// Sets up shards and workers; nothing runs until [`tick`].
+    ///
+    /// [`tick`]: DetScheduler::tick
+    pub fn new(population: Population, config: &SchedConfig) -> Self {
+        let core = Core::new(population, config);
+        let workers = (0..config.workers)
+            .map(|i| Worker::new(i, config.seed))
+            .collect();
+        DetScheduler {
+            core,
+            workers,
+            trace: Vec::new(),
+            record_trace: config.record_trace,
+            started: Instant::now(),
+        }
+    }
+
+    /// Contexts not yet retired.
+    pub fn remaining(&self) -> u64 {
+        self.core.remaining()
+    }
+
+    /// Recycled memory buffers resting in the shard arenas right now.
+    /// With run-to-completion contexts on one worker this stays at one:
+    /// a single guest memory serves the entire population.
+    pub fn pooled_buffers(&self) -> usize {
+        self.core.shards.iter().map(|s| s.pooled()).sum()
+    }
+
+    /// One scheduling decision: the worker with the smallest simulated
+    /// clock (ties to the lowest id) acquires and runs one slice, or
+    /// burns [`IDLE_CYCLES`] if it finds nothing. Returns `false` once
+    /// every context has retired.
+    pub fn tick(&mut self) -> bool {
+        if self.core.remaining() == 0 {
+            return false;
+        }
+        let wi = (0..self.workers.len())
+            .min_by_key(|&i| (self.workers[i].stats.sim_cycles, i))
+            .expect("at least one worker");
+        let w = &mut self.workers[wi];
+        match self.core.acquire(w) {
+            Some(ctx) => {
+                let sink = self.record_trace.then_some(&mut self.trace);
+                self.core.execute(w, ctx, sink);
+            }
+            None => {
+                w.stats.idle_spins += 1;
+                w.stats.sim_cycles += IDLE_CYCLES;
+            }
+        }
+        self.core.remaining() > 0
+    }
+
+    /// Runs to completion and reports.
+    pub fn run(mut self) -> SchedReport {
+        while self.tick() {}
+        self.into_report()
+    }
+
+    /// Harvests the report without requiring completion (useful after
+    /// driving [`tick`] by hand).
+    ///
+    /// [`tick`]: DetScheduler::tick
+    pub fn into_report(self) -> SchedReport {
+        SchedReport {
+            workers: self.workers.into_iter().map(|w| w.stats).collect(),
+            trace: self.trace,
+            wall: self.started.elapsed(),
+        }
+    }
+}
+
+/// Runs a population to completion under `config`, dispatching to the
+/// deterministic virtual-time engine or the real-thread throughput
+/// engine. Both retire every context or panic trying (a factory panic
+/// propagates).
+pub fn run(population: Population, config: &SchedConfig) -> SchedReport {
+    if config.deterministic {
+        DetScheduler::new(population, config).run()
+    } else {
+        run_threads(population, config)
+    }
+}
+
+/// The throughput engine: one host thread per worker, same slice loop.
+fn run_threads(population: Population, config: &SchedConfig) -> SchedReport {
+    let core = Core::new(population, config);
+    let seed = config.seed;
+    let started = Instant::now();
+    let workers: Vec<WorkerStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..config.workers)
+            .map(|i| {
+                let core = &core;
+                s.spawn(move || {
+                    let mut w = Worker::new(i, seed);
+                    loop {
+                        match core.acquire(&mut w) {
+                            Some(ctx) => core.execute(&mut w, ctx, None),
+                            None => {
+                                if core.remaining() == 0 {
+                                    break;
+                                }
+                                w.stats.idle_spins += 1;
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    w.stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(stats) => stats,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    SchedReport {
+        workers,
+        trace: Vec::new(),
+        wall: started.elapsed(),
+    }
+}
+
+/// Re-executes a recorded schedule event by event on one thread:
+/// contexts are admitted at their first trace appearance, each event's
+/// slice must end in its recorded outcome, and the replay must retire
+/// the whole population. Returns the final states sorted by id.
+///
+/// # Panics
+///
+/// Panics on any divergence — an outcome mismatch, a fuel mismatch, a
+/// context the trace resumes but never admitted, or a trace that ends
+/// with contexts still live.
+pub fn replay(trace: &[TraceEvent], population: &Population) -> Vec<FinalState> {
+    let mut live: HashMap<u64, Context> = HashMap::new();
+    let mut finals = Vec::new();
+    let mut admitted = 0u64;
+    for (i, ev) in trace.iter().enumerate() {
+        let mut ctx = match live.remove(&ev.ctx) {
+            Some(ctx) => ctx,
+            None => {
+                admitted += 1;
+                population.make(ev.ctx, fpc_mem::MemoryBuffer::default())
+            }
+        };
+        assert_eq!(
+            ctx.policy.slice_fuel(),
+            ev.fuel,
+            "event {i}: fuel grant diverged for context {}",
+            ev.ctx
+        );
+        let outcome = match ctx.run_slice() {
+            Ok(false) => SliceOutcome::Preempted,
+            Ok(true) => SliceOutcome::Done,
+            Err(_) => SliceOutcome::Faulted,
+        };
+        assert_eq!(
+            outcome, ev.outcome,
+            "event {i}: outcome diverged for context {}",
+            ev.ctx
+        );
+        match outcome {
+            SliceOutcome::Preempted => {
+                live.insert(ev.ctx, ctx);
+            }
+            SliceOutcome::Done => finals.push(FinalState::of(&ctx, false)),
+            SliceOutcome::Faulted => finals.push(FinalState::of(&ctx, true)),
+        }
+    }
+    assert!(
+        live.is_empty(),
+        "trace ended with {} contexts still live",
+        live.len()
+    );
+    assert_eq!(
+        admitted,
+        population.count(),
+        "trace did not admit the whole population"
+    );
+    finals.sort_unstable_by_key(|f| f.id);
+    finals
+}

@@ -1,0 +1,168 @@
+//! The scheduler's determinism contract, from the inside.
+//!
+//! * Deterministic mode is a pure function of (population, config):
+//!   same seed ⇒ same trace, same statistics.
+//! * A recorded trace replays event-for-event to the same final
+//!   states.
+//! * The throughput engine (real threads, real stealing) retires the
+//!   same population to the same architectural states — scheduling is
+//!   invisible to the guests.
+//! * Arena recycling: a run-to-completion population on one worker
+//!   lives its whole life in a single recycled guest memory.
+//!
+//! The cross-worker-count differential (1/2/4/8 workers bit-identical)
+//! is pinned at the workspace root in `tests/sched_differential.rs`.
+
+use std::sync::Arc;
+
+use fpc_compiler::{Linkage, Options};
+use fpc_sched::{
+    replay, run, Context, DetScheduler, FuelPolicy, Population, SchedConfig, SliceOutcome,
+};
+use fpc_vm::{Image, Machine, MachineConfig};
+use fpc_workloads::{compile_workload, programs};
+
+/// A mixed-size fib population: context `id` runs `fib(4 + id % 6)`,
+/// so per-context work spans roughly 25× — enough imbalance to make
+/// stealing real.
+fn fib_population(count: u64, policy: FuelPolicy) -> Population {
+    let cfg = MachineConfig::i3().with_memory_words(2048);
+    let images: Arc<Vec<Image>> = Arc::new(
+        (4..=9)
+            .map(|n| {
+                compile_workload(
+                    &programs::fib(n),
+                    Options {
+                        linkage: Linkage::Direct,
+                        ..Default::default()
+                    },
+                )
+                .expect("fib compiles")
+                .image
+            })
+            .collect(),
+    );
+    Population::from_factory(count, move |id, buf| {
+        let image = &images[(id % images.len() as u64) as usize];
+        let m = Machine::load_in(image, cfg, buf).expect("fib loads");
+        Context::new(id, m, policy)
+    })
+}
+
+#[test]
+fn deterministic_mode_is_a_pure_function_of_seed() {
+    let config = SchedConfig::default()
+        .with_workers(3)
+        .with_seed(42)
+        .with_trace(true);
+    let a = run(fib_population(40, FuelPolicy::Quantum(97)), &config);
+    let b = run(fib_population(40, FuelPolicy::Quantum(97)), &config);
+    assert_eq!(a.trace, b.trace, "same seed, same schedule");
+    assert_eq!(a.finals_sorted(), b.finals_sorted());
+    assert_eq!(a.makespan_cycles(), b.makespan_cycles());
+    for (wa, wb) in a.workers.iter().zip(&b.workers) {
+        assert_eq!(wa.slices, wb.slices);
+        assert_eq!(wa.steals, wb.steals);
+        assert_eq!(wa.sim_cycles, wb.sim_cycles);
+    }
+    // A different seed steals differently but retires identically.
+    let c = run(
+        fib_population(40, FuelPolicy::Quantum(97)),
+        &config.clone().with_seed(7),
+    );
+    assert_eq!(a.retired(), c.retired());
+    let arch = |r: &fpc_sched::SchedReport| {
+        r.finals_sorted()
+            .iter()
+            .map(|f| f.architectural())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(arch(&a), arch(&c), "guest states don't see the schedule");
+}
+
+#[test]
+fn recorded_trace_replays_to_identical_final_states() {
+    let config = SchedConfig::default()
+        .with_workers(4)
+        .with_seed(3)
+        .with_trace(true);
+    let report = run(fib_population(30, FuelPolicy::Quantum(61)), &config);
+    assert!(!report.trace.is_empty());
+    assert!(
+        report
+            .trace
+            .iter()
+            .any(|e| e.outcome == SliceOutcome::Preempted),
+        "population must outlast one quantum for the test to bite"
+    );
+    let replayed = replay(&report.trace, &fib_population(30, FuelPolicy::Quantum(61)));
+    let original = report.finals_sorted();
+    assert_eq!(replayed.len(), original.len());
+    for (r, o) in replayed.iter().zip(&original) {
+        assert_eq!(r.architectural(), o.architectural());
+        assert_eq!(r.slices, o.slices, "slice counts replay too");
+    }
+}
+
+#[test]
+fn throughput_mode_retires_the_same_architectural_states() {
+    let det = run(
+        fib_population(50, FuelPolicy::Quantum(83)),
+        &SchedConfig::default().with_workers(4).with_seed(9),
+    );
+    let thr = run(
+        fib_population(50, FuelPolicy::Quantum(83)),
+        &SchedConfig::default()
+            .with_workers(4)
+            .with_seed(9)
+            .with_deterministic(false),
+    );
+    assert_eq!(det.retired(), 50);
+    assert_eq!(thr.retired(), 50);
+    assert_eq!(det.faults() + thr.faults(), 0);
+    let d: Vec<_> = det
+        .finals_sorted()
+        .iter()
+        .map(|f| f.architectural())
+        .collect();
+    let t: Vec<_> = thr
+        .finals_sorted()
+        .iter()
+        .map(|f| f.architectural())
+        .collect();
+    assert_eq!(d, t, "real threads change nothing architectural");
+}
+
+#[test]
+fn run_to_completion_population_recycles_one_buffer() {
+    let mut sched = DetScheduler::new(
+        fib_population(32, FuelPolicy::RunToCompletion),
+        &SchedConfig::default(),
+    );
+    while sched.tick() {}
+    assert_eq!(sched.remaining(), 0);
+    assert_eq!(
+        sched.pooled_buffers(),
+        1,
+        "one worker, run-to-completion: the whole population lives in one recycled memory"
+    );
+    let report = sched.into_report();
+    assert_eq!(report.retired(), 32);
+    assert_eq!(report.workers[0].admitted, 32);
+    assert_eq!(report.preemptions(), 0);
+}
+
+#[test]
+fn ttc_quantiles_are_monotone_and_populated() {
+    let report = run(
+        fib_population(64, FuelPolicy::Quantum(128)),
+        &SchedConfig::default().with_workers(2),
+    );
+    let qs = report.ttc_quantiles(&[0.5, 0.95, 0.99]);
+    let p50 = qs[0].expect("p50 exists");
+    let p95 = qs[1].expect("p95 exists");
+    let p99 = qs[2].expect("p99 exists");
+    assert!(p50 <= p95 && p95 <= p99);
+    assert!(report.makespan_cycles() > 0);
+    assert!(report.minstr_per_sim_second() > 0.0);
+}

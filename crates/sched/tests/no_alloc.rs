@@ -1,0 +1,96 @@
+//! The warm scheduling loop must not allocate.
+//!
+//! Same discipline as `crates/vm/tests/no_alloc.rs`, one level up: a
+//! *quantum* — acquire a context, run a fuel slice, re-enqueue it — is
+//! the scheduler's hot path, executed millions of times when a large
+//! population interleaves finely. Once the run deques have their
+//! capacity and the machines are warm, a preemption round-trip must be
+//! free of host allocations; only admission (builds a machine) and
+//! retirement (harvests stats, grows a histogram) may allocate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use fpc_compiler::{Linkage, Options};
+use fpc_sched::{Context, DetScheduler, FuelPolicy, Population, SchedConfig};
+use fpc_vm::{Machine, MachineConfig};
+use fpc_workloads::{compile_workload, programs};
+
+/// Pass-through allocator that counts every allocating entry point.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, n)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// Serialises the tests in this binary: the counter is process-global.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A population of long-running fib machines that need thousands of
+/// quanta each, so a mid-run measurement window sees only preemption
+/// round-trips — no admissions, no retirements.
+fn long_population(count: u64, quantum: u64) -> Population {
+    let cfg = MachineConfig::i3().with_memory_words(2048);
+    let image = compile_workload(
+        &programs::fib(24),
+        Options {
+            linkage: Linkage::Direct,
+            ..Default::default()
+        },
+    )
+    .expect("fib compiles")
+    .image;
+    Population::from_factory(count, move |id, buf| {
+        let m = Machine::load_in(&image, cfg, buf).expect("fib loads");
+        Context::new(id, m, FuelPolicy::Quantum(quantum))
+    })
+}
+
+#[test]
+fn warm_quantum_round_trip_does_not_allocate() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let mut sched = DetScheduler::new(
+        long_population(4, 300),
+        &SchedConfig::default().with_workers(2).with_seed(1),
+    );
+    // Warm up: admit the whole population, fill the deques to their
+    // steady-state capacity, warm every machine's caches.
+    for _ in 0..200 {
+        assert!(sched.tick(), "population must outlast the warm-up");
+    }
+    assert_eq!(sched.remaining(), 4, "nothing may retire during warm-up");
+    let before = allocs();
+    for _ in 0..500 {
+        assert!(sched.tick(), "population must outlast the window");
+    }
+    let during = allocs() - before;
+    assert_eq!(
+        during, 0,
+        "a warm quantum (acquire, slice, re-enqueue, steal probes) must not allocate"
+    );
+    assert_eq!(sched.remaining(), 4, "nothing retired inside the window");
+}

@@ -226,6 +226,27 @@ where
     merged.top_k(k)
 }
 
+/// The quantiles of the union of `parts`: for each `q` in `qs`, the
+/// smallest value `v` such that at least `q` of the combined samples
+/// are `<= v` (`None` for every entry when all parts are empty).
+///
+/// This is the merged-percentile query for sharded collection: workers
+/// that each record latencies locally get one global p50/p95/p99
+/// without any shard mutating — or even seeing — another's histogram.
+/// Percentiles do not compose shard-by-shard (the p95 of per-shard
+/// p95s is not the p95 of the union), so the merge has to happen on
+/// the full distributions; exact histograms make that cheap.
+pub fn merged_quantiles<'a, I>(parts: I, qs: &[f64]) -> Vec<Option<u64>>
+where
+    I: IntoIterator<Item = &'a Histogram>,
+{
+    let mut merged = Histogram::new();
+    for part in parts {
+        merged.merge(part);
+    }
+    qs.iter().map(|&q| merged.quantile(q)).collect()
+}
+
 /// Equality is over the recorded multiset — the dense array's trailing
 /// zeros (an artifact of growth order) do not participate.
 impl PartialEq for Histogram {
@@ -392,6 +413,26 @@ mod tests {
         assert_eq!(h.count_at(9_000), 2);
         assert_eq!(h.count_at(8), 0);
         assert_eq!(h.count_at(8_888), 0);
+    }
+
+    #[test]
+    fn merged_quantiles_are_union_quantiles_not_quantiles_of_quantiles() {
+        // Two skewed shards: per-shard p50s are 1 and 100; the union's
+        // p50 is 1 (six of ten samples are 1). A shard-wise combine
+        // would get this wrong, which is the point of the helper.
+        let a: Histogram = [1u64, 1, 1, 1, 1].into_iter().collect();
+        let b: Histogram = [1u64, 100, 100, 100, 200].into_iter().collect();
+        assert_eq!(
+            merged_quantiles([&a, &b], &[0.5, 0.95, 0.99, 1.0]),
+            vec![Some(1), Some(200), Some(200), Some(200)]
+        );
+        assert_eq!(
+            merged_quantiles(std::iter::empty::<&Histogram>(), &[0.5]),
+            vec![None]
+        );
+        // Inputs untouched.
+        assert_eq!(a.count(), 5);
+        assert_eq!(b.count(), 5);
     }
 
     #[test]

@@ -157,6 +157,14 @@ pub struct MachineConfig {
     /// Invocation count at which a procedure becomes hot enough to
     /// compile to the native tier.
     pub native_threshold: u32,
+    /// Simulated data-memory size in words. The default
+    /// ([`crate::image::DEFAULT_MEMORY_WORDS`]) is the full 16-bit
+    /// address space; hosts that pack large populations of machines
+    /// (the `fpc-sched` context scheduler) shrink it so a million
+    /// contexts fit in host RAM. Must leave room for the link area
+    /// plus a usable frame region — [`crate::Machine::load`] rejects
+    /// sizes that do not.
+    pub memory_words: u32,
 }
 
 impl MachineConfig {
@@ -178,6 +186,7 @@ impl MachineConfig {
             verified_images: false,
             native: false,
             native_threshold: 32,
+            memory_words: crate::image::DEFAULT_MEMORY_WORDS,
         }
     }
 
@@ -292,6 +301,13 @@ impl MachineConfig {
         self
     }
 
+    /// Sets the simulated data-memory size in words (see
+    /// [`MachineConfig::memory_words`]).
+    pub fn with_memory_words(mut self, words: u32) -> Self {
+        self.memory_words = words;
+        self
+    }
+
     /// Whether bank renaming is active.
     pub fn renaming(&self) -> bool {
         self.banks.map(|b| b.renaming).unwrap_or(false)
@@ -341,6 +357,12 @@ mod tests {
         assert!(!c.native, "native tier is opt-in");
         assert!(c.with_native_tier(true).native);
         assert_eq!(c.with_native_threshold(7).native_threshold, 7);
+        assert_eq!(
+            c.memory_words,
+            crate::image::DEFAULT_MEMORY_WORDS,
+            "full address space unless shrunk"
+        );
+        assert_eq!(c.with_memory_words(2048).memory_words, 2048);
     }
 
     #[test]

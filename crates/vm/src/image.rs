@@ -166,7 +166,23 @@ pub struct Placement {
 /// [`VmError::BadImage`] for images that do not fit the address
 /// packing or memory.
 pub fn load(image: &Image, memory_words: u32) -> Result<(Memory, CodeStore, Placement), VmError> {
-    let mut mem = Memory::new(memory_words);
+    load_with_buffer(image, memory_words, fpc_mem::MemoryBuffer::default())
+}
+
+/// [`load`], building the simulated memory inside a recycled
+/// [`fpc_mem::MemoryBuffer`] so that hosts spawning machines in bulk
+/// (the `fpc-sched` shard arenas) reuse retired contexts' backing
+/// stores instead of allocating fresh ones.
+///
+/// # Errors
+///
+/// As [`load`].
+pub fn load_with_buffer(
+    image: &Image,
+    memory_words: u32,
+    buf: fpc_mem::MemoryBuffer,
+) -> Result<(Memory, CodeStore, Placement), VmError> {
+    let mut mem = Memory::with_buffer(memory_words, buf);
     let mut code = CodeStore::new();
     code.append(&image.code);
 

@@ -136,6 +136,12 @@ pub struct InjectionReport {
 /// the current committed instruction count fire before the next step,
 /// in plan order.
 ///
+/// One-shot wrapper over [`PlanCursor`]: the cursor starts at the
+/// plan's first event, so calling this twice on the same machine would
+/// re-fire events already applied. A run that is fuel-sliced
+/// externally (a scheduler preempting at quantum boundaries) must keep
+/// one [`PlanCursor`] across the slices instead.
+///
 /// # Errors
 ///
 /// Whatever the machine raises, plus [`VmError::OutOfFuel`] if the
@@ -146,21 +152,78 @@ pub fn run_with_plan(
     plan: &FaultPlan,
     fuel: u64,
 ) -> Result<InjectionReport, VmError> {
-    let mut report = InjectionReport::default();
-    let mut next = 0;
-    for _ in 0..fuel {
-        while let Some(&ev) = plan.events.get(next) {
+    let mut cursor = PlanCursor::new(plan.clone());
+    let r = cursor.run(m, fuel);
+    let report = cursor.report();
+    r.map(|_| report)
+}
+
+/// A [`FaultPlan`] with its application progress: which events have
+/// already fired and what they did. This is the resumable form of
+/// [`run_with_plan`] — a scheduler that preempts a run mid-plan calls
+/// [`PlanCursor::run`] again on resume and the plan picks up exactly
+/// where it left off, instead of re-firing every event whose trigger
+/// point is already past. Slicing a plan run at any fuel boundaries
+/// is therefore observationally identical to one unsliced run.
+#[derive(Debug, Clone)]
+pub struct PlanCursor {
+    plan: FaultPlan,
+    next: usize,
+    report: InjectionReport,
+}
+
+impl PlanCursor {
+    /// Starts a cursor at the beginning of `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        PlanCursor {
+            plan,
+            next: 0,
+            report: InjectionReport::default(),
+        }
+    }
+
+    /// Steps `m` for at most `fuel` instructions, firing the plan's
+    /// remaining events as their trigger points are reached.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the machine raises, plus [`VmError::OutOfFuel`] when
+    /// the slice's budget runs out — resume with another `run` call.
+    pub fn run(&mut self, m: &mut Machine, fuel: u64) -> Result<(), VmError> {
+        for _ in 0..fuel {
+            self.fire_due(m);
+            if let StepOutcome::Halted = m.step()? {
+                return Ok(());
+            }
+        }
+        if m.halted() {
+            Ok(())
+        } else {
+            Err(VmError::OutOfFuel)
+        }
+    }
+
+    /// Fires every not-yet-applied event scheduled at or before the
+    /// machine's committed instruction count, in plan order.
+    fn fire_due(&mut self, m: &mut Machine) {
+        while let Some(&ev) = self.plan.events.get(self.next) {
             if ev.at() > m.stats().instructions {
                 break;
             }
-            apply(m, ev, &mut report);
-            next += 1;
-        }
-        if let StepOutcome::Halted = m.step()? {
-            return Ok(report);
+            apply(m, ev, &mut self.report);
+            self.next += 1;
         }
     }
-    Err(VmError::OutOfFuel)
+
+    /// Whether every event in the plan has fired.
+    pub fn exhausted(&self) -> bool {
+        self.next >= self.plan.events.len()
+    }
+
+    /// What the fired events did so far.
+    pub fn report(&self) -> InjectionReport {
+        self.report
+    }
 }
 
 fn apply(m: &mut Machine, ev: FaultEvent, report: &mut InjectionReport) {

@@ -63,10 +63,10 @@ pub use cost::{TransferKind, TransferStats};
 pub use error::{FaultKind, TrapCode, VmError};
 pub use ifu::{ReturnEntry, ReturnStack, ReturnStackStats};
 pub use image::{
-    gft_entries_for, load, Image, ImageBuilder, ModuleHandle, ModuleImage, Placement, ProcRef,
-    ProcSpec, AV_BASE, DEFAULT_MEMORY_WORDS, GFT_BASE, GFT_ENTRIES, LINK_BASE,
+    gft_entries_for, load, load_with_buffer, Image, ImageBuilder, ModuleHandle, ModuleImage,
+    Placement, ProcRef, ProcSpec, AV_BASE, DEFAULT_MEMORY_WORDS, GFT_BASE, GFT_ENTRIES, LINK_BASE,
 };
-pub use inject::{run_with_plan, FaultEvent, FaultPlan, InjectionReport};
+pub use inject::{run_with_plan, FaultEvent, FaultPlan, InjectionReport, PlanCursor};
 pub use listing::listing;
 pub use machine::{FaultStats, FusionStats, Machine, MachineStats, StepOutcome};
 pub use native::{NativeLicense, NativeStats};

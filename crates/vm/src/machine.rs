@@ -275,6 +275,22 @@ impl std::fmt::Debug for Machine {
     }
 }
 
+/// `Machine: Send` is a load-bearing property, not an accident: the
+/// `fpc-sched` work-stealing scheduler moves whole suspended machines
+/// between worker threads at fuel-quantum boundaries. The audit behind
+/// this assertion: every field is owned (memory, code store, frame
+/// allocator, caches travel with the machine — no shared mutable host
+/// state), the one interior-mutability cell (the bank lookup memo) is
+/// `Cell`, which is `Send`, and the compiled native bodies are
+/// `Arc<NativeProc>` over plain data (`Send + Sync`). The accelerator
+/// caches stay valid across a steal because their coherence keys
+/// (code-store version, watched-table generation) are derived from the
+/// machine's own state, which moves with it.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+};
+
 enum Flow {
     Next,
     Taken(Option<TransferKind>),
@@ -303,6 +319,23 @@ impl Machine {
     /// (e.g. a renaming machine requires an image compiled without
     /// prologue argument stores, and vice versa).
     pub fn load(image: &Image, config: MachineConfig) -> Result<Self, VmError> {
+        Self::load_in(image, config, fpc_mem::MemoryBuffer::default())
+    }
+
+    /// [`Machine::load`], building the simulated memory inside a
+    /// recycled [`fpc_mem::MemoryBuffer`] (see
+    /// [`Machine::into_memory_buffer`]). The buffer only recycles the
+    /// host allocation; the loaded machine is bit-identical to a
+    /// freshly allocated one.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::load`].
+    pub fn load_in(
+        image: &Image,
+        config: MachineConfig,
+        buf: fpc_mem::MemoryBuffer,
+    ) -> Result<Self, VmError> {
         if image.bank_args != config.renaming() {
             return Err(VmError::BadImage(format!(
                 "image bank_args={} but machine renaming={}",
@@ -310,7 +343,7 @@ impl Machine {
                 config.renaming()
             )));
         }
-        let (mem, code, placement) = image::load(image, image::DEFAULT_MEMORY_WORDS)?;
+        let (mem, code, placement) = image::load_with_buffer(image, config.memory_words, buf)?;
         let mut mem = mem;
         // Watch the transfer-table words — the GFT region and each
         // global frame's code-base word — so any store to them bumps
@@ -1469,6 +1502,13 @@ impl Machine {
         let b = self.stack.pop().unwrap_or(0) as i16;
         let a = self.stack.pop().unwrap_or(0) as i16;
         self.stack.push(f(a, b) as u16);
+    }
+
+    /// Retires the machine and returns its simulated memory's backing
+    /// store for recycling through [`Machine::load_in`]. Everything
+    /// else (code store, caches, stats) is dropped.
+    pub fn into_memory_buffer(self) -> fpc_mem::MemoryBuffer {
+        self.mem.into_buffer()
     }
 
     /// Values emitted by `OUT`.
