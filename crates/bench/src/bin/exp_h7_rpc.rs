@@ -1,0 +1,41 @@
+//! Regenerates experiment H7 (see DESIGN.md §12 on remote transfer):
+//! local-vs-remote XFER cost, departure-window batching gains, and
+//! priced recovery under seeded network-fault storms.
+//!
+//! Usage: `exp_h7_rpc [--smoke] [--out PATH]`
+//!
+//! `--smoke` runs a small population and a single storm (CI mode —
+//! proves the harness and the JSON shape, not the asymptotics);
+//! `--out` redirects the JSON from the default `BENCH_host_rpc.json`.
+
+use fpc_bench::experiments::h7;
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_host_rpc.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other}; usage: exp_h7_rpc [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let params = if smoke {
+        h7::Params::smoke()
+    } else {
+        h7::Params::full()
+    };
+    let (report, json) = h7::report_and_json(&params);
+    print!("{report}");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    eprintln!("wrote {out}");
+}

@@ -1,0 +1,538 @@
+//! H7 — the price of distance: remote XFER cost, batching gains, and
+//! priced recovery under network-fault storms.
+//!
+//! Lampson's XFER costs ~30 µs when both descriptors live on one
+//! machine. H7 measures the same transfer stretched over `fpc-rpc`'s
+//! serialized link: what a remote call costs relative to a local one,
+//! how much the link's departure-window batching claws back under
+//! concurrency, and what recovery costs — separately accounted — when
+//! a seeded storm of drops, crashes and partitions hits the wire.
+//!
+//! **Metric.** Everything is simulated cycles from the deterministic
+//! virtual-time engine: client guest cycles, scheduler charges, link
+//! serialization and propagation, and server execution all advance the
+//! same clock, so a "remote call latency" is issue-to-completion on
+//! that clock and is exactly reproducible. The storm section also
+//! *proves* the pricing: each storm run's fault-adjusted finals must be
+//! bit-identical to the clean run's (the `tests/rpc_chaos.rs`
+//! discipline), so every reported overhead cycle is one the accounting
+//! actually captured.
+
+use fpc_isa::Instr;
+use fpc_rpc::{CallPolicy, ChannelTransport, Cluster, ClusterReport, LinkConfig, ServerNode};
+use fpc_sched::{Context, FuelPolicy, Population, SchedConfig};
+use fpc_vm::inject::NetPlan;
+use fpc_vm::{FaultKind, Image, ImageBuilder, Machine, MachineConfig, ProcRef, ProcSpec};
+
+/// Preemption quantum for client contexts.
+pub const QUANTUM: u64 = 400;
+
+/// Server fuel per request.
+pub const SERVER_FUEL: u64 = 100_000;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Client contexts in the concurrency (batching, storm) sections.
+    pub contexts: u64,
+    /// Remote calls each client makes.
+    pub calls: u16,
+    /// Departure-window widths swept in the batching section (the
+    /// first entry should be 0, the unbatched baseline).
+    pub batch_windows: Vec<u64>,
+    /// Seeds for the storm section's generated fault plans.
+    pub storm_seeds: Vec<u64>,
+    /// Base seed for scheduler and retry-jitter randomness.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The full sweep.
+    pub fn full() -> Self {
+        Params {
+            contexts: 64,
+            calls: 8,
+            batch_windows: vec![0, 500, 2_000, 8_000],
+            storm_seeds: vec![1, 2, 3, 4, 5],
+            seed: 0x0007,
+        }
+    }
+
+    /// CI mode: small population, one storm — proves the harness and
+    /// the JSON shape, not the asymptotics.
+    pub fn smoke() -> Self {
+        Params {
+            contexts: 6,
+            calls: 2,
+            batch_windows: vec![0, 2_000],
+            storm_seeds: vec![1],
+            seed: 0x0007,
+        }
+    }
+}
+
+/// The client image: `calls` invocations of `double` through a remote
+/// descriptor bound to `node`, plus a failover-and-restart
+/// `RemoteFault` handler.
+fn client_image(calls: u16, node: u16) -> (Image, ProcRef) {
+    let mut b = ImageBuilder::new();
+    let m = b.module("cli");
+    let lv = b.import_remote(m, "double", node, 1, 1);
+    b.proc_with(m, ProcSpec::new("main", 0, 0), move |a| {
+        for i in 0..calls {
+            a.instr(Instr::LoadImm(i + 1));
+            a.instr(Instr::ExternalCall(lv));
+            a.instr(Instr::Out);
+        }
+        a.instr(Instr::Halt);
+    });
+    let fh = b.proc_with(m, ProcSpec::new("on_remote_fault", 1, 2), |a| {
+        a.instr(Instr::StoreLocal(0));
+        a.instr(Instr::RemoteInfo);
+        a.instr(Instr::Failover);
+        a.instr(Instr::Ret);
+    });
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .unwrap();
+    (
+        image,
+        ProcRef {
+            module: 0,
+            ev_index: fh,
+        },
+    )
+}
+
+/// The local twin: the same `calls` × `double` shape with an ordinary
+/// `LOCALCALL` instead of the remote descriptor.
+fn local_image(calls: u16) -> Image {
+    let mut b = ImageBuilder::new();
+    let m = b.module("cli");
+    b.proc_with(m, ProcSpec::new("main", 0, 0), move |a| {
+        for i in 0..calls {
+            a.instr(Instr::LoadImm(i + 1));
+            a.instr(Instr::LocalCall(1));
+            a.instr(Instr::Out);
+        }
+        a.instr(Instr::Halt);
+    });
+    b.proc_with(m, ProcSpec::new("double", 1, 2), |a| {
+        a.instr(Instr::StoreLocal(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::Add);
+        a.instr(Instr::Ret);
+    });
+    b.build(ProcRef {
+        module: 0,
+        ev_index: 0,
+    })
+    .unwrap()
+}
+
+fn server_image() -> Image {
+    let mut b = ImageBuilder::new();
+    let m = b.module("srv");
+    b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+        a.instr(Instr::Halt);
+    });
+    b.proc_with(m, ProcSpec::new("double", 1, 2), |a| {
+        a.instr(Instr::StoreLocal(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::Add);
+        a.instr(Instr::Halt);
+    });
+    b.build(ProcRef {
+        module: 0,
+        ev_index: 0,
+    })
+    .unwrap()
+}
+
+fn server() -> ServerNode {
+    ServerNode::new(server_image(), MachineConfig::i2())
+        .service(
+            "double",
+            ProcRef {
+                module: 0,
+                ev_index: 1,
+            },
+            1,
+            1,
+        )
+        .fuel(SERVER_FUEL)
+}
+
+/// A retry policy sized to the population: the serialized link queues
+/// every concurrent client's frame, so the deadline must cover the
+/// worst-case burst (~500 cycles of serialization per waiting client
+/// each way) or timeouts fire on frames still queued and the retries
+/// congest the link further — a metastable retry storm, not a
+/// measurement.
+fn policy_for(contexts: u64) -> CallPolicy {
+    CallPolicy {
+        deadline: 20_000 + contexts * 2_000,
+        backoff_base: 2_000,
+        backoff_cap: 64_000,
+        ..CallPolicy::default()
+    }
+}
+
+fn run_cluster(
+    contexts: u64,
+    calls: u16,
+    link: LinkConfig,
+    plan: NetPlan,
+    replicated: bool,
+    seed: u64,
+) -> ClusterReport {
+    let (image, fh) = client_image(calls, 1);
+    let cfg = MachineConfig::i2().with_fault_reserve(512);
+    let population = Population::from_factory(contexts, move |id, buf| {
+        let mut m = Machine::load_in(&image, cfg, buf).expect("client loads");
+        m.install_fault_handler(FaultKind::RemoteFault, &image, fh)
+            .expect("handler installs");
+        Context::new(id, m, FuelPolicy::Quantum(QUANTUM))
+    });
+    let sched_cfg = SchedConfig {
+        workers: 2,
+        deterministic: true,
+        seed,
+        record_trace: false,
+        record_finals: true,
+    };
+    let mut cluster = Cluster::new(
+        population,
+        &sched_cfg,
+        ChannelTransport::with_plan(link, plan),
+        policy_for(contexts),
+        seed,
+    );
+    cluster.add_server(1, server());
+    if replicated {
+        cluster.add_server(2, server());
+        cluster.set_replicas(0, vec![1, 2]);
+    }
+    cluster.run()
+}
+
+/// Local-vs-remote cost comparison.
+#[derive(Debug, Clone)]
+pub struct CallCost {
+    /// Guest cycles per call iteration through an ordinary `LOCALCALL`.
+    pub local_cycles: f64,
+    /// Mean issue-to-completion latency of an uncontended remote call.
+    pub remote_mean: f64,
+    /// Median remote latency.
+    pub remote_p50: u64,
+    /// 95th-percentile remote latency.
+    pub remote_p95: u64,
+    /// `remote_mean / local_cycles`.
+    pub ratio: f64,
+}
+
+/// Measures one uncontended client against the local twin.
+pub fn call_cost(p: &Params) -> CallCost {
+    let local = {
+        let image = local_image(p.calls);
+        let mut m = Machine::load(&image, MachineConfig::i2()).expect("local twin loads");
+        m.run(u64::MAX).expect("local twin halts");
+        m.stats().cycles as f64 / p.calls as f64
+    };
+    let report = run_cluster(
+        1,
+        p.calls,
+        LinkConfig::default(),
+        NetPlan::from_events(Vec::new()),
+        false,
+        p.seed,
+    );
+    assert_eq!(report.rpc.completed, p.calls as u64);
+    let mean = report.rpc.latency.mean();
+    CallCost {
+        local_cycles: local,
+        remote_mean: mean,
+        remote_p50: report.rpc.latency.quantile(0.5).unwrap_or(0),
+        remote_p95: report.rpc.latency.quantile(0.95).unwrap_or(0),
+        ratio: mean / local,
+    }
+}
+
+/// One batching cell: the full population against one window width.
+#[derive(Debug, Clone)]
+pub struct BatchRow {
+    /// Departure-window width in cycles (0 = unbatched).
+    pub window: u64,
+    /// Simulated makespan of the whole population.
+    pub makespan_cycles: u64,
+    /// Mean call latency.
+    pub mean_latency: f64,
+    /// Frames the link carried.
+    pub frames: u64,
+    /// Makespan speedup over the unbatched cell.
+    pub speedup: f64,
+}
+
+/// Sweeps the departure window under full concurrency.
+pub fn batching(p: &Params) -> Vec<BatchRow> {
+    let mut rows: Vec<BatchRow> = Vec::new();
+    for &window in &p.batch_windows {
+        let link = LinkConfig {
+            batch_window: window,
+            ..LinkConfig::default()
+        };
+        let report = run_cluster(
+            p.contexts,
+            p.calls,
+            link,
+            NetPlan::from_events(Vec::new()),
+            false,
+            p.seed,
+        );
+        assert_eq!(report.rpc.completed, p.contexts * p.calls as u64);
+        let makespan = report.sched.makespan_cycles();
+        let base = rows.first().map_or(makespan, |r| r.makespan_cycles);
+        rows.push(BatchRow {
+            window,
+            makespan_cycles: makespan,
+            mean_latency: report.rpc.latency.mean(),
+            frames: report.net.sent,
+            speedup: base as f64 / makespan as f64,
+        });
+    }
+    rows
+}
+
+/// One storm cell: the population under a generated fault plan, with a
+/// replica to fail over to, differenced against the clean run.
+#[derive(Debug, Clone)]
+pub struct StormRow {
+    /// Plan seed.
+    pub seed: u64,
+    /// Restartable faults delivered to guest handlers.
+    pub faults_delivered: u64,
+    /// Retransmissions after backoff.
+    pub retries: u64,
+    /// Deadline expiries.
+    pub timeouts: u64,
+    /// Replica rebinds requested by guest handlers.
+    pub failovers: u64,
+    /// Frames bounced off crashed nodes.
+    pub naks: u64,
+    /// Frames lost to drops and partitions.
+    pub lost_frames: u64,
+    /// Simulated makespan under the storm.
+    pub makespan_cycles: u64,
+    /// Makespan overhead over the clean replicated run.
+    pub overhead: f64,
+    /// Mean latency of calls that completed on the first attempt.
+    pub clean_latency: f64,
+    /// Mean latency of calls that needed retries or failover.
+    pub recovery_latency: f64,
+    /// Guest instructions spent inside fault handlers, summed over the
+    /// population.
+    pub handler_instructions: u64,
+    /// Whether every context's fault-adjusted final state matched the
+    /// clean run bit-for-bit.
+    pub adjusted_identical: bool,
+}
+
+/// Runs every storm seed and differences each against the clean run.
+pub fn storms(p: &Params) -> (u64, Vec<StormRow>) {
+    let clean = run_cluster(
+        p.contexts,
+        p.calls,
+        LinkConfig::default(),
+        NetPlan::from_events(Vec::new()),
+        true,
+        p.seed,
+    );
+    assert_eq!(clean.rpc.faults_delivered, 0);
+    let clean_makespan = clean.sched.makespan_cycles();
+    let clean_adj: Vec<_> = clean
+        .sched
+        .finals_sorted()
+        .iter()
+        .map(|f| f.adjusted())
+        .collect();
+    let horizon = p.contexts * p.calls as u64;
+    let mut rows = Vec::new();
+    for &seed in &p.storm_seeds {
+        let report = run_cluster(
+            p.contexts,
+            p.calls,
+            LinkConfig::default(),
+            NetPlan::generate(seed, horizon, 2),
+            true,
+            p.seed,
+        );
+        assert_eq!(
+            report.rpc.completed,
+            p.contexts * p.calls as u64,
+            "storm seed {seed}: every call must eventually complete"
+        );
+        let finals = report.sched.finals_sorted();
+        let adjusted_identical =
+            finals.iter().map(|f| f.adjusted()).collect::<Vec<_>>() == clean_adj;
+        let makespan = report.sched.makespan_cycles();
+        rows.push(StormRow {
+            seed,
+            faults_delivered: report.rpc.faults_delivered,
+            retries: report.rpc.retries,
+            timeouts: report.rpc.timeouts,
+            failovers: report.rpc.failovers,
+            naks: report.rpc.naks,
+            lost_frames: report.net.dropped + report.net.partition_dropped,
+            makespan_cycles: makespan,
+            overhead: makespan as f64 / clean_makespan as f64 - 1.0,
+            clean_latency: report.rpc.clean_latency.mean(),
+            recovery_latency: report.rpc.recovery_latency.mean(),
+            handler_instructions: finals.iter().map(|f| f.handler_instructions).sum(),
+            adjusted_identical,
+        });
+    }
+    (clean_makespan, rows)
+}
+
+/// The report and the `BENCH_host_rpc.json` contents.
+pub fn report_and_json(p: &Params) -> (String, String) {
+    let cost = call_cost(p);
+    let batch = batching(p);
+    let (clean_makespan, storm) = storms(p);
+    let link = LinkConfig::default();
+
+    let mut out = String::new();
+    out.push_str("H7: cross-machine XFER (simulated cycles, virtual-time engine)\n");
+    out.push_str(&format!(
+        "local LOCALCALL iteration: {:.1} cycles; remote XFER: mean {:.0} (p50 {}, p95 {}) — {:.0}x\n",
+        cost.local_cycles, cost.remote_mean, cost.remote_p50, cost.remote_p95, cost.ratio
+    ));
+    out.push_str(&format!(
+        "batching ({} contexts x {} calls):\n{:>8} {:>14} {:>12} {:>8} {:>8}\n",
+        p.contexts, p.calls, "window", "makespan", "mean lat", "frames", "speedup"
+    ));
+    for r in &batch {
+        out.push_str(&format!(
+            "{:>8} {:>14} {:>12.0} {:>8} {:>7.2}x\n",
+            r.window, r.makespan_cycles, r.mean_latency, r.frames, r.speedup
+        ));
+    }
+    out.push_str(&format!(
+        "storms (clean makespan {clean_makespan}):\n{:>5} {:>7} {:>7} {:>8} {:>9} {:>5} {:>5} {:>9} {:>10} {:>10} {:>9} {:>5}\n",
+        "seed",
+        "faults",
+        "retries",
+        "timeouts",
+        "failovers",
+        "naks",
+        "lost",
+        "overhead",
+        "clean lat",
+        "recov lat",
+        "hndl ins",
+        "adj=="
+    ));
+    for r in &storm {
+        out.push_str(&format!(
+            "{:>5} {:>7} {:>7} {:>8} {:>9} {:>5} {:>5} {:>8.1}% {:>10.0} {:>10.0} {:>9} {:>5}\n",
+            r.seed,
+            r.faults_delivered,
+            r.retries,
+            r.timeouts,
+            r.failovers,
+            r.naks,
+            r.lost_frames,
+            r.overhead * 100.0,
+            r.clean_latency,
+            r.recovery_latency,
+            r.handler_instructions,
+            r.adjusted_identical
+        ));
+    }
+
+    let mut json = String::from("{\n  \"experiment\": \"h7_rpc\",\n");
+    json.push_str("  \"unit\": \"simulated cycles, deterministic virtual-time engine\",\n");
+    json.push_str(&format!(
+        "  \"link\": {{\"latency\": {}, \"per_flight\": {}, \"per_word\": {}}},\n",
+        link.latency, link.per_flight, link.per_word
+    ));
+    json.push_str(&format!(
+        "  \"contexts\": {}, \"calls\": {}, \"seed\": {},\n",
+        p.contexts, p.calls, p.seed
+    ));
+    json.push_str(&format!(
+        "  \"local_call_cycles\": {:.2},\n  \"remote\": {{\"mean\": {:.1}, \"p50\": {}, \"p95\": {}, \"ratio_vs_local\": {:.2}}},\n",
+        cost.local_cycles, cost.remote_mean, cost.remote_p50, cost.remote_p95, cost.ratio
+    ));
+    json.push_str("  \"batching\": [\n");
+    for (i, r) in batch.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"window\": {}, \"makespan_cycles\": {}, \"mean_latency\": {:.1}, \"frames\": {}, \"speedup\": {:.3}}}{}\n",
+            r.window,
+            r.makespan_cycles,
+            r.mean_latency,
+            r.frames,
+            r.speedup,
+            if i + 1 == batch.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"clean_makespan_cycles\": {clean_makespan},\n  \"storms\": [\n"
+    ));
+    for (i, r) in storm.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"seed\": {}, \"faults_delivered\": {}, \"retries\": {}, \"timeouts\": {}, \
+             \"failovers\": {}, \"naks\": {}, \"lost_frames\": {}, \"makespan_cycles\": {}, \
+             \"overhead\": {:.4}, \"clean_latency_mean\": {:.1}, \"recovery_latency_mean\": {:.1}, \
+             \"handler_instructions\": {}, \"adjusted_identical\": {}}}{}\n",
+            r.seed,
+            r.faults_delivered,
+            r.retries,
+            r.timeouts,
+            r.failovers,
+            r.naks,
+            r.lost_frames,
+            r.makespan_cycles,
+            r.overhead,
+            r.clean_latency,
+            r.recovery_latency,
+            r.handler_instructions,
+            r.adjusted_identical,
+            if i + 1 == storm.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    (out, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sections_hold_their_invariants() {
+        let p = Params::smoke();
+        let cost = call_cost(&p);
+        assert!(cost.local_cycles > 0.0);
+        assert!(
+            cost.remote_mean > cost.local_cycles,
+            "a remote XFER cannot be cheaper than a local one"
+        );
+        let batch = batching(&p);
+        assert_eq!(batch.len(), p.batch_windows.len());
+        assert!(
+            batch.last().unwrap().frames <= batch[0].frames,
+            "batching must not add frames"
+        );
+        let (_, storm) = storms(&p);
+        assert_eq!(storm.len(), p.storm_seeds.len());
+        for r in &storm {
+            assert!(r.adjusted_identical, "seed {}: priced recovery", r.seed);
+        }
+    }
+}

@@ -20,3 +20,4 @@ pub mod h3;
 pub mod h4;
 pub mod h5;
 pub mod h6;
+pub mod h7;

@@ -207,6 +207,10 @@ pub fn link(
         },
         classes,
         bank_args: options.bank_args,
+        // The Mesa-lite language has no remote-import syntax yet;
+        // remote descriptors enter images through
+        // `ImageBuilder::import_remote` or host-side registration.
+        remote_imports: Vec::new(),
     };
 
     // Apply fixups now that every header has an absolute address.

@@ -119,6 +119,12 @@ pub enum Instr {
     /// Pop a module index; re-bind its code segment if it was unbound
     /// (swapped out); push 1 if a rebind happened, 0 otherwise.
     BindModule,
+    /// Push the info word of the most recent remote-transfer fault
+    /// (`lv_index << 4 | failure class`).
+    RemoteInfo,
+    /// Pop a remote-fault info word; queue a host request to rebind
+    /// that link-vector entry to the next replica.
+    Failover,
     /// Raise trap `n`.
     Trap(u8),
     /// Yield to the next ready process.
@@ -248,6 +254,8 @@ impl Instr {
             Instr::FreeRecord => out.push(op::FREEREC),
             Instr::Donate => out.push(op::DONATE),
             Instr::BindModule => out.push(op::BINDMOD),
+            Instr::RemoteInfo => out.push(op::RFINFO),
+            Instr::Failover => out.push(op::FAILOVER),
             Instr::Trap(n) => out.extend([op::TRAP, n]),
             Instr::ProcessSwitch => out.push(op::PSWITCH),
             Instr::Spawn => out.push(op::SPAWN),
@@ -417,6 +425,8 @@ pub fn decode(bytes: &[u8], offset: usize) -> Result<(Instr, usize), DecodeError
         op::FREEREC => Instr::FreeRecord,
         op::DONATE => Instr::Donate,
         op::BINDMOD => Instr::BindModule,
+        op::RFINFO => Instr::RemoteInfo,
+        op::FAILOVER => Instr::Failover,
         op::TRAP => Instr::Trap(u8_operand(&mut len)?),
         op::PSWITCH => Instr::ProcessSwitch,
         op::SPAWN => Instr::Spawn,
@@ -479,6 +489,8 @@ impl fmt::Display for Instr {
             Instr::FreeRecord => write!(f, "FREEREC"),
             Instr::Donate => write!(f, "DONATE"),
             Instr::BindModule => write!(f, "BINDMOD"),
+            Instr::RemoteInfo => write!(f, "RFINFO"),
+            Instr::Failover => write!(f, "FAILOVER"),
             Instr::Trap(n) => write!(f, "TRAP {n}"),
             Instr::ProcessSwitch => write!(f, "PSWITCH"),
             Instr::Spawn => write!(f, "SPAWN"),
@@ -538,6 +550,8 @@ mod tests {
             Instr::FreeRecord,
             Instr::Donate,
             Instr::BindModule,
+            Instr::RemoteInfo,
+            Instr::Failover,
             Instr::ProcessSwitch,
             Instr::Spawn,
             Instr::Out,

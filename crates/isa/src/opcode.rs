@@ -161,6 +161,15 @@ pub const DONATE: u8 = 0x72;
 /// `BINDMOD`: pop a module index and re-bind its code segment (undoing
 /// a swap-out); pushes 1 if the module was unbound, 0 otherwise.
 pub const BINDMOD: u8 = 0x73;
+/// `RFINFO`: push the info word of the most recent remote-transfer
+/// fault (`lv_index << 4 | failure class`), so a fault handler can
+/// learn which link failed and why before deciding to fail over.
+pub const RFINFO: u8 = 0x74;
+/// `FAILOVER`: pop a remote-fault info word and ask the host RPC
+/// runtime to rebind that link-vector entry to the next replica. The
+/// request is queued for the host; the guest then `RET`s from its
+/// handler and the faulting call restarts against the new binding.
+pub const FAILOVER: u8 = 0x75;
 
 #[cfg(test)]
 mod tests {
@@ -192,7 +201,7 @@ mod tests {
             NEG, AND, OR, XOR, SHL, SHR, EQ, NE, LT, LE, GT, GE, ADDB, DUP, DROP, EXCH, LDIDX,
             STIDX, JB, JW, JZB, JNZB, JZW, JNZW, EFCB, LFCB, DFC, SDFC, RET, XF, NEWCTX, TRAP,
             PSWITCH, SPAWN, OUT, HALT, NOOP, FREECTX, RETCTX, LGA, ALLOCREC, FREEREC, DONATE,
-            BINDMOD,
+            BINDMOD, RFINFO, FAILOVER,
         ] {
             assert!(!used[single as usize], "opcode {single:#x} assigned twice");
             used[single as usize] = true;

@@ -1,0 +1,537 @@
+//! The cluster driver: client scheduler + server nodes + transport.
+//!
+//! A [`Cluster`] is one client node (node 0) running a whole
+//! [`Population`] of guest contexts under the deterministic
+//! [`DetScheduler`], plus any number of [`ServerNode`]s that execute
+//! marshalled requests run-to-completion, all joined by a
+//! [`Transport`]. The driver loop interleaves three clocks:
+//!
+//! 1. **Scheduler ticks** advance client virtual time; a context that
+//!    hits a remote `XFER` parks (it never spins) and its worker keeps
+//!    running other contexts.
+//! 2. **The transport** carries frames under the serialized-link cost
+//!    model, interpreting the run's [`NetPlan`].
+//! 3. **Server nodes** are serial executors: a request admitted at `t`
+//!    replies at `max(t, node_free_at) + ADMIT_CYCLES + guest cycles`,
+//!    so server contention is priced, not wished away.
+//!
+//! Every in-flight call sits in a `waiting` map keyed by wire sequence
+//! number and runs the [`CallPolicy`] state machine: deadline →
+//! backoff → resend (same seq, so duplicates and late replies dedup)
+//! → `RetriesExhausted`. A failure that exhausts the policy is
+//! delivered to the guest as a restartable `RemoteFault`; the guest
+//! handler can read the failure word (`RFINFO`), request a rebind
+//! (`FAILOVER`) — honoured here against the registered replica sets —
+//! and restart the call.
+//!
+//! [`NetPlan`]: fpc_vm::inject::NetPlan
+
+use std::collections::{BTreeMap, HashMap};
+
+use fpc_sched::{Context, DetScheduler, Population, SchedConfig, SchedReport, TickOutcome};
+use fpc_stats::Histogram;
+use fpc_vm::{Image, Machine, MachineConfig, ProcRef, RemoteFaultClass};
+
+use crate::policy::CallPolicy;
+use crate::transport::{Delivery, NetStats, NodeId, Transport};
+use crate::wire::{self, Packet, Reply, Request};
+
+/// The client node's id: the node every context in the population
+/// lives on.
+pub const CLIENT_NODE: NodeId = 0;
+
+/// Consecutive idle scheduler ticks with no frame in flight and no
+/// timer pending before the driver declares a lost wake-up. Idle ticks
+/// *with* pending work are normal (virtual time passing toward a
+/// delivery or deadline); idle ticks with nothing pending can only
+/// mean the driver dropped a context.
+const FUTILE_TICK_LIMIT: u64 = 10_000;
+
+/// One exported procedure on a server node. The wire `proc` id is the
+/// service's index in the node's service table.
+#[derive(Debug, Clone)]
+pub struct ServiceDef {
+    /// Import name remote descriptors bind against.
+    pub name: String,
+    /// Entry procedure in the server image.
+    pub entry: ProcRef,
+    /// Argument words the service consumes off the wire.
+    pub nargs: u8,
+    /// Result words the service leaves on its stack.
+    pub nret: u8,
+}
+
+/// A server machine: an image, a service table, and a serial virtual
+/// clock. Each request loads a fresh [`Machine`] at the service's
+/// entry (stateless servers — replicas are interchangeable, which is
+/// what makes failover sound).
+#[derive(Debug)]
+pub struct ServerNode {
+    image: Image,
+    config: MachineConfig,
+    services: Vec<ServiceDef>,
+    /// Fuel budget per request; a service that exceeds it is reported
+    /// dead, not hung.
+    fuel: u64,
+    /// When this serial executor frees up (virtual cycles).
+    free_at: u64,
+}
+
+impl ServerNode {
+    /// A server over `image` with an empty service table.
+    pub fn new(image: Image, config: MachineConfig) -> Self {
+        ServerNode {
+            image,
+            config,
+            services: Vec::new(),
+            fuel: 1_000_000,
+            free_at: 0,
+        }
+    }
+
+    /// Exports `entry` as a service; wire `proc` ids follow
+    /// registration order.
+    pub fn service(mut self, name: &str, entry: ProcRef, nargs: u8, nret: u8) -> Self {
+        self.services.push(ServiceDef {
+            name: name.to_string(),
+            entry,
+            nargs,
+            nret,
+        });
+        self
+    }
+
+    /// Caps the fuel one request may burn.
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+}
+
+/// Where a waiting call is in the [`CallPolicy`] state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CallState {
+    /// Sent, awaiting a reply until the deadline.
+    InFlight {
+        /// Virtual time at which this attempt times out.
+        deadline_at: u64,
+    },
+    /// A failed attempt cooling off before the resend.
+    Backoff {
+        /// Virtual time at which to resend.
+        resend_at: u64,
+    },
+}
+
+/// A parked context plus everything needed to retry or fail its call.
+#[derive(Debug)]
+struct WaitingCall {
+    ctx: Context,
+    node: NodeId,
+    proc: u16,
+    args: Vec<u16>,
+    nret: u8,
+    attempts: u32,
+    first_issued: u64,
+    state: CallState,
+}
+
+/// Host-side RPC counters — like `FaultStats`, kept strictly apart
+/// from the guests' architectural counters.
+#[derive(Debug, Clone, Default)]
+pub struct RpcStats {
+    /// Logical calls issued (first attempts).
+    pub issued: u64,
+    /// Calls completed with results delivered.
+    pub completed: u64,
+    /// Resends after a failed attempt.
+    pub retries: u64,
+    /// Attempts that hit their deadline.
+    pub timeouts: u64,
+    /// Attempts bounced off a crashed node.
+    pub naks: u64,
+    /// Failures delivered to guests as restartable `RemoteFault`s.
+    pub faults_delivered: u64,
+    /// `FAILOVER` rebinds honoured.
+    pub failovers: u64,
+    /// Replies with no waiting call (late duplicates, post-retry
+    /// originals) — dropped by seq dedup.
+    pub stale_replies: u64,
+    /// Frames that failed to decode at either end.
+    pub corrupt_frames: u64,
+    /// Requests server nodes executed (duplicates included).
+    pub server_requests: u64,
+    /// Guest cycles burned server-side.
+    pub server_cycles: u64,
+    /// Issue-to-complete latency of every completed call.
+    pub latency: Histogram,
+    /// Latency of calls that completed on the first attempt.
+    pub clean_latency: Histogram,
+    /// Latency of calls that needed at least one retry or failover —
+    /// the priced cost of recovery.
+    pub recovery_latency: Histogram,
+}
+
+/// Everything a cluster run produces.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// The client scheduler's report (worker stats, trace, finals).
+    pub sched: SchedReport,
+    /// Host RPC accounting.
+    pub rpc: RpcStats,
+    /// Network-side accounting.
+    pub net: NetStats,
+}
+
+/// A client population, a set of server nodes, and the machinery that
+/// drives them to completion under one virtual clock.
+pub struct Cluster<T: Transport> {
+    sched: DetScheduler,
+    transport: T,
+    policy: CallPolicy,
+    rng: fpc_rng::Rng,
+    servers: BTreeMap<NodeId, ServerNode>,
+    /// Replica sets per remote-link LV index; `FAILOVER` rotates
+    /// through these.
+    replicas: HashMap<u8, Vec<NodeId>>,
+    waiting: BTreeMap<u32, WaitingCall>,
+    next_seq: u32,
+    stats: RpcStats,
+}
+
+impl<T: Transport> Cluster<T> {
+    /// Builds a cluster: `population` on the client under `sched_cfg`
+    /// (the deterministic engine — the cluster owns virtual time, so
+    /// real threads cannot drive it), `transport` between nodes,
+    /// `policy` on every call, `seed` for backoff jitter.
+    pub fn new(
+        population: Population,
+        sched_cfg: &SchedConfig,
+        transport: T,
+        policy: CallPolicy,
+        seed: u64,
+    ) -> Self {
+        Cluster {
+            sched: DetScheduler::new(population, sched_cfg),
+            transport,
+            policy,
+            rng: fpc_rng::Rng::seed_from_u64(seed ^ 0x5ca1_ab1e),
+            servers: BTreeMap::new(),
+            replicas: HashMap::new(),
+            waiting: BTreeMap::new(),
+            next_seq: 1,
+            stats: RpcStats::default(),
+        }
+    }
+
+    /// Installs a server node. Node 0 is the client; registering it is
+    /// a bug.
+    pub fn add_server(&mut self, node: NodeId, server: ServerNode) {
+        assert_ne!(node, CLIENT_NODE, "node 0 is the client");
+        self.servers.insert(node, server);
+    }
+
+    /// Registers the replica set a `FAILOVER` on remote-link `lv_index`
+    /// rotates through.
+    pub fn set_replicas(&mut self, lv_index: u8, nodes: Vec<NodeId>) {
+        self.replicas.insert(lv_index, nodes);
+    }
+
+    /// Drives everything to completion and reports.
+    pub fn run(mut self) -> ClusterReport {
+        let mut futile = 0u64;
+        loop {
+            self.pump();
+            match self.sched.tick_once() {
+                // Contexts held in `waiting` still count as unretired,
+                // so Done implies every call has resolved.
+                TickOutcome::Done => break,
+                TickOutcome::Ran => futile = 0,
+                TickOutcome::Idle => {
+                    if self.transport.in_flight() == 0 && self.waiting.is_empty() {
+                        futile += 1;
+                        assert!(
+                            futile < FUTILE_TICK_LIMIT,
+                            "cluster wedged: contexts remain but nothing is in \
+                             flight, waiting, or runnable (lost wake-up?)"
+                        );
+                    } else {
+                        futile = 0;
+                    }
+                }
+            }
+        }
+        ClusterReport {
+            net: self.transport.net_stats(),
+            rpc: self.stats,
+            sched: self.sched.into_report(),
+        }
+    }
+
+    /// One round of host work between scheduler ticks: issue calls for
+    /// freshly parked contexts, deliver due frames, fire due timers.
+    fn pump(&mut self) {
+        for ctx in self.sched.take_parked() {
+            self.issue(ctx);
+        }
+        let now = self.sched.now();
+        for d in self.transport.poll(now) {
+            self.handle_delivery(now, d);
+        }
+        self.fire_timers(now);
+    }
+
+    /// Issues the remote call a parked context is blocked on: applies
+    /// any pending `FAILOVER` rebind, resolves the service, marshals,
+    /// sends, and files the call in the waiting map.
+    fn issue(&mut self, mut ctx: Context) {
+        // Guest-requested failovers are applied before re-reading the
+        // request, so a handler's FAILOVER + restart reissues against
+        // the next replica.
+        for info in ctx.machine.take_failover_requests() {
+            let lv = (info >> 4) as u8;
+            let Some(req) = ctx.machine.remote_request() else {
+                break;
+            };
+            if let Some(reps) = self.replicas.get(&lv) {
+                if !reps.is_empty() {
+                    let pos = reps.iter().position(|&n| n == req.node).unwrap_or(0);
+                    let next = reps[(pos + 1) % reps.len()];
+                    if ctx.machine.rebind_remote_link(req.module, lv, next) {
+                        self.stats.failovers += 1;
+                    }
+                }
+            }
+        }
+        let Some(req) = ctx.machine.remote_request() else {
+            // Parked but not blocked: nothing to issue, hand it back.
+            self.sched.wake(ctx);
+            return;
+        };
+        let proc = self
+            .servers
+            .get(&req.node)
+            .and_then(|s| s.services.iter().position(|d| d.name == req.name));
+        let Some(proc) = proc else {
+            // No such node or no such service there: the descriptor
+            // points at nothing — immediately a dead remote.
+            ctx.machine.fail_remote(RemoteFaultClass::RemoteDead);
+            self.stats.faults_delivered += 1;
+            self.sched.wake(ctx);
+            return;
+        };
+        let now = self.sched.now();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.issued += 1;
+        let call = WaitingCall {
+            ctx,
+            node: req.node,
+            proc: proc as u16,
+            args: req.args,
+            nret: req.nret,
+            attempts: 0,
+            first_issued: now,
+            state: CallState::InFlight { deadline_at: 0 },
+        };
+        self.waiting.insert(seq, call);
+        self.send_attempt(now, seq);
+    }
+
+    /// Sends (or resends) the request for `seq` and arms its deadline.
+    fn send_attempt(&mut self, now: u64, seq: u32) {
+        let call = self.waiting.get_mut(&seq).expect("call filed");
+        call.attempts += 1;
+        call.state = CallState::InFlight {
+            deadline_at: now + self.policy.deadline,
+        };
+        let bytes = wire::encode(&Packet::Request(Request {
+            seq,
+            proc: call.proc,
+            args: call.args.clone(),
+        }));
+        let node = call.node;
+        self.transport.send(now, CLIENT_NODE, node, bytes);
+    }
+
+    /// Routes one delivered frame.
+    fn handle_delivery(&mut self, now: u64, d: Delivery) {
+        if d.nak {
+            // Our own frame bounced off a crashed node; recover the
+            // seq from the bounced bytes and treat it as a failure of
+            // that attempt.
+            if let Ok(Packet::Request(r)) = wire::decode(&d.bytes) {
+                self.stats.naks += 1;
+                self.attempt_failed(now, r.seq, RemoteFaultClass::RemoteDead);
+            }
+            return;
+        }
+        if d.to == CLIENT_NODE {
+            match wire::decode(&d.bytes) {
+                Ok(Packet::Reply(r)) => self.handle_reply(now, r),
+                Ok(Packet::Request(_)) => self.stats.stale_replies += 1,
+                Err(_) => {
+                    // An undecodable frame names no seq; the attempt
+                    // it answered will hit its deadline.
+                    self.stats.corrupt_frames += 1;
+                }
+            }
+        } else {
+            self.serve(now, d);
+        }
+    }
+
+    /// Executes a request on the destination server node and sends the
+    /// reply. Stateless execution: duplicates re-run and the client's
+    /// seq dedup drops the extra reply.
+    fn serve(&mut self, now: u64, d: Delivery) {
+        let Some(server) = self.servers.get_mut(&d.to) else {
+            return; // frame addressed into the void
+        };
+        let req = match wire::decode(&d.bytes) {
+            Ok(Packet::Request(r)) => r,
+            Ok(Packet::Reply(_)) => return,
+            Err(_) => {
+                self.stats.corrupt_frames += 1;
+                return; // can't even name a seq to refuse
+            }
+        };
+        let refuse = |status: RemoteFaultClass| Reply {
+            seq: req.seq,
+            status: status.code() + 1,
+            results: Vec::new(),
+        };
+        let (reply, cycles) = match server.services.get(req.proc as usize) {
+            None => (refuse(RemoteFaultClass::DecodeError), 0),
+            Some(svc) if req.args.len() != svc.nargs as usize => {
+                // Frame decoded but the record does not match the
+                // service signature.
+                (refuse(RemoteFaultClass::DecodeError), 0)
+            }
+            Some(svc) => {
+                let svc = svc.clone();
+                match Machine::load_service(&server.image, server.config, svc.entry, &req.args) {
+                    Ok(mut m) => match m.run(server.fuel) {
+                        Ok(()) => {
+                            let stack = m.stack();
+                            let take = (svc.nret as usize).min(stack.len());
+                            let results = stack[stack.len() - take..].to_vec();
+                            let cycles = m.stats().cycles;
+                            (
+                                Reply {
+                                    seq: req.seq,
+                                    status: 0,
+                                    results,
+                                },
+                                cycles,
+                            )
+                        }
+                        // A service that faults or runs out of fuel is
+                        // indistinguishable from a dead node to the
+                        // caller.
+                        Err(_) => (refuse(RemoteFaultClass::RemoteDead), m.stats().cycles),
+                    },
+                    Err(_) => (refuse(RemoteFaultClass::RemoteDead), 0),
+                }
+            }
+        };
+        self.stats.server_requests += 1;
+        self.stats.server_cycles += cycles;
+        // Serial executor: the reply departs when the node has both
+        // received the request and finished running it.
+        let done = server.free_at.max(now) + fpc_sched::ADMIT_CYCLES + cycles;
+        server.free_at = done;
+        let node = d.to;
+        let bytes = wire::encode(&Packet::Reply(reply));
+        self.transport.send(done, node, CLIENT_NODE, bytes);
+    }
+
+    /// Applies a reply to its waiting call, if any still waits.
+    fn handle_reply(&mut self, now: u64, r: Reply) {
+        let Some(call) = self.waiting.get(&r.seq) else {
+            self.stats.stale_replies += 1;
+            return;
+        };
+        if r.status != 0 {
+            let class =
+                RemoteFaultClass::from_code(r.status - 1).unwrap_or(RemoteFaultClass::RemoteDead);
+            self.attempt_failed(now, r.seq, class);
+            return;
+        }
+        if r.results.len() != call.nret as usize {
+            // The reply decoded but the result record is malformed;
+            // retrying a deterministic decode error is pointless.
+            let call = self.waiting.remove(&r.seq).expect("present");
+            self.deliver_fault(call, RemoteFaultClass::DecodeError);
+            return;
+        }
+        let mut call = self.waiting.remove(&r.seq).expect("present");
+        call.ctx.machine.complete_remote(r.results);
+        self.stats.completed += 1;
+        let lat = now.saturating_sub(call.first_issued);
+        self.stats.latency.record(lat);
+        if call.attempts > 1 {
+            self.stats.recovery_latency.record(lat);
+        } else {
+            self.stats.clean_latency.record(lat);
+        }
+        self.sched.wake(call.ctx);
+    }
+
+    /// One attempt failed (`class` says how): retry under the policy
+    /// or deliver the failure to the guest.
+    fn attempt_failed(&mut self, now: u64, seq: u32, class: RemoteFaultClass) {
+        let Some(call) = self.waiting.get_mut(&seq) else {
+            self.stats.stale_replies += 1;
+            return;
+        };
+        if self.policy.idempotent && call.attempts < self.policy.max_attempts {
+            let wait = self.policy.backoff(call.attempts, &mut self.rng);
+            call.state = CallState::Backoff {
+                resend_at: now + wait,
+            };
+            return;
+        }
+        let exhausted = self.policy.idempotent && call.attempts >= self.policy.max_attempts;
+        let class = if exhausted {
+            RemoteFaultClass::RetriesExhausted
+        } else {
+            class
+        };
+        let call = self.waiting.remove(&seq).expect("present");
+        self.deliver_fault(call, class);
+    }
+
+    /// Hands a failure to the guest as a restartable `RemoteFault`.
+    fn deliver_fault(&mut self, mut call: WaitingCall, class: RemoteFaultClass) {
+        call.ctx.machine.fail_remote(class);
+        self.stats.faults_delivered += 1;
+        self.sched.wake(call.ctx);
+    }
+
+    /// Fires every deadline and resend timer due at `now`.
+    fn fire_timers(&mut self, now: u64) {
+        let timed_out: Vec<u32> = self
+            .waiting
+            .iter()
+            .filter(|(_, c)| matches!(c.state, CallState::InFlight { deadline_at } if deadline_at <= now))
+            .map(|(&s, _)| s)
+            .collect();
+        for seq in timed_out {
+            self.stats.timeouts += 1;
+            self.attempt_failed(now, seq, RemoteFaultClass::Timeout);
+        }
+        let resend: Vec<u32> = self
+            .waiting
+            .iter()
+            .filter(
+                |(_, c)| matches!(c.state, CallState::Backoff { resend_at } if resend_at <= now),
+            )
+            .map(|(&s, _)| s)
+            .collect();
+        for seq in resend {
+            self.stats.retries += 1;
+            self.send_attempt(now, seq);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! Cross-machine `XFER`: the paper's control-transfer primitive
+//! stretched over a network link.
+//!
+//! Lampson's machine makes a local call cheap by making `XFER` the
+//! single universal transfer; this crate extends the same linkage
+//! discipline to calls that leave the machine. A remote procedure is
+//! still just a linkage-table entry — but one registered as a *remote
+//! descriptor* (`fpc-vm`'s `RemoteImport`), so the `XFER` through it
+//! marshals the argument record straight off the evaluation stack into
+//! a wire frame ([`wire`]), parks the calling context
+//! (`fpc-sched`), and lets the host carry the frame to a server node.
+//! The reply unmarshals onto the same stack at the restart of the very
+//! same instruction.
+//!
+//! Failure is a first-class outcome: every call runs under a
+//! [`CallPolicy`] (deadline, retry budget, exponential backoff with
+//! seeded jitter), and a failure that exhausts the policy surfaces in
+//! the guest as a **restartable architectural fault** — the guest's
+//! `RemoteFault` handler can inspect it (`RFINFO`), rebind the
+//! descriptor to a replica (`FAILOVER`), and restart the transfer.
+//! Networks misbehave deterministically here: the transport interprets
+//! `fpc-vm`'s seeded [`NetPlan`] (drops, delays, duplicates, reorders,
+//! crashes, partitions), so every storm — and every recovery — replays
+//! bit-for-bit.
+//!
+//! * [`wire`] — self-delimiting checksummed frames; total decode.
+//! * [`CallPolicy`] — deadline / retry / backoff state machine.
+//! * [`Transport`] / [`ChannelTransport`] — the host link under a
+//!   serialized cost model with honest batching.
+//! * [`Cluster`] — the driver: client scheduler, server nodes, timers.
+//!
+//! [`NetPlan`]: fpc_vm::inject::NetPlan
+
+mod cluster;
+mod policy;
+mod transport;
+pub mod wire;
+
+pub use cluster::{Cluster, ClusterReport, RpcStats, ServerNode, ServiceDef, CLIENT_NODE};
+pub use policy::CallPolicy;
+pub use transport::{ChannelTransport, Delivery, LinkConfig, NetStats, NodeId, Transport};

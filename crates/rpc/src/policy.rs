@@ -1,0 +1,120 @@
+//! Call policies: deadline, retry budget, exponential backoff.
+//!
+//! Every remote call runs under a [`CallPolicy`]. The policy state
+//! machine, per logical call:
+//!
+//! ```text
+//!            send                    deadline
+//!  Issued ────────▶ InFlight ─────────────────────▶ timed out
+//!                      │                                │
+//!                      │ reply ok                       │ attempts left
+//!                      ▼                                │ and idempotent
+//!                  Completed                            ▼
+//!                      ▲                            Backoff (exp + jitter)
+//!                      │ reply ok (retry)               │ resend_at reached
+//!                      └────────── InFlight ◀───────────┘
+//!
+//!  any failure with no retry budget (or a non-idempotent call) ──▶
+//!  a restartable guest fault (`FaultKind::RemoteFault`), class per
+//!  `RemoteFaultClass` — recovery becomes the *guest's* protocol.
+//! ```
+//!
+//! Backoff is exponential with seeded jitter (`fpc-rng`), so a retry
+//! storm decorrelates *deterministically*: same seed, same schedule.
+
+use fpc_rng::Rng;
+
+/// Retry/timeout/backoff parameters for remote calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallPolicy {
+    /// Simulated cycles an attempt may stay in flight before it times
+    /// out.
+    pub deadline: u64,
+    /// Total attempts (first send included) before the failure is
+    /// delivered to the guest as `RetriesExhausted`.
+    pub max_attempts: u32,
+    /// Backoff before attempt 2; doubles per attempt.
+    pub backoff_base: u64,
+    /// Backoff ceiling (pre-jitter).
+    pub backoff_cap: u64,
+    /// Whether the host may retry automatically. Non-idempotent calls
+    /// never auto-retry: any transport failure is delivered to the
+    /// guest fault handler, which alone knows whether re-running is
+    /// safe.
+    pub idempotent: bool,
+}
+
+impl Default for CallPolicy {
+    fn default() -> Self {
+        CallPolicy {
+            deadline: 20_000,
+            max_attempts: 4,
+            backoff_base: 1_000,
+            backoff_cap: 32_000,
+            idempotent: true,
+        }
+    }
+}
+
+impl CallPolicy {
+    /// A policy that never retries: every transport failure is
+    /// delivered to the guest.
+    pub fn fail_fast() -> Self {
+        CallPolicy {
+            max_attempts: 1,
+            idempotent: false,
+            ..CallPolicy::default()
+        }
+    }
+
+    /// Backoff before attempt `attempt + 1` (so after the first
+    /// failure, `attempt` is 1): `base << (attempt-1)` capped, plus
+    /// jitter uniform in `[0, half the capped value]`.
+    pub fn backoff(&self, attempt: u32, rng: &mut Rng) -> u64 {
+        let exp = self
+            .backoff_base
+            .saturating_mul(1u64 << (attempt.saturating_sub(1)).min(20))
+            .min(self.backoff_cap);
+        let jitter = rng.next_u64() % (exp / 2 + 1);
+        exp + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = CallPolicy {
+            backoff_base: 100,
+            backoff_cap: 800,
+            ..CallPolicy::default()
+        };
+        let mut rng = Rng::seed_from_u64(1);
+        let b1 = p.backoff(1, &mut rng);
+        assert!((100..=150).contains(&b1), "b1 = {b1}");
+        let b4 = p.backoff(4, &mut rng);
+        assert!(
+            (800..=1200).contains(&b4),
+            "capped at 800 + jitter, got {b4}"
+        );
+        // Huge attempt counts must not overflow the shift.
+        let b = p.backoff(u32::MAX, &mut rng);
+        assert!(b <= 1200);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_in_seed() {
+        let p = CallPolicy::default();
+        let a: Vec<u64> = {
+            let mut rng = Rng::seed_from_u64(7);
+            (1..6).map(|i| p.backoff(i, &mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = Rng::seed_from_u64(7);
+            (1..6).map(|i| p.backoff(i, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

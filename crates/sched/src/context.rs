@@ -43,6 +43,12 @@ impl FuelPolicy {
 pub enum Wake {
     /// On some run queue (or in a worker's hands), more work to do.
     Runnable,
+    /// Parked on an in-flight remote call ([`VmError::RemoteBlocked`]):
+    /// off every run queue, waiting for the host transport to complete
+    /// or fail the operation and [`DetScheduler::wake`] it.
+    ///
+    /// [`DetScheduler::wake`]: crate::DetScheduler::wake
+    Parked,
     /// Halted cleanly; statistics harvested, memory recycled.
     Retired,
     /// Died on a guest error other than `OutOfFuel`.
@@ -143,12 +149,23 @@ pub struct FinalState {
     pub slices: u64,
     /// Times it was stolen.
     pub steals: u64,
+    /// Instructions executed on behalf of fault handling (from the
+    /// machine's `FaultStats`), for the adjusted-counter discipline.
+    pub handler_instructions: u64,
+    /// Cycles spent on behalf of fault handling.
+    pub handler_cycles: u64,
+    /// Counted references made on behalf of fault handling, plus those
+    /// injected by host-side hooks.
+    pub handler_refs: u64,
+    /// Taken jumps executed inside handlers.
+    pub handler_jumps: u64,
 }
 
 impl FinalState {
     /// Snapshots a context at retirement.
     pub fn of(ctx: &Context, faulted: bool) -> Self {
         let s = ctx.machine.stats();
+        let f = ctx.machine.fault_stats();
         FinalState {
             id: ctx.id,
             instructions: s.instructions,
@@ -159,6 +176,10 @@ impl FinalState {
             faulted,
             slices: ctx.slices,
             steals: ctx.steals,
+            handler_instructions: f.handler_instructions,
+            handler_cycles: f.handler_cycles,
+            handler_refs: f.handler_refs + f.injected_refs,
+            handler_jumps: f.handler_jumps,
         }
     }
 
@@ -173,6 +194,22 @@ impl FinalState {
             self.jumps,
             self.output_hash,
             self.faulted,
+        )
+    }
+
+    /// The fault-free fingerprint: architectural counters minus the
+    /// precisely-accounted fault-handling work. A run that recovered
+    /// through handlers must match the undisturbed run here, bit for
+    /// bit — the differential discipline `tests/rpc_chaos.rs` and
+    /// `tests/failure_injection.rs` pin down.
+    pub fn adjusted(&self) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            self.id,
+            self.instructions - self.handler_instructions,
+            self.cycles - self.handler_cycles,
+            self.refs - self.handler_refs,
+            self.jumps - self.handler_jumps,
+            self.output_hash,
         )
     }
 }

@@ -41,7 +41,7 @@ pub use context::{Context, FinalState, FuelPolicy, Wake};
 pub use pool::{default_workers, parallel_map};
 pub use population::{Factory, Population};
 pub use sched::{
-    replay, run, DetScheduler, SchedConfig, SchedReport, SliceOutcome, TraceEvent, WorkerStats,
-    ADMIT_CYCLES, DISPATCH_CYCLES, IDLE_CYCLES, STEAL_CYCLES,
+    replay, run, DetScheduler, SchedConfig, SchedReport, SliceOutcome, TickOutcome, TraceEvent,
+    WorkerStats, ADMIT_CYCLES, DISPATCH_CYCLES, IDLE_CYCLES, STEAL_CYCLES,
 };
 pub use shard::{Pending, Shard};

@@ -32,10 +32,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use fpc_rng::Rng;
 use fpc_stats::{merged_quantiles, Histogram};
+use fpc_vm::VmError;
 
 use crate::context::{Context, FinalState, Wake};
 use crate::population::Population;
@@ -124,8 +126,23 @@ pub enum SliceOutcome {
     Preempted,
     /// Machine halted; context retired.
     Done,
+    /// Parked on an in-flight remote call; off the run queues until
+    /// the host transport wakes it. Its worker keeps executing other
+    /// contexts — blocking is parking, never spinning.
+    Blocked,
     /// Guest error; context retired faulted.
     Faulted,
+}
+
+/// What one [`DetScheduler::tick_once`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// A worker ran a slice.
+    Ran,
+    /// The chosen worker found nothing and burned [`IDLE_CYCLES`].
+    Idle,
+    /// Every context has retired; nothing left to do.
+    Done,
 }
 
 /// One slice in the recorded schedule.
@@ -276,6 +293,12 @@ struct Core {
     remaining: AtomicU64,
     population: Population,
     record_finals: bool,
+    /// Contexts parked on in-flight remote calls, awaiting a host
+    /// wake. They still count in `remaining`, so a run with parked
+    /// contexts and no external completer never terminates — remote
+    /// workloads are driven through [`DetScheduler::tick`] by a
+    /// transport loop (`fpc-rpc`), not [`run`].
+    parked: Mutex<Vec<Context>>,
 }
 
 struct Worker {
@@ -306,6 +329,7 @@ impl Core {
             remaining: AtomicU64::new(count),
             population,
             record_finals: config.record_finals,
+            parked: Mutex::new(Vec::new()),
         }
     }
 
@@ -375,6 +399,7 @@ impl Core {
         let outcome = match r {
             Ok(false) => SliceOutcome::Preempted,
             Ok(true) => SliceOutcome::Done,
+            Err(VmError::RemoteBlocked) => SliceOutcome::Blocked,
             Err(_) => SliceOutcome::Faulted,
         };
         if let Some(t) = trace {
@@ -390,6 +415,10 @@ impl Core {
                 w.stats.preemptions += 1;
                 ctx.wake = Wake::Runnable;
                 self.shards[w.id].push_local(ctx);
+            }
+            SliceOutcome::Blocked => {
+                ctx.wake = Wake::Parked;
+                self.parked.lock().expect("parked list poisoned").push(ctx);
             }
             SliceOutcome::Done => self.retire(w, ctx, false),
             SliceOutcome::Faulted => self.retire(w, ctx, true),
@@ -463,24 +492,66 @@ impl DetScheduler {
     /// burns [`IDLE_CYCLES`] if it finds nothing. Returns `false` once
     /// every context has retired.
     pub fn tick(&mut self) -> bool {
+        !matches!(self.tick_once(), TickOutcome::Done)
+    }
+
+    /// [`DetScheduler::tick`], distinguishing a productive tick from an
+    /// idle one — the handle a transport driver loop needs: an `Idle`
+    /// tick with calls in flight is virtual time passing toward a
+    /// delivery or deadline; an `Idle` tick with *nothing* in flight
+    /// and contexts still parked is a lost wake-up in the driver.
+    pub fn tick_once(&mut self) -> TickOutcome {
         if self.core.remaining() == 0 {
-            return false;
+            return TickOutcome::Done;
         }
         let wi = (0..self.workers.len())
             .min_by_key(|&i| (self.workers[i].stats.sim_cycles, i))
             .expect("at least one worker");
         let w = &mut self.workers[wi];
-        match self.core.acquire(w) {
+        let ran = match self.core.acquire(w) {
             Some(ctx) => {
                 let sink = self.record_trace.then_some(&mut self.trace);
                 self.core.execute(w, ctx, sink);
+                true
             }
             None => {
                 w.stats.idle_spins += 1;
                 w.stats.sim_cycles += IDLE_CYCLES;
+                false
             }
+        };
+        if self.core.remaining() == 0 {
+            TickOutcome::Done
+        } else if ran {
+            TickOutcome::Ran
+        } else {
+            TickOutcome::Idle
         }
-        self.core.remaining() > 0
+    }
+
+    /// The scheduler's current virtual time: the smallest worker clock
+    /// (the next actor's clock — simulated time cannot be earlier).
+    pub fn now(&self) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| w.stats.sim_cycles)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Drains every context parked on an in-flight remote call. The
+    /// transport layer reads each machine's `remote_request()`, holds
+    /// the context while the call is in flight, and hands it back via
+    /// [`DetScheduler::wake`] once the reply (or failure) is in.
+    pub fn take_parked(&mut self) -> Vec<Context> {
+        std::mem::take(&mut *self.core.parked.lock().expect("parked list poisoned"))
+    }
+
+    /// Re-admits a parked context to its home shard's run queue after
+    /// the host completed or failed its remote operation.
+    pub fn wake(&mut self, mut ctx: Context) {
+        ctx.wake = Wake::Runnable;
+        self.core.shards[ctx.home].push_local(ctx);
     }
 
     /// Runs to completion and reports.
@@ -587,6 +658,7 @@ pub fn replay(trace: &[TraceEvent], population: &Population) -> Vec<FinalState> 
         let outcome = match ctx.run_slice() {
             Ok(false) => SliceOutcome::Preempted,
             Ok(true) => SliceOutcome::Done,
+            Err(VmError::RemoteBlocked) => SliceOutcome::Blocked,
             Err(_) => SliceOutcome::Faulted,
         };
         assert_eq!(
@@ -595,7 +667,11 @@ pub fn replay(trace: &[TraceEvent], population: &Population) -> Vec<FinalState> 
             ev.ctx
         );
         match outcome {
-            SliceOutcome::Preempted => {
+            // A replayed Blocked slice stays live; with no transport to
+            // complete it, a trace containing remote calls can only
+            // replay if later events retire the context — otherwise the
+            // liveness assertion below reports it.
+            SliceOutcome::Preempted | SliceOutcome::Blocked => {
                 live.insert(ev.ctx, ctx);
             }
             SliceOutcome::Done => finals.push(FinalState::of(&ctx, false)),

@@ -82,8 +82,8 @@ fn effect(i: Instr) -> Option<(u32, u32)> {
         AllocRecord(_) => (0, 1),
         FreeRecord => (1, 0),
         NewContext | Spawn | Donate | BindModule => (1, 1),
-        FreeContext | Out => (1, 0),
-        ReturnContext => (0, 1),
+        FreeContext | Out | Failover => (1, 0),
+        ReturnContext | RemoteInfo => (0, 1),
         ProcessSwitch | Noop => (0, 0),
         Jump(_) | JumpZero(_) | JumpNotZero(_) | ExternalCall(_) | LocalCall(_) | DirectCall(_)
         | ShortDirectCall(_) | Ret | Xfer | Trap(_) | Halt => return None,
@@ -180,6 +180,27 @@ impl<'a> Analysis<'a> {
                     if let Site::Bad(kinds) = &site {
                         for k in kinds {
                             diagnostics.push(self.diag(pid, off, k.clone()));
+                        }
+                    }
+                    // An EXTERNALCALL through a remote descriptor: the
+                    // local stub carries the proof, but flag the seam
+                    // as an informational note.
+                    if let Instr::ExternalCall(k) = instr {
+                        let seg = self.d.procs[pid].seg;
+                        for ri in self.image.remote_imports.iter().filter(|ri| {
+                            ri.lv_index == k
+                                && (ri.module == seg
+                                    || self.image.modules[ri.module].code_of == Some(seg))
+                        }) {
+                            diagnostics.push(self.diag(
+                                pid,
+                                off,
+                                DiagKind::RemoteTarget {
+                                    lv_index: k as u32,
+                                    node: ri.node,
+                                    name: ri.name.clone(),
+                                },
+                            ));
                         }
                     }
                     map.insert(idx, site);

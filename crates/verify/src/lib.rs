@@ -197,6 +197,41 @@ mod tests {
     }
 
     #[test]
+    fn remote_imports_verify_with_an_informational_note() {
+        // A remote descriptor resolves to its local marshalling stub,
+        // so the image still certifies — check elision stays licensed
+        // for modules with remote calls — while the remote seam is
+        // surfaced as an informational RemoteTarget diagnostic.
+        let mut b = ImageBuilder::new();
+        let m = b.module("cli");
+        let lv = b.import_remote(m, "echo", 3, 2, 1);
+        b.proc_with(m, ProcSpec::new("main", 0, 0), move |a| {
+            a.instr(Instr::LoadImm(1));
+            a.instr(Instr::LoadImm(2));
+            a.instr(Instr::ExternalCall(lv));
+            a.instr(Instr::Out);
+            a.instr(Instr::Halt);
+        });
+        let image = b.build(entry()).unwrap();
+        let report = verify_image(&image, &VerifyOptions::default());
+        assert!(report.is_ok(), "{report}");
+        let notes: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.kind.is_informational())
+            .collect();
+        assert_eq!(notes.len(), 1, "exactly one remote call site");
+        assert!(matches!(
+            &notes[0].kind,
+            DiagKind::RemoteTarget { lv_index: 0, node: 3, name } if name == "echo"
+        ));
+        assert!(
+            report.certificate().is_some(),
+            "remote imports must not revoke the certificate"
+        );
+    }
+
+    #[test]
     fn call_depth_must_match_arity_exactly() {
         let mut b = ImageBuilder::new();
         let m = b.module("m");

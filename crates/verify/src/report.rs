@@ -146,6 +146,29 @@ pub enum DiagKind {
     /// A reachable path falls off the end of the procedure body
     /// without a transfer.
     FallsOffEnd,
+    /// **Informational**: an `EXTERNALCALL` routed through a remote
+    /// procedure descriptor. The local marshalling stub is verified
+    /// like any procedure (so the certificate stands and check elision
+    /// stays licensed), but the call's real effects happen on another
+    /// machine the static proof cannot see into — tooling may want to
+    /// know where those seams are.
+    RemoteTarget {
+        /// The link-vector slot carrying the remote descriptor.
+        lv_index: u32,
+        /// The node the descriptor is bound to at link time.
+        node: u16,
+        /// The remote procedure's name.
+        name: String,
+    },
+}
+
+impl DiagKind {
+    /// Whether this diagnostic is informational only: it reports a
+    /// fact about the image, not a violation, and does not fail
+    /// verification ([`VerifyReport::is_ok`] ignores it).
+    pub fn is_informational(&self) -> bool {
+        matches!(self, DiagKind::RemoteTarget { .. })
+    }
 }
 
 impl fmt::Display for DiagKind {
@@ -210,6 +233,14 @@ impl fmt::Display for DiagKind {
                 write!(f, "reachable code fails to decode at {at:#06x}")
             }
             DiagKind::FallsOffEnd => write!(f, "control falls off the end of the body"),
+            DiagKind::RemoteTarget {
+                lv_index,
+                node,
+                name,
+            } => write!(
+                f,
+                "note: XFER through remote descriptor at link slot {lv_index}: `{name}` on node {node}"
+            ),
         }
     }
 }
@@ -323,9 +354,10 @@ pub struct VerifyReport {
 }
 
 impl VerifyReport {
-    /// Whether verification succeeded.
+    /// Whether verification succeeded. Informational diagnostics
+    /// (see [`DiagKind::is_informational`]) do not count against it.
     pub fn is_ok(&self) -> bool {
-        self.diagnostics.is_empty()
+        self.diagnostics.iter().all(|d| d.kind.is_informational())
     }
 
     /// The certificate, when verification succeeded.
@@ -381,8 +413,16 @@ impl fmt::Display for VerifyReport {
                     self.cycles.len()
                 )?,
             }
+            for d in &self.diagnostics {
+                writeln!(f, "  {d}")?;
+            }
         } else {
-            writeln!(f, "FAILED: {} diagnostic(s)", self.diagnostics.len())?;
+            let hard = self
+                .diagnostics
+                .iter()
+                .filter(|d| !d.kind.is_informational())
+                .count();
+            writeln!(f, "FAILED: {hard} diagnostic(s)")?;
             for d in &self.diagnostics {
                 writeln!(f, "  {d}")?;
             }

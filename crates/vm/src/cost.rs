@@ -49,6 +49,9 @@ pub enum TransferKind {
     ProcessSwitch,
     /// A trap transfer.
     Trap,
+    /// A completed remote procedure call (cross-machine `XFER`): the
+    /// marshalled round trip, charged once per successful call.
+    Remote,
 }
 
 impl fmt::Display for TransferKind {
@@ -59,6 +62,7 @@ impl fmt::Display for TransferKind {
             TransferKind::Coroutine => write!(f, "coroutine"),
             TransferKind::ProcessSwitch => write!(f, "process-switch"),
             TransferKind::Trap => write!(f, "trap"),
+            TransferKind::Remote => write!(f, "remote"),
         }
     }
 }
@@ -120,6 +124,8 @@ pub struct TransferStats {
     pub switches: KindStats,
     /// Traps.
     pub traps: KindStats,
+    /// Completed remote calls.
+    pub remotes: KindStats,
 }
 
 impl TransferStats {
@@ -142,6 +148,7 @@ impl TransferStats {
             TransferKind::Coroutine => &mut self.coroutines,
             TransferKind::ProcessSwitch => &mut self.switches,
             TransferKind::Trap => &mut self.traps,
+            TransferKind::Remote => &mut self.remotes,
         }
     }
 
@@ -153,6 +160,7 @@ impl TransferStats {
             TransferKind::Coroutine => &self.coroutines,
             TransferKind::ProcessSwitch => &self.switches,
             TransferKind::Trap => &self.traps,
+            TransferKind::Remote => &self.remotes,
         }
     }
 

@@ -64,11 +64,16 @@ pub enum FaultKind {
     /// Evaluation-stack overflow, dispatched as a fault when a handler
     /// is installed (the handler runs on the emergency stack reserve).
     StackOverflow,
+    /// A remote transfer failed terminally (dead node, deadline
+    /// exceeded, undecodable reply, retries exhausted). The handler can
+    /// inspect the failure with `RFINFO`, request a replica rebind with
+    /// `FAILOVER`, and return to restart the call.
+    RemoteFault,
 }
 
 impl FaultKind {
     /// The number of distinct fault kinds (handler-table size).
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// Dense index for handler tables.
     pub fn index(self) -> usize {
@@ -76,6 +81,7 @@ impl FaultKind {
             FaultKind::FrameFault => 0,
             FaultKind::UnboundProcedure => 1,
             FaultKind::StackOverflow => 2,
+            FaultKind::RemoteFault => 3,
         }
     }
 
@@ -86,6 +92,7 @@ impl FaultKind {
             FaultKind::FrameFault => 0xFE00,
             FaultKind::UnboundProcedure => 0xFE01,
             FaultKind::StackOverflow => 0xFE02,
+            FaultKind::RemoteFault => 0xFE03,
         }
     }
 }
@@ -96,6 +103,58 @@ impl fmt::Display for FaultKind {
             FaultKind::FrameFault => write!(f, "frame fault"),
             FaultKind::UnboundProcedure => write!(f, "unbound procedure"),
             FaultKind::StackOverflow => write!(f, "stack overflow fault"),
+            FaultKind::RemoteFault => write!(f, "remote transfer fault"),
+        }
+    }
+}
+
+/// Why a remote transfer failed — the taxonomy a `RemoteFault` handler
+/// reads back through `RFINFO` (low four bits of the info word).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RemoteFaultClass {
+    /// The transport reported the target node dead or unreachable.
+    RemoteDead,
+    /// The call's deadline elapsed without a reply.
+    Timeout,
+    /// A reply arrived but could not be decoded.
+    DecodeError,
+    /// The call policy's retry budget ran out.
+    RetriesExhausted,
+}
+
+impl RemoteFaultClass {
+    /// The number of distinct classes.
+    pub const COUNT: usize = 4;
+
+    /// Low-nibble encoding for the `RFINFO` info word.
+    pub fn code(self) -> u16 {
+        match self {
+            RemoteFaultClass::RemoteDead => 0,
+            RemoteFaultClass::Timeout => 1,
+            RemoteFaultClass::DecodeError => 2,
+            RemoteFaultClass::RetriesExhausted => 3,
+        }
+    }
+
+    /// Inverse of [`RemoteFaultClass::code`].
+    pub fn from_code(code: u16) -> Option<Self> {
+        match code {
+            0 => Some(RemoteFaultClass::RemoteDead),
+            1 => Some(RemoteFaultClass::Timeout),
+            2 => Some(RemoteFaultClass::DecodeError),
+            3 => Some(RemoteFaultClass::RetriesExhausted),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RemoteFaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteFaultClass::RemoteDead => write!(f, "remote dead"),
+            RemoteFaultClass::Timeout => write!(f, "timeout"),
+            RemoteFaultClass::DecodeError => write!(f, "decode error"),
+            RemoteFaultClass::RetriesExhausted => write!(f, "retries exhausted"),
         }
     }
 }
@@ -161,6 +220,21 @@ pub enum VmError {
         /// The unbound module's index.
         module: usize,
     },
+    /// An `ExternalCall` resolved into a remote-marked link-vector
+    /// entry and the call is now in flight. Like [`VmError::OutOfFuel`]
+    /// this is a pause, not a death: the machine is parked on the call
+    /// instruction with the argument record still on the evaluation
+    /// stack, and resumes once the host delivers a completion
+    /// (`Machine::complete_remote`) or a failure
+    /// (`Machine::fail_remote`). Nothing is committed for the blocked
+    /// attempt.
+    RemoteBlocked,
+    /// A remote call failed terminally for `class`; dispatched as a
+    /// [`FaultKind::RemoteFault`] when a handler is installed.
+    RemoteFailure {
+        /// Why the call failed.
+        class: RemoteFaultClass,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -192,6 +266,10 @@ impl fmt::Display for VmError {
             VmError::UnboundCode { module } => {
                 write!(f, "transfer into unbound code of module {module}")
             }
+            VmError::RemoteBlocked => {
+                write!(f, "remote call in flight; park and resume on completion")
+            }
+            VmError::RemoteFailure { class } => write!(f, "remote call failed: {class}"),
         }
     }
 }
@@ -254,6 +332,7 @@ mod tests {
             FaultKind::FrameFault,
             FaultKind::UnboundProcedure,
             FaultKind::StackOverflow,
+            FaultKind::RemoteFault,
         ];
         for (i, a) in faults.iter().enumerate() {
             assert_eq!(a.index(), i);
@@ -285,5 +364,24 @@ mod tests {
         assert!(VmError::UnhandledFault(FaultKind::UnboundProcedure)
             .to_string()
             .contains("unbound"));
+    }
+
+    #[test]
+    fn remote_fault_classes_round_trip() {
+        for c in [
+            RemoteFaultClass::RemoteDead,
+            RemoteFaultClass::Timeout,
+            RemoteFaultClass::DecodeError,
+            RemoteFaultClass::RetriesExhausted,
+        ] {
+            assert_eq!(RemoteFaultClass::from_code(c.code()), Some(c));
+        }
+        assert_eq!(RemoteFaultClass::from_code(9), None);
+        assert!(VmError::RemoteFailure {
+            class: RemoteFaultClass::Timeout
+        }
+        .to_string()
+        .contains("timeout"));
+        assert!(VmError::RemoteBlocked.to_string().contains("in flight"));
     }
 }

@@ -21,7 +21,7 @@
 
 use fpc_core::{layout, Context, ContextWord, EvIndex, GftEntry, GftIndex, ProcDesc};
 use fpc_frames::SizeClasses;
-use fpc_isa::{AsmError, Assembler};
+use fpc_isa::{AsmError, Assembler, Instr};
 use fpc_mem::{ByteAddr, CodeStore, Memory, WordAddr};
 
 use crate::error::VmError;
@@ -83,6 +83,32 @@ pub struct Image {
     /// arguments (§7.2); such images require a machine with renaming
     /// banks.
     pub bank_args: bool,
+    /// Remote procedure descriptors: link-vector entries that resolve
+    /// to `(node, procedure)` on another machine. The named entry still
+    /// points at a local marshalling stub (so the image loads, verifies
+    /// and even runs stand-alone), but a host RPC runtime registers
+    /// each of these at load time and intercepts calls through them.
+    pub remote_imports: Vec<RemoteImport>,
+}
+
+/// One remote procedure descriptor: the linkage-table entry
+/// `(module, lv_index)` resolves to procedure `name` on `node`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteImport {
+    /// The importing module's index.
+    pub module: usize,
+    /// The link-vector index within that module.
+    pub lv_index: u8,
+    /// The default node the call targets (a host binding table may
+    /// rebind it to replicas at run time).
+    pub node: u16,
+    /// The remote procedure's name, resolved against the serving
+    /// node's image by the host runtime.
+    pub name: String,
+    /// Argument words marshalled off the evaluation stack.
+    pub nargs: u8,
+    /// Result words unmarshalled back onto it.
+    pub nret: u8,
 }
 
 impl Image {
@@ -305,6 +331,8 @@ pub struct ImageBuilder {
     modules: Vec<BuilderModule>,
     classes: Option<SizeClasses>,
     bank_args: bool,
+    remote_imports: Vec<RemoteImport>,
+    remote_stub_module: Option<usize>,
 }
 
 #[derive(Debug)]
@@ -428,6 +456,61 @@ impl ImageBuilder {
         (lv.len() - 1) as u8
     }
 
+    /// Adds a link-vector entry naming a **remote** procedure: `name`
+    /// with `nargs` argument words and `nret` result words, served by
+    /// `node`. Returns the LV index to use in `ExternalCall`.
+    ///
+    /// This is the stub emission of the RPC rung: the entry points at a
+    /// generated local marshalling stub (in a hidden `__remote` module)
+    /// whose arity matches the remote procedure, so static analysis and
+    /// stand-alone execution see a well-formed local call — the stub
+    /// drops its arguments and returns `nret` zero words. A host RPC
+    /// runtime registers the `(module, lv_index)` pair at load time and
+    /// intercepts calls through it before any local transfer happens.
+    pub fn import_remote(
+        &mut self,
+        m: ModuleHandle,
+        name: &str,
+        node: u16,
+        nargs: u8,
+        nret: u8,
+    ) -> u8 {
+        let stub_mod = match self.remote_stub_module {
+            Some(i) => ModuleHandle(i),
+            None => {
+                let h = self.module("__remote");
+                self.remote_stub_module = Some(h.0);
+                h
+            }
+        };
+        let spec = ProcSpec::new(&format!("{name}__stub"), nargs, nargs as u32);
+        let ev_index = self.proc_with(stub_mod, spec, |a| {
+            for _ in 0..nargs {
+                a.instr(Instr::Drop);
+            }
+            for _ in 0..nret {
+                a.instr(Instr::LoadImm(0));
+            }
+            a.instr(Instr::Ret);
+        });
+        let lv_index = self.import(
+            m,
+            ProcRef {
+                module: stub_mod.0,
+                ev_index,
+            },
+        );
+        self.remote_imports.push(RemoteImport {
+            module: m.0,
+            lv_index,
+            node,
+            name: name.into(),
+            nargs,
+            nret,
+        });
+        lv_index
+    }
+
     /// Adds a procedure whose body is produced by `f` on a fresh
     /// assembler; returns its entry-vector index.
     ///
@@ -525,12 +608,22 @@ impl ImageBuilder {
                 code_of: None,
             });
         }
+        if self.bank_args && !self.remote_imports.is_empty() {
+            // Renaming prologues never see their arguments on the
+            // evaluation stack, so there is no argument record to
+            // marshal at the call site; remote linkage requires the
+            // stored-argument convention.
+            return Err(VmError::BadImage(
+                "remote imports are unsupported in bank-renaming images".into(),
+            ));
+        }
         let image = Image {
             code,
             modules,
             entry,
             classes,
             bank_args: self.bank_args,
+            remote_imports: self.remote_imports.clone(),
         };
         // Validate the entry reference.
         image.proc_desc(entry)?;

@@ -118,6 +118,167 @@ impl FaultPlan {
     }
 }
 
+/// One scheduled **network** adversity, applied to the packet whose
+/// send index is `at` (packets are counted in transport-send order,
+/// requests and replies alike, starting at 0) — except for the node
+/// and partition events, which change topology state when the `at`-th
+/// packet is sent and stay in force until revoked.
+///
+/// Like [`FaultEvent`], this is pure data: the VM knows nothing about
+/// networks. The `fpc-rpc` transport layer interprets the plan, and
+/// the differential claim mirrors the local one — a client that
+/// weathers the storm (retries, failover) must end bit-identical to
+/// the undisturbed run, with the recovery cost priced separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetEvent {
+    /// Silently drop the packet (the client sees only its deadline).
+    Drop {
+        /// Packet send index to drop.
+        at: u64,
+    },
+    /// Hold the packet for `cycles` extra simulated cycles.
+    Delay {
+        /// Packet send index to delay.
+        at: u64,
+        /// Extra in-flight cycles.
+        cycles: u64,
+    },
+    /// Deliver the packet twice (the receiver must deduplicate).
+    Duplicate {
+        /// Packet send index to duplicate.
+        at: u64,
+    },
+    /// Swap delivery order of this packet and the next one sent.
+    Reorder {
+        /// Packet send index to reorder past its successor.
+        at: u64,
+    },
+    /// Crash a node: it drops in-flight work and NAKs new requests as
+    /// dead until restarted.
+    CrashNode {
+        /// Packet send index at which the crash takes effect.
+        at: u64,
+        /// Node to crash.
+        node: u16,
+    },
+    /// Restart a crashed node with fresh (empty) service state.
+    RestartNode {
+        /// Packet send index at which the restart takes effect.
+        at: u64,
+        /// Node to restart.
+        node: u16,
+    },
+    /// Partition the network between nodes `a` and `b`: packets
+    /// between them are silently dropped in both directions.
+    Partition {
+        /// Packet send index at which the partition forms.
+        at: u64,
+        /// One side.
+        a: u16,
+        /// The other side.
+        b: u16,
+    },
+    /// Heal every active partition.
+    Heal {
+        /// Packet send index at which the network heals.
+        at: u64,
+    },
+}
+
+impl NetEvent {
+    /// The packet send index this event triggers at.
+    pub fn at(&self) -> u64 {
+        match *self {
+            NetEvent::Drop { at }
+            | NetEvent::Delay { at, .. }
+            | NetEvent::Duplicate { at }
+            | NetEvent::Reorder { at }
+            | NetEvent::CrashNode { at, .. }
+            | NetEvent::RestartNode { at, .. }
+            | NetEvent::Partition { at, .. }
+            | NetEvent::Heal { at } => at,
+        }
+    }
+}
+
+/// A schedule of [`NetEvent`]s sorted by trigger point — the network
+/// analogue of [`FaultPlan`]. Same seed, same storm, same recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetPlan {
+    events: Vec<NetEvent>,
+}
+
+impl NetPlan {
+    /// Builds a plan from explicit events (stable-sorted, so
+    /// same-instant events keep their given order).
+    pub fn from_events(mut events: Vec<NetEvent>) -> Self {
+        events.sort_by_key(|e| e.at());
+        NetPlan { events }
+    }
+
+    /// Generates a pseudo-random storm over the first `horizon`
+    /// packets of a run against a cluster of `nodes` server nodes
+    /// (node ids `1..=nodes`; node 0 is the client and is never
+    /// crashed): drops, delays, duplicates, reorders, up to two
+    /// crash/restart windows, and up to two partition/heal windows.
+    /// Deterministic in `seed`.
+    pub fn generate(seed: u64, horizon: u64, nodes: u16) -> Self {
+        let h = horizon.max(1);
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        for _ in 0..1 + rng.gen_index(4) {
+            events.push(NetEvent::Drop {
+                at: rng.next_u64() % h,
+            });
+        }
+        for _ in 0..rng.gen_index(4) {
+            events.push(NetEvent::Delay {
+                at: rng.next_u64() % h,
+                cycles: rng.gen_range_u32(100, 5_000) as u64,
+            });
+        }
+        for _ in 0..rng.gen_index(3) {
+            events.push(NetEvent::Duplicate {
+                at: rng.next_u64() % h,
+            });
+        }
+        for _ in 0..rng.gen_index(3) {
+            events.push(NetEvent::Reorder {
+                at: rng.next_u64() % h,
+            });
+        }
+        if nodes > 0 {
+            for _ in 0..rng.gen_index(3) {
+                let node = 1 + rng.gen_index(nodes as usize) as u16;
+                let at = rng.next_u64() % h;
+                let hold = 1 + rng.next_u64() % (h / 4).max(1);
+                events.push(NetEvent::CrashNode { at, node });
+                events.push(NetEvent::RestartNode {
+                    at: at.saturating_add(hold),
+                    node,
+                });
+            }
+        }
+        if nodes > 0 {
+            for _ in 0..rng.gen_index(3) {
+                let b = 1 + rng.gen_index(nodes as usize) as u16;
+                let at = rng.next_u64() % h;
+                let hold = 1 + rng.next_u64() % (h / 4).max(1);
+                events.push(NetEvent::Partition { at, a: 0, b });
+                events.push(NetEvent::Heal {
+                    at: at.saturating_add(hold),
+                });
+            }
+        }
+        Self::from_events(events)
+    }
+
+    /// The scheduled events, in trigger order.
+    pub fn events(&self) -> &[NetEvent] {
+        &self.events
+    }
+}
+
 /// What a [`run_with_plan`] actually did to the machine.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InjectionReport {
@@ -259,6 +420,40 @@ mod tests {
         assert!(a.events().windows(2).all(|w| w[0].at() <= w[1].at()));
         let c = FaultPlan::generate(8, 10_000, 2);
         assert_ne!(a, c, "different seeds give different plans");
+    }
+
+    #[test]
+    fn net_plans_are_deterministic_and_sorted() {
+        let a = NetPlan::generate(7, 200, 3);
+        let b = NetPlan::generate(7, 200, 3);
+        assert_eq!(a, b);
+        assert!(a.events().windows(2).all(|w| w[0].at() <= w[1].at()));
+        let c = NetPlan::generate(8, 200, 3);
+        assert_ne!(a, c, "different seeds give different storms");
+    }
+
+    #[test]
+    fn net_from_events_sorts_stably() {
+        let p = NetPlan::from_events(vec![
+            NetEvent::Heal { at: 9 },
+            NetEvent::CrashNode { at: 3, node: 1 },
+            NetEvent::RestartNode { at: 3, node: 1 },
+        ]);
+        assert_eq!(p.events()[0], NetEvent::CrashNode { at: 3, node: 1 });
+        assert_eq!(p.events()[1], NetEvent::RestartNode { at: 3, node: 1 });
+        assert_eq!(p.events()[2].at(), 9);
+    }
+
+    #[test]
+    fn net_plans_never_crash_the_client() {
+        for seed in 0..32 {
+            let p = NetPlan::generate(seed, 500, 4);
+            for e in p.events() {
+                if let NetEvent::CrashNode { node, .. } = e {
+                    assert_ne!(*node, 0, "node 0 is the client");
+                }
+            }
+        }
     }
 
     #[test]

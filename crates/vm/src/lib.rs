@@ -60,15 +60,18 @@ pub use banks::{BankMachine, BankStats};
 pub use cache::{CacheStats, FrameCache};
 pub use config::{AllocStrategy, BankConfig, MachineConfig, PtrLocalPolicy};
 pub use cost::{TransferKind, TransferStats};
-pub use error::{FaultKind, TrapCode, VmError};
+pub use error::{FaultKind, RemoteFaultClass, TrapCode, VmError};
 pub use ifu::{ReturnEntry, ReturnStack, ReturnStackStats};
 pub use image::{
     gft_entries_for, load, load_with_buffer, Image, ImageBuilder, ModuleHandle, ModuleImage,
-    Placement, ProcRef, ProcSpec, AV_BASE, DEFAULT_MEMORY_WORDS, GFT_BASE, GFT_ENTRIES, LINK_BASE,
+    Placement, ProcRef, ProcSpec, RemoteImport, AV_BASE, DEFAULT_MEMORY_WORDS, GFT_BASE,
+    GFT_ENTRIES, LINK_BASE,
 };
-pub use inject::{run_with_plan, FaultEvent, FaultPlan, InjectionReport, PlanCursor};
+pub use inject::{
+    run_with_plan, FaultEvent, FaultPlan, InjectionReport, NetEvent, NetPlan, PlanCursor,
+};
 pub use listing::listing;
-pub use machine::{FaultStats, FusionStats, Machine, MachineStats, StepOutcome};
+pub use machine::{FaultStats, FusionStats, Machine, MachineStats, RemoteRequest, StepOutcome};
 pub use native::{NativeLicense, NativeStats};
 pub use predecode::{fuse_pair, DecodedOp, Fetched, FusedOp, PredecodeCache, PredecodeStats};
 pub use xfer::{CachedTarget, XferCache, XferCacheStats};

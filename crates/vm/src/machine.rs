@@ -29,7 +29,7 @@ use crate::banks::{BankMachine, BankStats};
 use crate::cache::{CacheStats, FrameCache};
 use crate::config::{AllocStrategy, MachineConfig, PtrLocalPolicy};
 use crate::cost::{TransferKind, TransferStats, CYCLE_BASE, CYCLE_MEMREF, CYCLE_REFILL};
-use crate::error::{FaultKind, TrapCode, VmError};
+use crate::error::{FaultKind, RemoteFaultClass, TrapCode, VmError};
 use crate::ifu::{ReturnEntry, ReturnStack, ReturnStackStats};
 use crate::image::{self, Image, ProcRef, AV_BASE, GFT_BASE, GFT_ENTRIES};
 use crate::native::{NOp, NativeLicense, NativeProc, NativeTier};
@@ -195,6 +195,60 @@ pub enum StepOutcome {
     Halted,
 }
 
+/// A link-vector entry registered as a remote procedure descriptor:
+/// `EFC` through it becomes a cross-machine `XFER` instead of a local
+/// table walk.
+struct RemoteLink {
+    /// Owning module index (instances sharing the owner's code are not
+    /// intercepted — remote descriptors live in owner link vectors).
+    module: usize,
+    /// Link-vector index of the descriptor.
+    lv_index: u8,
+    /// Current node binding; rotated by failover.
+    node: u16,
+    /// Exported name of the remote procedure.
+    name: String,
+    /// Argument words marshalled off the evaluation stack.
+    nargs: u8,
+    /// Result words unmarshalled back onto it.
+    nret: u8,
+}
+
+/// State of the (at most one) in-flight remote operation.
+enum RemoteOpState {
+    /// Request issued; the machine is parked on the call instruction.
+    Issued,
+    /// Reply arrived; the restarted call commits these results.
+    Completed(Vec<u16>),
+    /// Transport failed; the restarted call raises a remote fault.
+    Failed(RemoteFaultClass),
+}
+
+struct RemoteOp {
+    /// Index into `remote_links`.
+    link: usize,
+    state: RemoteOpState,
+}
+
+/// An in-flight remote call surfaced to the host transport layer: the
+/// descriptor identity plus the argument record copied
+/// (non-destructively) off the top of the evaluation stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteRequest {
+    /// Owning module index of the remote descriptor.
+    pub module: usize,
+    /// Link-vector index of the descriptor.
+    pub lv_index: u8,
+    /// Node the descriptor is currently bound to.
+    pub node: u16,
+    /// Exported name of the remote procedure.
+    pub name: String,
+    /// The marshalled argument record (stack top, caller order).
+    pub args: Vec<u16>,
+    /// Result words the caller expects back.
+    pub nret: u8,
+}
+
 /// The byte-code machine.
 pub struct Machine {
     mem: Memory,
@@ -257,6 +311,18 @@ pub struct Machine {
     /// Frames grabbed by [`Machine::seize_free_frames`].
     seized: Vec<(WordAddr, u32)>,
     fstats: FaultStats,
+
+    // Remote-transfer (cross-machine XFER) machinery.
+    /// Link-vector entries registered as remote descriptors.
+    remote_links: Vec<RemoteLink>,
+    /// The in-flight remote operation, if any — at most one, because
+    /// the parked context *is* the machine.
+    remote_op: Option<RemoteOp>,
+    /// `FAILOVER` info words queued for the host to drain.
+    failover_requests: Vec<u16>,
+    /// Info word of the most recent remote fault
+    /// (`lv_index << 4 | failure class`), read by `RFINFO`.
+    last_remote_fault: u16,
 
     output: Vec<u16>,
     stats: MachineStats,
@@ -332,6 +398,48 @@ impl Machine {
     ///
     /// As [`Machine::load`].
     pub fn load_in(
+        image: &Image,
+        config: MachineConfig,
+        buf: fpc_mem::MemoryBuffer,
+    ) -> Result<Self, VmError> {
+        let mut machine = Self::construct(image, config, buf)?;
+        machine.start_at(image, image.entry, &[])?;
+        machine.refresh_predecode();
+        Ok(machine)
+    }
+
+    /// [`Machine::load`], but beginning execution at `entry` with
+    /// `args` pre-pushed on the evaluation stack — the server-side
+    /// entry point for executing one remote request to completion.
+    ///
+    /// Only stored-prologue images are supported: with argument
+    /// renaming the callee expects its arguments in a register bank,
+    /// not on the stack, and there is no caller here to rename them.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::load`], plus [`VmError::BadImage`] when the entry
+    /// arity disagrees with `args` or the config renames arguments.
+    pub fn load_service(
+        image: &Image,
+        config: MachineConfig,
+        entry: ProcRef,
+        args: &[u16],
+    ) -> Result<Self, VmError> {
+        if config.renaming() {
+            return Err(VmError::BadImage(
+                "remote service execution requires a non-renaming machine".into(),
+            ));
+        }
+        let mut machine = Self::construct(image, config, fpc_mem::MemoryBuffer::default())?;
+        machine.start_at(image, entry, args)?;
+        machine.refresh_predecode();
+        Ok(machine)
+    }
+
+    /// The shared constructor: everything in [`Machine::load_in`] up to
+    /// (but not including) the initial transfer.
+    fn construct(
         image: &Image,
         config: MachineConfig,
         buf: fpc_mem::MemoryBuffer,
@@ -453,12 +561,17 @@ impl Machine {
             unbound: vec![false; image.modules.len()],
             seized: Vec::new(),
             fstats: FaultStats::default(),
+            remote_links: Vec::new(),
+            remote_op: None,
+            failover_requests: Vec::new(),
+            last_remote_fault: 0,
             output: Vec::new(),
             stats: MachineStats::default(),
             halted: false,
         };
-        machine.start(image)?;
-        machine.refresh_predecode();
+        for ri in &image.remote_imports {
+            machine.register_remote_link(ri);
+        }
         Ok(machine)
     }
 
@@ -537,9 +650,11 @@ impl Machine {
         }
     }
 
-    /// Performs the initial transfer to the entry procedure.
-    fn start(&mut self, image: &Image) -> Result<(), VmError> {
-        let desc = image.proc_desc(image.entry)?;
+    /// Performs the initial transfer to `entry` with `args` pre-pushed
+    /// on the evaluation stack (the stored-prologue caller convention;
+    /// empty for the ordinary image entry).
+    fn start_at(&mut self, image: &Image, entry: ProcRef, args: &[u16]) -> Result<(), VmError> {
+        let desc = image.proc_desc(entry)?;
         let Context::Proc(p) = Context::from(desc) else {
             // Audited: not guest-reachable. `proc_desc` does not read
             // the word from the image — it packs Context::Proc itself,
@@ -552,11 +667,12 @@ impl Machine {
         let (fsi, flags) = self.read_header(header);
         let (nargs, addr_taken) = layout::unpack_flags(flags);
         // Guest-controlled (the flags byte lives in the code image): a
-        // corrupt header can claim arguments the initial transfer does
-        // not pass.
-        if nargs != 0 {
+        // corrupt header can claim an arity the initial transfer does
+        // not provide.
+        if nargs as usize != args.len() {
             return Err(VmError::BadImage(format!(
-                "entry procedure declares {nargs} argument(s); the initial transfer passes none"
+                "entry procedure declares {nargs} argument(s); the initial transfer passes {}",
+                args.len()
             )));
         }
         let frame = self.alloc_frame(fsi, addr_taken)?;
@@ -581,6 +697,7 @@ impl Machine {
         self.gf = dest_gf;
         self.code_base = dest_cb;
         self.pc = header.offset(layout::PROC_HEADER_BYTES);
+        self.stack.extend_from_slice(args);
         self.mem.reset_stats(); // setup is not part of the run
         Ok(())
     }
@@ -1814,6 +1931,7 @@ impl Machine {
         match e {
             VmError::Frame(FrameError::OutOfMemory) => Some(FaultKind::FrameFault),
             VmError::UnboundCode { .. } => Some(FaultKind::UnboundProcedure),
+            VmError::RemoteFailure { .. } => Some(FaultKind::RemoteFault),
             // Overflow past an already-unlocked reserve cannot be
             // cured by dispatching again: stay terminal.
             VmError::UnhandledTrap(TrapCode::StackOverflow) if !self.stack_relaxed => {
@@ -2480,6 +2598,169 @@ impl Machine {
     /// Resolves a packed procedure descriptor through the tables:
     /// GFT → global frame (code base) → entry vector. (The LV read, if
     /// any, happened at the call site.) Returns header, GF, code base.
+    /// Registers a link-vector entry as a remote procedure descriptor:
+    /// `EFC k` from the owning module becomes a cross-machine `XFER`.
+    /// Called automatically at load for `image.remote_imports`.
+    pub fn register_remote_link(&mut self, import: &crate::image::RemoteImport) {
+        self.remote_links.push(RemoteLink {
+            module: import.module,
+            lv_index: import.lv_index,
+            node: import.node,
+            name: import.name.clone(),
+            nargs: import.nargs,
+            nret: import.nret,
+        });
+        // The native tier compiles EFC sites into direct threaded
+        // calls that would bypass the remote intercept: disarm it. The
+        // verify certificate is unaffected — remote descriptors are
+        // modelled by their arity-matched stubs — so `elide_checks`
+        // deliberately stays.
+        self.native_deopt();
+    }
+
+    /// Rebinds the remote descriptor `(module, lv_index)` to `node`
+    /// (failover to a replica). Returns whether a descriptor matched.
+    pub fn rebind_remote_link(&mut self, module: usize, lv_index: u8, node: u16) -> bool {
+        match self
+            .remote_links
+            .iter_mut()
+            .find(|l| l.module == module && l.lv_index == lv_index)
+        {
+            Some(l) => {
+                l.node = node;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether the machine is parked on an in-flight remote call.
+    pub fn remote_blocked(&self) -> bool {
+        matches!(
+            self.remote_op,
+            Some(RemoteOp {
+                state: RemoteOpState::Issued,
+                ..
+            })
+        )
+    }
+
+    /// The in-flight remote request, when parked on one. The argument
+    /// record is *copied* off the stack top — marshalling must not
+    /// disturb the restartable call instruction's operands.
+    pub fn remote_request(&self) -> Option<RemoteRequest> {
+        let op = self.remote_op.as_ref()?;
+        if !matches!(op.state, RemoteOpState::Issued) {
+            return None;
+        }
+        let l = &self.remote_links[op.link];
+        let n = l.nargs as usize;
+        debug_assert!(self.stack.len() >= n, "strict discipline: args on top");
+        let start = self.stack.len().saturating_sub(n);
+        Some(RemoteRequest {
+            module: l.module,
+            lv_index: l.lv_index,
+            node: l.node,
+            name: l.name.clone(),
+            args: self.stack[start..].to_vec(),
+            nret: l.nret,
+        })
+    }
+
+    /// Delivers the reply for the in-flight remote call; the next step
+    /// restarts the parked call instruction, which pops the arguments,
+    /// pushes `results`, and charges the marshal cost.
+    pub fn complete_remote(&mut self, results: Vec<u16>) {
+        if let Some(op) = self.remote_op.as_mut() {
+            op.state = RemoteOpState::Completed(results);
+        }
+    }
+
+    /// Fails the in-flight remote call; the next step restarts the
+    /// parked call instruction, which raises a restartable
+    /// [`FaultKind::RemoteFault`] of the given class.
+    pub fn fail_remote(&mut self, class: RemoteFaultClass) {
+        if let Some(op) = self.remote_op.as_mut() {
+            op.state = RemoteOpState::Failed(class);
+        }
+    }
+
+    /// Drains the `FAILOVER` info words queued by the guest
+    /// (`lv_index << 4 | failure class` each).
+    pub fn take_failover_requests(&mut self) -> Vec<u16> {
+        std::mem::take(&mut self.failover_requests)
+    }
+
+    /// Finds the remote-link registration covering `EFC k` from the
+    /// current environment, if any. Keyed on the executing global
+    /// frame, so module *instances* sharing an owner's code are not
+    /// intercepted (remote descriptors live in owner modules).
+    fn remote_link_at(&self, k: u8) -> Option<usize> {
+        if self.remote_links.is_empty() {
+            return None; // the common case: zero cost
+        }
+        let module = self.modules.iter().position(|m| m.gf == self.gf)?;
+        self.remote_links
+            .iter()
+            .position(|l| l.module == module && l.lv_index == k)
+    }
+
+    /// The cross-machine `XFER`: runs *instead of* the local `EFC`
+    /// table walk, before any counted memory reference, so a parked
+    /// attempt commits nothing at all.
+    ///
+    /// First execution issues the request, rewinds the PC onto the
+    /// call instruction, and parks the machine with
+    /// [`VmError::RemoteBlocked`] — the arguments stay on the
+    /// evaluation stack as the marshal source. The host completes or
+    /// fails the operation; stepping again restarts the instruction,
+    /// which either commits the round trip (pop arguments, push
+    /// results, charge one data reference per marshalled word, record
+    /// a [`TransferKind::Remote`]) or raises a restartable
+    /// [`FaultKind::RemoteFault`].
+    fn remote_xfer(&mut self, link: usize, instr_start: ByteAddr) -> Result<Flow, VmError> {
+        match self.remote_op.take() {
+            None => {
+                self.remote_op = Some(RemoteOp {
+                    link,
+                    state: RemoteOpState::Issued,
+                });
+                self.pc = instr_start;
+                Err(VmError::RemoteBlocked)
+            }
+            Some(op) => {
+                debug_assert_eq!(op.link, link, "resumed at a different call site");
+                match op.state {
+                    RemoteOpState::Issued => {
+                        // Re-stepped without a completion: stay parked.
+                        self.remote_op = Some(op);
+                        self.pc = instr_start;
+                        Err(VmError::RemoteBlocked)
+                    }
+                    RemoteOpState::Completed(results) => {
+                        let l = &self.remote_links[link];
+                        let (nargs, nret) = (l.nargs, l.nret);
+                        debug_assert_eq!(results.len(), nret as usize, "reply arity");
+                        self.stack
+                            .truncate(self.stack.len().saturating_sub(nargs as usize));
+                        self.stack.extend_from_slice(&results);
+                        // The marshal cost: one data reference per
+                        // argument packed off the stack and per result
+                        // unpacked onto it — charged exactly once per
+                        // successful call, never for parked attempts.
+                        self.mem.charge_reads(nargs as u64 + nret as u64);
+                        Ok(Flow::Taken(Some(TransferKind::Remote)))
+                    }
+                    RemoteOpState::Failed(class) => {
+                        let l = &self.remote_links[link];
+                        self.last_remote_fault = ((l.lv_index as u16) << 4) | class.code();
+                        Err(VmError::RemoteFailure { class })
+                    }
+                }
+            }
+        }
+    }
+
     fn resolve_proc_desc(
         &mut self,
         p: ProcDesc,
@@ -3266,6 +3547,12 @@ impl Machine {
                 }
             }
             Instr::ExternalCall(k) => {
+                // The remote intercept runs before any counted memory
+                // reference (the LV read below), so a parked attempt
+                // charges exactly zero.
+                if let Some(link) = self.remote_link_at(k) {
+                    return self.remote_xfer(link, instr_start);
+                }
                 if self.xfer_ic.is_some() {
                     return self.external_call_cached(k, instr_start);
                 }
@@ -3451,6 +3738,18 @@ impl Machine {
                     self.code.bump_version();
                 }
                 self.push(rebound as u16)?;
+            }
+            Instr::RemoteInfo => {
+                let w = self.last_remote_fault;
+                self.push(w)?;
+            }
+            Instr::Failover => {
+                // Queue a host rebind request for the descriptor named
+                // by the info word; the host (transport layer) rotates
+                // the binding to the next replica before the fault
+                // handler returns and the call restarts.
+                let w = self.pop()?;
+                self.failover_requests.push(w);
             }
             Instr::Out => {
                 let v = self.pop()?;

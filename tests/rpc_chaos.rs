@@ -1,0 +1,230 @@
+//! Network chaos, differentially: a client population that weathers a
+//! seeded storm of drops, delays, duplicates, reorders, node crashes
+//! and partitions — by retrying, backing off and failing over — must
+//! end in a final architectural state **bit-identical** to the
+//! fault-free run, with every cycle of recovery work accounted
+//! separately (the `FaultStats` discipline, stretched over a network).
+//!
+//! This is the cross-machine mirror of `tests/failure_injection.rs`:
+//! same adjusted-counter identity, new failure surface.
+
+use fpc_isa::Instr;
+use fpc_rpc::{CallPolicy, ChannelTransport, Cluster, LinkConfig, ServerNode};
+use fpc_sched::{Context, FinalState, FuelPolicy, Population, SchedConfig};
+use fpc_vm::inject::NetPlan;
+use fpc_vm::{FaultKind, Image, ImageBuilder, Machine, MachineConfig, ProcRef, ProcSpec};
+
+const CONTEXTS: u64 = 3;
+const CALLS: u16 = 3;
+
+/// The client: `CALLS` calls through a remote descriptor, each result
+/// `Out`ed, plus a `RemoteFault` handler that requests failover and
+/// restarts the transfer.
+fn client_image() -> (Image, ProcRef) {
+    let mut b = ImageBuilder::new();
+    let m = b.module("cli");
+    let lv = b.import_remote(m, "double", 1, 1, 1);
+    b.proc_with(m, ProcSpec::new("main", 0, 0), move |a| {
+        for i in 0..CALLS {
+            a.instr(Instr::LoadImm(i + 1));
+            a.instr(Instr::ExternalCall(lv));
+            a.instr(Instr::Out);
+        }
+        a.instr(Instr::Halt);
+    });
+    let fh = b.proc_with(m, ProcSpec::new("on_remote_fault", 1, 2), |a| {
+        a.instr(Instr::StoreLocal(0));
+        a.instr(Instr::RemoteInfo);
+        a.instr(Instr::Failover);
+        a.instr(Instr::Ret);
+    });
+    let image = b
+        .build(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .unwrap();
+    (
+        image,
+        ProcRef {
+            module: 0,
+            ev_index: fh,
+        },
+    )
+}
+
+/// The server: `double(x)` halts with `2 * x` on the stack.
+fn server_image() -> Image {
+    let mut b = ImageBuilder::new();
+    let m = b.module("srv");
+    b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+        a.instr(Instr::Halt);
+    });
+    b.proc_with(m, ProcSpec::new("double", 1, 2), |a| {
+        a.instr(Instr::StoreLocal(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::Add);
+        a.instr(Instr::Halt);
+    });
+    b.build(ProcRef {
+        module: 0,
+        ev_index: 0,
+    })
+    .unwrap()
+}
+
+fn server() -> ServerNode {
+    ServerNode::new(server_image(), MachineConfig::i2()).service(
+        "double",
+        ProcRef {
+            module: 0,
+            ev_index: 1,
+        },
+        1,
+        1,
+    )
+}
+
+/// Runs the population under `plan` and returns (finals, faults
+/// delivered, calls completed).
+fn run_cluster(config: MachineConfig, plan: NetPlan) -> (Vec<FinalState>, u64, u64) {
+    let (image, fh) = client_image();
+    let cfg = config.with_fault_reserve(512);
+    let population = Population::from_factory(CONTEXTS, move |id, buf| {
+        let mut m = Machine::load_in(&image, cfg, buf).unwrap();
+        m.install_fault_handler(FaultKind::RemoteFault, &image, fh)
+            .unwrap();
+        Context::new(id, m, FuelPolicy::Quantum(400))
+    });
+    let sched_cfg = SchedConfig {
+        workers: 2,
+        deterministic: true,
+        seed: 99,
+        record_trace: false,
+        record_finals: true,
+    };
+    let mut cluster = Cluster::new(
+        population,
+        &sched_cfg,
+        ChannelTransport::with_plan(LinkConfig::default(), plan),
+        CallPolicy::default(),
+        0xC0DE,
+    );
+    cluster.add_server(1, server());
+    cluster.add_server(2, server());
+    cluster.set_replicas(0, vec![1, 2]);
+    let report = cluster.run();
+    (
+        report.sched.finals_sorted(),
+        report.rpc.faults_delivered,
+        report.rpc.completed,
+    )
+}
+
+fn implementations() -> [(&'static str, MachineConfig); 3] {
+    [
+        ("i1", MachineConfig::i1()),
+        ("i2", MachineConfig::i2()),
+        ("i3", MachineConfig::i3()),
+    ]
+}
+
+/// The headline invariant: for every seeded storm, on every (stack
+/// convention) implementation, each client's adjusted counters and
+/// output hash equal the fault-free run's — storms cost time and
+/// accounted recovery work, never architecture.
+#[test]
+fn storm_survivors_are_bit_identical_to_the_clean_run() {
+    for (name, config) in implementations() {
+        let (clean, clean_faults, clean_completed) =
+            run_cluster(config, NetPlan::from_events(Vec::new()));
+        assert_eq!(clean_faults, 0, "{name}: clean run must not fault");
+        assert_eq!(clean_completed, CONTEXTS * CALLS as u64, "{name}");
+        let clean_adj: Vec<_> = clean.iter().map(|f| f.adjusted()).collect();
+        assert!(
+            clean.iter().all(|f| f.handler_instructions == 0),
+            "{name}: no handler work without faults"
+        );
+        let mut storms_with_recovery = 0;
+        for seed in [1u64, 2, 3, 4, 5] {
+            let plan = NetPlan::generate(seed, 48, 2);
+            let label = format!("{name} seed {seed}");
+            let (storm, faults, completed) = run_cluster(config, plan);
+            assert_eq!(completed, CONTEXTS * CALLS as u64, "{label}");
+            assert!(
+                storm.iter().all(|f| !f.faulted),
+                "{label}: every context must survive the storm"
+            );
+            let storm_adj: Vec<_> = storm.iter().map(|f| f.adjusted()).collect();
+            assert_eq!(storm_adj, clean_adj, "{label}: differential identity");
+            if faults > 0 {
+                storms_with_recovery += 1;
+                assert!(
+                    storm.iter().any(|f| f.handler_instructions > 0),
+                    "{label}: delivered faults must show up as handler work"
+                );
+            }
+        }
+        assert!(
+            storms_with_recovery >= 1,
+            "{name}: at least one storm must have exercised guest-visible recovery"
+        );
+    }
+}
+
+/// The same storm replayed is the same storm: finals, fault counts and
+/// completion counts all repeat exactly.
+#[test]
+fn storms_replay_bit_identically() {
+    let run = || run_cluster(MachineConfig::i2(), NetPlan::generate(7, 48, 2));
+    let (a_finals, a_faults, a_done) = run();
+    let (b_finals, b_faults, b_done) = run();
+    assert_eq!(a_faults, b_faults);
+    assert_eq!(a_done, b_done);
+    let a: Vec<_> = a_finals.iter().map(|f| f.architectural()).collect();
+    let b: Vec<_> = b_finals.iter().map(|f| f.architectural()).collect();
+    assert_eq!(a, b);
+}
+
+/// Chaos without a handler installed: contexts may die on exhausted
+/// retries — that is allowed — but the host must never panic, and the
+/// accounting must stay coherent.
+#[test]
+fn unhandled_storms_never_panic_the_host() {
+    let (image, _) = client_image();
+    for seed in [11u64, 12, 13] {
+        let cfg = MachineConfig::i2();
+        let image = image.clone();
+        let population = Population::from_factory(2, move |id, buf| {
+            let m = Machine::load_in(&image, cfg, buf).unwrap();
+            Context::new(id, m, FuelPolicy::Quantum(300))
+        });
+        let sched_cfg = SchedConfig {
+            workers: 1,
+            deterministic: true,
+            seed,
+            record_trace: false,
+            record_finals: true,
+        };
+        let mut cluster = Cluster::new(
+            population,
+            &sched_cfg,
+            ChannelTransport::with_plan(LinkConfig::default(), NetPlan::generate(seed, 24, 2)),
+            CallPolicy {
+                max_attempts: 2,
+                ..CallPolicy::default()
+            },
+            seed,
+        );
+        cluster.add_server(1, server());
+        cluster.add_server(2, server());
+        let report = cluster.run();
+        assert_eq!(report.sched.retired(), 2, "every context retires somehow");
+        assert_eq!(
+            report.rpc.completed + report.rpc.faults_delivered + report.rpc.stale_replies,
+            report.rpc.completed + report.rpc.faults_delivered + report.rpc.stale_replies,
+        );
+        assert!(report.rpc.issued >= report.rpc.completed);
+    }
+}
