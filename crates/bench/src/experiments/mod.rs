@@ -21,3 +21,4 @@ pub mod h4;
 pub mod h5;
 pub mod h6;
 pub mod h7;
+pub mod h8;

@@ -30,7 +30,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use fpc_sched::{Context, DetScheduler, Population, SchedConfig, SchedReport, TickOutcome};
 use fpc_stats::Histogram;
-use fpc_vm::{Image, Machine, MachineConfig, ProcRef, RemoteFaultClass};
+use fpc_vm::{Idempotence, Image, Machine, MachineConfig, ProcRef, RemoteFaultClass};
 
 use crate::policy::CallPolicy;
 use crate::transport::{Delivery, NetStats, NodeId, Transport};
@@ -75,6 +75,10 @@ pub struct ServerNode {
     fuel: u64,
     /// When this serial executor frees up (virtual cycles).
     free_at: u64,
+    /// Per-service idempotence certificates (lazily computed from the
+    /// image's `fpc-verify` effect summaries on first consultation,
+    /// so runs that never need one never pay for the analysis).
+    certified: Option<Vec<bool>>,
 }
 
 impl ServerNode {
@@ -86,6 +90,7 @@ impl ServerNode {
             services: Vec::new(),
             fuel: 1_000_000,
             free_at: 0,
+            certified: None,
         }
     }
 
@@ -105,6 +110,25 @@ impl ServerNode {
     pub fn fuel(mut self, fuel: u64) -> Self {
         self.fuel = fuel;
         self
+    }
+
+    /// Whether the serving procedure of service `idx` carries an
+    /// idempotence certificate: the image verifies clean and the
+    /// entry's transitive effect summary proves re-execution writes no
+    /// observable state outside its reply record.
+    fn service_certified(&mut self, idx: usize) -> bool {
+        let image = &self.image;
+        let config = &self.config;
+        let services = &self.services;
+        let verdicts = self.certified.get_or_insert_with(|| {
+            let report =
+                fpc_verify::verify_image(image, &fpc_verify::VerifyOptions::for_config(config));
+            services
+                .iter()
+                .map(|svc| report.retry_safe(svc.entry.module, svc.entry.ev_index))
+                .collect()
+        });
+        verdicts.get(idx).copied().unwrap_or(false)
     }
 }
 
@@ -131,6 +155,8 @@ struct WaitingCall {
     proc: u16,
     args: Vec<u16>,
     nret: u8,
+    /// The import site's declaration, from the remote descriptor.
+    idempotence: Idempotence,
     attempts: u32,
     first_issued: u64,
     state: CallState,
@@ -330,6 +356,7 @@ impl<T: Transport> Cluster<T> {
             proc: proc as u16,
             args: req.args,
             nret: req.nret,
+            idempotence: req.idempotence,
             attempts: 0,
             first_issued: now,
             state: CallState::InFlight { deadline_at: 0 },
@@ -478,21 +505,32 @@ impl<T: Transport> Cluster<T> {
         self.sched.wake(call.ctx);
     }
 
-    /// One attempt failed (`class` says how): retry under the policy
-    /// or deliver the failure to the guest.
+    /// One attempt failed (`class` says how): retry under the policy's
+    /// decision matrix or deliver the failure to the guest.
     fn attempt_failed(&mut self, now: u64, seq: u32, class: RemoteFaultClass) {
-        let Some(call) = self.waiting.get_mut(&seq) else {
+        let Some(call) = self.waiting.get(&seq) else {
             self.stats.stale_replies += 1;
             return;
         };
-        if self.policy.idempotent && call.attempts < self.policy.max_attempts {
-            let wait = self.policy.backoff(call.attempts, &mut self.rng);
+        let (node, proc, declared, attempts) =
+            (call.node, call.proc, call.idempotence, call.attempts);
+        // The certificate consultation is lazy: only an Unknown call
+        // under IfCertified pays for (memoised) server verification.
+        let servers = &mut self.servers;
+        let retryable = self.policy.may_retry(declared, || {
+            servers
+                .get_mut(&node)
+                .is_some_and(|s| s.service_certified(proc as usize))
+        });
+        if retryable && attempts < self.policy.max_attempts {
+            let wait = self.policy.backoff(attempts, &mut self.rng);
+            let call = self.waiting.get_mut(&seq).expect("present");
             call.state = CallState::Backoff {
                 resend_at: now + wait,
             };
             return;
         }
-        let exhausted = self.policy.idempotent && call.attempts >= self.policy.max_attempts;
+        let exhausted = retryable && attempts >= self.policy.max_attempts;
         let class = if exhausted {
             RemoteFaultClass::RetriesExhausted
         } else {

@@ -38,5 +38,5 @@ mod transport;
 pub mod wire;
 
 pub use cluster::{Cluster, ClusterReport, RpcStats, ServerNode, ServiceDef, CLIENT_NODE};
-pub use policy::CallPolicy;
+pub use policy::{CallPolicy, RetryMode};
 pub use transport::{ChannelTransport, Delivery, LinkConfig, NetStats, NodeId, Transport};

@@ -8,21 +8,48 @@
 //!  Issued ────────▶ InFlight ─────────────────────▶ timed out
 //!                      │                                │
 //!                      │ reply ok                       │ attempts left
-//!                      ▼                                │ and idempotent
+//!                      ▼                                │ and retryable
 //!                  Completed                            ▼
 //!                      ▲                            Backoff (exp + jitter)
 //!                      │ reply ok (retry)               │ resend_at reached
 //!                      └────────── InFlight ◀───────────┘
 //!
-//!  any failure with no retry budget (or a non-idempotent call) ──▶
+//!  any failure with no retry budget (or a non-retryable call) ──▶
 //!  a restartable guest fault (`FaultKind::RemoteFault`), class per
 //!  `RemoteFaultClass` — recovery becomes the *guest's* protocol.
 //! ```
 //!
+//! Whether a failed attempt is *retryable* is the [`RetryMode`] ×
+//! [`Idempotence`] decision matrix: the call site's declaration always
+//! wins when it says `NonIdempotent`; otherwise the policy decides,
+//! and [`RetryMode::IfCertified`] asks the serving image's
+//! `fpc-verify` effect summary whether duplicate execution is
+//! provably unobservable.
+//!
 //! Backoff is exponential with seeded jitter (`fpc-rng`), so a retry
 //! storm decorrelates *deterministically*: same seed, same schedule.
+//!
+//! [`Idempotence`]: fpc_vm::Idempotence
 
 use fpc_rng::Rng;
+use fpc_vm::Idempotence;
+
+/// When the host may automatically resend a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetryMode {
+    /// Retry any call not declared `NonIdempotent` at its import site.
+    /// The historical default: duplicate execution is assumed safe
+    /// unless the importer says otherwise.
+    #[default]
+    Always,
+    /// Never retry; every transport failure is delivered to the guest.
+    Never,
+    /// Retry calls declared `Idempotent`, plus `Unknown` calls whose
+    /// serving procedure carries an idempotence certificate — a static
+    /// effect summary proving re-execution writes no observable state
+    /// outside the reply record.
+    IfCertified,
+}
 
 /// Retry/timeout/backoff parameters for remote calls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,11 +64,11 @@ pub struct CallPolicy {
     pub backoff_base: u64,
     /// Backoff ceiling (pre-jitter).
     pub backoff_cap: u64,
-    /// Whether the host may retry automatically. Non-idempotent calls
-    /// never auto-retry: any transport failure is delivered to the
-    /// guest fault handler, which alone knows whether re-running is
-    /// safe.
-    pub idempotent: bool,
+    /// When the host may retry automatically. Whatever the mode, a
+    /// call declared `NonIdempotent` at its import site never
+    /// auto-retries: any transport failure is delivered to the guest
+    /// fault handler, which alone knows whether re-running is safe.
+    pub retry: RetryMode,
 }
 
 impl Default for CallPolicy {
@@ -51,7 +78,7 @@ impl Default for CallPolicy {
             max_attempts: 4,
             backoff_base: 1_000,
             backoff_cap: 32_000,
-            idempotent: true,
+            retry: RetryMode::Always,
         }
     }
 }
@@ -62,8 +89,32 @@ impl CallPolicy {
     pub fn fail_fast() -> Self {
         CallPolicy {
             max_attempts: 1,
-            idempotent: false,
+            retry: RetryMode::Never,
             ..CallPolicy::default()
+        }
+    }
+
+    /// A policy that retries only under proof: declared-`Idempotent`
+    /// calls, and `Unknown` calls whose serving procedure the
+    /// verifier's effect analysis certifies retry-safe.
+    pub fn auto_retry_if_certified() -> Self {
+        CallPolicy {
+            retry: RetryMode::IfCertified,
+            ..CallPolicy::default()
+        }
+    }
+
+    /// The `RetryMode` × `Idempotence` decision matrix, minus the
+    /// certificate consultation (the cluster supplies that verdict for
+    /// `Unknown` under [`RetryMode::IfCertified`], since only it can
+    /// see the serving image).
+    pub fn may_retry(&self, declared: Idempotence, certified: impl FnOnce() -> bool) -> bool {
+        match (declared, self.retry) {
+            (Idempotence::NonIdempotent, _) => false,
+            (_, RetryMode::Never) => false,
+            (Idempotence::Idempotent, _) => true,
+            (Idempotence::Unknown, RetryMode::Always) => true,
+            (Idempotence::Unknown, RetryMode::IfCertified) => certified(),
         }
     }
 
@@ -102,6 +153,27 @@ mod tests {
         // Huge attempt counts must not overflow the shift.
         let b = p.backoff(u32::MAX, &mut rng);
         assert!(b <= 1200);
+    }
+
+    #[test]
+    fn retry_matrix_is_conservative() {
+        let always = CallPolicy::default();
+        let never = CallPolicy::fail_fast();
+        let cert = CallPolicy::auto_retry_if_certified();
+        // A NonIdempotent declaration beats every mode.
+        for p in [&always, &never, &cert] {
+            assert!(!p.may_retry(Idempotence::NonIdempotent, || true));
+        }
+        // Never beats every declaration short of... nothing.
+        assert!(!never.may_retry(Idempotence::Idempotent, || true));
+        assert!(!never.may_retry(Idempotence::Unknown, || true));
+        // Idempotent declarations retry under any retrying mode.
+        assert!(always.may_retry(Idempotence::Idempotent, || false));
+        assert!(cert.may_retry(Idempotence::Idempotent, || false));
+        // Unknown: Always retries, IfCertified asks the certificate.
+        assert!(always.may_retry(Idempotence::Unknown, || false));
+        assert!(cert.may_retry(Idempotence::Unknown, || true));
+        assert!(!cert.may_retry(Idempotence::Unknown, || false));
     }
 
     #[test]

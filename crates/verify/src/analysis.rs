@@ -8,12 +8,13 @@
 //! merge over every return in the program — which is what makes the
 //! bound exact on straight-line code.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use fpc_core::{Context, ContextWord};
 use fpc_isa::Instr;
 use fpc_vm::{gft_entries_for, Image};
 
+use crate::effects::{solve, EffectSummary};
 use crate::procs::{discover, Discovery};
 use crate::report::{Cycle, DiagKind, Diagnostic, ProcSummary, TargetFault, VerifyReport};
 use crate::VerifyOptions;
@@ -115,6 +116,10 @@ pub(crate) struct Analysis<'a> {
     residue: u32,
     /// Per-proc, per-op-index resolved call sites.
     sites: Vec<HashMap<usize, Site>>,
+    /// Per-proc, op indices of `EXTERNALCALL`s routed through remote
+    /// descriptors (the effect analysis's remote seams; excluded from
+    /// safe points because a parked marshal rewinds the pc onto them).
+    remote: Vec<HashSet<usize>>,
     arity: Vec<Arity>,
 }
 
@@ -129,6 +134,7 @@ impl<'a> Analysis<'a> {
         let limit = (opts.stack_depth as u32).saturating_sub(residue);
         let mut a = Analysis {
             sites: Vec::new(),
+            remote: Vec::new(),
             arity: vec![Arity::Bottom; d.procs.len()],
             image,
             d,
@@ -164,8 +170,10 @@ impl<'a> Analysis<'a> {
     /// flagged whether or not the site is reachable).
     fn resolve_sites(&mut self, diagnostics: &mut Vec<Diagnostic>) {
         let mut sites: Vec<HashMap<usize, Site>> = Vec::with_capacity(self.d.procs.len());
+        let mut remote: Vec<HashSet<usize>> = Vec::with_capacity(self.d.procs.len());
         for pid in 0..self.d.procs.len() {
             let mut map = HashMap::new();
+            let mut remote_map = HashSet::new();
             for (idx, &(off, instr, _len)) in self.d.procs[pid].ops.iter().enumerate() {
                 let site = match instr {
                     Instr::LocalCall(k) => Some(self.resolve_local(pid, k)),
@@ -192,6 +200,7 @@ impl<'a> Analysis<'a> {
                                 && (ri.module == seg
                                     || self.image.modules[ri.module].code_of == Some(seg))
                         }) {
+                            remote_map.insert(idx);
                             diagnostics.push(self.diag(
                                 pid,
                                 off,
@@ -207,8 +216,10 @@ impl<'a> Analysis<'a> {
                 }
             }
             sites.push(map);
+            remote.push(remote_map);
         }
         self.sites = sites;
+        self.remote = remote;
     }
 
     fn arity_checked(&self, pids: Vec<usize>, target: u32) -> Site {
@@ -576,6 +587,14 @@ impl<'a> Analysis<'a> {
         let n = self.d.procs.len();
         let mut summaries = Vec::with_capacity(n);
         let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut intra: Vec<EffectSummary> = vec![EffectSummary::default(); n];
+        let mut safe_points: Vec<Vec<u32>> = vec![Vec::new(); n];
+        // Dead-store evidence, keyed by code segment (an instance runs
+        // its owner's code, so reads through any sharing frame count).
+        let mut seg_reads: HashMap<usize, HashSet<u32>> = HashMap::new();
+        let mut seg_exposed: HashSet<usize> = HashSet::new();
+        let mut global_stores: Vec<(usize, u32, usize, u32)> = Vec::new();
+        let mut indirect_reads = false;
         for (pid, out_edges) in edges.iter_mut().enumerate() {
             let p = &self.d.procs[pid];
             let (state, ret, max_depth) = self.dataflow(pid);
@@ -602,14 +621,43 @@ impl<'a> Analysis<'a> {
                 ));
             }
             let mut ret_seen: Option<u32> = None;
+            let mut in_dead_run = false;
             for (idx, st) in state.iter().enumerate() {
                 let Some((lo, hi)) = *st else {
+                    // Flag the head of each contiguous unreachable run
+                    // (only when the body itself was analysable).
+                    if !in_dead_run && state[0].is_some() {
+                        let at = p.ops[idx].0;
+                        diagnostics.push(self.diag(pid, at, DiagKind::UnreachableCode { at }));
+                    }
+                    in_dead_run = true;
                     continue;
                 };
+                in_dead_run = false;
                 let step = self.step(pid, idx, lo, hi);
                 let off = p.ops[idx].0;
                 for kind in step.diags {
                     diagnostics.push(self.diag(pid, off, kind));
+                }
+                let instr = p.ops[idx].1;
+                intra[pid].record(instr, p.seg);
+                if self.remote[pid].contains(&idx) {
+                    // A parked marshal rewinds the pc onto the call, so
+                    // the seam itself is never a migration point.
+                    intra[pid].record_remote_site(off);
+                } else if lo == hi && lo <= XFER_RESIDUE_WORDS {
+                    safe_points[pid].push(off);
+                }
+                match instr {
+                    Instr::LoadGlobal(s) => {
+                        seg_reads.entry(p.seg).or_default().insert(s as u32);
+                    }
+                    Instr::StoreGlobal(s) => global_stores.push((pid, off, p.seg, s as u32)),
+                    Instr::LoadGlobalAddr(_) => {
+                        seg_exposed.insert(p.seg);
+                    }
+                    Instr::Read | Instr::LoadIndex => indirect_reads = true,
+                    _ => {}
                 }
                 if let Some((rlo, rhi)) = step.ret {
                     if rlo == rhi {
@@ -655,6 +703,26 @@ impl<'a> Analysis<'a> {
         }
 
         let cycles = find_cycles(&edges);
+        let mut cyclic = vec![false; n];
+        for c in &cycles {
+            for &pid in c {
+                cyclic[pid] = true;
+            }
+        }
+        let effects = solve(&intra, &edges, &cyclic);
+        // A stored slot never loaded through its segment is a dead
+        // store — but only when no alias channel could read it: no
+        // indirect reads anywhere in the image, and the segment never
+        // takes a global's address.
+        if !indirect_reads {
+            for &(pid, off, seg, slot) in &global_stores {
+                if !seg_exposed.contains(&seg)
+                    && !seg_reads.get(&seg).is_some_and(|s| s.contains(&slot))
+                {
+                    diagnostics.push(self.diag(pid, off, DiagKind::DeadStore { slot }));
+                }
+            }
+        }
         let frame_bound = self.frame_bound(&edges, &cycles);
         VerifyReport {
             diagnostics,
@@ -664,6 +732,8 @@ impl<'a> Analysis<'a> {
             xfer_residue: self.residue,
             fused_pairs: self.d.fused_pairs,
             frame_words_bound: frame_bound,
+            effects,
+            safe_points,
         }
     }
 

@@ -45,11 +45,14 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod effects;
 mod procs;
 mod report;
 
+pub use effects::EffectSummary;
 pub use report::{
-    Certificate, Cycle, DiagKind, Diagnostic, ProcSummary, TargetFault, VerifyReport,
+    Certificate, Cycle, DiagKind, Diagnostic, ProcSafePoints, ProcSummary, TargetFault,
+    VerifyReport,
 };
 
 use fpc_vm::{Image, MachineConfig};

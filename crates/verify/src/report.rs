@@ -160,6 +160,23 @@ pub enum DiagKind {
         /// The remote procedure's name.
         name: String,
     },
+    /// **Informational**: a global slot the image writes but never
+    /// reads. Only emitted when the effect analysis can prove the
+    /// store unobservable — no `LOADGLOBAL` of the slot anywhere in
+    /// the owning segment, no address of the global frame taken, and
+    /// no pointer reads or control escapes anywhere in the image that
+    /// could alias it.
+    DeadStore {
+        /// The written-but-never-read global slot index.
+        slot: u32,
+    },
+    /// **Informational**: an instruction boundary the dataflow proves
+    /// unreachable from its procedure's entry (dead code; decoded but
+    /// never executed on any path).
+    UnreachableCode {
+        /// First absolute byte offset of the unreachable run.
+        at: u32,
+    },
 }
 
 impl DiagKind {
@@ -167,7 +184,12 @@ impl DiagKind {
     /// fact about the image, not a violation, and does not fail
     /// verification ([`VerifyReport::is_ok`] ignores it).
     pub fn is_informational(&self) -> bool {
-        matches!(self, DiagKind::RemoteTarget { .. })
+        matches!(
+            self,
+            DiagKind::RemoteTarget { .. }
+                | DiagKind::DeadStore { .. }
+                | DiagKind::UnreachableCode { .. }
+        )
     }
 }
 
@@ -241,6 +263,12 @@ impl fmt::Display for DiagKind {
                 f,
                 "note: XFER through remote descriptor at link slot {lv_index}: `{name}` on node {node}"
             ),
+            DiagKind::DeadStore { slot } => {
+                write!(f, "note: global slot {slot} is written but never read")
+            }
+            DiagKind::UnreachableCode { at } => {
+                write!(f, "note: code at c{at:#06x} is unreachable")
+            }
         }
     }
 }
@@ -304,6 +332,25 @@ pub struct ProcSummary {
     pub calls: Vec<usize>,
 }
 
+/// The statically proven migration safe points of one procedure:
+/// instruction boundaries where a parked context's live state is fully
+/// architectural — the eval-stack depth is exact and within the
+/// transfer-residue budget, and no remote marshal can be in flight
+/// (remote call sites are excluded, since a parked attempt rewinds the
+/// pc onto the call instruction). The dynamic preconditions — no
+/// pending fault, no installed handler frame mid-dispatch — are the
+/// runtime's to check; this map is the static candidate set
+/// snapshot/migration consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcSafePoints {
+    /// Owning (code) module index.
+    pub module: usize,
+    /// Entry-vector index.
+    pub ev_index: u16,
+    /// Absolute code byte offsets of the safe boundaries, ascending.
+    pub pcs: Vec<u32>,
+}
+
 /// The certificate a clean verification issues: what the image was
 /// proven to respect, and therefore what a [`fpc_vm::MachineConfig`]
 /// with `verified_images` may skip checking.
@@ -318,6 +365,8 @@ pub struct Certificate {
     /// entry, or `None` when the call graph has a cycle reachable from
     /// the entry (recursion: frame depth is data-dependent).
     pub frame_words_bound: Option<u32>,
+    /// Per-procedure migration safe points (see [`ProcSafePoints`]).
+    pub safe_points: Vec<ProcSafePoints>,
 }
 
 /// One recursion cycle in the resolved call graph, as a list of
@@ -351,6 +400,13 @@ pub struct VerifyReport {
     /// entry, or `None` when recursion reachable from the entry makes
     /// frame depth data-dependent.
     pub frame_words_bound: Option<u32>,
+    /// Interprocedural effect summaries, parallel to
+    /// [`VerifyReport::procs`] (each is the whole-program summary of
+    /// the procedure and everything it can reach).
+    pub effects: Vec<crate::EffectSummary>,
+    /// Statically safe instruction boundaries, parallel to
+    /// [`VerifyReport::procs`] (see [`ProcSafePoints`]).
+    pub safe_points: Vec<Vec<u32>>,
 }
 
 impl VerifyReport {
@@ -358,6 +414,33 @@ impl VerifyReport {
     /// (see [`DiagKind::is_informational`]) do not count against it.
     pub fn is_ok(&self) -> bool {
         self.diagnostics.iter().all(|d| d.kind.is_informational())
+    }
+
+    /// The proc-table index of `(module, ev_index)`, resolving module
+    /// instances to their code owner via `code_of` is the caller's
+    /// job — summaries are keyed by owning module.
+    pub fn proc_id(&self, module: usize, ev_index: u16) -> Option<usize> {
+        self.procs
+            .iter()
+            .position(|p| p.module == module && p.ev_index == ev_index)
+    }
+
+    /// The whole-program effect summary of `(owning module, ev_index)`,
+    /// when the procedure exists.
+    pub fn effects_of(&self, module: usize, ev_index: u16) -> Option<&crate::EffectSummary> {
+        self.proc_id(module, ev_index)
+            .and_then(|i| self.effects.get(i))
+    }
+
+    /// Whether `(owning module, ev_index)` is certified retry-safe: the
+    /// report is clean *and* the procedure's effect summary proves
+    /// re-execution unobservable (see
+    /// [`EffectSummary::retry_safe`](crate::EffectSummary::retry_safe)).
+    pub fn retry_safe(&self, module: usize, ev_index: u16) -> bool {
+        self.is_ok()
+            && self
+                .effects_of(module, ev_index)
+                .is_some_and(|e| e.retry_safe())
     }
 
     /// The certificate, when verification succeeded.
@@ -375,6 +458,16 @@ impl VerifyReport {
                 + self.xfer_residue,
             procs: self.procs.len(),
             frame_words_bound: self.frame_words_bound,
+            safe_points: self
+                .procs
+                .iter()
+                .zip(&self.safe_points)
+                .map(|(p, pcs)| ProcSafePoints {
+                    module: p.module,
+                    ev_index: p.ev_index,
+                    pcs: pcs.clone(),
+                })
+                .collect(),
         })
     }
 }

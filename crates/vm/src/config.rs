@@ -165,6 +165,17 @@ pub struct MachineConfig {
     /// plus a usable frame region — [`crate::Machine::load`] rejects
     /// sizes that do not.
     pub memory_words: u32,
+    /// Record the effects each instruction actually performs (global
+    /// reads/writes, memory-bank traffic, output, donations, module
+    /// binds, traps taken, context operations) into an
+    /// [`ObservedEffects`] journal readable via
+    /// [`Machine::observed_effects`]. Host-side and charge-free: no
+    /// simulated counter moves. Off by default; the effect-soundness
+    /// differential turns it on to check observed ⊆ static summary.
+    ///
+    /// [`ObservedEffects`]: crate::ObservedEffects
+    /// [`Machine::observed_effects`]: crate::Machine::observed_effects
+    pub observe_effects: bool,
 }
 
 impl MachineConfig {
@@ -187,6 +198,7 @@ impl MachineConfig {
             native: false,
             native_threshold: 32,
             memory_words: crate::image::DEFAULT_MEMORY_WORDS,
+            observe_effects: false,
         }
     }
 
@@ -308,6 +320,13 @@ impl MachineConfig {
         self
     }
 
+    /// Enables or disables the charge-free effect-observation journal
+    /// (see [`MachineConfig::observe_effects`]).
+    pub fn with_observe_effects(mut self, on: bool) -> Self {
+        self.observe_effects = on;
+        self
+    }
+
     /// Whether bank renaming is active.
     pub fn renaming(&self) -> bool {
         self.banks.map(|b| b.renaming).unwrap_or(false)
@@ -363,6 +382,8 @@ mod tests {
             "full address space unless shrunk"
         );
         assert_eq!(c.with_memory_words(2048).memory_words, 2048);
+        assert!(!c.observe_effects, "observation is opt-in");
+        assert!(c.with_observe_effects(true).observe_effects);
     }
 
     #[test]

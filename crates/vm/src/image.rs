@@ -91,6 +91,24 @@ pub struct Image {
     pub remote_imports: Vec<RemoteImport>,
 }
 
+/// Caller-declared idempotence of a remote procedure: the static
+/// contract an RPC runtime's retry policy consults. The default is
+/// deliberately [`Idempotence::Unknown`] so that nothing auto-retries
+/// unless the importer asserts safety or a verifier certificate
+/// proves it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Idempotence {
+    /// Unspecified — the conservative default: retry only under a
+    /// policy that either retries everything or can certify safety.
+    #[default]
+    Unknown,
+    /// The importer asserts duplicate execution is observably safe.
+    Idempotent,
+    /// The importer asserts duplicate execution is unsafe; a runtime
+    /// must never auto-retry, whatever its policy says.
+    NonIdempotent,
+}
+
 /// One remote procedure descriptor: the linkage-table entry
 /// `(module, lv_index)` resolves to procedure `name` on `node`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,6 +127,8 @@ pub struct RemoteImport {
     pub nargs: u8,
     /// Result words unmarshalled back onto it.
     pub nret: u8,
+    /// The importer's idempotence declaration for this procedure.
+    pub idempotence: Idempotence,
 }
 
 impl Image {
@@ -475,6 +495,23 @@ impl ImageBuilder {
         nargs: u8,
         nret: u8,
     ) -> u8 {
+        self.import_remote_with(m, name, node, nargs, nret, Idempotence::Unknown)
+    }
+
+    /// [`import_remote`](Self::import_remote) with an explicit
+    /// [`Idempotence`] declaration. `import_remote` defaults to
+    /// [`Idempotence::Unknown`], which stays conservative: under
+    /// `RetryMode::IfCertified` a runtime only retries such a call if
+    /// the serving image's verifier certificate proves it retry-safe.
+    pub fn import_remote_with(
+        &mut self,
+        m: ModuleHandle,
+        name: &str,
+        node: u16,
+        nargs: u8,
+        nret: u8,
+        idempotence: Idempotence,
+    ) -> u8 {
         let stub_mod = match self.remote_stub_module {
             Some(i) => ModuleHandle(i),
             None => {
@@ -507,6 +544,7 @@ impl ImageBuilder {
             name: name.into(),
             nargs,
             nret,
+            idempotence,
         });
         lv_index
     }

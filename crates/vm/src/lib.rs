@@ -53,6 +53,7 @@ pub mod inject;
 mod listing;
 mod machine;
 mod native;
+mod observe;
 mod predecode;
 mod xfer;
 
@@ -63,9 +64,9 @@ pub use cost::{TransferKind, TransferStats};
 pub use error::{FaultKind, RemoteFaultClass, TrapCode, VmError};
 pub use ifu::{ReturnEntry, ReturnStack, ReturnStackStats};
 pub use image::{
-    gft_entries_for, load, load_with_buffer, Image, ImageBuilder, ModuleHandle, ModuleImage,
-    Placement, ProcRef, ProcSpec, RemoteImport, AV_BASE, DEFAULT_MEMORY_WORDS, GFT_BASE,
-    GFT_ENTRIES, LINK_BASE,
+    gft_entries_for, load, load_with_buffer, Idempotence, Image, ImageBuilder, ModuleHandle,
+    ModuleImage, Placement, ProcRef, ProcSpec, RemoteImport, AV_BASE, DEFAULT_MEMORY_WORDS,
+    GFT_BASE, GFT_ENTRIES, LINK_BASE,
 };
 pub use inject::{
     run_with_plan, FaultEvent, FaultPlan, InjectionReport, NetEvent, NetPlan, PlanCursor,
@@ -73,5 +74,6 @@ pub use inject::{
 pub use listing::listing;
 pub use machine::{FaultStats, FusionStats, Machine, MachineStats, RemoteRequest, StepOutcome};
 pub use native::{NativeLicense, NativeStats};
+pub use observe::ObservedEffects;
 pub use predecode::{fuse_pair, DecodedOp, Fetched, FusedOp, PredecodeCache, PredecodeStats};
 pub use xfer::{CachedTarget, XferCache, XferCacheStats};

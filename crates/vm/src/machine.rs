@@ -33,6 +33,7 @@ use crate::error::{FaultKind, RemoteFaultClass, TrapCode, VmError};
 use crate::ifu::{ReturnEntry, ReturnStack, ReturnStackStats};
 use crate::image::{self, Image, ProcRef, AV_BASE, GFT_BASE, GFT_ENTRIES};
 use crate::native::{NOp, NativeLicense, NativeProc, NativeTier};
+use crate::observe::ObservedEffects;
 use crate::predecode::{Fetched, FusedOp, PredecodeCache, PredecodeStats};
 use crate::xfer::{CachedTarget, XferCache, XferCacheStats};
 
@@ -132,6 +133,10 @@ struct LoadedModule {
     code_base: ByteAddr,
     code_len: u32,
     nprocs: u16,
+    /// The module whose code this one runs: itself, or its owner when
+    /// it is an instance (`ModuleImage::code_of`). Effect observation
+    /// keys footprints by code segment to match the static analysis.
+    code_seg: usize,
 }
 
 /// Host-side superinstruction counters, surfaced via
@@ -212,6 +217,8 @@ struct RemoteLink {
     nargs: u8,
     /// Result words unmarshalled back onto it.
     nret: u8,
+    /// The importer's idempotence declaration.
+    idempotence: crate::image::Idempotence,
 }
 
 /// State of the (at most one) in-flight remote operation.
@@ -247,6 +254,9 @@ pub struct RemoteRequest {
     pub args: Vec<u16>,
     /// Result words the caller expects back.
     pub nret: u8,
+    /// The importer's idempotence declaration — the conservative input
+    /// to the host retry policy's decision matrix.
+    pub idempotence: crate::image::Idempotence,
 }
 
 /// The byte-code machine.
@@ -323,6 +333,10 @@ pub struct Machine {
     /// Info word of the most recent remote fault
     /// (`lv_index << 4 | failure class`), read by `RFINFO`.
     last_remote_fault: u16,
+
+    /// Charge-free effect journal; `Some` iff
+    /// [`MachineConfig::observe_effects`] is on.
+    observe: Option<Box<ObservedEffects>>,
 
     output: Vec<u16>,
     stats: MachineStats,
@@ -517,6 +531,7 @@ impl Machine {
                     .unwrap_or(image.code.len() as u32)
                     - m.code_base.0,
                 nprocs: m.nprocs,
+                code_seg: m.code_of.unwrap_or(i),
             })
             .collect();
         let mut machine = Machine {
@@ -565,6 +580,7 @@ impl Machine {
             remote_op: None,
             failover_requests: Vec::new(),
             last_remote_fault: 0,
+            observe: config.observe_effects.then(Box::default),
             output: Vec::new(),
             stats: MachineStats::default(),
             halted: false,
@@ -1150,6 +1166,7 @@ impl Machine {
                     cycles += CYCLE_BASE;
                 }
                 NOp::GlobalRd(n) => {
+                    self.obs_global(n as u32, false);
                     let v = self
                         .mem
                         .read(fast_wrap(self.gf.0 + layout::GF_GLOBALS + n as u32));
@@ -1157,6 +1174,7 @@ impl Machine {
                     cycles += CYCLE_BASE + CYCLE_MEMREF;
                 }
                 NOp::GlobalWr(n) => {
+                    self.obs_global(n as u32, true);
                     let v = self.stack.pop().unwrap_or(0);
                     self.mem
                         .write(fast_wrap(self.gf.0 + layout::GF_GLOBALS + n as u32), v);
@@ -1172,12 +1190,14 @@ impl Machine {
                     cycles += CYCLE_BASE;
                 }
                 NOp::Read => {
+                    self.obs(|o| o.reads_memory = true);
                     let addr = WordAddr(self.stack.pop().unwrap_or(0) as u32);
                     let v = self.mem.read(addr);
                     self.stack.push(v);
                     cycles += CYCLE_BASE + CYCLE_MEMREF;
                 }
                 NOp::Write => {
+                    self.obs(|o| o.writes_memory = true);
                     let addr = WordAddr(self.stack.pop().unwrap_or(0) as u32);
                     let v = self.stack.pop().unwrap_or(0);
                     self.mem.write(addr, v);
@@ -1188,6 +1208,7 @@ impl Machine {
                     }
                 }
                 NOp::LoadIndex => {
+                    self.obs(|o| o.reads_memory = true);
                     let idx = self.stack.pop().unwrap_or(0);
                     let base = self.stack.pop().unwrap_or(0);
                     let v = self.mem.read(WordAddr(base.wrapping_add(idx) as u32));
@@ -1195,6 +1216,7 @@ impl Machine {
                     cycles += CYCLE_BASE + CYCLE_MEMREF;
                 }
                 NOp::StoreIndex => {
+                    self.obs(|o| o.writes_memory = true);
                     let idx = self.stack.pop().unwrap_or(0);
                     let base = self.stack.pop().unwrap_or(0);
                     let v = self.stack.pop().unwrap_or(0);
@@ -1292,6 +1314,7 @@ impl Machine {
                     cycles += CYCLE_BASE;
                 }
                 NOp::Out => {
+                    self.obs(|o| o.writes_output = true);
                     let v = self.stack.pop().unwrap_or(0);
                     self.output.push(v);
                     cycles += CYCLE_BASE;
@@ -1631,6 +1654,12 @@ impl Machine {
     /// Values emitted by `OUT`.
     pub fn output(&self) -> &[u16] {
         &self.output
+    }
+
+    /// The charge-free effect journal, when
+    /// [`MachineConfig::observe_effects`] is on.
+    pub fn observed_effects(&self) -> Option<&ObservedEffects> {
+        self.observe.as_deref()
     }
 
     /// The evaluation stack (e.g. results after the root returns).
@@ -2256,12 +2285,14 @@ impl Machine {
                 Flow::Next
             }
             (I::LoadGlobal(g), I::LoadImm(v)) => {
+                self.obs_global(g as u32, false);
                 let x = self.mem.read(self.global_addr(g as u32));
                 self.stack.push(x);
                 self.stack.push(v);
                 Flow::Next
             }
             (I::Add, I::StoreGlobal(g)) => {
+                self.obs_global(g as u32, true);
                 let y = self.stack.pop().expect("guarded by fusion depth check") as i16;
                 let x = self.stack.pop().expect("guarded by fusion depth check") as i16;
                 self.mem
@@ -2269,6 +2300,7 @@ impl Machine {
                 Flow::Next
             }
             (I::Sub, I::StoreGlobal(g)) => {
+                self.obs_global(g as u32, true);
                 let y = self.stack.pop().expect("guarded by fusion depth check") as i16;
                 let x = self.stack.pop().expect("guarded by fusion depth check") as i16;
                 self.mem
@@ -2569,6 +2601,37 @@ impl Machine {
         self.wrap(self.gf.offset(layout::GF_GLOBALS + idx))
     }
 
+    /// Journals an effect when observation is on. Charge-free: the
+    /// closure only touches the journal, never simulated state.
+    #[inline]
+    fn obs(&mut self, f: impl FnOnce(&mut ObservedEffects)) {
+        if let Some(o) = self.observe.as_mut() {
+            f(o);
+        }
+    }
+
+    /// Journals a global-frame access against the executing code
+    /// segment (resolved from the live `gf`, so instances record
+    /// against their owner's code — the static summary's domain).
+    #[inline]
+    fn obs_global(&mut self, slot: u32, write: bool) {
+        if self.observe.is_none() {
+            return;
+        }
+        let seg = self
+            .modules
+            .iter()
+            .position(|m| m.gf == self.gf)
+            .map(|i| self.modules[i].code_seg)
+            .unwrap_or(usize::MAX);
+        let o = self.observe.as_mut().expect("checked above");
+        if write {
+            o.global_write(seg, slot);
+        } else {
+            o.global_read(seg, slot);
+        }
+    }
+
     fn lf_ctx(&self) -> ContextWord {
         ContextWord::from(Context::Frame(
             FrameHandle::from_addr(self.lf).expect("live frames are aligned and non-nil"),
@@ -2609,6 +2672,7 @@ impl Machine {
             name: import.name.clone(),
             nargs: import.nargs,
             nret: import.nret,
+            idempotence: import.idempotence,
         });
         // The native tier compiles EFC sites into direct threaded
         // calls that would bypass the remote intercept: disarm it. The
@@ -2664,6 +2728,7 @@ impl Machine {
             name: l.name.clone(),
             args: self.stack[start..].to_vec(),
             nret: l.nret,
+            idempotence: l.idempotence,
         })
     }
 
@@ -2719,6 +2784,7 @@ impl Machine {
     /// a [`TransferKind::Remote`]) or raises a restartable
     /// [`FaultKind::RemoteFault`].
     fn remote_xfer(&mut self, link: usize, instr_start: ByteAddr) -> Result<Flow, VmError> {
+        self.obs(|o| o.called_remote = true);
         match self.remote_op.take() {
             None => {
                 self.remote_op = Some(RemoteOp {
@@ -3366,6 +3432,9 @@ impl Machine {
     }
 
     fn do_trap(&mut self, code: TrapCode) -> Result<Flow, VmError> {
+        // One choke point for every tier: an explicit TRAP and a zero
+        // divisor both dispatch here.
+        self.obs(|o| o.trapped = true);
         let Some(handler) = self.trap_handler else {
             return Err(VmError::UnhandledTrap(code));
         };
@@ -3437,6 +3506,7 @@ impl Machine {
                 self.push(addr.0 as u16)?;
             }
             Instr::LoadGlobal(n) => {
+                self.obs_global(n as u32, false);
                 let v = self.mem.read(self.global_addr(n as u32));
                 self.push(v)?;
             }
@@ -3445,27 +3515,32 @@ impl Machine {
                 self.push(addr.0 as u16)?;
             }
             Instr::StoreGlobal(n) => {
+                self.obs_global(n as u32, true);
                 let v = self.pop()?;
                 self.mem.write(self.global_addr(n as u32), v);
             }
             Instr::LoadImm(v) => self.push(v)?,
             Instr::Read => {
+                self.obs(|o| o.reads_memory = true);
                 let addr = WordAddr(self.pop()? as u32);
                 let v = self.read_indirect(addr);
                 self.push(v)?;
             }
             Instr::Write => {
+                self.obs(|o| o.writes_memory = true);
                 let addr = WordAddr(self.pop()? as u32);
                 let v = self.pop()?;
                 self.write_indirect(addr, v);
             }
             Instr::LoadIndex => {
+                self.obs(|o| o.reads_memory = true);
                 let idx = self.pop()?;
                 let base = self.pop()?;
                 let v = self.read_indirect(WordAddr(base.wrapping_add(idx) as u32));
                 self.push(v)?;
             }
             Instr::StoreIndex => {
+                self.obs(|o| o.writes_memory = true);
                 let idx = self.pop()?;
                 let base = self.pop()?;
                 let v = self.pop()?;
@@ -3616,6 +3691,7 @@ impl Machine {
             }
             Instr::Ret => return self.perform_return(),
             Instr::Xfer => {
+                self.obs(|o| o.context_ops = true);
                 let w = ContextWord::from_raw(self.pop()?);
                 let r = self.perform_xfer(w);
                 if r.is_err() {
@@ -3626,6 +3702,7 @@ impl Machine {
                 return r;
             }
             Instr::NewContext => {
+                self.obs(|o| o.context_ops = true);
                 let w = ContextWord::from_raw(self.pop()?);
                 match self.create_context(w) {
                     Ok(ctx) => self.push(ctx.raw())?,
@@ -3636,6 +3713,7 @@ impl Machine {
                 }
             }
             Instr::FreeContext => {
+                self.obs(|o| o.context_ops = true);
                 let w = ContextWord::from_raw(self.pop()?);
                 let Context::Frame(h) = Context::from(w) else {
                     return Err(VmError::InvalidContext(w.raw()));
@@ -3672,6 +3750,7 @@ impl Machine {
             }
             Instr::Trap(n) => return self.do_trap(TrapCode::User(n)),
             Instr::ProcessSwitch => {
+                self.obs(|o| o.context_ops = true);
                 let n = self.processes.len();
                 let next = (1..=n)
                     .map(|off| (self.current_proc + off) % n)
@@ -3699,6 +3778,7 @@ impl Machine {
                 return Ok(Flow::Taken(Some(TransferKind::ProcessSwitch)));
             }
             Instr::Spawn => {
+                self.obs(|o| o.context_ops = true);
                 let w = ContextWord::from_raw(self.pop()?);
                 let ctx = match self.create_context(w) {
                     Ok(ctx) => ctx,
@@ -3719,6 +3799,7 @@ impl Machine {
                 // The §5.3 replenisher's donation: move words from the
                 // fault reserve into the allocatable pool, pushing the
                 // number actually granted (0 when the reserve is dry).
+                self.obs(|o| o.donates = true);
                 let req = self.pop()? as u32;
                 let granted = match &mut self.allocator {
                     Allocator::General(g) => g.donate(req),
@@ -3731,6 +3812,7 @@ impl Machine {
                 // Ask the host loader to bind a module back in; pushes
                 // 1 on a state change, 0 when already bound or out of
                 // range. The replenisher analogue for code faults.
+                self.obs(|o| o.binds_modules = true);
                 let m = self.pop()? as usize;
                 let rebound = m < self.unbound.len() && self.unbound[m];
                 if rebound {
@@ -3740,10 +3822,12 @@ impl Machine {
                 self.push(rebound as u16)?;
             }
             Instr::RemoteInfo => {
+                self.obs(|o| o.handler_ops = true);
                 let w = self.last_remote_fault;
                 self.push(w)?;
             }
             Instr::Failover => {
+                self.obs(|o| o.handler_ops = true);
                 // Queue a host rebind request for the descriptor named
                 // by the info word; the host (transport layer) rotates
                 // the binding to the next replica before the fault
@@ -3752,6 +3836,7 @@ impl Machine {
                 self.failover_requests.push(w);
             }
             Instr::Out => {
+                self.obs(|o| o.writes_output = true);
                 let v = self.pop()?;
                 self.output.push(v);
             }

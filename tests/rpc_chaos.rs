@@ -12,7 +12,7 @@ use fpc_isa::Instr;
 use fpc_rpc::{CallPolicy, ChannelTransport, Cluster, LinkConfig, ServerNode};
 use fpc_sched::{Context, FinalState, FuelPolicy, Population, SchedConfig};
 use fpc_vm::inject::NetPlan;
-use fpc_vm::{FaultKind, Image, ImageBuilder, Machine, MachineConfig, ProcRef, ProcSpec};
+use fpc_vm::{FaultKind, Image, ImageBuilder, Machine, MachineConfig, ProcRef, ProcSpec, VmError};
 
 const CONTEXTS: u64 = 3;
 const CALLS: u16 = 3;
@@ -86,9 +86,14 @@ fn server() -> ServerNode {
     )
 }
 
-/// Runs the population under `plan` and returns (finals, faults
-/// delivered, calls completed).
-fn run_cluster(config: MachineConfig, plan: NetPlan) -> (Vec<FinalState>, u64, u64) {
+/// Runs the population under `plan` with `policy`, serving via
+/// `mk_server`, and returns the finals plus the full RPC counters.
+fn run_cluster_with(
+    config: MachineConfig,
+    plan: NetPlan,
+    policy: CallPolicy,
+    mk_server: fn() -> ServerNode,
+) -> (Vec<FinalState>, fpc_rpc::RpcStats) {
     let (image, fh) = client_image();
     let cfg = config.with_fault_reserve(512);
     let population = Population::from_factory(CONTEXTS, move |id, buf| {
@@ -108,18 +113,21 @@ fn run_cluster(config: MachineConfig, plan: NetPlan) -> (Vec<FinalState>, u64, u
         population,
         &sched_cfg,
         ChannelTransport::with_plan(LinkConfig::default(), plan),
-        CallPolicy::default(),
+        policy,
         0xC0DE,
     );
-    cluster.add_server(1, server());
-    cluster.add_server(2, server());
+    cluster.add_server(1, mk_server());
+    cluster.add_server(2, mk_server());
     cluster.set_replicas(0, vec![1, 2]);
     let report = cluster.run();
-    (
-        report.sched.finals_sorted(),
-        report.rpc.faults_delivered,
-        report.rpc.completed,
-    )
+    (report.sched.finals_sorted(), report.rpc)
+}
+
+/// Runs the population under `plan` and returns (finals, faults
+/// delivered, calls completed).
+fn run_cluster(config: MachineConfig, plan: NetPlan) -> (Vec<FinalState>, u64, u64) {
+    let (finals, rpc) = run_cluster_with(config, plan, CallPolicy::default(), server);
+    (finals, rpc.faults_delivered, rpc.completed)
 }
 
 fn implementations() -> [(&'static str, MachineConfig); 3] {
@@ -185,6 +193,188 @@ fn storms_replay_bit_identically() {
     let a: Vec<_> = a_finals.iter().map(|f| f.architectural()).collect();
     let b: Vec<_> = b_finals.iter().map(|f| f.architectural()).collect();
     assert_eq!(a, b);
+}
+
+/// A server whose `double` also writes the output port: functionally
+/// the same reply record, but re-execution is observable, so the
+/// verifier must refuse it an idempotence certificate.
+fn loud_server_image() -> Image {
+    let mut b = ImageBuilder::new();
+    let m = b.module("srv");
+    b.proc_with(m, ProcSpec::new("main", 0, 0), |a| {
+        a.instr(Instr::Halt);
+    });
+    b.proc_with(m, ProcSpec::new("double", 1, 2), |a| {
+        a.instr(Instr::StoreLocal(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::Out);
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::LoadLocal(0));
+        a.instr(Instr::Add);
+        a.instr(Instr::Halt);
+    });
+    b.build(ProcRef {
+        module: 0,
+        ev_index: 0,
+    })
+    .unwrap()
+}
+
+fn loud_server() -> ServerNode {
+    ServerNode::new(loud_server_image(), MachineConfig::i2()).service(
+        "double",
+        ProcRef {
+            module: 0,
+            ev_index: 1,
+        },
+        1,
+        1,
+    )
+}
+
+/// The licensed-retry invariant: under `auto_retry_if_certified`, an
+/// `Unknown`-declared call retries only because the verifier's effect
+/// analysis certified the serving procedure — and with retries
+/// actually firing, every storm's adjusted counters still match the
+/// fault-free run bit for bit.
+#[test]
+fn certified_retry_storms_stay_bit_identical() {
+    // Precondition, checked directly so a certification regression
+    // fails here and not as a mysterious retry-count change: the pure
+    // server's `double` is retry-safe, the loud one's is not.
+    let report = fpc_verify::verify_image(
+        &server_image(),
+        &fpc_verify::VerifyOptions::for_config(&MachineConfig::i2()),
+    );
+    assert!(report.retry_safe(0, 1), "pure double must certify");
+    let report = fpc_verify::verify_image(
+        &loud_server_image(),
+        &fpc_verify::VerifyOptions::for_config(&MachineConfig::i2()),
+    );
+    assert!(
+        !report.retry_safe(0, 1),
+        "Out makes re-execution observable"
+    );
+
+    let policy = CallPolicy::auto_retry_if_certified();
+    for (name, config) in implementations() {
+        let (clean, clean_rpc) =
+            run_cluster_with(config, NetPlan::from_events(Vec::new()), policy, server);
+        assert_eq!(clean_rpc.retries, 0, "{name}: clean run never resends");
+        let clean_adj: Vec<_> = clean.iter().map(|f| f.adjusted()).collect();
+        let mut total_retries = 0;
+        for seed in [1u64, 2, 3, 4, 5] {
+            let plan = NetPlan::generate(seed, 48, 2);
+            let label = format!("{name} seed {seed}");
+            let (storm, rpc) = run_cluster_with(config, plan, policy, server);
+            assert_eq!(rpc.completed, CONTEXTS * CALLS as u64, "{label}");
+            assert!(
+                storm.iter().all(|f| !f.faulted),
+                "{label}: every context must survive the storm"
+            );
+            let storm_adj: Vec<_> = storm.iter().map(|f| f.adjusted()).collect();
+            assert_eq!(storm_adj, clean_adj, "{label}: differential identity");
+            total_retries += rpc.retries;
+        }
+        assert!(
+            total_retries > 0,
+            "{name}: the certificate must actually have licensed retries"
+        );
+    }
+}
+
+/// The negative half of the license: the same storms against the loud
+/// server, same `IfCertified` policy, must never host-retry — every
+/// failure goes to the guest handler instead, which recovers by
+/// failover + restart, and the adjusted counters *still* match that
+/// policy's own clean run.
+#[test]
+fn uncertified_service_never_auto_retries() {
+    let policy = CallPolicy::auto_retry_if_certified();
+    let (clean, _) = run_cluster_with(
+        MachineConfig::i2(),
+        NetPlan::from_events(Vec::new()),
+        policy,
+        loud_server,
+    );
+    let clean_adj: Vec<_> = clean.iter().map(|f| f.adjusted()).collect();
+    let mut faults_total = 0;
+    for seed in [1u64, 2, 3, 4, 5] {
+        let (storm, rpc) = run_cluster_with(
+            MachineConfig::i2(),
+            NetPlan::generate(seed, 48, 2),
+            policy,
+            loud_server,
+        );
+        assert_eq!(rpc.retries, 0, "seed {seed}: no certificate, no resend");
+        assert_eq!(rpc.completed, CONTEXTS * CALLS as u64, "seed {seed}");
+        assert!(
+            storm.iter().all(|f| !f.faulted),
+            "seed {seed}: guest-driven recovery must still succeed"
+        );
+        let storm_adj: Vec<_> = storm.iter().map(|f| f.adjusted()).collect();
+        assert_eq!(storm_adj, clean_adj, "seed {seed}: differential identity");
+        faults_total += rpc.faults_delivered;
+    }
+    assert!(
+        faults_total > 0,
+        "at least one storm must have pushed recovery into the guest"
+    );
+}
+
+/// The zero-commit park at a quantum boundary: a context whose
+/// quantum expires *exactly* at the remote call (remaining fuel
+/// `a = 0`) parks on the next step without committing anything, stays
+/// parked across redundant steps, and after completion commits the
+/// marshal exactly once — identical counters to the unsliced run.
+#[test]
+fn quantum_boundary_park_restarts_the_marshal_exactly_once() {
+    let image = {
+        let mut b = ImageBuilder::new();
+        let m = b.module("cli");
+        let lv = b.import_remote(m, "double", 1, 1, 1);
+        b.proc_with(m, ProcSpec::new("main", 0, 0), move |a| {
+            a.instr(Instr::LoadImm(21));
+            a.instr(Instr::ExternalCall(lv));
+            a.instr(Instr::Out);
+            a.instr(Instr::Halt);
+        });
+        b.build(ProcRef {
+            module: 0,
+            ev_index: 0,
+        })
+        .unwrap()
+    };
+    let cfg = MachineConfig::i2();
+
+    // Control: one-shot run, park once, complete, finish.
+    let mut control = Machine::load(&image, cfg).unwrap();
+    assert!(matches!(control.run(10_000), Err(VmError::RemoteBlocked)));
+    control.complete_remote(vec![42]);
+    control.run(10_000).unwrap();
+    assert_eq!(control.output(), &[42]);
+
+    // Sliced: the quantum runs dry after `LoadImm`, so the boundary
+    // lands exactly on the call with zero fuel left for it. The park
+    // runs before any counted reference or fuel charge, so the
+    // context surfaces `RemoteBlocked` — parked, not out of fuel —
+    // having committed nothing.
+    let mut m = Machine::load(&image, cfg).unwrap();
+    assert!(matches!(m.run(1), Err(VmError::RemoteBlocked)));
+    assert_eq!(m.stats().instructions, 1, "only LoadImm retired");
+    let refs_at_boundary = m.total_refs();
+    // Re-stepping without a completion stays parked, still free.
+    assert!(matches!(m.run(10_000), Err(VmError::RemoteBlocked)));
+    assert_eq!(m.total_refs(), refs_at_boundary);
+    // Completion restarts the call instruction: pop args, push
+    // results, charge the marshal — exactly once.
+    m.complete_remote(vec![42]);
+    m.run(10_000).unwrap();
+    assert!(m.halted());
+    assert_eq!(m.output(), control.output());
+    assert_eq!(m.total_refs(), control.total_refs(), "marshal charged once");
+    assert_eq!(m.stats().cycles, control.stats().cycles);
+    assert_eq!(m.stats().instructions, control.stats().instructions);
 }
 
 /// Chaos without a handler installed: contexts may die on exhausted
